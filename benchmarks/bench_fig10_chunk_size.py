@@ -1,0 +1,76 @@
+"""Figure 10 — run time versus chunk size (K-Means, one GPU).
+
+The paper varies the chunk size of K-Means for a problem that just exceeds
+GPU memory (n = 1e9, 16 GB) and finds a wide plateau: chunks below ~50 MB
+suffer from per-task scheduling overhead, chunks above ~5 GB prevent
+overlapping data transfers with kernel execution, while everything in between
+performs similarly (~0.5 GB is a good default).
+
+To keep the sweep's task counts tractable for the pure-Python simulator, the
+experiment is scaled down by one order of magnitude in *both* the dataset and
+the GPU memory (1.6 GB of records against a 1 GiB GPU memory pool), which
+preserves the data-to-memory ratio of the paper and therefore the shape of
+the curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchPoint, format_table, make_context, save_results
+from repro.hardware import DeviceId
+from repro.kernels import create_workload
+
+GB = 1024 ** 3
+
+#: dataset slightly exceeding the (shrunken) GPU memory, as in the paper.
+PROBLEM_SIZE = 100_000_000  # 1.6 GB at 16 bytes/record
+GPU_MEMORY = 1 * GB
+
+#: chunk sizes in records (16 bytes each): 2 MB ... 800 MB.
+CHUNK_SIZES = [131_072, 1_310_720, 6_553_600, 32_768_000, 50_000_000]
+
+ITERATIONS = 3
+
+
+def _run_one(chunk_records: int) -> BenchPoint:
+    capacities = {DeviceId(0, 0).memory_space: GPU_MEMORY}
+    ctx = make_context(1, 1, memory_capacities=capacities)
+    workload = create_workload(
+        "kmeans", ctx, PROBLEM_SIZE, chunk_elems=chunk_records, iterations=ITERATIONS
+    )
+    result = workload.run()
+    return BenchPoint(
+        benchmark="kmeans",
+        nodes=1,
+        gpus_per_node=1,
+        problem_size=result.problem_size,
+        data_gb=result.data_bytes / 1e9,
+        elapsed=result.elapsed,
+        throughput=result.throughput,
+        extra=f"chunk={chunk_records * 16 / 1e6:.0f}MB",
+    )
+
+
+def _sweep():
+    return [_run_one(chunk) for chunk in CHUNK_SIZES]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_chunk_size_sweep(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        points, "Figure 10: K-Means run time vs chunk size (1 GPU, scaled: 1.6GB data / 1GiB GPU)"
+    )
+    print("\n" + table)
+    save_results("fig10_chunk_size.txt", table)
+
+    times = [p.elapsed for p in points]
+    best = min(times)
+    # The smallest and the largest chunk sizes should both be measurably worse
+    # than the best mid-range configuration (the U-shape of Fig. 10) ...
+    assert times[0] > 1.1 * best
+    assert times[-1] > 1.02 * best
+    # ... while the mid-range region sits near the optimum.
+    mid = times[2]
+    assert mid <= 1.3 * best

@@ -1,0 +1,41 @@
+"""Figure 11 — run time versus problem size (K-Means, one GPU).
+
+Run time grows linearly with the problem size while the data fits on the GPU;
+past the GPU-memory line the runtime keeps working by spilling to host memory
+at a modest slowdown (K-Means is compute-heavy enough to overlap transfers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, gpu_memory_limit, run_workload, save_results
+
+PROBLEM_SIZES = [10_000_000, 40_000_000, 160_000_000, 640_000_000, 1_280_000_000, 2_560_000_000]
+
+
+def _sweep():
+    return [
+        run_workload("kmeans", n, nodes=1, gpus_per_node=1, iterations=5)
+        for n in PROBLEM_SIZES
+    ]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_problem_size_sweep(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(points, "Figure 11: K-Means run time vs problem size (1 GPU)")
+    print("\n" + table)
+    save_results("fig11_problem_size.txt", table)
+
+    # Linear scaling while the data fits into GPU memory: doubling n roughly
+    # doubles the run time (within 35% tolerance for fixed overheads).
+    in_memory = [p for p in points if p.data_gb * 1e9 <= gpu_memory_limit(1)]
+    assert len(in_memory) >= 3
+    for a, b in zip(in_memory, in_memory[1:]):
+        ratio = b.elapsed / a.elapsed
+        growth = b.problem_size / a.problem_size
+        assert 0.5 * growth <= ratio <= 1.35 * growth
+
+    # Beyond GPU memory the run still completes (no OoM) and time keeps growing.
+    assert points[-1].elapsed > in_memory[-1].elapsed

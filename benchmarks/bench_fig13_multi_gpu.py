@@ -1,0 +1,60 @@
+"""Figure 13 — throughput with 1-4 GPUs inside a single node.
+
+Reproduced observations:
+
+* compute-intensive benchmarks scale nearly linearly with the GPU count;
+* more GPUs mean more combined GPU memory, so larger problems run before any
+  spilling starts;
+* for workloads that previously benefited from spilling on one GPU (K-Means),
+  spilling stops helping with several GPUs in one node because they share the
+  node's PCIe bus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_workload, save_results
+
+#: one representative, fairly large problem size per benchmark (≈ 2x one GPU's memory
+#: for the data-heavy kernels so the 1-GPU configuration must spill).
+SIZES = {
+    "md5": 2e11,
+    "nbody": 2e11,
+    "correlator": 32768,
+    "kmeans": 2e9,
+    "hotspot": 4e9,
+    "gemm": 4e13,
+    "spmv": 4e12,
+    "black_scholes": 1.5e9,
+}
+
+GPU_COUNTS = [1, 2, 4]
+
+
+def _sweep():
+    points = {}
+    for name, n in SIZES.items():
+        points[name] = [
+            run_workload(name, int(n), nodes=1, gpus_per_node=g) for g in GPU_COUNTS
+        ]
+    return points
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_single_node_multi_gpu(benchmark):
+    per_benchmark = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    flat = [p for series in per_benchmark.values() for p in series]
+    table = format_table(flat, "Figure 13: throughput on 1 node with 1/2/4 GPUs")
+    print("\n" + table)
+    save_results("fig13_multi_gpu.txt", table)
+
+    for name, series in per_benchmark.items():
+        t1, t4 = series[0].throughput, series[-1].throughput
+        speedup = t4 / t1
+        if name in {"md5", "nbody", "correlator"}:
+            assert speedup > 2.8, f"{name}: 4-GPU speedup only {speedup:.2f}"
+        else:
+            # Every benchmark must at least benefit from 4 GPUs at these sizes
+            # (the 1-GPU runs are in or near the spilling regime).
+            assert speedup > 1.5, f"{name}: 4-GPU speedup only {speedup:.2f}"

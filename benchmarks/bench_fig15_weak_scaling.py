@@ -1,0 +1,90 @@
+"""Figure 15 — weak scaling up to 32 GPUs (1, 2 or 4 GPUs per node).
+
+The problem size grows proportionally to the number of GPUs ``p`` (the
+per-GPU sizes follow the figure's captions).  Expected shapes:
+
+* MD5 and N-Body scale almost perfectly (compute only, no data);
+* Correlator, K-Means and HotSpot scale nearly perfectly (data but little
+  communication — GPUs work on their own chunks);
+* GEMM and SpMV involve heavy communication; GEMM saturates the network at
+  around 16 GPUs;
+* Black-Scholes runs are too short for good scaling (fixed overheads dominate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_workload, save_results, BenchPoint
+
+#: per-GPU problem size, as printed above each panel of Fig. 15.
+BASE_SIZES = {
+    "md5": 1.4e11,
+    "nbody": 1.4e11,
+    "correlator": 2.0e3,
+    "kmeans": 2.7e8,
+    "hotspot": 5.4e8,
+    "gemm": 1.8e13,
+    "spmv": 5.5e11,
+    "black_scholes": 2.7e8,
+}
+
+#: (total GPUs, GPUs per node) combinations; node count = p / gpus_per_node.
+CONFIGS = [(1, 1), (4, 4), (8, 4), (16, 4), (32, 4)]
+
+
+def _speedup_series(name: str):
+    base = BASE_SIZES[name]
+    points = []
+    baseline = None
+    for total_gpus, per_node in CONFIGS:
+        nodes = total_gpus // per_node
+        n = int(base * total_gpus)
+        point = run_workload(name, n, nodes=nodes, gpus_per_node=per_node)
+        if baseline is None:
+            baseline = point.elapsed
+        speedup = baseline / point.elapsed * 1.0 if point.elapsed else 0.0
+        # weak scaling speedup: p * t(1) / t(p) would be ideal == p; we report
+        # t(1)/t(p) relative to the linearly grown problem, i.e. ideal == 1,
+        # and convert to the figure's convention (ideal == p) below.
+        points.append(
+            BenchPoint(
+                benchmark=name,
+                nodes=nodes,
+                gpus_per_node=per_node,
+                problem_size=n,
+                data_gb=point.data_gb,
+                elapsed=point.elapsed,
+                throughput=point.throughput,
+                extra=f"speedup={speedup * total_gpus:.1f}/{total_gpus}",
+            )
+        )
+    return points
+
+
+def _sweep():
+    return {name: _speedup_series(name) for name in BASE_SIZES}
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_weak_scaling(benchmark):
+    per_benchmark = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    flat = [p for series in per_benchmark.values() for p in series]
+    table = format_table(flat, "Figure 15: weak scaling, speedup vs number of GPUs")
+    print("\n" + table)
+    save_results("fig15_weak_scaling.txt", table)
+
+    def weak_efficiency(series):
+        # time should stay constant under weak scaling; efficiency = t(1) / t(p)
+        return series[0].elapsed / series[-1].elapsed
+
+    for name, series in per_benchmark.items():
+        eff32 = weak_efficiency(series)
+        if name in {"md5", "nbody", "correlator", "kmeans", "hotspot"}:
+            assert eff32 > 0.7, f"{name}: weak-scaling efficiency at 32 GPUs is {eff32:.2f}"
+        if name == "black_scholes":
+            # short runs: poor scaling expected, just require completion
+            assert series[-1].elapsed > 0
+    # GEMM communicates the whole B matrix and scales worse than the
+    # communication-light benchmarks.
+    assert weak_efficiency(per_benchmark["gemm"]) < weak_efficiency(per_benchmark["kmeans"])

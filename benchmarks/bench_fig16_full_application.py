@@ -1,0 +1,105 @@
+"""Figure 16 — the CGC geospatial co-clustering application.
+
+Compares, for three matrix sizes (5 GB, 20 GB, 80 GB):
+
+* NumPy on the 24-core host CPU (the original CGC implementation),
+* plain CUDA on one GPU (fails with out-of-memory for 20 GB and 80 GB),
+* Lightning on 1x1, 1x4, 2x4 and 4x4 GPUs.
+
+The paper's headline numbers: CUDA is 4.42x faster than NumPy on the 5 GB
+matrix, Lightning on one GPU is within ~1.6% of CUDA, and Lightning with 16
+GPUs processes the 80 GB matrix 57.2x faster than the CPU.  Absolute factors
+here come from the reproduction's cost model; the assertions check the
+qualitative structure (ordering, OoM behaviour, one-GPU overhead, large
+multi-GPU speedup).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import CGC_DATASETS, CoClusteringApp
+from repro.baselines import CPUBaseline, SingleGPUBaseline, SingleGpuOutOfMemory
+from repro.bench import make_context, save_results
+
+#: Lightning cluster shapes of Fig. 16 as (nodes, gpus per node).
+LIGHTNING_CONFIGS = [(1, 1), (1, 4), (2, 4), (4, 4)]
+
+ITERATIONS = 2
+
+
+def _run_dataset(label: str, side: int):
+    """All Fig. 16 bars for one dataset; returns {config: seconds per iteration}."""
+    rows = {}
+    # Baselines share the kernel cost sequence of the Lightning app.
+    probe_ctx = make_context(1, 1)
+    probe = CoClusteringApp(probe_ctx, side, side)
+    probe.prepare()
+    sequence = probe.kernel_cost_sequence()
+    data_bytes = probe.data_bytes()
+
+    rows["numpy"] = CPUBaseline().run_time(sequence)
+    try:
+        rows["cuda-1gpu"] = SingleGPUBaseline().run_time(sequence, data_bytes)
+    except SingleGpuOutOfMemory:
+        rows["cuda-1gpu"] = None  # "GPU fail: OoM"
+
+    for nodes, gpus in LIGHTNING_CONFIGS:
+        ctx = make_context(nodes, gpus)
+        app = CoClusteringApp(ctx, side, side)
+        app.prepare()
+        app.run(iterations=1)  # warm-up, as in Sec. 4.1
+        rows[f"lightning-{nodes}x{gpus}"] = app.run(iterations=ITERATIONS)
+    return label, data_bytes, rows
+
+
+def _format(results):
+    lines = ["Figure 16: CGC co-clustering, seconds per iteration", "=" * 56]
+    for label, data_bytes, rows in results:
+        lines.append(f"\ndataset {label} ({data_bytes / 1e9:.0f} GB)")
+        numpy_time = rows["numpy"]
+        for config, seconds in rows.items():
+            if seconds is None:
+                lines.append(f"  {config:>18s}:      GPU fail: OoM")
+            else:
+                lines.append(
+                    f"  {config:>18s}: {seconds:10.4f} s/iter   "
+                    f"speedup over NumPy = {numpy_time / seconds:6.2f}x"
+                )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_cgc_application(benchmark):
+    def _all():
+        return [_run_dataset(label, side) for label, (side, _) in CGC_DATASETS.items()]
+
+    results = benchmark.pedantic(_all, rounds=1, iterations=1)
+    table = _format(results)
+    print("\n" + table)
+    save_results("fig16_full_application.txt", table)
+
+    by_label = {label: rows for label, _, rows in results}
+
+    # 5 GB: everything runs; CUDA clearly beats NumPy; Lightning on one GPU is
+    # within a few percent of plain CUDA (paper: 1.6% overhead).
+    small = by_label["5GB"]
+    assert small["cuda-1gpu"] is not None
+    cuda_speedup = small["numpy"] / small["cuda-1gpu"]
+    assert 2.0 < cuda_speedup < 12.0
+    overhead = small["lightning-1x1"] / small["cuda-1gpu"] - 1.0
+    assert overhead < 0.25, f"Lightning single-GPU overhead too high: {overhead:.1%}"
+
+    # 20 GB and 80 GB exceed one GPU: the CUDA baseline fails, Lightning works.
+    assert by_label["20GB"]["cuda-1gpu"] is None
+    assert by_label["80GB"]["cuda-1gpu"] is None
+    for label in ("20GB", "80GB"):
+        for nodes, gpus in LIGHTNING_CONFIGS[1:]:
+            assert by_label[label][f"lightning-{nodes}x{gpus}"] > 0
+
+    # 80 GB on 16 GPUs: large speedup over the CPU (paper: 57.2x).
+    big = by_label["80GB"]
+    speedup_16 = big["numpy"] / big["lightning-4x4"]
+    assert speedup_16 > 15.0, f"16-GPU speedup over NumPy only {speedup_16:.1f}x"
+    # More GPUs should not be slower for the largest dataset.
+    assert big["lightning-4x4"] <= big["lightning-1x4"] * 1.05

@@ -1,0 +1,62 @@
+"""Section 4.3 — quantitative spilling claims.
+
+Two specific numbers from the text of Sec. 4.3:
+
+* Correlator loses only ~8.8% throughput when the dataset grows from 8.6 GB
+  (n = 16384, fits on the GPU) to 17.2 GB (n = 32768, must spill), because
+  kernel execution hides the PCIe transfers;
+* Black-Scholes cannot benefit from spilling: processing its 10.7 GB dataset
+  at kernel speed would require ~530 GB/s of PCIe bandwidth, far beyond
+  PCIe 3.0 x16, so beyond GPU memory its throughput collapses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_workload, save_results
+from repro.hardware import P100, azure_nc24rsv2
+from repro.kernels.black_scholes import BS_COST
+from repro.perfmodel import kernel_time
+
+
+@pytest.mark.benchmark(group="sec43")
+def test_correlator_spill_drop(benchmark):
+    def _run():
+        fits = run_workload("correlator", 16384, nodes=1, gpus_per_node=1)
+        spills = run_workload("correlator", 32768, nodes=1, gpus_per_node=1)
+        return fits, spills
+
+    fits, spills = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table([fits, spills], "Sec 4.3: Correlator across the GPU-memory line")
+    print("\n" + table)
+    save_results("sec43_correlator_spill.txt", table)
+    drop = 1.0 - spills.throughput / fits.throughput
+    # Paper: 8.8% drop.  Allow a generous band but require "small".
+    assert drop < 0.30, f"correlator throughput dropped by {drop:.1%} when spilling"
+
+
+@pytest.mark.benchmark(group="sec43")
+def test_black_scholes_pcie_requirement(benchmark):
+    """Reproduce the back-of-the-envelope argument: required PCIe bandwidth >> 16 GB/s."""
+
+    def _compute():
+        n = 500_000_000
+        data_bytes = 5 * n * 4  # ~10 GB, the paper quotes 10.7 GB
+        exec_time = kernel_time(P100, BS_COST, n, {})
+        required_bandwidth = data_bytes / exec_time
+        return data_bytes, exec_time, required_bandwidth
+
+    data_bytes, exec_time, required = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    node = azure_nc24rsv2(1, 1).node
+    text = (
+        "Sec 4.3: Black-Scholes PCIe requirement\n"
+        f"dataset          : {data_bytes / 1e9:.1f} GB\n"
+        f"kernel time      : {exec_time * 1e3:.1f} ms\n"
+        f"required PCIe bw : {required / 1e9:.0f} GB/s\n"
+        f"available PCIe bw: {node.pcie_bandwidth / 1e9:.0f} GB/s"
+    )
+    print("\n" + text)
+    save_results("sec43_black_scholes_pcie.txt", text)
+    # The paper derives ~530 GB/s needed vs ~16 GB/s available (>10x short).
+    assert required > 10 * node.pcie_bandwidth

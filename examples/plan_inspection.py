@@ -1,0 +1,99 @@
+"""Inspect what the planner and the runtime actually did (Fig. 4 + overlap claim).
+
+Runs a few iterations of the 1-D stencil on a virtual 2-node cluster while
+recording every execution plan, then
+
+* rebuilds the merged task DAG (the paper's Fig. 4) and prints its structure
+  (task counts, communication volume, critical path),
+* writes the DAG as GraphViz DOT next to this script, and
+* exports the simulator's resource timeline as a Chrome trace
+  (open it at chrome://tracing or https://ui.perfetto.dev) and reports how
+  much of the PCIe traffic overlapped with kernel execution.
+
+Run with:  python examples/plan_inspection.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import (
+    BlockWorkDist,
+    Context,
+    KernelCost,
+    KernelDef,
+    StencilDist,
+    azure_nc24rsv2,
+)
+from repro.analysis import PlanGraph, overlap_report, trace_to_chrome_json, utilisation_report
+
+
+def stencil_kernel(lc, n, output, input):
+    i = lc.global_indices(0)
+    i = i[i < n]
+    left = input.gather(i - 1, fill=0.0)
+    mid = input.gather(i)
+    right = input.gather(i + 1, fill=0.0)
+    output.scatter(i, (left + mid + right) / 3.0)
+
+
+def main():
+    # Two nodes with two GPUs each so the plan contains send/recv tasks, and
+    # plan recording switched on so the DAG can be rebuilt afterwards.
+    ctx = Context(azure_nc24rsv2(nodes=2, gpus_per_node=2), record_plans=True)
+    n = 512_000
+    chunk = 64_000
+    dist = StencilDist(chunk_size=chunk, halo=1)
+    input_ = ctx.ones(n, dist, dtype="float32")
+    output = ctx.zeros(n, dist, dtype="float32")
+
+    stencil = (
+        KernelDef("stencil", func=stencil_kernel)
+        .param_value("n", "int32")
+        .param_array("output", "float32")
+        .param_array("input", "float32")
+        .annotate("global i => read input[i-1:i+1], write output[i]")
+        .with_cost(KernelCost(flops_per_thread=3, bytes_per_thread=16))
+        .compile(ctx)
+    )
+
+    work = BlockWorkDist(chunk)
+    for _ in range(4):
+        stencil.launch(n, 256, work, (n, output, input_))
+        input_, output = output, input_
+    makespan = ctx.synchronize()
+
+    # ----- the task DAG (Fig. 4) -------------------------------------- #
+    graph = PlanGraph.from_context(ctx)
+    print("Execution-plan DAG")
+    print("------------------")
+    print(graph.summary())
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    dot_path = os.path.join(out_dir, "stencil_plan.dot")
+    with open(dot_path, "w", encoding="utf-8") as handle:
+        handle.write(graph.to_dot())
+    print(f"DOT file written to {dot_path} (render with: dot -Tpdf -O {os.path.basename(dot_path)})")
+
+    # ----- the timeline and the overlap claim -------------------------- #
+    trace = ctx.trace()
+    trace_path = os.path.join(out_dir, "stencil_trace.json")
+    trace_to_chrome_json(trace, trace_path)
+    print(f"\nChrome trace written to {trace_path} ({makespan * 1e3:.2f} ms simulated)")
+
+    print("\nBusiest resources (fraction of the run they were active):")
+    utilisation = utilisation_report(trace, makespan)
+    for name, value in sorted(utilisation.items(), key=lambda kv: -kv[1])[:6]:
+        print(f"  {name:<22s} {value:6.1%}")
+
+    overlap = overlap_report(trace, ["w0.gpu", "w1.gpu"], ["w0.pcie", "w1.pcie"])
+    print(
+        f"\nPCIe traffic overlapped with GPU compute for {overlap.overlap * 1e3:.2f} ms "
+        f"({overlap.overlap_fraction:.0%} of the smaller of the two busy times)."
+    )
+
+    result = ctx.gather(input_)
+    print(f"\nChecksum of the final vector: {float(np.sum(result)):.1f}")
+
+
+if __name__ == "__main__":
+    main()

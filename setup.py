@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Pure-Python reproduction of Lightning: Scaling the GPU Programming "
+        "Model Beyond a Single GPU (IPDPS 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

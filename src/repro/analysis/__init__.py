@@ -1,0 +1,35 @@
+"""Offline analysis of execution plans and simulator traces.
+
+The paper visualises the planner's output as one large task DAG (Fig. 4) and
+argues for its central performance claim — that scheduling, data movement and
+kernel execution overlap — from the timeline of the runtime.  This package
+provides both views for the reproduction:
+
+* :mod:`repro.analysis.plangraph` rebuilds the task DAG from the plans a
+  :class:`~repro.core.context.Context` recorded (``record_plans=True``),
+  exposes it as a :class:`networkx.DiGraph`, renders GraphViz DOT, and
+  computes structural metrics (task counts, critical path, communication
+  volume).
+* :mod:`repro.analysis.chrometrace` converts the simulator's resource trace
+  into the Chrome trace-event format (load it in ``chrome://tracing`` or
+  Perfetto) and computes per-resource utilisation and overlap reports.
+"""
+
+from .plangraph import PlanGraph, plan_to_dot
+from .chrometrace import (
+    OverlapReport,
+    trace_to_chrome_events,
+    trace_to_chrome_json,
+    utilisation_report,
+    overlap_report,
+)
+
+__all__ = [
+    "PlanGraph",
+    "plan_to_dot",
+    "OverlapReport",
+    "trace_to_chrome_events",
+    "trace_to_chrome_json",
+    "utilisation_report",
+    "overlap_report",
+]

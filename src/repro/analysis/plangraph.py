@@ -1,0 +1,236 @@
+"""Task-DAG reconstruction and analysis (the Fig. 4 view of an application).
+
+The planner emits one :class:`~repro.core.tasks.ExecutionPlan` per driver
+operation and stitches consecutive plans together through dependencies on
+earlier task ids.  :class:`PlanGraph` merges any number of recorded plans back
+into the single large DAG the paper draws, so tests and users can inspect what
+the planner actually built: how many tasks of each kind, how much data is
+copied or sent, how long the critical path is, and whether the dependency
+structure really enforces sequential consistency between conflicting launches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core import tasks as T
+from ..core.tasks import ExecutionPlan, Task, TaskId
+
+__all__ = ["PlanGraph", "plan_to_dot"]
+
+
+#: Fill colours used for DOT output, one per task kind (purely cosmetic).
+_KIND_COLORS: Mapping[str, str] = {
+    "launch": "lightblue",
+    "copy": "lightyellow",
+    "send": "lightpink",
+    "recv": "lightpink",
+    "reduce": "palegreen",
+    "combine": "gray90",
+    "createchunk": "white",
+    "deletechunk": "white",
+    "fill": "white",
+    "download": "lavender",
+}
+
+
+@dataclass
+class PlanGraph:
+    """The merged task DAG of one or more execution plans."""
+
+    tasks: Dict[TaskId, Task] = field(default_factory=dict)
+    #: Edges ``(predecessor, successor)`` — includes cross-plan dependencies
+    #: whenever both endpoints are part of the recorded plans.
+    edges: List[Tuple[TaskId, TaskId]] = field(default_factory=list)
+    #: Dependencies whose predecessor was never recorded (e.g. plans submitted
+    #: before recording started); kept for diagnostics.
+    dangling_deps: List[Tuple[TaskId, TaskId]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plans(cls, plans: Iterable[ExecutionPlan]) -> "PlanGraph":
+        """Merge ``plans`` (in submission order) into one graph."""
+        graph = cls()
+        for plan in plans:
+            for task in plan.all_tasks():
+                graph.add_task(task)
+        graph._link()
+        return graph
+
+    @classmethod
+    def from_context(cls, ctx: "object") -> "PlanGraph":
+        """Build the graph from a context created with ``record_plans=True``."""
+        plans = getattr(ctx, "recorded_plans", None)
+        if not plans:
+            raise ValueError(
+                "no recorded plans: create the Context with record_plans=True "
+                "and submit work before building a PlanGraph"
+            )
+        return cls.from_plans(plans)
+
+    def add_task(self, task: Task) -> None:
+        if task.task_id in self.tasks:
+            raise ValueError(f"task {task.task_id} added twice")
+        self.tasks[task.task_id] = task
+
+    def _link(self) -> None:
+        self.edges.clear()
+        self.dangling_deps.clear()
+        for task in self.tasks.values():
+            for dep in task.deps:
+                if dep in self.tasks:
+                    self.edges.append((dep, task.task_id))
+                else:
+                    self.dangling_deps.append((dep, task.task_id))
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_counts(self) -> Dict[str, int]:
+        """Number of tasks per kind (launch / copy / send / recv / ...)."""
+        return dict(Counter(task.kind for task in self.tasks.values()))
+
+    def tasks_per_worker(self) -> Dict[int, int]:
+        """Number of tasks assigned to each worker."""
+        return dict(Counter(task.worker for task in self.tasks.values()))
+
+    def communication_bytes(self) -> Dict[str, int]:
+        """Bytes moved by data-movement tasks, per kind.
+
+        ``send``/``recv`` are inter-node transfers, ``copy`` is intra-node
+        (possibly peer-to-peer between GPUs), ``reduce`` is the traffic of the
+        hierarchical reduction trees.
+        """
+        volumes: Dict[str, int] = defaultdict(int)
+        for task in self.tasks.values():
+            nbytes = getattr(task, "nbytes", 0) or 0
+            if task.kind in ("send", "recv", "copy", "reduce", "download"):
+                volumes[task.kind] += int(nbytes)
+        return dict(volumes)
+
+    def roots(self) -> List[TaskId]:
+        """Tasks with no recorded predecessor."""
+        with_preds = {dst for _, dst in self.edges}
+        return sorted(tid for tid in self.tasks if tid not in with_preds)
+
+    def leaves(self) -> List[TaskId]:
+        """Tasks no other recorded task depends on."""
+        with_succs = {src for src, _ in self.edges}
+        return sorted(tid for tid in self.tasks if tid not in with_succs)
+
+    # ------------------------------------------------------------------ #
+    # networkx interoperability and path metrics
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> "nx.DiGraph":
+        """The DAG as a :class:`networkx.DiGraph` with task attributes on nodes."""
+        graph = nx.DiGraph()
+        for tid, task in self.tasks.items():
+            graph.add_node(
+                tid,
+                kind=task.kind,
+                worker=task.worker,
+                label=task.label or str(task),
+                nbytes=int(getattr(task, "nbytes", 0) or 0),
+            )
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.to_networkx())
+
+    def critical_path(
+        self, durations: Optional[Mapping[TaskId, float]] = None
+    ) -> Tuple[List[TaskId], float]:
+        """Longest dependency chain and its length.
+
+        Without ``durations`` every task counts as 1 (the result is the DAG
+        depth); with a per-task duration mapping the returned weight is the
+        lower bound on makespan with unlimited resources.
+        """
+        graph = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValueError("recorded plans contain a dependency cycle")
+        weight = {tid: (1.0 if durations is None else float(durations.get(tid, 0.0)))
+                  for tid in self.tasks}
+        best: Dict[TaskId, float] = {}
+        best_pred: Dict[TaskId, Optional[TaskId]] = {}
+        for tid in nx.topological_sort(graph):
+            incoming = [
+                (best[src] , src) for src in graph.predecessors(tid)
+            ]
+            if incoming:
+                length, pred = max(incoming)
+            else:
+                length, pred = 0.0, None
+            best[tid] = length + weight[tid]
+            best_pred[tid] = pred
+        if not best:
+            return [], 0.0
+        end = max(best, key=best.get)
+        path: List[TaskId] = []
+        cursor: Optional[TaskId] = end
+        while cursor is not None:
+            path.append(cursor)
+            cursor = best_pred[cursor]
+        path.reverse()
+        return path, best[end]
+
+    def parallelism_profile(self) -> Dict[int, int]:
+        """Number of tasks at each DAG depth (a proxy for available parallelism)."""
+        graph = self.to_networkx()
+        depth: Dict[TaskId, int] = {}
+        for tid in nx.topological_sort(graph):
+            preds = list(graph.predecessors(tid))
+            depth[tid] = 0 if not preds else 1 + max(depth[p] for p in preds)
+        return dict(Counter(depth.values()))
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def to_dot(self, max_label_length: int = 40) -> str:
+        """GraphViz DOT source for the DAG (Fig. 4 style: colour = worker row, shape = kind)."""
+        lines = [
+            "digraph executionplan {",
+            "  rankdir=LR;",
+            '  node [style=filled, fontname="Helvetica", fontsize=10];',
+        ]
+        for tid, task in sorted(self.tasks.items()):
+            label = (task.label or f"{task.kind} #{tid}")[:max_label_length]
+            color = _KIND_COLORS.get(task.kind, "white")
+            lines.append(
+                f'  t{tid} [label="{label}\\nw{task.worker}", fillcolor="{color}"];'
+            )
+        for src, dst in self.edges:
+            lines.append(f"  t{src} -> t{dst};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary used by examples and the CLI."""
+        counts = self.task_counts()
+        comm = self.communication_bytes()
+        path, depth = self.critical_path()
+        lines = [
+            f"tasks: {len(self)} across {len(self.tasks_per_worker())} workers",
+            "task counts: " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())),
+            "communication: "
+            + (", ".join(f"{k}={v / 1e6:.1f} MB" for k, v in sorted(comm.items())) or "none"),
+            f"critical path: {len(path)} tasks (depth {depth:.0f})",
+        ]
+        if self.dangling_deps:
+            lines.append(f"dangling dependencies on unrecorded tasks: {len(self.dangling_deps)}")
+        return "\n".join(lines)
+
+
+def plan_to_dot(plan: ExecutionPlan) -> str:
+    """DOT source for a single execution plan (convenience wrapper)."""
+    return PlanGraph.from_plans([plan]).to_dot()

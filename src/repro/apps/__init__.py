@@ -1,0 +1,9 @@
+"""Full applications built on the public API.
+
+Currently one application, matching the paper's Sec. 4.6: geospatial
+co-clustering from the CGC library, ported to Lightning-style kernels.
+"""
+
+from .cgc import CoClusteringApp, coclustering_reference, CGC_DATASETS
+
+__all__ = ["CoClusteringApp", "coclustering_reference", "CGC_DATASETS"]

@@ -1,0 +1,418 @@
+"""Geospatial co-clustering (CGC) — the full application of Sec. 4.6.
+
+The CGC library clusters the rows and the columns of a matrix whose two
+dimensions correspond to space and time (e.g. the onset of spring across
+Europe over many years).  Each iteration involves three reductions — along the
+rows, along the columns and over all entries — which makes the multi-GPU
+version communication-intensive.
+
+The algorithm implemented here is Bregman block-average co-clustering with a
+squared-Euclidean divergence, expressed as five annotated kernels:
+
+1. ``cgc_stats`` — co-cluster sums and counts over *all entries*
+   (``reduce(+)`` into small replicated arrays);
+2. ``cgc_means`` — co-cluster means from sums/counts;
+3. ``cgc_row_update`` — reassign every row (a reduction along the columns,
+   which are local to the row-distributed chunks);
+4. ``cgc_col_cost`` — per-column cost against every column cluster
+   (a reduction along the rows, expressed with ``reduce(+)`` so no transpose
+   of the distributed matrix is ever materialised);
+5. ``cgc_col_update`` — reassign every column from the cost table.
+
+The matrix is row-distributed; assignments, means and cost tables are small
+and replicated.  The paper's three dataset sizes (5, 20 and 80 GB) correspond
+to square float64 matrices of side 25 000, 50 000 and 100 000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.context import Context
+from ..core.distributions import BlockDist, BlockWorkDist, ReplicatedDist, RowDist, TileWorkDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from ..kernels.base import Workload, register_workload
+
+__all__ = ["CoClusteringApp", "coclustering_reference", "CGC_DATASETS", "CGCWorkload"]
+
+#: The paper's three input matrices: side length and resulting size in bytes.
+CGC_DATASETS: Dict[str, Tuple[int, int]] = {
+    "5GB": (25_000, 25_000 * 25_000 * 8),
+    "20GB": (50_000, 50_000 * 50_000 * 8),
+    "80GB": (100_000, 100_000 * 100_000 * 8),
+}
+
+ROW_CLUSTERS = 20
+COL_CLUSTERS = 20
+
+# All CGC kernels are memory-bandwidth bound (the paper's modest 4.42x GPU
+# speedup over 24 CPU cores reflects exactly that), hence high byte counts and
+# moderate efficiencies.
+STATS_COST = KernelCost(flops_per_thread=4.0, bytes_per_thread=10.0, efficiency=0.45,
+                        cpu_efficiency=0.9)
+MEANS_COST = KernelCost(flops_per_thread=2.0, bytes_per_thread=24.0)
+ROW_UPDATE_COST = KernelCost(
+    flops_per_thread=lambda s: 3.0 * float(s["k_row"]) * float(s["cols"]),
+    bytes_per_thread=lambda s: 8.0 * float(s["cols"]),
+    efficiency=0.45,
+    cpu_efficiency=0.9,
+)
+COL_COST_COST = KernelCost(
+    flops_per_thread=lambda s: 3.0 * float(s["k_col"]),
+    bytes_per_thread=10.0,
+    efficiency=0.45,
+    cpu_efficiency=0.9,
+)
+COL_UPDATE_COST = KernelCost(flops_per_thread=8.0, bytes_per_thread=160.0)
+
+
+# --------------------------------------------------------------------------- #
+# NumPy reference (also the functional core of the CPU baseline)
+# --------------------------------------------------------------------------- #
+def coclustering_reference(
+    matrix: np.ndarray,
+    row_assign: np.ndarray,
+    col_assign: np.ndarray,
+    k_row: int,
+    k_col: int,
+    iterations: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference co-clustering; returns the final (row_assign, col_assign)."""
+    matrix = matrix.astype(np.float64)
+    row_assign = row_assign.astype(np.int64).copy()
+    col_assign = col_assign.astype(np.int64).copy()
+    for _ in range(iterations):
+        sums = np.zeros((k_row, k_col))
+        counts = np.zeros((k_row, k_col))
+        np.add.at(sums, (row_assign[:, None], col_assign[None, :]), matrix)
+        np.add.at(counts, (row_assign[:, None], col_assign[None, :]), 1.0)
+        means = sums / np.maximum(counts, 1.0)
+
+        # Row update: cost of assigning row i to row-cluster a.
+        cm_cols = means[:, col_assign]                       # (k_row, cols)
+        row_costs = (
+            (matrix[:, None, :] - cm_cols[None, :, :]) ** 2
+        ).sum(axis=2)                                        # (rows, k_row)
+        row_assign = row_costs.argmin(axis=1)
+
+        # Column update: cost of assigning column j to column-cluster b.
+        cm_rows = means[row_assign, :]                       # (rows, k_col)
+        col_costs = (
+            (matrix[:, :, None] - cm_rows[:, None, :]) ** 2
+        ).sum(axis=0)                                        # (cols, k_col)
+        col_assign = col_costs.argmin(axis=1)
+    return row_assign, col_assign
+
+
+# --------------------------------------------------------------------------- #
+# the five annotated kernels
+# --------------------------------------------------------------------------- #
+def _stats_kernel(lc, rows, cols, k_row, k_col, Z, row_assign, col_assign, ccsum, cccnt):
+    ii, jj = lc.global_grid()
+    mask = (ii < rows) & (jj < cols)
+    if not mask.any():
+        return
+    i0, i1 = int(ii[mask].min()), int(ii[mask].max()) + 1
+    z = Z[i0:i1, 0:cols].astype(np.float64)
+    ra = row_assign[i0:i1].astype(np.int64)
+    ca = col_assign[0:cols].astype(np.int64)
+    sums = np.zeros((k_row, k_col))
+    counts = np.zeros((k_row, k_col))
+    np.add.at(sums, (ra[:, None], ca[None, :]), z)
+    np.add.at(counts, (ra[:, None], ca[None, :]), 1.0)
+    ccsum[0:k_row, 0:k_col] = ccsum[0:k_row, 0:k_col] + sums
+    cccnt[0:k_row, 0:k_col] = cccnt[0:k_row, 0:k_col] + counts
+
+
+def _means_kernel(lc, k_row, k_col, ccsum, cccnt, cmeans):
+    a, b = lc.global_grid()
+    mask = (a < k_row) & (b < k_col)
+    a, b = a[mask], b[mask]
+    if a.size == 0:
+        return
+    counts = cccnt.gather(a, b)
+    cmeans.scatter(a, b, ccsum.gather(a, b) / np.maximum(counts, 1.0))
+
+
+def _row_update_kernel(lc, rows, cols, k_row, k_col, Z, col_assign, cmeans, row_assign):
+    i = lc.global_indices(0)
+    i = i[i < rows]
+    if i.size == 0:
+        return
+    z = Z[i.min():i.max() + 1, 0:cols].astype(np.float64)
+    ca = col_assign[0:cols].astype(np.int64)
+    means = cmeans[0:k_row, 0:k_col]
+    cm_cols = means[:, ca]                                   # (k_row, cols)
+    costs = ((z[:, None, :] - cm_cols[None, :, :]) ** 2).sum(axis=2)
+    row_assign.scatter(i, costs.argmin(axis=1).astype(np.int32))
+
+
+def _col_cost_kernel(lc, rows, cols, k_row, k_col, Z, row_assign, cmeans, colcost):
+    ii, jj = lc.global_grid()
+    mask = (ii < rows) & (jj < cols)
+    if not mask.any():
+        return
+    i0, i1 = int(ii[mask].min()), int(ii[mask].max()) + 1
+    z = Z[i0:i1, 0:cols].astype(np.float64)
+    ra = row_assign[i0:i1].astype(np.int64)
+    means = cmeans[0:k_row, 0:k_col]
+    cm_rows = means[ra, :]                                   # (local rows, k_col)
+    partial = ((z[:, :, None] - cm_rows[:, None, :]) ** 2).sum(axis=0)  # (cols, k_col)
+    colcost[0:cols, 0:k_col] = colcost[0:cols, 0:k_col] + partial
+
+
+def _col_update_kernel(lc, cols, k_col, colcost, col_assign):
+    j = lc.global_indices(0)
+    j = j[j < cols]
+    if j.size == 0:
+        return
+    costs = colcost[j.min():j.max() + 1, 0:k_col]
+    col_assign.scatter(j, costs.argmin(axis=1).astype(np.int32))
+
+
+# --------------------------------------------------------------------------- #
+# the application
+# --------------------------------------------------------------------------- #
+class CoClusteringApp:
+    """The CGC co-clustering application on top of the Lightning-style API."""
+
+    def __init__(
+        self,
+        ctx: Context,
+        rows: int,
+        cols: Optional[int] = None,
+        k_row: int = ROW_CLUSTERS,
+        k_col: int = COL_CLUSTERS,
+        rows_per_chunk: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.ctx = ctx
+        self.rows = rows
+        self.cols = cols if cols is not None else rows
+        self.k_row = k_row
+        self.k_col = k_col
+        # Default chunking: ~0.5 GB chunks as recommended in Sec. 2.2.  The row
+        # count per chunk is rounded down to a multiple of the thread-block row
+        # granularity used by the kernels (16 for the 2-D launches, 128 for the
+        # 1-D launches) so superblock boundaries coincide with chunk boundaries;
+        # a misaligned chunking is still correct but forces the planner to
+        # assemble temporary chunks for every superblock on every iteration.
+        if rows_per_chunk is None:
+            target_bytes = 512 * 1024 ** 2
+            rows_per_chunk = max(1, min(self.rows, target_bytes // (self.cols * 8)))
+            if rows_per_chunk > 128:
+                rows_per_chunk -= rows_per_chunk % 128
+        self.rows_per_chunk = rows_per_chunk
+        self.seed = seed
+        self._prepared = False
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, matrix: Optional[np.ndarray] = None) -> None:
+        ctx = self.ctx
+        row_dist = RowDist(self.rows_per_chunk)
+        assign_dist = BlockDist(self.rows_per_chunk)
+        replicated = ReplicatedDist()
+
+        if ctx.functional:
+            rng = np.random.RandomState(self.seed)
+            if matrix is None:
+                matrix = rng.rand(self.rows, self.cols)
+            matrix = matrix.astype(np.float64)
+            row0 = (np.arange(self.rows) % self.k_row).astype(np.int32)
+            col0 = (np.arange(self.cols) % self.k_col).astype(np.int32)
+            self.Z = ctx.from_numpy(matrix, row_dist, name="cgc_Z")
+            self.row_assign = ctx.from_numpy(row0, assign_dist, name="cgc_row_assign")
+            self.col_assign = ctx.from_numpy(col0, replicated, name="cgc_col_assign")
+            self._matrix0, self._row0, self._col0 = matrix, row0, col0
+        else:
+            self.Z = ctx.zeros((self.rows, self.cols), row_dist, dtype="float64", name="cgc_Z")
+            self.row_assign = ctx.zeros(self.rows, assign_dist, dtype="int32",
+                                        name="cgc_row_assign")
+            self.col_assign = ctx.zeros(self.cols, replicated, dtype="int32",
+                                        name="cgc_col_assign")
+        self.ccsum = ctx.zeros((self.k_row, self.k_col), replicated, dtype="float64",
+                               name="cgc_ccsum")
+        self.cccnt = ctx.zeros((self.k_row, self.k_col), replicated, dtype="float64",
+                               name="cgc_cccnt")
+        self.cmeans = ctx.zeros((self.k_row, self.k_col), replicated, dtype="float64",
+                                name="cgc_cmeans")
+        self.colcost = ctx.zeros((self.cols, self.k_col), replicated, dtype="float64",
+                                 name="cgc_colcost")
+        self._compile_kernels()
+        self._prepared = True
+
+    def _compile_kernels(self) -> None:
+        ctx = self.ctx
+        self.k_stats = (
+            KernelDef("cgc_stats", func=_stats_kernel)
+            .param_value("rows", "int64").param_value("cols", "int64")
+            .param_value("k_row", "int64").param_value("k_col", "int64")
+            .param_array("Z", "float64")
+            .param_array("row_assign", "int32")
+            .param_array("col_assign", "int32")
+            .param_array("ccsum", "float64")
+            .param_array("cccnt", "float64")
+            .annotate(
+                "global [i, j] => read Z[i,j], read row_assign[i], read col_assign[j], "
+                "reduce(+) ccsum[:,:], reduce(+) cccnt[:,:]"
+            )
+            .with_cost(STATS_COST)
+            .compile(ctx)
+        )
+        self.k_means = (
+            KernelDef("cgc_means", func=_means_kernel)
+            .param_value("k_row", "int64").param_value("k_col", "int64")
+            .param_array("ccsum", "float64")
+            .param_array("cccnt", "float64")
+            .param_array("cmeans", "float64")
+            .annotate("global [a, b] => read ccsum[a,b], read cccnt[a,b], write cmeans[a,b]")
+            .with_cost(MEANS_COST)
+            .compile(ctx)
+        )
+        self.k_row_update = (
+            KernelDef("cgc_row_update", func=_row_update_kernel)
+            .param_value("rows", "int64").param_value("cols", "int64")
+            .param_value("k_row", "int64").param_value("k_col", "int64")
+            .param_array("Z", "float64")
+            .param_array("col_assign", "int32")
+            .param_array("cmeans", "float64")
+            .param_array("row_assign", "int32")
+            .annotate(
+                "global i => read Z[i,:], read col_assign[:], read cmeans[:,:], "
+                "write row_assign[i]"
+            )
+            .with_cost(ROW_UPDATE_COST)
+            .compile(ctx)
+        )
+        self.k_col_cost = (
+            KernelDef("cgc_col_cost", func=_col_cost_kernel)
+            .param_value("rows", "int64").param_value("cols", "int64")
+            .param_value("k_row", "int64").param_value("k_col", "int64")
+            .param_array("Z", "float64")
+            .param_array("row_assign", "int32")
+            .param_array("cmeans", "float64")
+            .param_array("colcost", "float64")
+            .annotate(
+                "global [i, j] => read Z[i,j], read row_assign[i], read cmeans[:,:], "
+                "reduce(+) colcost[j,:]"
+            )
+            .with_cost(COL_COST_COST)
+            .compile(ctx)
+        )
+        self.k_col_update = (
+            KernelDef("cgc_col_update", func=_col_update_kernel)
+            .param_value("cols", "int64").param_value("k_col", "int64")
+            .param_array("colcost", "float64")
+            .param_array("col_assign", "int32")
+            .annotate("global j => read colcost[j,:], write col_assign[j]")
+            .with_cost(COL_UPDATE_COST)
+            .compile(ctx)
+        )
+
+    # ------------------------------------------------------------------ #
+    def submit_iteration(self) -> None:
+        """Submit the kernel launches of one co-clustering iteration."""
+        rows, cols, k_row, k_col = self.rows, self.cols, self.k_row, self.k_col
+        entries_work = BlockWorkDist(self.rows_per_chunk, axis=0)
+        rows_work = BlockWorkDist(self.rows_per_chunk)
+        scalars_grid = (rows, cols)
+        self.k_stats.launch(
+            scalars_grid, (16, 16), entries_work,
+            (rows, cols, k_row, k_col, self.Z, self.row_assign, self.col_assign,
+             self.ccsum, self.cccnt),
+        )
+        self.k_means.launch(
+            (k_row, k_col), (8, 8), TileWorkDist((k_row, k_col)),
+            (k_row, k_col, self.ccsum, self.cccnt, self.cmeans),
+        )
+        self.k_row_update.launch(
+            rows, 128, rows_work,
+            (rows, cols, k_row, k_col, self.Z, self.col_assign, self.cmeans, self.row_assign),
+        )
+        self.k_col_cost.launch(
+            scalars_grid, (16, 16), entries_work,
+            (rows, cols, k_row, k_col, self.Z, self.row_assign, self.cmeans, self.colcost),
+        )
+        self.k_col_update.launch(
+            cols, 128, BlockWorkDist(max(1, -(-cols // self.ctx.device_count))),
+            (cols, k_col, self.colcost, self.col_assign),
+        )
+
+    def run(self, iterations: int = 1) -> float:
+        """Run ``iterations`` and return the virtual time per iteration (Sec. 4.6)."""
+        if not self._prepared:
+            self.prepare()
+        self.ctx.synchronize()
+        start = self.ctx.virtual_time
+        for _ in range(iterations):
+            self.submit_iteration()
+        end = self.ctx.synchronize()
+        return (end - start) / max(iterations, 1)
+
+    # ------------------------------------------------------------------ #
+    def data_bytes(self) -> int:
+        return self.rows * self.cols * 8
+
+    def assignments(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather the final row and column assignments (functional mode)."""
+        return self.ctx.gather(self.row_assign), self.ctx.gather(self.col_assign)
+
+    def verify(self, iterations: int) -> bool:
+        """Compare against the NumPy reference after ``iterations`` iterations."""
+        rows, cols = self.assignments()
+        ref_rows, ref_cols = coclustering_reference(
+            self._matrix0, self._row0, self._col0, self.k_row, self.k_col, iterations
+        )
+        return bool(np.array_equal(rows, ref_rows) and np.array_equal(cols, ref_cols))
+
+    def kernel_cost_sequence(self):
+        """(cost, threads, scalars) per kernel of one iteration — used by the baselines."""
+        scalars = {
+            "rows": self.rows, "cols": self.cols,
+            "k_row": self.k_row, "k_col": self.k_col,
+        }
+        entries = self.rows * self.cols
+        return [
+            (STATS_COST, entries, scalars),
+            (MEANS_COST, self.k_row * self.k_col, scalars),
+            (ROW_UPDATE_COST, self.rows, scalars),
+            (COL_COST_COST, entries, scalars),
+            (COL_UPDATE_COST, self.cols, scalars),
+        ]
+
+
+@register_workload
+class CGCWorkload(Workload):
+    """Workload adapter so the harness can treat CGC like the other benchmarks.
+
+    The problem size ``n`` is the number of matrix entries; one iteration is
+    timed (the paper reports time per iteration).
+    """
+
+    name = "cgc"
+    compute_intensive = False
+    iterations = 1
+
+    def __init__(self, ctx, n, iterations: int | None = None, **params):
+        super().__init__(ctx, n, **params)
+        side = max(2, int(round(self.n ** 0.5)))
+        self.app = CoClusteringApp(ctx, side, side, **params)
+        if iterations is not None:
+            self.iterations = iterations
+
+    def prepare(self) -> None:
+        self.app.prepare()
+
+    def submit(self) -> None:
+        for _ in range(self.iterations):
+            self.app.submit_iteration()
+
+    def data_bytes(self) -> int:
+        return self.app.data_bytes()
+
+    def verify(self) -> bool:
+        return self.app.verify(self.iterations)

@@ -1,0 +1,35 @@
+"""Work/data-distribution selection assistance (the paper's future work).
+
+Lightning requires the programmer to choose a data distribution per array and
+a superblock distribution per launch; Sec. 6 names "assistance in this
+selection (e.g., via profiling) or even automatic selection (i.e., a more
+intelligent planner)" as future work.  This package implements both forms of
+assistance on top of the reproduction:
+
+* :mod:`repro.autotune.chunk_size` — the analytic chunk-size model behind the
+  paper's "~0.5 GB chunks work well" guidance (Sec. 2.2, Fig. 10) and a
+  profiling-based autotuner that sweeps candidate chunk sizes on the
+  simulated cluster.
+* :mod:`repro.autotune.distribution` — a static advisor that reads a kernel's
+  data annotation and suggests a data distribution per array (replicated /
+  block / row / column / stencil-with-halo) plus an aligned superblock
+  distribution, with a human-readable rationale for every choice.
+"""
+
+from .chunk_size import ChunkSizeAdvice, ChunkSizeAutotuner, recommend_chunk_bytes
+from .distribution import (
+    DistributionAdvice,
+    suggest_data_distribution,
+    suggest_kernel_distributions,
+    suggest_work_distribution,
+)
+
+__all__ = [
+    "ChunkSizeAdvice",
+    "ChunkSizeAutotuner",
+    "recommend_chunk_bytes",
+    "DistributionAdvice",
+    "suggest_data_distribution",
+    "suggest_work_distribution",
+    "suggest_kernel_distributions",
+]

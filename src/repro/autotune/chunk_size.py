@@ -1,0 +1,125 @@
+"""Chunk-size selection: the analytic model behind Fig. 10 plus a profiler.
+
+Section 2.2 recommends chunks of roughly 0.5 GB and Fig. 10 shows why: chunks
+below a few tens of megabytes drown the run in per-task scheduling overhead,
+chunks above a few gigabytes leave no room to overlap PCIe transfers with
+kernel execution (and a handful of huge chunks cannot be balanced across
+GPUs).  :func:`recommend_chunk_bytes` captures both bounds analytically;
+:class:`ChunkSizeAutotuner` finds the empirical optimum by sweeping candidate
+chunk sizes on the simulated cluster, which is the "assistance via profiling"
+of the paper's future-work section.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..hardware.specs import ClusterSpec, GPUSpec, azure_nc24rsv2
+from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel
+
+__all__ = ["ChunkSizeAdvice", "recommend_chunk_bytes", "ChunkSizeAutotuner"]
+
+MB = 1024 ** 2
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class ChunkSizeAdvice:
+    """Result of the analytic chunk-size model."""
+
+    #: Smallest chunk for which per-task overhead stays below ``overhead_budget``.
+    min_bytes: int
+    #: Largest chunk that still allows double-buffered overlap in GPU memory
+    #: and under the staging throttle.
+    max_bytes: int
+    #: Geometric middle of the feasible range — the single value to use when
+    #: no profiling is possible.
+    recommended_bytes: int
+    #: Human-readable explanation of how the bounds were derived.
+    rationale: str
+
+    def contains(self, nbytes: int) -> bool:
+        return self.min_bytes <= nbytes <= self.max_bytes
+
+
+def recommend_chunk_bytes(
+    cluster: Optional[ClusterSpec] = None,
+    overheads: OverheadModel = DEFAULT_OVERHEADS,
+    stage_threshold: int = 2 * GB,
+    overhead_budget: float = 0.02,
+    buffers_in_gpu: int = 4,
+) -> ChunkSizeAdvice:
+    """Analytic feasible range for the chunk size on ``cluster``.
+
+    * **Lower bound** — every chunk costs one task's worth of planning,
+      scheduling and launch overhead; requiring that overhead to stay below
+      ``overhead_budget`` of the time PCIe needs to move the chunk gives the
+      smallest sensible chunk.
+    * **Upper bound** — at least ``buffers_in_gpu`` chunks must fit into one
+      GPU's memory simultaneously (the chunk being computed, the chunks being
+      prefetched/evicted) and one chunk must stay under half the staging
+      throttle, otherwise transfers cannot overlap execution at all.
+    """
+    cluster = cluster or azure_nc24rsv2(nodes=1, gpus_per_node=1)
+    node = cluster.node
+    gpu: GPUSpec = node.gpus[0]
+
+    per_task_overhead = (
+        overheads.plan_per_task + overheads.schedule_per_task + overheads.launch_fixed
+    )
+    pcie = node.pcie_bandwidth
+    min_bytes = int(per_task_overhead / overhead_budget * pcie)
+
+    max_bytes = int(min(gpu.memory_bytes / buffers_in_gpu, stage_threshold / 2))
+    if min_bytes > max_bytes:
+        # Degenerate configurations (tiny GPUs in tests): collapse to the midpoint.
+        min_bytes = max_bytes
+    recommended = int(math.sqrt(min_bytes * max_bytes)) if min_bytes else max_bytes
+    rationale = (
+        f"per-task overhead {per_task_overhead * 1e6:.0f} us at <= {overhead_budget:.0%} of the "
+        f"chunk's PCIe time ({pcie / 1e9:.0f} GB/s) -> chunks >= {min_bytes / MB:.0f} MB; "
+        f"{buffers_in_gpu} chunks per {gpu.memory_bytes / GB:.0f} GB GPU and half the "
+        f"{stage_threshold / GB:.0f} GB staging throttle -> chunks <= {max_bytes / MB:.0f} MB"
+    )
+    return ChunkSizeAdvice(min_bytes, max_bytes, recommended, rationale)
+
+
+@dataclass
+class ChunkSizeAutotuner:
+    """Profiling-based chunk-size selection on the simulated cluster.
+
+    The autotuner measures a user-supplied ``runner`` — a callable mapping a
+    chunk size in *elements* to a measured run time — for every candidate and
+    returns the fastest.  The default candidate grid is geometric between the
+    analytic bounds, expressed in elements of ``element_bytes`` each.
+    """
+
+    runner: Callable[[int], float]
+    element_bytes: int = 4
+    advice: Optional[ChunkSizeAdvice] = None
+
+    def candidates(self, count: int = 6) -> List[int]:
+        """Geometric grid of candidate chunk sizes in elements."""
+        advice = self.advice or recommend_chunk_bytes()
+        lo = max(1, advice.min_bytes // self.element_bytes)
+        hi = max(lo, advice.max_bytes // self.element_bytes)
+        if count < 2 or lo == hi:
+            return [hi]
+        ratio = (hi / lo) ** (1.0 / (count - 1))
+        values = sorted({int(round(lo * ratio ** k)) for k in range(count)})
+        return values
+
+    def tune(
+        self, candidates: Optional[Sequence[int]] = None
+    ) -> Tuple[int, Dict[int, float]]:
+        """Measure every candidate; return (best_chunk_elements, all timings)."""
+        grid = list(candidates) if candidates is not None else self.candidates()
+        if not grid:
+            raise ValueError("no candidate chunk sizes to evaluate")
+        timings: Dict[int, float] = {}
+        for chunk_elems in grid:
+            timings[chunk_elems] = float(self.runner(int(chunk_elems)))
+        best = min(timings, key=timings.get)
+        return best, timings

@@ -1,0 +1,363 @@
+"""Static distribution advisor driven by kernel data annotations.
+
+The annotation of a kernel (Sec. 2.3) states, per thread, which array elements
+it touches.  The same information the planner uses to derive access regions is
+enough to *suggest* a data distribution per array and an aligned superblock
+distribution — the "automatic selection" the paper leaves as future work:
+
+* accesses that do not depend on the thread index at all mean every superblock
+  needs the whole array → replicate it when it is small;
+* a point access ``A[i]`` / ``A[i, :]`` along one axis means the array can be
+  partitioned along that axis so that each superblock finds its data locally;
+* a slice access ``A[i-1:i+1]`` means neighbouring superblocks share a border
+  → a stencil distribution with a matching halo keeps that border replicated;
+* point accesses on two distinct thread axes suggest a 2-d tile distribution.
+
+The advisor is deliberately conservative: whenever a pattern cannot be
+classified it falls back to replication (small arrays) or a row partitioning
+(large arrays), which is always *correct* — in Lightning distributions only
+ever affect performance (Sec. 2.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.annotations import AccessMode, Annotation, ArrayAccess, IndexSpec
+from ..core.distributions import (
+    BlockDist,
+    BlockWorkDist,
+    ColumnDist,
+    DataDistribution,
+    ReplicatedDist,
+    RowDist,
+    StencilDist,
+    TileDist,
+    TileWorkDist,
+    WorkDistribution,
+)
+from ..core.kernel import KernelDef
+from .chunk_size import recommend_chunk_bytes
+
+__all__ = [
+    "DistributionAdvice",
+    "suggest_data_distribution",
+    "suggest_work_distribution",
+    "suggest_kernel_distributions",
+]
+
+#: Arrays at or below this size are replicated when every superblock reads them.
+DEFAULT_REPLICATION_LIMIT = 64 * 1024 ** 2
+
+
+@dataclass(frozen=True)
+class DistributionAdvice:
+    """A suggested distribution together with the reasoning behind it."""
+
+    array: str
+    distribution: DataDistribution
+    rationale: str
+    #: Axis the array is partitioned along (None for replication).
+    axis: Optional[int] = None
+    #: Halo width for stencil distributions (0 otherwise).
+    halo: int = 0
+
+
+# --------------------------------------------------------------------------- #
+# classification of one index expression
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _DimPattern:
+    kind: str  # 'full' | 'const' | 'point' | 'halo' | 'other'
+    variable: Optional[str] = None
+    halo: int = 0
+
+
+def _classify_dim(spec: IndexSpec, thread_vars: Sequence[str]) -> _DimPattern:
+    if spec.is_slice and spec.lower is None and spec.upper is None:
+        return _DimPattern("full")
+    if not spec.is_slice:
+        expr = spec.lower
+        variables = [v for v in expr.variables() if v in thread_vars]
+        if not variables:
+            return _DimPattern("const")
+        if len(variables) == 1 and dict(expr.coeffs).get(variables[0]) == 1:
+            return _DimPattern("point", variables[0])
+        return _DimPattern("other", variables[0])
+    # bounded slice: lower and upper are linear expressions (either may be open)
+    lower, upper = spec.lower, spec.upper
+    lower_vars = [v for v in (lower.variables() if lower else ()) if v in thread_vars]
+    upper_vars = [v for v in (upper.variables() if upper else ()) if v in thread_vars]
+    if not lower_vars and not upper_vars:
+        return _DimPattern("full")
+    if (
+        lower is not None
+        and upper is not None
+        and len(lower_vars) == 1
+        and lower_vars == upper_vars
+        and dict(lower.coeffs).get(lower_vars[0]) == 1
+        and dict(upper.coeffs).get(upper_vars[0]) == 1
+    ):
+        halo = max(-lower.const, upper.const, 0)
+        return _DimPattern("halo", lower_vars[0], halo)
+    return _DimPattern("other", (lower_vars or upper_vars)[0])
+
+
+def _thread_variables(annotation: Annotation) -> List[str]:
+    for binding in annotation.bindings:
+        if binding.space == "global":
+            return list(binding.names)
+    # block/local-only annotations: treat the first binding as the thread axes
+    return list(annotation.bindings[0].names)
+
+
+def _nbytes(shape: Sequence[int], itemsize: int) -> int:
+    total = itemsize
+    for extent in shape:
+        total *= int(extent)
+    return total
+
+
+# --------------------------------------------------------------------------- #
+# per-array suggestion
+# --------------------------------------------------------------------------- #
+def suggest_data_distribution(
+    access: ArrayAccess,
+    shape: Sequence[int],
+    annotation: Annotation,
+    itemsize: int = 4,
+    target_chunk_bytes: Optional[int] = None,
+    replication_limit: int = DEFAULT_REPLICATION_LIMIT,
+    align: int = 1,
+) -> DistributionAdvice:
+    """Suggest a distribution for one annotated array access.
+
+    ``align`` rounds the per-chunk extent down to a multiple of the launch's
+    thread-block size along the partitioned axis, so superblock boundaries can
+    coincide with chunk boundaries (misalignment is correct but forces the
+    planner to assemble temporary chunks).
+    """
+    shape = tuple(int(s) for s in shape)
+    if target_chunk_bytes is None:
+        target_chunk_bytes = recommend_chunk_bytes().recommended_bytes
+    thread_vars = _thread_variables(annotation)
+    patterns = [_classify_dim(spec, thread_vars) for spec in access.indices]
+    total_bytes = _nbytes(shape, itemsize)
+    name = access.array
+
+    def _aligned(extent: int) -> int:
+        extent = max(1, extent)
+        if align > 1 and extent > align:
+            extent -= extent % align
+        return extent
+
+    def _chunk_extent(axis: int) -> int:
+        other = _nbytes(shape, itemsize) // max(shape[axis], 1)
+        return _aligned(min(shape[axis], max(1, target_chunk_bytes // max(other, 1))))
+
+    partition_axes = [i for i, p in enumerate(patterns) if p.kind in ("point", "halo")]
+
+    # Nothing depends on the thread index: every superblock reads everything.
+    if not partition_axes:
+        if total_bytes <= replication_limit:
+            return DistributionAdvice(
+                name,
+                ReplicatedDist(),
+                f"{name} is accessed independently of the thread index and is only "
+                f"{total_bytes / 1e6:.1f} MB, so replicate it on every GPU",
+            )
+        axis = 0
+        extent = _chunk_extent(axis)
+        dist: DataDistribution = (
+            BlockDist(extent) if len(shape) == 1 else RowDist(extent)
+        )
+        return DistributionAdvice(
+            name,
+            dist,
+            f"{name} is accessed independently of the thread index but is too large "
+            f"({total_bytes / 1e9:.1f} GB) to replicate; partition it along axis 0 and "
+            f"accept broadcast traffic",
+            axis=axis,
+        )
+
+    axis = partition_axes[0]
+    pattern = patterns[axis]
+    extent = _chunk_extent(axis)
+
+    if pattern.kind == "halo" and pattern.halo > 0:
+        return DistributionAdvice(
+            name,
+            StencilDist(extent, halo=pattern.halo, axis=axis),
+            f"{name}[{access.indices[axis]}] reads a window of +/-{pattern.halo} around the "
+            f"thread index along axis {axis}: use a stencil distribution whose replicated "
+            f"halo keeps the window local",
+            axis=axis,
+            halo=pattern.halo,
+        )
+
+    if len(shape) == 1:
+        return DistributionAdvice(
+            name,
+            BlockDist(extent),
+            f"{name}[{access.indices[0]}] is a per-thread point access: contiguous blocks of "
+            f"{extent} elements keep every access local",
+            axis=0,
+        )
+
+    # 2-d / 3-d arrays
+    if len(partition_axes) >= 2 and len(shape) == 2:
+        rows = _aligned(max(1, int(math.sqrt(target_chunk_bytes / itemsize))))
+        cols = _aligned(max(1, target_chunk_bytes // (rows * itemsize)))
+        tile = (min(shape[0], rows), min(shape[1], cols))
+        return DistributionAdvice(
+            name,
+            TileDist(tile),
+            f"{name} is indexed point-wise along both axes: tile it into "
+            f"{tile[0]}x{tile[1]} chunks",
+            axis=None,
+        )
+    if axis == 0:
+        return DistributionAdvice(
+            name,
+            RowDist(extent),
+            f"{name} is indexed by the thread along axis 0 and accessed whole along the other "
+            f"axes: partition row-wise with {extent} rows per chunk",
+            axis=0,
+        )
+    if axis == 1 and len(shape) == 2:
+        return DistributionAdvice(
+            name,
+            ColumnDist(extent),
+            f"{name} is indexed by the thread along axis 1 only: partition column-wise with "
+            f"{extent} columns per chunk",
+            axis=1,
+        )
+    # Partitioning along axis 2 of a 3-d array is not supported by the stock
+    # distributions; fall back to rows, which is always correct.
+    extent0 = _chunk_extent(0)
+    return DistributionAdvice(
+        name,
+        RowDist(extent0),
+        f"{name} is indexed along axis {axis}, which the stock distributions cannot "
+        f"partition directly; fall back to a row-wise distribution",
+        axis=0,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# work-distribution suggestion
+# --------------------------------------------------------------------------- #
+def suggest_work_distribution(
+    advice: Mapping[str, DistributionAdvice],
+    annotation: Annotation,
+    grid: Sequence[int],
+    block: Sequence[int],
+    device_count: int,
+) -> Tuple[WorkDistribution, str]:
+    """Superblock distribution aligned with the suggested data distribution.
+
+    The anchor is the first *written* array that ends up partitioned: its
+    chunk extent along the partitioned axis becomes the superblock extent, so
+    every superblock's access region falls inside one chunk.  When everything
+    is replicated the grid is simply split evenly across the GPUs.
+    """
+    grid = tuple(int(g) for g in grid)
+    block = tuple(int(b) for b in block)
+    anchor: Optional[DistributionAdvice] = None
+    for access in annotation.accesses:
+        if not access.mode.writes:
+            continue
+        candidate = advice.get(access.array)
+        if candidate is not None and candidate.axis is not None:
+            anchor = candidate
+            break
+    if anchor is None:
+        for candidate in advice.values():
+            if candidate.axis is not None:
+                anchor = candidate
+                break
+
+    if anchor is None:
+        per_device = -(-grid[0] // max(device_count, 1))
+        per_device = max(block[0], per_device - per_device % block[0] or block[0])
+        return (
+            BlockWorkDist(per_device),
+            "all arrays are replicated: split the thread grid evenly across the GPUs",
+        )
+
+    dist = anchor.distribution
+    if isinstance(dist, TileDist) and len(grid) >= 2:
+        return (
+            TileWorkDist(dist.tile_shape),
+            f"superblocks mirror the {dist.tile_shape} tiles of {anchor.array}",
+        )
+    if isinstance(dist, (BlockDist, StencilDist)):
+        extent = dist.chunk_size
+    elif isinstance(dist, RowDist):
+        extent = dist.rows_per_chunk
+    elif isinstance(dist, ColumnDist):
+        extent = dist.cols_per_chunk
+    else:  # pragma: no cover - defensive fallback
+        extent = -(-grid[0] // max(device_count, 1))
+    axis = anchor.axis or 0
+    axis = min(axis, len(grid) - 1)
+    extent = min(extent, grid[axis])
+    return (
+        BlockWorkDist(extent, axis=axis),
+        f"superblocks of {extent} threads along axis {axis} coincide with the chunks of "
+        f"{anchor.array}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# whole-kernel convenience entry point
+# --------------------------------------------------------------------------- #
+def suggest_kernel_distributions(
+    kernel: Union[KernelDef, Annotation],
+    shapes: Mapping[str, Sequence[int]],
+    grid: Sequence[int],
+    block: Sequence[int],
+    device_count: int,
+    itemsizes: Optional[Mapping[str, int]] = None,
+    target_chunk_bytes: Optional[int] = None,
+    replication_limit: int = DEFAULT_REPLICATION_LIMIT,
+) -> Tuple[Dict[str, DistributionAdvice], WorkDistribution, str]:
+    """Suggest distributions for every annotated array of a kernel.
+
+    Returns ``(per-array advice, work distribution, work rationale)``.  The
+    per-chunk extents are aligned to the launch's thread-block size along the
+    partitioned axis.
+    """
+    if isinstance(kernel, KernelDef):
+        if kernel.annotation is None:
+            raise ValueError(f"kernel {kernel.name!r} has no annotation to analyse")
+        annotation = kernel.annotation
+        default_sizes = {p.name: int(np.dtype(p.dtype).itemsize) for p in kernel.array_params}
+    else:
+        annotation = kernel
+        default_sizes = {}
+    itemsizes = dict(default_sizes, **(itemsizes or {}))
+    block = tuple(int(b) for b in block)
+
+    advice: Dict[str, DistributionAdvice] = {}
+    for access in annotation.accesses:
+        if access.array not in shapes:
+            raise KeyError(f"no shape provided for annotated array {access.array!r}")
+        shape = shapes[access.array]
+        axis_guess = 0
+        align = block[axis_guess] if axis_guess < len(block) else 1
+        advice[access.array] = suggest_data_distribution(
+            access,
+            shape,
+            annotation,
+            itemsize=itemsizes.get(access.array, 4),
+            target_chunk_bytes=target_chunk_bytes,
+            replication_limit=replication_limit,
+            align=align,
+        )
+    work, rationale = suggest_work_distribution(advice, annotation, grid, block, device_count)
+    return advice, work, rationale

@@ -1,0 +1,19 @@
+"""Baselines used by the paper's evaluation.
+
+* :mod:`repro.baselines.cpu` — the NumPy/CPU reference implementation and its
+  roofline time model (the "NumPy (24 CPUs)" bars of Fig. 16);
+* :mod:`repro.baselines.single_gpu` — plain single-GPU CUDA execution without
+  the Lightning runtime: all data must fit in one GPU's memory, otherwise the
+  run fails with out-of-memory (the "CUDA (1 GPU)" bars and "GPU fail: OoM"
+  markers of Fig. 16).
+"""
+
+from .cpu import CPUBaseline, cpu_kernel_time
+from .single_gpu import SingleGPUBaseline, SingleGpuOutOfMemory
+
+__all__ = [
+    "CPUBaseline",
+    "cpu_kernel_time",
+    "SingleGPUBaseline",
+    "SingleGpuOutOfMemory",
+]

@@ -1,0 +1,64 @@
+"""NumPy / CPU baseline.
+
+The original CGC library is NumPy code running on the host CPU; the paper's
+Fig. 16 compares it against the CUDA port and against Lightning.  This module
+provides (a) a time model for running a sequence of kernels on the host CPU
+(used at the paper's problem sizes, which cannot be materialised here) and
+(b) a tiny helper for running real NumPy callables and measuring the modelled
+time alongside, used by tests to keep the model honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+from ..hardware.specs import CPUSpec, E5_2690
+from ..perfmodel.costs import KernelCost, cpu_time
+
+__all__ = ["cpu_kernel_time", "CPUBaseline"]
+
+
+def cpu_kernel_time(
+    cost: KernelCost,
+    threads: int,
+    scalars: Mapping[str, float],
+    cpu: CPUSpec = E5_2690,
+) -> float:
+    """Modelled time of one kernel's work executed on the host CPU."""
+    return cpu_time(cpu, cost, threads, scalars)
+
+
+@dataclass
+class CPUBaseline:
+    """Models an application as a sequence of (cost, thread-count, scalars) kernels."""
+
+    cpu: CPUSpec = E5_2690
+    name: str = "numpy"
+
+    def run_time(
+        self,
+        kernels: Sequence[Tuple[KernelCost, int, Mapping[str, float]]],
+        iterations: int = 1,
+    ) -> float:
+        """Total modelled time of ``iterations`` repetitions of the kernel sequence."""
+        per_iteration = sum(
+            cpu_kernel_time(cost, threads, scalars, self.cpu)
+            for cost, threads, scalars in kernels
+        )
+        return per_iteration * iterations
+
+    def measure(
+        self,
+        func: Callable[[], object],
+        kernels: Sequence[Tuple[KernelCost, int, Mapping[str, float]]],
+        iterations: int = 1,
+    ) -> Tuple[object, float]:
+        """Run ``func`` for real and return ``(result, modelled_time)``.
+
+        The wall-clock of ``func`` is irrelevant (this machine is not the
+        paper's testbed); what matters is that the same NumPy code used for
+        correctness checks is also the code whose cost the model charges.
+        """
+        result = func()
+        return result, self.run_time(kernels, iterations)

@@ -1,0 +1,64 @@
+"""Plain single-GPU "CUDA" baseline.
+
+Represents what a programmer gets without Lightning: the kernels run on one
+GPU, the whole dataset must be resident in that GPU's memory, and there is no
+spilling — when the data exceeds the 16 GB of a P100 the run simply fails
+("GPU fail: OoM" in Fig. 16).  Kernel times come from the same roofline model
+as the simulated runtime, plus the one-off host-to-device transfer of the
+input data over PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from ..hardware.specs import GPUSpec, NodeSpec, P100, azure_nc24rsv2
+from ..perfmodel.costs import KernelCost, kernel_time, transfer_time
+
+__all__ = ["SingleGpuOutOfMemory", "SingleGPUBaseline"]
+
+
+class SingleGpuOutOfMemory(RuntimeError):
+    """The dataset does not fit into the single GPU's memory."""
+
+
+@dataclass
+class SingleGPUBaseline:
+    """Models an application run directly with CUDA on one GPU."""
+
+    gpu: GPUSpec = P100
+    node: NodeSpec = field(default_factory=lambda: azure_nc24rsv2(1, 1).node)
+    name: str = "cuda-1gpu"
+
+    def check_fits(self, data_bytes: int) -> None:
+        if data_bytes > self.gpu.memory_bytes:
+            raise SingleGpuOutOfMemory(
+                f"dataset of {data_bytes / 1e9:.1f} GB exceeds the "
+                f"{self.gpu.memory_bytes / 1e9:.1f} GB of one {self.gpu.name}"
+            )
+
+    def upload_time(self, data_bytes: int) -> float:
+        """One-off host-to-device transfer of the input data."""
+        return transfer_time(data_bytes, self.node.pcie_bandwidth, self.node.pcie_latency)
+
+    def run_time(
+        self,
+        kernels: Sequence[Tuple[KernelCost, int, Mapping[str, float]]],
+        data_bytes: int,
+        iterations: int = 1,
+        include_upload: bool = False,
+    ) -> float:
+        """Modelled time of ``iterations`` repetitions of the kernel sequence.
+
+        Raises :class:`SingleGpuOutOfMemory` when the data cannot be resident.
+        """
+        self.check_fits(data_bytes)
+        per_iteration = sum(
+            kernel_time(self.gpu, cost, threads, scalars)
+            for cost, threads, scalars in kernels
+        )
+        total = per_iteration * iterations
+        if include_upload:
+            total += self.upload_time(data_bytes)
+        return total

@@ -1,0 +1,26 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+The harness runs the registered workloads on simulated clusters of the
+paper's node type, collects throughput series and writes the per-figure
+result tables that EXPERIMENTS.md references.
+"""
+
+from .harness import (
+    BenchPoint,
+    format_table,
+    gpu_memory_limit,
+    host_memory_limit,
+    make_context,
+    run_workload,
+    save_results,
+)
+
+__all__ = [
+    "BenchPoint",
+    "format_table",
+    "gpu_memory_limit",
+    "host_memory_limit",
+    "make_context",
+    "run_workload",
+    "save_results",
+]

@@ -1,0 +1,129 @@
+"""Helpers for regenerating the paper's figures.
+
+Every benchmark file in ``benchmarks/`` uses the same three steps:
+
+1. build a context for the cluster shape under test (``make_context``),
+2. run one registered workload at one problem size (``run_workload``),
+3. print/save the series in a paper-like table (``format_table`` /
+   ``save_results``).
+
+Benchmarks run in ``simulate`` execution mode so the paper's problem sizes
+(tens to hundreds of GB of virtual data) can be swept: the planner, the
+scheduler, the memory manager (including spilling) and the communication
+layer all run for real; only the chunk payloads are elided.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.context import Context
+from ..hardware.specs import azure_nc24rsv2
+from ..kernels import WORKLOADS, create_workload
+from ..runtime.system import ExecutionMode
+
+__all__ = [
+    "BenchPoint",
+    "make_context",
+    "run_workload",
+    "gpu_memory_limit",
+    "host_memory_limit",
+    "format_table",
+    "save_results",
+]
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One measured point of a figure series."""
+
+    benchmark: str
+    nodes: int
+    gpus_per_node: int
+    problem_size: float
+    data_gb: float
+    elapsed: float
+    throughput: float
+    extra: str = ""
+
+    @property
+    def gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+
+def make_context(
+    nodes: int = 1,
+    gpus_per_node: int = 1,
+    mode: ExecutionMode | str = ExecutionMode.SIMULATE,
+    **kwargs,
+) -> Context:
+    """A context on the paper's Azure NC24rsV2 node type."""
+    return Context(azure_nc24rsv2(nodes=nodes, gpus_per_node=gpus_per_node), mode=mode, **kwargs)
+
+
+def run_workload(
+    name: str,
+    n: int,
+    nodes: int = 1,
+    gpus_per_node: int = 1,
+    mode: ExecutionMode | str = ExecutionMode.SIMULATE,
+    context_kwargs: Optional[Dict] = None,
+    **workload_params,
+) -> BenchPoint:
+    """Run one workload once and return the figure point."""
+    ctx = make_context(nodes, gpus_per_node, mode, **(context_kwargs or {}))
+    workload = create_workload(name, ctx, n, **workload_params)
+    result = workload.run()
+    return BenchPoint(
+        benchmark=name,
+        nodes=nodes,
+        gpus_per_node=gpus_per_node,
+        problem_size=float(n),
+        data_gb=result.data_bytes / 1e9,
+        elapsed=result.elapsed,
+        throughput=result.throughput,
+    )
+
+
+def gpu_memory_limit(gpus: int = 1) -> int:
+    """Combined GPU memory of ``gpus`` P100s in bytes (the first vertical bar)."""
+    return gpus * azure_nc24rsv2(1, 1).node.gpus[0].memory_bytes
+
+
+def host_memory_limit(nodes: int = 1) -> int:
+    """Combined host memory of ``nodes`` nodes in bytes (the second vertical bar)."""
+    return nodes * azure_nc24rsv2(1, 1).node.host_memory_bytes
+
+
+def format_table(points: Sequence[BenchPoint], title: str = "") -> str:
+    """Human-readable table, one row per point, grouped the way the figures are."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = (
+        f"{'benchmark':>14s} {'nodes':>5s} {'gpus/node':>9s} {'n':>12s} "
+        f"{'data[GB]':>9s} {'time[s]':>10s} {'throughput[n/s]':>16s} {'notes':>12s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in points:
+        lines.append(
+            f"{p.benchmark:>14s} {p.nodes:>5d} {p.gpus_per_node:>9d} {p.problem_size:>12.3g} "
+            f"{p.data_gb:>9.2f} {p.elapsed:>10.4f} {p.throughput:>16.3e} {p.extra:>12s}"
+        )
+    return "\n".join(lines)
+
+
+def save_results(filename: str, text: str) -> str:
+    """Write a result table under ``benchmarks/results/`` and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,208 @@
+"""Command-line interface for the Lightning reproduction.
+
+Exposes the pieces a user needs without writing Python:
+
+``repro-bench describe``
+    Print the simulated cluster configuration.
+
+``repro-bench run <workload> --n <size> [--nodes N] [--gpus G] [...]``
+    Run one of the paper's benchmark workloads on a simulated cluster and
+    print the measured point (time, throughput, data size).
+
+``repro-bench sweep <workload> --sizes a,b,c [...]``
+    Run a problem-size sweep (one row per size), the building block of
+    Figs. 11-14.
+
+``repro-bench figures``
+    List every figure/table of the paper's evaluation and the pytest command
+    that regenerates it.
+
+``repro-bench advise --annotation "..." --shape name=ROWSxCOLS ...``
+    Run the distribution advisor on a kernel annotation and print the
+    suggested data/work distributions with their rationale.
+
+The CLI is intentionally a thin shell over the same public API the examples
+use (`repro.bench`, `repro.autotune`), so its output matches what the
+benchmark suite records under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import __version__
+from .bench import format_table, gpu_memory_limit, host_memory_limit, make_context, run_workload
+from .hardware.specs import azure_nc24rsv2
+from .kernels import WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+#: Figure/table id -> (description, regenerating command).
+FIGURES: Dict[str, Tuple[str, str]] = {
+    "fig10": ("K-Means run time vs chunk size (1 GPU)",
+              "pytest benchmarks/bench_fig10_chunk_size.py --benchmark-only"),
+    "fig11": ("K-Means run time vs problem size (1 GPU)",
+              "pytest benchmarks/bench_fig11_problem_size.py --benchmark-only"),
+    "fig12": ("Single-GPU throughput vs problem size, 8 benchmarks",
+              "pytest benchmarks/bench_fig12_single_gpu.py --benchmark-only"),
+    "fig13": ("Multi-GPU node (1-4 GPUs) throughput",
+              "pytest benchmarks/bench_fig13_multi_gpu.py --benchmark-only"),
+    "fig14": ("Multi-node (1-4 nodes x 1 GPU) throughput",
+              "pytest benchmarks/bench_fig14_multi_node.py --benchmark-only"),
+    "fig15": ("Weak scaling to 32 GPUs",
+              "pytest benchmarks/bench_fig15_weak_scaling.py --benchmark-only"),
+    "fig16": ("CGC co-clustering full application (5/20/80 GB)",
+              "pytest benchmarks/bench_fig16_full_application.py --benchmark-only"),
+    "sec4.3": ("Spilling analysis (Correlator drop, Black-Scholes PCIe argument)",
+               "pytest benchmarks/bench_sec43_spilling_analysis.py --benchmark-only"),
+    "ablations": ("Staging throttle, async submission, scheduling policy",
+                  "pytest benchmarks/bench_ablations.py --benchmark-only"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Lightning (IPDPS 2022) reproduction: run simulated multi-GPU benchmarks.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print the simulated cluster configuration")
+    _add_cluster_args(describe)
+
+    run = sub.add_parser("run", help="run one benchmark workload once")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--n", type=float, required=True, help="problem size n")
+    run.add_argument("--mode", choices=("simulate", "functional"), default="simulate")
+    run.add_argument("--scheduler-policy", default=None,
+                     help="scheduler task-selection policy (fifo/locality/priority/smallest)")
+    _add_cluster_args(run)
+
+    sweep = sub.add_parser("sweep", help="run a problem-size sweep for one workload")
+    sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    sweep.add_argument("--sizes", required=True,
+                       help="comma-separated problem sizes, e.g. 1e8,1e9,4e9")
+    _add_cluster_args(sweep)
+
+    sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
+
+    advise = sub.add_parser("advise", help="suggest distributions from a kernel annotation")
+    advise.add_argument("--annotation", required=True,
+                        help='e.g. "global i => read a[i-1:i+1], write b[i]"')
+    advise.add_argument("--shape", action="append", default=[],
+                        help="array shape as name=DIMxDIM (repeatable)", metavar="NAME=SHAPE")
+    advise.add_argument("--grid", default=None, help="thread grid, e.g. 1000000 or 4096x4096")
+    advise.add_argument("--block", default="256", help="thread block, e.g. 256 or 16x16")
+    advise.add_argument("--gpus", type=int, default=4, help="number of GPUs to plan for")
+    return parser
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--gpus", type=int, default=1, help="GPUs per node")
+
+
+def _parse_dims(text: str) -> Tuple[int, ...]:
+    return tuple(int(float(part)) for part in text.lower().replace("*", "x").split("x"))
+
+
+# --------------------------------------------------------------------------- #
+# sub-command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = azure_nc24rsv2(nodes=args.nodes, gpus_per_node=args.gpus)
+    print(spec.describe())
+    print(f"GPU memory (combined): {spec.gpu_memory_bytes / 1e9:.0f} GB")
+    print(f"Host memory (combined): {spec.host_memory_bytes / 1e9:.0f} GB")
+    print(f"Interconnect: {spec.interconnect.name} at {spec.interconnect.bandwidth / 1e9:.1f} GB/s")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    context_kwargs = {}
+    if args.scheduler_policy:
+        context_kwargs["scheduler_policy"] = args.scheduler_policy
+    point = run_workload(
+        args.workload,
+        int(args.n),
+        nodes=args.nodes,
+        gpus_per_node=args.gpus,
+        mode=args.mode,
+        context_kwargs=context_kwargs or None,
+    )
+    print(format_table([point], title=f"{args.workload} on {args.nodes}x{args.gpus} GPUs"))
+    print(f"GPU memory limit: {gpu_memory_limit(args.nodes * args.gpus) / 1e9:.0f} GB, "
+          f"host memory limit: {host_memory_limit(args.nodes) / 1e9:.0f} GB")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(float(s)) for s in args.sizes.split(",") if s.strip()]
+    if not sizes:
+        print("no problem sizes given", file=sys.stderr)
+        return 2
+    points = [
+        run_workload(args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus)
+        for n in sizes
+    ]
+    print(format_table(points, title=f"{args.workload} problem-size sweep"))
+    return 0
+
+
+def _cmd_figures(_: argparse.Namespace) -> int:
+    width = max(len(k) for k in FIGURES)
+    for key, (description, command) in FIGURES.items():
+        print(f"{key:<{width}}  {description}")
+        print(f"{'':<{width}}  -> {command}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .autotune import suggest_kernel_distributions
+    from .core.annotations import Annotation
+
+    annotation = Annotation.parse(args.annotation)
+    shapes = {}
+    for item in args.shape:
+        name, _, dims = item.partition("=")
+        if not dims:
+            print(f"cannot parse --shape {item!r} (expected NAME=DIMxDIM)", file=sys.stderr)
+            return 2
+        shapes[name.strip()] = _parse_dims(dims)
+    missing = [a.array for a in annotation.accesses if a.array not in shapes]
+    if missing:
+        print(f"missing --shape for annotated arrays: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    grid = _parse_dims(args.grid) if args.grid else shapes[annotation.accesses[0].array]
+    block = _parse_dims(args.block)
+    advice, work, rationale = suggest_kernel_distributions(
+        annotation, shapes, grid=grid, block=block, device_count=args.gpus
+    )
+    for name, item in advice.items():
+        print(f"{name}: {item.distribution!r}")
+        print(f"    {item.rationale}")
+    print(f"work: {work!r}")
+    print(f"    {rationale}")
+    return 0
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "figures": _cmd_figures,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-bench`` (and ``python -m repro.cli``)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,463 @@
+"""Data-annotation DSL: parsing and symbolic evaluation of access regions.
+
+Annotations tell Lightning which array elements each thread touches
+(Sec. 2.3), e.g. for the 1-d stencil::
+
+    global i => read A[i-1:i+1], write B[i]
+
+and for matrix multiplication and a column reduction::
+
+    global [i, j] => read A[i,:], read B[:,j], write C[i,j]
+    global [i, j] => read A[i,j], reduce(+) sum[i]
+
+The left-hand side binds the thread's ``global``, ``block`` and/or ``local``
+index to variables; the right-hand side lists, per argument array, the indices
+accessed and the access mode.  Every index expression must be a **linear
+combination** of the bound variables (plus integer constants), which lets the
+planner evaluate the per-superblock access region exactly: for a superblock
+the bound variables range over a rectangle, so the minimum/maximum of a linear
+expression over that rectangle follows from the signs of its coefficients.
+
+Slices use Fortran-style *inclusive* bounds (``A[i-1:i+1]`` covers the three
+elements ``i-1``, ``i`` and ``i+1``); either bound may be omitted, meaning the
+corresponding array bound, and a bare ``:`` selects the whole axis.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .distributions import Superblock
+from .geometry import Region
+from .reductions import get_reduce_op
+
+__all__ = [
+    "AccessMode",
+    "LinearExpr",
+    "IndexSpec",
+    "ArrayAccess",
+    "Binding",
+    "Annotation",
+    "AnnotationError",
+]
+
+
+class AnnotationError(ValueError):
+    """Raised when an annotation cannot be parsed or evaluated."""
+
+
+class AccessMode(enum.Enum):
+    """Access modes supported by annotations (Sec. 2.3)."""
+
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"
+    REDUCE = "reduce"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READWRITE, AccessMode.REDUCE)
+
+
+# --------------------------------------------------------------------------- #
+# Linear index expressions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LinearExpr:
+    """``const + sum(coeffs[v] * v)`` over bound variables ``v``."""
+
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coeffs)
+
+    def bounds(self, var_ranges: Mapping[str, Tuple[int, int]]) -> Tuple[int, int]:
+        """Inclusive (min, max) of the expression when each variable ranges
+        over its inclusive interval in ``var_ranges``."""
+        lo = hi = self.const
+        for name, coeff in self.coeffs:
+            if name not in var_ranges:
+                raise AnnotationError(f"unbound variable {name!r} in index expression")
+            vlo, vhi = var_ranges[name]
+            if coeff >= 0:
+                lo += coeff * vlo
+                hi += coeff * vhi
+            else:
+                lo += coeff * vhi
+                hi += coeff * vlo
+        return lo, hi
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Evaluate at a concrete assignment (used by tests and the emulator)."""
+        total = self.const
+        for name, coeff in self.coeffs:
+            total += coeff * values[name]
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        for name, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        text = "+".join(parts)
+        return text.replace("+-", "-")
+
+
+_TOKEN_RE = re.compile(r"\s*(?:(\d+)|([A-Za-z_][A-Za-z_0-9]*)|([+\-*]))")
+
+
+def parse_linear_expr(text: str) -> LinearExpr:
+    """Parse a linear expression such as ``2*i - 1`` or ``i+j``."""
+    text = text.strip()
+    if not text:
+        raise AnnotationError("empty index expression")
+    pos = 0
+    tokens: List[Tuple[str, str]] = []
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            raise AnnotationError(f"cannot tokenise index expression {text!r} at {text[pos:]!r}")
+        number, name, op = match.groups()
+        if number is not None:
+            tokens.append(("num", number))
+        elif name is not None:
+            tokens.append(("var", name))
+        else:
+            tokens.append(("op", op))
+        pos = match.end()
+
+    coeffs: Dict[str, int] = {}
+    const = 0
+    sign = 1
+    i = 0
+    while i < len(tokens):
+        kind, value = tokens[i]
+        if kind == "op":
+            if value == "+":
+                sign = 1
+            elif value == "-":
+                sign = -1
+            else:
+                raise AnnotationError(f"unexpected operator {value!r} in {text!r}")
+            i += 1
+            continue
+        # A term: num, var, num*var, var*num, num*num
+        factor = 1
+        var_name: Optional[str] = None
+        while True:
+            kind, value = tokens[i]
+            if kind == "num":
+                factor *= int(value)
+            else:
+                if var_name is not None:
+                    raise AnnotationError(
+                        f"non-linear term (product of variables) in {text!r}"
+                    )
+                var_name = value
+            if i + 2 < len(tokens) and tokens[i + 1] == ("op", "*"):
+                i += 2
+                continue
+            break
+        if var_name is None:
+            const += sign * factor
+        else:
+            coeffs[var_name] = coeffs.get(var_name, 0) + sign * factor
+        sign = 1
+        i += 1
+    return LinearExpr(tuple(sorted(coeffs.items())), const)
+
+
+# --------------------------------------------------------------------------- #
+# Index specifications and array accesses
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IndexSpec:
+    """One dimension of an array access: a point, a slice, or the full axis."""
+
+    lower: Optional[LinearExpr]
+    upper: Optional[LinearExpr]
+    is_slice: bool
+
+    @classmethod
+    def point(cls, expr: LinearExpr) -> "IndexSpec":
+        return cls(expr, expr, False)
+
+    @classmethod
+    def full(cls) -> "IndexSpec":
+        return cls(None, None, True)
+
+    def bounds(
+        self,
+        var_ranges: Mapping[str, Tuple[int, int]],
+        axis_extent: int,
+    ) -> Tuple[int, int]:
+        """Half-open [lo, hi) index interval along one axis."""
+        if self.lower is None:
+            lo = 0
+        else:
+            lo = self.lower.bounds(var_ranges)[0]
+        if self.upper is None:
+            hi = axis_extent
+        else:
+            hi = self.upper.bounds(var_ranges)[1] + 1
+        return lo, hi
+
+    def __str__(self) -> str:
+        if not self.is_slice:
+            return str(self.lower)
+        lower = "" if self.lower is None else str(self.lower)
+        upper = "" if self.upper is None else str(self.upper)
+        return f"{lower}:{upper}"
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One annotated access: ``mode array[indices]``."""
+
+    array: str
+    mode: AccessMode
+    indices: Tuple[IndexSpec, ...]
+    reduce_op: Optional[str] = None
+
+    def access_region(
+        self,
+        var_ranges: Mapping[str, Tuple[int, int]],
+        array_shape: Sequence[int],
+    ) -> Region:
+        """The rectangular access region for one superblock, clamped to the array."""
+        if len(self.indices) != len(array_shape):
+            raise AnnotationError(
+                f"access to {self.array!r} has {len(self.indices)} indices but the "
+                f"array is {len(array_shape)}-dimensional"
+            )
+        lo: List[int] = []
+        hi: List[int] = []
+        for spec, extent in zip(self.indices, array_shape):
+            l, h = spec.bounds(var_ranges, extent)
+            lo.append(l)
+            hi.append(h)
+        return Region(tuple(lo), tuple(hi)).intersect(Region.from_shape(tuple(array_shape)))
+
+    def __str__(self) -> str:
+        mode = self.mode.value if self.mode is not AccessMode.REDUCE else f"reduce({self.reduce_op})"
+        idx = ",".join(str(s) for s in self.indices)
+        return f"{mode} {self.array}[{idx}]"
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One variable-binding group: ``global [i, j]``, ``block b``, ``local t``."""
+
+    space: str  # 'global' | 'block' | 'local'
+    names: Tuple[str, ...]
+
+
+_MODE_RE = re.compile(r"^(read|write|readwrite|reduce)\s*(?:\(\s*([^)]+?)\s*\))?\s+", re.ASCII)
+
+
+def _split_top_level(text: str, sep: str) -> List[str]:
+    """Split on ``sep`` ignoring separators nested inside brackets/parens."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+            if depth < 0:
+                raise AnnotationError(f"unbalanced brackets in {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise AnnotationError(f"unbalanced brackets in {text!r}")
+    parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A fully parsed kernel annotation: bindings plus array accesses."""
+
+    bindings: Tuple[Binding, ...]
+    accesses: Tuple[ArrayAccess, ...]
+    source: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------ #
+    # parsing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: str) -> "Annotation":
+        source = " ".join(text.split())
+        if "=>" not in source:
+            raise AnnotationError(f"annotation {source!r} is missing '=>'")
+        lhs, rhs = source.split("=>", 1)
+        bindings = cls._parse_bindings(lhs)
+        accesses = cls._parse_accesses(rhs)
+        if not accesses:
+            raise AnnotationError("annotation declares no array accesses")
+        cls._check_duplicate_arrays(accesses)
+        return cls(tuple(bindings), tuple(accesses), source)
+
+    @staticmethod
+    def _parse_bindings(text: str) -> List[Binding]:
+        bindings = []
+        for part in _split_top_level(text, ","):
+            tokens = part.split(None, 1)
+            if len(tokens) != 2:
+                raise AnnotationError(f"cannot parse binding {part!r}")
+            space, names_text = tokens
+            if space not in ("global", "block", "local"):
+                raise AnnotationError(
+                    f"unknown binding space {space!r}; expected global, block or local"
+                )
+            names_text = names_text.strip()
+            if names_text.startswith("["):
+                if not names_text.endswith("]"):
+                    raise AnnotationError(f"unterminated variable list in {part!r}")
+                names = tuple(n.strip() for n in names_text[1:-1].split(",") if n.strip())
+            else:
+                names = (names_text,)
+            if not names or not all(re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", n) for n in names):
+                raise AnnotationError(f"invalid variable names in binding {part!r}")
+            bindings.append(Binding(space, names))
+        if not bindings:
+            raise AnnotationError("annotation declares no variable bindings")
+        seen: Dict[str, str] = {}
+        for binding in bindings:
+            for name in binding.names:
+                if name in seen:
+                    raise AnnotationError(f"variable {name!r} bound more than once")
+                seen[name] = binding.space
+        return bindings
+
+    @staticmethod
+    def _parse_accesses(text: str) -> List[ArrayAccess]:
+        accesses = []
+        for part in _split_top_level(text, ","):
+            match = _MODE_RE.match(part)
+            if match is None:
+                raise AnnotationError(f"cannot parse access mode in {part!r}")
+            mode_name, reduce_name = match.groups()
+            rest = part[match.end():].strip()
+            if mode_name == "reduce":
+                if not reduce_name:
+                    raise AnnotationError(f"reduce access in {part!r} is missing its operator")
+                try:
+                    get_reduce_op(reduce_name)
+                except ValueError as exc:
+                    raise AnnotationError(str(exc)) from None
+                mode = AccessMode.REDUCE
+            else:
+                if reduce_name:
+                    raise AnnotationError(f"unexpected '({reduce_name})' after {mode_name!r}")
+                mode = AccessMode(mode_name)
+                reduce_name = None
+            array_match = re.match(r"^([A-Za-z_][A-Za-z_0-9]*)\s*\[(.*)\]$", rest)
+            if array_match is None:
+                raise AnnotationError(f"cannot parse array access {rest!r}")
+            array_name, indices_text = array_match.groups()
+            indices = tuple(
+                Annotation._parse_index(idx) for idx in _split_top_level(indices_text, ",")
+            )
+            if not indices:
+                raise AnnotationError(f"array access {rest!r} has no indices")
+            accesses.append(ArrayAccess(array_name, mode, indices, reduce_name))
+        return accesses
+
+    @staticmethod
+    def _parse_index(text: str) -> IndexSpec:
+        if ":" in text:
+            lower_text, upper_text = text.split(":", 1)
+            lower = parse_linear_expr(lower_text) if lower_text.strip() else None
+            upper = parse_linear_expr(upper_text) if upper_text.strip() else None
+            return IndexSpec(lower, upper, True)
+        return IndexSpec.point(parse_linear_expr(text))
+
+    @staticmethod
+    def _check_duplicate_arrays(accesses: Sequence[ArrayAccess]) -> None:
+        seen = set()
+        for access in accesses:
+            if access.array in seen:
+                raise AnnotationError(
+                    f"array {access.array!r} is annotated more than once; merge the accesses"
+                )
+            seen.add(access.array)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(name for binding in self.bindings for name in binding.names)
+
+    def array_names(self) -> Tuple[str, ...]:
+        return tuple(access.array for access in self.accesses)
+
+    def access_for(self, array: str) -> Optional[ArrayAccess]:
+        for access in self.accesses:
+            if access.array == array:
+                return access
+        return None
+
+    def var_ranges(
+        self,
+        superblock: Superblock,
+        block_dims: Sequence[int],
+    ) -> Dict[str, Tuple[int, int]]:
+        """Inclusive ranges of every bound variable over one superblock."""
+        ranges: Dict[str, Tuple[int, int]] = {}
+        region = superblock.thread_region
+        for binding in self.bindings:
+            if len(binding.names) > region.ndim:
+                raise AnnotationError(
+                    f"binding {binding.names} has more variables than grid dimensions"
+                )
+            for dim, name in enumerate(binding.names):
+                lo, hi = region.lo[dim], region.hi[dim] - 1
+                if binding.space == "global":
+                    ranges[name] = (lo, hi)
+                elif binding.space == "block":
+                    b = block_dims[dim]
+                    ranges[name] = (lo // b, hi // b)
+                else:  # local
+                    ranges[name] = (0, block_dims[dim] - 1)
+        return ranges
+
+    def access_region(
+        self,
+        array: str,
+        superblock: Superblock,
+        block_dims: Sequence[int],
+        array_shape: Sequence[int],
+    ) -> Region:
+        """Access region of ``array`` for the threads of ``superblock`` (Fig. 3)."""
+        access = self.access_for(array)
+        if access is None:
+            raise AnnotationError(f"array {array!r} does not appear in the annotation")
+        var_ranges = self.var_ranges(superblock, block_dims)
+        return access.access_region(var_ranges, array_shape)
+
+    def __str__(self) -> str:
+        lhs = ", ".join(
+            f"{b.space} [{', '.join(b.names)}]" if len(b.names) > 1 else f"{b.space} {b.names[0]}"
+            for b in self.bindings
+        )
+        rhs = ", ".join(str(a) for a in self.accesses)
+        return f"{lhs} => {rhs}"

@@ -1,0 +1,76 @@
+"""Chunk metadata: the unit of data placement, movement and spilling.
+
+A *chunk* is a dense rectangular sub-region of a distributed array assigned to
+one GPU (Sec. 2.2).  Chunks of one array may overlap (halo replication); the
+runtime keeps replicated elements coherent by inserting copy tasks.  The
+planner also creates *temporary* chunks: assembled inputs when an access
+region spans several chunks, scratch outputs that are scattered back, and
+per-superblock partial-result buffers for reductions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..hardware.topology import DeviceId
+from .geometry import Region
+
+__all__ = ["ChunkId", "ChunkMeta", "ChunkIdAllocator"]
+
+ChunkId = int
+
+
+class ChunkIdAllocator:
+    """Monotonically increasing chunk identifiers (driver-side bookkeeping)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> ChunkId:
+        return next(self._counter)
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Description of one chunk.
+
+    ``home`` is the GPU the chunk is assigned to by the data distribution; the
+    memory manager may spill its contents to host memory or disk, but the chunk
+    logically belongs to that device's worker.  ``array_id`` is ``None`` for
+    temporary chunks that do not belong to a user-visible array.
+    """
+
+    chunk_id: ChunkId
+    region: Region
+    dtype: np.dtype
+    home: DeviceId
+    array_id: Optional[int] = None
+    temporary: bool = False
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    @property
+    def worker(self) -> int:
+        return self.home.worker
+
+    @property
+    def shape(self) -> tuple:
+        return self.region.shape
+
+    @property
+    def size(self) -> int:
+        return self.region.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.size * self.dtype.itemsize
+
+    def __str__(self) -> str:
+        kind = "tmp" if self.temporary else f"array{self.array_id}"
+        return f"chunk#{self.chunk_id}({kind}, {self.region}, @{self.home})"

@@ -1,0 +1,257 @@
+"""The user-facing driver API (Sec. 3.1, 3.6).
+
+A :class:`Context` plays the role of Lightning's driver program: it owns the
+cluster, the planner, the wrapper-kernel cache and the runtime system.  The
+application creates distributed arrays, compiles kernels, launches them with
+explicit work distributions, and synchronises — exactly the programming model
+of the host-code sample in Fig. 9::
+
+    ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=4))
+    input_ = ctx.ones(n, StencilDist(64_000, halo=1), dtype="float32")
+    output = ctx.zeros(n, StencilDist(64_000, halo=1), dtype="float32")
+    stencil = kernel_def.compile(ctx)
+    for _ in range(10):
+        stencil.launch(n, 256, BlockWorkDist(64_000), (n, output, input_))
+        input_, output = output, input_
+    ctx.synchronize()
+
+Everything is asynchronous until :meth:`Context.synchronize` (or a gather)
+drives the simulated runtime to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hardware.specs import ClusterSpec, azure_nc24rsv2
+from ..hardware.topology import DeviceId
+from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel
+from ..runtime.scheduler import DEFAULT_STAGE_THRESHOLD
+from ..runtime.system import ExecutionMode, RuntimeStats, RuntimeSystem
+from .array import ArrayIdAllocator, DistributedArray
+from .chunk import ChunkIdAllocator, ChunkMeta
+from .distributions import DataDistribution, WorkDistribution
+from .kernel import CompiledKernel, KernelDef
+from .planner import Planner
+from .tasks import TaskIdAllocator
+from .wrapper import WrapperCache
+
+__all__ = ["Context"]
+
+
+def _normalize_dims(value: Union[int, Sequence[int]]) -> Tuple[int, ...]:
+    if isinstance(value, (int, np.integer)):
+        return (int(value),)
+    return tuple(int(v) for v in value)
+
+
+class Context:
+    """Driver handle: array factory, kernel compiler and launch front-end."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        mode: Union[str, ExecutionMode] = ExecutionMode.FUNCTIONAL,
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+        stage_threshold: int = DEFAULT_STAGE_THRESHOLD,
+        enable_trace: bool = True,
+        memory_capacities=None,
+        scheduler_policy=None,
+        record_plans: bool = False,
+    ):
+        if cluster is None:
+            cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
+        if isinstance(mode, str):
+            mode = ExecutionMode(mode)
+        self.mode = mode
+        self.runtime = RuntimeSystem(
+            cluster,
+            mode=mode,
+            overheads=overheads,
+            stage_threshold=stage_threshold,
+            enable_trace=enable_trace,
+            memory_capacities=memory_capacities,
+            scheduler_policy=scheduler_policy,
+            record_plans=record_plans,
+        )
+        self.cluster = self.runtime.cluster
+        self._task_ids = TaskIdAllocator()
+        self._chunk_ids = ChunkIdAllocator()
+        self._array_ids = ArrayIdAllocator()
+        self.planner = Planner(self.cluster, self._task_ids, self._chunk_ids)
+        self.wrappers = WrapperCache()
+        self.kernels: Dict[str, CompiledKernel] = {}
+        self.arrays: Dict[int, DistributedArray] = {}
+        self._launch_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # cluster information
+    # ------------------------------------------------------------------ #
+    def devices(self) -> List[DeviceId]:
+        """All GPUs in the cluster (the default target of data/work distributions)."""
+        return self.cluster.device_ids()
+
+    @property
+    def device_count(self) -> int:
+        return self.cluster.device_count
+
+    @property
+    def functional(self) -> bool:
+        return self.mode is ExecutionMode.FUNCTIONAL
+
+    @property
+    def virtual_time(self) -> float:
+        """Current simulated time in seconds."""
+        return self.runtime.virtual_time
+
+    def describe(self) -> str:
+        return self.cluster.describe()
+
+    # ------------------------------------------------------------------ #
+    # array creation
+    # ------------------------------------------------------------------ #
+    def _build_array(
+        self,
+        shape: Union[int, Sequence[int]],
+        distribution: DataDistribution,
+        dtype,
+        name: str,
+    ) -> DistributedArray:
+        shape = _normalize_dims(shape)
+        dtype = np.dtype(dtype)
+        placements = distribution.chunks(shape, self.devices())
+        if not placements:
+            raise ValueError(f"distribution produced no chunks for array of shape {shape}")
+        array_id = self._array_ids.next_id()
+        chunks = [
+            ChunkMeta(
+                chunk_id=self._chunk_ids.next_id(),
+                region=p.region,
+                dtype=dtype,
+                home=p.device,
+                array_id=array_id,
+            )
+            for p in placements
+        ]
+        array = DistributedArray(array_id, shape, dtype, distribution, chunks, self, name=name)
+        array.validate_coverage()
+        self.arrays[array_id] = array
+        return array
+
+    def empty(self, shape, distribution: DataDistribution, dtype="float32", name="") -> DistributedArray:
+        """Create an uninitialised distributed array."""
+        array = self._build_array(shape, distribution, dtype, name)
+        self.runtime.submit_plan(self.planner.plan_create_array(array))
+        return array
+
+    def full(self, shape, value: float, distribution: DataDistribution, dtype="float32", name="") -> DistributedArray:
+        """Create a distributed array filled with ``value``."""
+        array = self._build_array(shape, distribution, dtype, name)
+        self.runtime.submit_plan(self.planner.plan_create_array(array, value=value))
+        return array
+
+    def zeros(self, shape, distribution: DataDistribution, dtype="float32", name="") -> DistributedArray:
+        return self.full(shape, 0.0, distribution, dtype, name)
+
+    def ones(self, shape, distribution: DataDistribution, dtype="float32", name="") -> DistributedArray:
+        return self.full(shape, 1.0, distribution, dtype, name)
+
+    def from_numpy(self, data: np.ndarray, distribution: DataDistribution, name="") -> DistributedArray:
+        """Create a distributed array initialised from a NumPy array."""
+        data = np.asarray(data)
+        array = self._build_array(data.shape, distribution, data.dtype, name)
+        upload = data if self.functional else None
+        self.runtime.submit_plan(self.planner.plan_create_array(array, data=upload))
+        return array
+
+    # ------------------------------------------------------------------ #
+    # array access / lifecycle
+    # ------------------------------------------------------------------ #
+    def gather(self, array: DistributedArray) -> np.ndarray:
+        """Synchronise and return the array's contents (functional mode only)."""
+        if not self.functional:
+            raise RuntimeError("gather() requires functional execution mode")
+        if array.deleted:
+            raise RuntimeError(f"array {array.name} has been deleted")
+        self.runtime.submit_plan(self.planner.plan_gather(array))
+        self.synchronize()
+        out = np.zeros(array.shape, dtype=array.dtype)
+        for chunk, region in array.covering_chunks():
+            worker = self.runtime.workers[chunk.worker]
+            data = worker.storage.read_region(chunk.chunk_id, region)
+            out[region.as_slices()] = data
+        return out
+
+    def delete_array(self, array: DistributedArray) -> None:
+        """Free the array's chunks (asynchronously, after their last use)."""
+        if array.deleted:
+            return
+        self.runtime.submit_plan(self.planner.plan_delete_array(array))
+        array.deleted = True
+        self.arrays.pop(array.array_id, None)
+
+    # ------------------------------------------------------------------ #
+    # kernels
+    # ------------------------------------------------------------------ #
+    def compile(self, definition: KernelDef) -> CompiledKernel:
+        """Runtime-compile a kernel: generate its wrapper and register it with every worker."""
+        wrapper = self.wrappers.get(definition.name, [p.name for p in definition.params])
+        kernel = CompiledKernel(definition, self, wrapper)
+        if definition.name in self.kernels:
+            raise ValueError(f"kernel {definition.name!r} is already compiled in this context")
+        self.kernels[definition.name] = kernel
+        self.runtime.register_kernel(definition.name, kernel)
+        return kernel
+
+    def launch(
+        self,
+        kernel: CompiledKernel,
+        grid: Union[int, Sequence[int]],
+        block: Union[int, Sequence[int]],
+        work_dist: WorkDistribution,
+        args: Sequence[object],
+    ) -> None:
+        """Submit one distributed kernel launch (asynchronous)."""
+        grid_dims = _normalize_dims(grid)
+        block_dims = _normalize_dims(block)
+        if len(block_dims) == 1 and len(grid_dims) > 1:
+            block_dims = block_dims + (1,) * (len(grid_dims) - 1)
+        if len(block_dims) != len(grid_dims):
+            raise ValueError("grid and block dimensionality mismatch")
+        scalars, arrays = kernel.bind_args(args)
+        for name, array in arrays.items():
+            if not isinstance(array, DistributedArray):
+                raise TypeError(f"argument {name!r} must be a DistributedArray")
+            if array.deleted:
+                raise RuntimeError(f"argument {name!r} refers to a deleted array")
+        self._launch_counter += 1
+        plan = self.planner.plan_launch(
+            kernel,
+            grid_dims,
+            block_dims,
+            work_dist,
+            scalars,
+            {name: arr for name, arr in arrays.items()},
+            launch_id=self._launch_counter,
+        )
+        self.runtime.submit_plan(plan)
+
+    # ------------------------------------------------------------------ #
+    # synchronisation and statistics
+    # ------------------------------------------------------------------ #
+    def synchronize(self) -> float:
+        """Block until all submitted work has finished; returns the virtual time."""
+        return self.runtime.run_until_idle()
+
+    def stats(self) -> RuntimeStats:
+        return self.runtime.stats()
+
+    def trace(self):
+        return self.runtime.trace
+
+    @property
+    def recorded_plans(self):
+        """Execution plans submitted so far (requires ``record_plans=True``)."""
+        return self.runtime.recorded_plans

@@ -1,0 +1,237 @@
+"""CUDA wrapper-kernel source generation (Sec. 3.5, Fig. 8).
+
+On a real deployment Lightning compiles, per worker and per superblock
+layout, a small CUDA wrapper around the user's ``__device__`` kernel.  The
+wrapper bakes the worker-specific constants into the source (so NVRTC can
+fold them), adds the superblock's offset to the physical block index, and
+constructs ``lightning::Array`` objects whose data pointers are pre-shifted
+by the chunk offsets so the user kernel can keep indexing with global
+coordinates.
+
+The Python reproduction executes kernels through
+:mod:`repro.core.wrapper`/:mod:`repro.core.types` instead, but the *source
+generator* is still part of the system being reproduced: it is what a user
+would inspect to understand the runtime-compilation step, and what an actual
+CUDA backend would hand to NVRTC.  This module emits that source —
+deterministically, from the same :class:`~repro.core.kernel.KernelDef`
+signature, chunk layouts and superblock offsets the rest of the runtime uses
+— so tests can pin down the exact contract of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .kernel import KernelDef
+from .wrapper import _mangle
+
+__all__ = [
+    "ArrayLayout",
+    "cuda_type_for",
+    "generate_array_struct",
+    "generate_cuda_wrapper",
+    "generate_device_kernel_skeleton",
+]
+
+#: NumPy dtype name -> CUDA scalar type.
+_CUDA_TYPES: Mapping[str, str] = {
+    "float32": "float",
+    "float64": "double",
+    "int8": "int8_t",
+    "int16": "int16_t",
+    "int32": "int32_t",
+    "int64": "int64_t",
+    "uint8": "uint8_t",
+    "uint16": "uint16_t",
+    "uint32": "uint32_t",
+    "uint64": "uint64_t",
+    "bool": "bool",
+}
+
+
+def cuda_type_for(dtype: "np.dtype | str") -> str:
+    """The CUDA scalar type corresponding to a NumPy dtype."""
+    name = np.dtype(dtype).name
+    try:
+        return _CUDA_TYPES[name]
+    except KeyError:
+        raise ValueError(f"dtype {name!r} has no CUDA equivalent") from None
+
+
+@dataclass(frozen=True)
+class ArrayLayout:
+    """Per-superblock layout of one array argument inside its chunk.
+
+    ``offsets`` are the chunk's global origin (subtracted from global indices)
+    and ``strides`` are the chunk buffer's element strides, innermost last —
+    the two constant vectors lines 8-9 of Fig. 8 bake into the wrapper.
+    """
+
+    offsets: Tuple[int, ...]
+    strides: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != len(self.strides):
+            raise ValueError("offsets and strides must have the same dimensionality")
+        if not self.offsets:
+            raise ValueError("array layout needs at least one dimension")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.offsets)
+
+
+def generate_array_struct() -> str:
+    """The ``lightning::Array<T, N>`` device-side type used by wrapper kernels.
+
+    The constructor subtracts the chunk offset from the base pointer once, so
+    element access with global indices costs nothing extra (Sec. 3.5).
+    """
+    return """\
+namespace lightning {
+
+template <typename T, int N>
+struct Array {
+    T* data;
+    size_t strides[N];
+
+    __device__ Array(T* base, const size_t (&strides_)[N]) : data(base) {
+        for (int d = 0; d < N; ++d) strides[d] = strides_[d];
+    }
+
+    template <typename... Idx>
+    __device__ T& operator()(Idx... idx) {
+        static_assert(sizeof...(Idx) == N, "index arity must match array rank");
+        size_t offsets[N] = {static_cast<size_t>(idx)...};
+        size_t flat = 0;
+        for (int d = 0; d < N; ++d) flat += offsets[d] * strides[d];
+        return data[flat];
+    }
+
+    __device__ T& operator[](size_t i) { return data[i * strides[N - 1]]; }
+};
+
+using Scalar = Array<float, 1>;
+template <typename T> using Vector = Array<T, 1>;
+template <typename T> using Matrix = Array<T, 2>;
+template <typename T> using Tensor = Array<T, 3>;
+
+}  // namespace lightning
+"""
+
+
+def _format_block_offset(block_offset: Sequence[int]) -> Tuple[int, int, int]:
+    padded = tuple(int(v) for v in block_offset) + (0, 0, 0)
+    return padded[0], padded[1], padded[2]
+
+
+def generate_cuda_wrapper(
+    kernel: KernelDef,
+    block_offset: Sequence[int],
+    layouts: Mapping[str, ArrayLayout],
+    scalar_suffix: Optional[str] = None,
+) -> str:
+    """CUDA source of the wrapper kernel for one superblock/chunk layout.
+
+    Mirrors Fig. 8: worker-specific constants, the virtual block index, the
+    offset-shifted ``lightning::Array`` arguments, and the final call into the
+    user's ``__device__`` kernel (which keeps the original name).
+    """
+    missing = [p.name for p in kernel.array_params if p.name not in layouts]
+    if missing:
+        raise ValueError(f"no chunk layout provided for array parameters {missing}")
+
+    param_names = [p.name for p in kernel.params]
+    wrapper_name = _mangle(kernel.name, param_names)
+    if scalar_suffix:
+        wrapper_name = f"{wrapper_name}_{scalar_suffix}"
+    off_x, off_y, off_z = _format_block_offset(block_offset)
+
+    signature_lines = []
+    for param in kernel.params:
+        ctype = cuda_type_for(param.dtype)
+        if param.kind == "value":
+            signature_lines.append(f"    {ctype} {param.name}")
+        else:
+            signature_lines.append(f"    {ctype}* const {param.name}_ptr")
+    signature = ",\n".join(signature_lines)
+
+    constant_lines = [
+        f"    const uint32_t block_offset_x = {off_x}, "
+        f"block_offset_y = {off_y}, block_offset_z = {off_z};"
+    ]
+    for param in kernel.array_params:
+        layout = layouts[param.name]
+        for dim in range(layout.ndim):
+            constant_lines.append(
+                f"    const size_t {param.name}_offset_{dim} = {int(layout.offsets[dim])}, "
+                f"{param.name}_strides_{dim} = {int(layout.strides[dim])};"
+            )
+
+    argument_lines = [
+        "    dim3 virtual_block_index(block_offset_x + blockIdx.x,",
+        "        block_offset_y + blockIdx.y, block_offset_z + blockIdx.z);",
+    ]
+    call_args = ["virtual_block_index"]
+    for param in kernel.params:
+        if param.kind == "value":
+            call_args.append(param.name)
+            continue
+        layout = layouts[param.name]
+        ctype = cuda_type_for(param.dtype)
+        shift = " - ".join(
+            [f"{param.name}_ptr"]
+            + [
+                f"{param.name}_offset_{dim} * {param.name}_strides_{dim}"
+                for dim in range(layout.ndim)
+            ]
+        )
+        strides = ", ".join(f"{param.name}_strides_{dim}" for dim in range(layout.ndim))
+        argument_lines.append(
+            f"    ::lightning::Array<{ctype}, {layout.ndim}> {param.name}(\n"
+            f"        {shift}, {{{strides}}});"
+        )
+        call_args.append(param.name)
+
+    call = f"    {kernel.name}({', '.join(call_args)});"
+    return "\n".join(
+        [
+            f'extern "C" __global__ void {wrapper_name}(',
+            signature,
+            ") {",
+            "    // Worker-specific constants",
+            *constant_lines,
+            "",
+            "    // Prepare arguments",
+            *argument_lines,
+            "",
+            "    // Call user kernel",
+            call,
+            "}",
+            "",
+        ]
+    )
+
+
+def generate_device_kernel_skeleton(kernel: KernelDef) -> str:
+    """The signature the user's modified kernel must have (Fig. 7).
+
+    Emitted as a commented skeleton: the declaration changes from
+    ``__global__`` to ``__device__``, the virtual block index becomes the
+    first parameter, and raw pointers become ``lightning::Array`` references.
+    """
+    lines = [f"__device__ void {kernel.name}(", "    dim3 virtBlockIdx,"]
+    for param in kernel.params:
+        ctype = cuda_type_for(param.dtype)
+        if param.kind == "value":
+            lines.append(f"    {ctype} {param.name},")
+        else:
+            lines.append(f"    ::lightning::Array<{ctype}, /*rank*/ 1> {param.name},")
+    lines[-1] = lines[-1].rstrip(",")
+    lines.append(") {")
+    lines.append("    // ... user kernel body: index with global coordinates ...")
+    lines.append("}")
+    return "\n".join(lines)

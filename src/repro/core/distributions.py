@@ -1,0 +1,431 @@
+"""Data and work distribution policies (Secs. 2.1 and 2.2, Figs. 1 and 2).
+
+Two kinds of distributions exist:
+
+* **Data distributions** partition the index domain of an array into
+  rectangular *chunks*, each assigned to one GPU.  Chunks may overlap (e.g.
+  :class:`StencilDist` adds halo cells that are replicated on neighbouring
+  GPUs) and replication is kept coherent by the runtime.
+
+* **Work distributions** partition the thread grid of a kernel launch into
+  disjoint rectangular *superblocks*, each executed on one GPU.  Superblocks
+  must respect thread-block boundaries because thread blocks are indivisible.
+
+Both are deliberately small, declarative objects: the planner only ever asks
+"give me the chunk regions and their homes" or "give me the superblocks for
+this grid", which is also what makes user-defined custom distributions easy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..hardware.topology import DeviceId
+from .geometry import Region
+
+__all__ = [
+    "ChunkPlacement",
+    "Superblock",
+    "DataDistribution",
+    "BlockDist",
+    "RowDist",
+    "ColumnDist",
+    "TileDist",
+    "StencilDist",
+    "ReplicatedDist",
+    "CustomDist",
+    "WorkDistribution",
+    "BlockWorkDist",
+    "TileWorkDist",
+    "CustomWorkDist",
+    "WeightedBlockWorkDist",
+]
+
+
+@dataclass(frozen=True)
+class ChunkPlacement:
+    """One chunk of a data distribution: its region and the GPU it lives on."""
+
+    region: Region
+    device: DeviceId
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """A rectangular group of thread blocks executed on one GPU (Fig. 1)."""
+
+    index: int
+    device: DeviceId
+    thread_region: Region
+    block_offset: Tuple[int, ...]
+
+    @property
+    def thread_count(self) -> int:
+        return self.thread_region.size
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _normalize_shape(shape: Sequence[int] | int) -> Tuple[int, ...]:
+    if isinstance(shape, int):
+        return (shape,)
+    return tuple(int(s) for s in shape)
+
+
+def _round_robin(devices: Sequence[DeviceId], index: int) -> DeviceId:
+    return devices[index % len(devices)]
+
+
+# --------------------------------------------------------------------------- #
+# Data distributions
+# --------------------------------------------------------------------------- #
+class DataDistribution:
+    """Base class: maps an array shape onto chunk placements."""
+
+    def chunks(self, shape: Sequence[int], devices: Sequence[DeviceId]) -> List[ChunkPlacement]:
+        raise NotImplementedError
+
+    def validate(self, shape: Sequence[int], devices: Sequence[DeviceId]) -> None:
+        """Common sanity checks; distributions may extend this."""
+        if not devices:
+            raise ValueError("data distribution requires at least one device")
+        if not all(s > 0 for s in _normalize_shape(shape)):
+            raise ValueError(f"array shape must be positive, got {shape!r}")
+
+
+@dataclass(frozen=True)
+class BlockDist(DataDistribution):
+    """1-d contiguous blocks of ``chunk_size`` elements, round-robin over GPUs."""
+
+    chunk_size: int
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        shape = _normalize_shape(shape)
+        if len(shape) != 1:
+            raise ValueError("BlockDist applies to 1-d arrays; use RowDist/TileDist for 2-d")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        (n,) = shape
+        placements = []
+        for i in range(_ceil_div(n, self.chunk_size)):
+            lo = i * self.chunk_size
+            hi = min(n, lo + self.chunk_size)
+            placements.append(ChunkPlacement(Region((lo,), (hi,)), _round_robin(devices, i)))
+        return placements
+
+
+@dataclass(frozen=True)
+class RowDist(DataDistribution):
+    """Row-wise partitioning of a 2-d/3-d array (Fig. 2b): ``rows_per_chunk`` rows per chunk."""
+
+    rows_per_chunk: int
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        shape = _normalize_shape(shape)
+        if len(shape) < 2:
+            raise ValueError("RowDist applies to arrays with at least 2 dimensions")
+        if self.rows_per_chunk <= 0:
+            raise ValueError("rows_per_chunk must be positive")
+        rows = shape[0]
+        placements = []
+        for i in range(_ceil_div(rows, self.rows_per_chunk)):
+            lo_r = i * self.rows_per_chunk
+            hi_r = min(rows, lo_r + self.rows_per_chunk)
+            lo = (lo_r,) + tuple(0 for _ in shape[1:])
+            hi = (hi_r,) + tuple(shape[1:])
+            placements.append(ChunkPlacement(Region(lo, hi), _round_robin(devices, i)))
+        return placements
+
+
+@dataclass(frozen=True)
+class ColumnDist(DataDistribution):
+    """Column-wise partitioning of a 2-d array (Fig. 2c)."""
+
+    cols_per_chunk: int
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        shape = _normalize_shape(shape)
+        if len(shape) != 2:
+            raise ValueError("ColumnDist applies to 2-d arrays")
+        if self.cols_per_chunk <= 0:
+            raise ValueError("cols_per_chunk must be positive")
+        rows, cols = shape
+        placements = []
+        for i in range(_ceil_div(cols, self.cols_per_chunk)):
+            lo_c = i * self.cols_per_chunk
+            hi_c = min(cols, lo_c + self.cols_per_chunk)
+            placements.append(
+                ChunkPlacement(Region((0, lo_c), (rows, hi_c)), _round_robin(devices, i))
+            )
+        return placements
+
+
+@dataclass(frozen=True)
+class TileDist(DataDistribution):
+    """Tiled partitioning of a 2-d array (Fig. 2a): ``tile_shape`` tiles, row-major round-robin."""
+
+    tile_shape: Tuple[int, int]
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        shape = _normalize_shape(shape)
+        if len(shape) != 2:
+            raise ValueError("TileDist applies to 2-d arrays")
+        th, tw = self.tile_shape
+        if th <= 0 or tw <= 0:
+            raise ValueError("tile_shape must be positive")
+        rows, cols = shape
+        placements = []
+        index = 0
+        for r in range(_ceil_div(rows, th)):
+            for c in range(_ceil_div(cols, tw)):
+                lo = (r * th, c * tw)
+                hi = (min(rows, lo[0] + th), min(cols, lo[1] + tw))
+                placements.append(ChunkPlacement(Region(lo, hi), _round_robin(devices, index)))
+                index += 1
+        return placements
+
+
+@dataclass(frozen=True)
+class StencilDist(DataDistribution):
+    """Block distribution with a replicated halo of ``halo`` cells on each side.
+
+    The halo cells overlap with neighbouring chunks; the runtime keeps the
+    replicas coherent, which is exactly what stencil benchmarks such as
+    HotSpot rely on (Sec. 4.2).
+    """
+
+    chunk_size: int
+    halo: int = 1
+    axis: int = 0
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        shape = _normalize_shape(shape)
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.halo < 0:
+            raise ValueError("halo must be non-negative")
+        if not (0 <= self.axis < len(shape)):
+            raise ValueError(f"axis {self.axis} out of range for {len(shape)}-d array")
+        extent = shape[self.axis]
+        domain = Region.from_shape(shape)
+        placements = []
+        for i in range(_ceil_div(extent, self.chunk_size)):
+            lo_a = max(0, i * self.chunk_size - self.halo)
+            hi_a = min(extent, (i + 1) * self.chunk_size + self.halo)
+            lo = tuple(lo_a if d == self.axis else 0 for d in range(len(shape)))
+            hi = tuple(hi_a if d == self.axis else shape[d] for d in range(len(shape)))
+            placements.append(
+                ChunkPlacement(Region(lo, hi).intersect(domain), _round_robin(devices, i))
+            )
+        return placements
+
+
+@dataclass(frozen=True)
+class ReplicatedDist(DataDistribution):
+    """Full replication: every GPU holds a complete copy of the array.
+
+    Used when the data is small and read by every superblock (N-Body bodies,
+    SpMV input vector, K-Means centroids).
+    """
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        shape = _normalize_shape(shape)
+        domain = Region.from_shape(shape)
+        return [ChunkPlacement(domain, device) for device in devices]
+
+
+@dataclass(frozen=True)
+class CustomDist(DataDistribution):
+    """User-defined distribution from an explicit list of (region, device) pairs."""
+
+    placements: Tuple[ChunkPlacement, ...]
+
+    def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        self.validate(shape, devices)
+        domain = Region.from_shape(_normalize_shape(shape))
+        for placement in self.placements:
+            if not domain.contains_region(placement.region):
+                raise ValueError(
+                    f"custom chunk {placement.region} lies outside the array domain {domain}"
+                )
+        return list(self.placements)
+
+
+# --------------------------------------------------------------------------- #
+# Work distributions (superblocks)
+# --------------------------------------------------------------------------- #
+class WorkDistribution:
+    """Base class: maps a thread grid onto disjoint superblocks."""
+
+    def superblocks(
+        self,
+        grid: Sequence[int],
+        block: Sequence[int],
+        devices: Sequence[DeviceId],
+    ) -> List[Superblock]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(grid: Tuple[int, ...], block: Tuple[int, ...]) -> None:
+        if len(grid) != len(block):
+            raise ValueError("grid and block must have the same dimensionality")
+        if not all(g > 0 for g in grid) or not all(b > 0 for b in block):
+            raise ValueError("grid and block extents must be positive")
+
+
+@dataclass(frozen=True)
+class BlockWorkDist(WorkDistribution):
+    """Split the grid along ``axis`` into superblocks of ``threads_per_superblock`` threads.
+
+    The superblock boundary is rounded up to a multiple of the thread-block
+    size because thread blocks cannot be split across GPUs.
+    """
+
+    threads_per_superblock: int
+    axis: int = 0
+
+    def superblocks(self, grid, block, devices) -> List[Superblock]:
+        grid = _normalize_shape(grid)
+        block = _normalize_shape(block)
+        self._validate(grid, block)
+        if self.threads_per_superblock <= 0:
+            raise ValueError("threads_per_superblock must be positive")
+        if not (0 <= self.axis < len(grid)):
+            raise ValueError(f"axis {self.axis} out of range for {len(grid)}-d grid")
+        step = max(block[self.axis], (self.threads_per_superblock // block[self.axis]) * block[self.axis])
+        extent = grid[self.axis]
+        out = []
+        for i in range(_ceil_div(extent, step)):
+            lo_a = i * step
+            hi_a = min(extent, lo_a + step)
+            lo = tuple(lo_a if d == self.axis else 0 for d in range(len(grid)))
+            hi = tuple(hi_a if d == self.axis else grid[d] for d in range(len(grid)))
+            block_offset = tuple(l // b for l, b in zip(lo, block))
+            out.append(
+                Superblock(
+                    index=i,
+                    device=_round_robin(devices, i),
+                    thread_region=Region(lo, hi),
+                    block_offset=block_offset,
+                )
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class TileWorkDist(WorkDistribution):
+    """2-d tiling of the thread grid into superblocks of ``tile_shape`` threads."""
+
+    tile_shape: Tuple[int, int]
+
+    def superblocks(self, grid, block, devices) -> List[Superblock]:
+        grid = _normalize_shape(grid)
+        block = _normalize_shape(block)
+        self._validate(grid, block)
+        if len(grid) != 2:
+            raise ValueError("TileWorkDist applies to 2-d grids")
+        th = max(block[0], (self.tile_shape[0] // block[0]) * block[0])
+        tw = max(block[1], (self.tile_shape[1] // block[1]) * block[1])
+        out = []
+        index = 0
+        for r in range(_ceil_div(grid[0], th)):
+            for c in range(_ceil_div(grid[1], tw)):
+                lo = (r * th, c * tw)
+                hi = (min(grid[0], lo[0] + th), min(grid[1], lo[1] + tw))
+                block_offset = tuple(l // b for l, b in zip(lo, block))
+                out.append(
+                    Superblock(
+                        index=index,
+                        device=_round_robin(devices, index),
+                        thread_region=Region(lo, hi),
+                        block_offset=block_offset,
+                    )
+                )
+                index += 1
+        return out
+
+
+@dataclass(frozen=True)
+class CustomWorkDist(WorkDistribution):
+    """User-defined work distribution from a callable returning superblocks."""
+
+    factory: Callable[[Tuple[int, ...], Tuple[int, ...], Sequence[DeviceId]], List[Superblock]]
+
+    def superblocks(self, grid, block, devices) -> List[Superblock]:
+        grid = _normalize_shape(grid)
+        block = _normalize_shape(block)
+        self._validate(grid, block)
+        return list(self.factory(grid, block, devices))
+
+
+@dataclass(frozen=True)
+class WeightedBlockWorkDist(WorkDistribution):
+    """One superblock per device, sized proportionally to per-device weights.
+
+    Lightning's stock distributions assume identical GPUs; Sec. 6 names load
+    balancing on heterogeneous platforms as future work.  This distribution
+    splits the thread grid along ``axis`` into exactly one superblock per
+    device, with superblock extents proportional to ``weights`` (typically the
+    devices' relative compute throughput) and rounded to thread-block
+    boundaries.  Devices whose share rounds to zero receive no superblock.
+    """
+
+    weights: Tuple[float, ...]
+    axis: int = 0
+
+    @classmethod
+    def from_cluster(cls, cluster: "object", axis: int = 0) -> "WeightedBlockWorkDist":
+        """Weights proportional to every GPU's peak FLOP/s (heterogeneous nodes)."""
+        weights = tuple(device.spec.peak_flops for device in cluster.devices())
+        return cls(weights, axis=axis)
+
+    def superblocks(self, grid, block, devices) -> List[Superblock]:
+        grid = _normalize_shape(grid)
+        block = _normalize_shape(block)
+        self._validate(grid, block)
+        if not (0 <= self.axis < len(grid)):
+            raise ValueError(f"axis {self.axis} out of range for {len(grid)}-d grid")
+        if len(self.weights) != len(devices):
+            raise ValueError(
+                f"{len(self.weights)} weights for {len(devices)} devices; one weight per GPU"
+            )
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum to a positive value")
+
+        extent = grid[self.axis]
+        blk = block[self.axis]
+        total = float(sum(self.weights))
+        out: List[Superblock] = []
+        cursor = 0
+        cumulative = 0.0
+        for index, (device, weight) in enumerate(zip(devices, self.weights)):
+            cumulative += weight
+            if index == len(devices) - 1:
+                hi_a = extent
+            else:
+                hi_a = int(round(extent * cumulative / total))
+                hi_a = min(extent, _ceil_div(hi_a, blk) * blk)
+            if hi_a <= cursor:
+                continue
+            lo = tuple(cursor if d == self.axis else 0 for d in range(len(grid)))
+            hi = tuple(hi_a if d == self.axis else grid[d] for d in range(len(grid)))
+            block_offset = tuple(l // b for l, b in zip(lo, block))
+            out.append(
+                Superblock(
+                    index=len(out),
+                    device=device,
+                    thread_region=Region(lo, hi),
+                    block_offset=block_offset,
+                )
+            )
+            cursor = hi_a
+        return out

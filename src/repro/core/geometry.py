@@ -1,0 +1,243 @@
+"""Rectangular region algebra used throughout the runtime.
+
+The paper works exclusively with dense, axis-aligned rectangular regions of an
+n-dimensional index space (n = 1, 2, 3): thread grids are split into
+rectangular *superblocks* (Fig. 1), arrays are partitioned into rectangular
+*chunks* (Fig. 2), and data annotations evaluate to rectangular *access
+regions* per superblock (Fig. 3).  This module provides the small algebra the
+planner needs: intersection, containment, translation, clamping, union bounds
+and coverage checks.
+
+All regions are half-open: a :class:`Region` spans ``lo[d] <= i < hi[d]`` along
+every dimension ``d``.  Empty regions (any ``hi[d] <= lo[d]``) are allowed and
+behave like the empty set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = ["Region", "bounding_region", "regions_cover", "split_evenly"]
+
+
+def _as_tuple(value: Sequence[int] | int, ndim: int | None = None) -> Tuple[int, ...]:
+    """Normalise ``value`` to a tuple of ints."""
+    if isinstance(value, (int,)):
+        out = (int(value),)
+    else:
+        out = tuple(int(v) for v in value)
+    if ndim is not None and len(out) != ndim:
+        raise ValueError(f"expected {ndim} dimensions, got {len(out)}: {out!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open axis-aligned box ``[lo, hi)`` in up to three dimensions."""
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        lo = _as_tuple(self.lo)
+        hi = _as_tuple(self.hi, len(lo))
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def from_shape(cls, shape: Sequence[int] | int) -> "Region":
+        """Region covering ``[0, shape)`` along every dimension."""
+        shape = _as_tuple(shape)
+        return cls(tuple(0 for _ in shape), shape)
+
+    @classmethod
+    def from_bounds(cls, bounds: Sequence[Tuple[int, int]]) -> "Region":
+        """Region from per-dimension ``(lo, hi)`` pairs."""
+        lo = tuple(int(b[0]) for b in bounds)
+        hi = tuple(int(b[1]) for b in bounds)
+        return cls(lo, hi)
+
+    @classmethod
+    def empty(cls, ndim: int = 1) -> "Region":
+        return cls(tuple(0 for _ in range(ndim)), tuple(0 for _ in range(ndim)))
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(max(0, h - l) for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        """Number of index points contained in the region."""
+        n = 1
+        for extent in self.shape:
+            n *= extent
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def bounds(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(zip(self.lo, self.hi))
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        point = _as_tuple(point, self.ndim)
+        return all(l <= p < h for p, l, h in zip(point, self.lo, self.hi))
+
+    def contains_region(self, other: "Region") -> bool:
+        """True when ``other`` is fully inside this region (empty is inside everything)."""
+        self._check_ndim(other)
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def overlaps(self, other: "Region") -> bool:
+        return not self.intersect(other).is_empty
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def _check_ndim(self, other: "Region") -> None:
+        if self.ndim != other.ndim:
+            raise ValueError(
+                f"dimensionality mismatch: {self.ndim}-d vs {other.ndim}-d region"
+            )
+
+    def intersect(self, other: "Region") -> "Region":
+        self._check_ndim(other)
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        hi = tuple(max(l, h) for l, h in zip(lo, hi))
+        return Region(lo, hi)
+
+    def union_bounds(self, other: "Region") -> "Region":
+        """Smallest region enclosing both (not a set union)."""
+        self._check_ndim(other)
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return Region(lo, hi)
+
+    def translate(self, offset: Sequence[int]) -> "Region":
+        offset = _as_tuple(offset, self.ndim)
+        return Region(
+            tuple(l + o for l, o in zip(self.lo, offset)),
+            tuple(h + o for h, o in zip(self.hi, offset)),
+        )
+
+    def clamp(self, outer: "Region") -> "Region":
+        """Clip this region so it lies inside ``outer``."""
+        return self.intersect(outer)
+
+    def expand(self, margin: Sequence[int] | int) -> "Region":
+        """Grow the region by ``margin`` on both sides along every dimension."""
+        if isinstance(margin, int):
+            margin = tuple(margin for _ in range(self.ndim))
+        margin = _as_tuple(margin, self.ndim)
+        return Region(
+            tuple(l - m for l, m in zip(self.lo, margin)),
+            tuple(h + m for h, m in zip(self.hi, margin)),
+        )
+
+    def relative_to(self, origin: "Region") -> "Region":
+        """Express this region in coordinates local to ``origin.lo``."""
+        self._check_ndim(origin)
+        return self.translate(tuple(-o for o in origin.lo))
+
+    # ------------------------------------------------------------------ #
+    # slicing helpers (NumPy interop)
+    # ------------------------------------------------------------------ #
+    def as_slices(self) -> Tuple[slice, ...]:
+        """Slices indexing this region in a global-coordinate NumPy array."""
+        return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+
+    def as_local_slices(self, origin: "Region") -> Tuple[slice, ...]:
+        """Slices indexing this region within a buffer whose origin is ``origin.lo``."""
+        rel = self.relative_to(origin)
+        return tuple(slice(l, h) for l, h in zip(rel.lo, rel.hi))
+
+    def iter_points(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate every index point (tests only; not used on hot paths)."""
+        return itertools.product(*(range(l, h) for l, h in zip(self.lo, self.hi)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{l}:{h}" for l, h in zip(self.lo, self.hi))
+        return f"Region[{parts}]"
+
+
+def bounding_region(regions: Iterable[Region]) -> Region:
+    """Smallest region enclosing every region in ``regions``."""
+    regions = list(regions)
+    if not regions:
+        raise ValueError("bounding_region() of an empty collection")
+    out = regions[0]
+    for region in regions[1:]:
+        out = out.union_bounds(region)
+    return out
+
+
+def regions_cover(domain: Region, regions: Sequence[Region]) -> bool:
+    """Check that ``regions`` jointly cover every point of ``domain``.
+
+    Uses the coordinate-compression sweep standard for box-cover checks: the
+    candidate cells induced by all region boundaries are each tested against
+    the region list.  Complexity is fine for the small chunk counts used by
+    distributions.
+    """
+    if domain.is_empty:
+        return True
+    cuts = []
+    for d in range(domain.ndim):
+        values = {domain.lo[d], domain.hi[d]}
+        for region in regions:
+            clipped = region.intersect(domain)
+            if clipped.is_empty:
+                continue
+            values.add(clipped.lo[d])
+            values.add(clipped.hi[d])
+        cuts.append(sorted(values))
+    clipped_regions = [r.intersect(domain) for r in regions]
+    clipped_regions = [r for r in clipped_regions if not r.is_empty]
+    for cell_lo in itertools.product(*(c[:-1] for c in cuts)):
+        # Representative point of the cell with lower corner ``cell_lo``.
+        if not any(cell_lo in region for region in clipped_regions):
+            # ``itertools.product`` over cut prefixes can produce corners that
+            # do not correspond to an actual cell (e.g. lo beyond hi); filter.
+            if all(
+                lo < domain.hi[d] and lo >= domain.lo[d]
+                for d, lo in enumerate(cell_lo)
+            ):
+                return False
+    return True
+
+
+def split_evenly(extent: int, parts: int) -> Sequence[Tuple[int, int]]:
+    """Split ``[0, extent)`` into ``parts`` contiguous, nearly equal intervals."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, rem = divmod(extent, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        length = base + (1 if i < rem else 0)
+        bounds.append((start, start + length))
+        start += length
+    return bounds

@@ -1,0 +1,273 @@
+"""Task types of the execution plan (Sec. 2.4, Fig. 4).
+
+The planner translates every distributed kernel launch into a DAG of tasks per
+worker.  Task types mirror the paper: *execute a kernel* on one GPU
+(:class:`LaunchTask`), *create/delete a chunk*, *copy data between chunks*
+(same node, possibly different GPUs), *send/recv chunks between nodes*,
+*reduce* partial results and *combine* (join) nodes.  Two extra task types are
+needed because this reproduction also materialises data: :class:`FillTask`
+initialises chunks (zeros/ones/from_numpy) and :class:`DownloadTask` returns
+chunk contents to the driver when the application gathers an array.
+
+Tasks reference each other by id through ``deps``; dependencies may point at
+tasks from previously submitted plans (the scheduler treats dependencies on
+already-finished tasks as satisfied), which is how the planner stitches many
+small DAGs into one large DAG across kernel launches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.topology import DeviceId, WorkerId
+from .chunk import ChunkId, ChunkMeta
+from .distributions import Superblock
+from .geometry import Region
+
+__all__ = [
+    "TaskId",
+    "Task",
+    "CreateChunkTask",
+    "DeleteChunkTask",
+    "FillTask",
+    "LaunchTask",
+    "ArrayArgBinding",
+    "CopyTask",
+    "SendTask",
+    "RecvTask",
+    "ReduceTask",
+    "CombineTask",
+    "DownloadTask",
+    "ExecutionPlan",
+    "TaskIdAllocator",
+]
+
+TaskId = int
+
+
+class TaskIdAllocator:
+    """Monotonically increasing task identifiers (one sequence per context)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> TaskId:
+        return next(self._counter)
+
+
+@dataclass
+class Task:
+    """Base task: identity, executing worker and dependencies."""
+
+    task_id: TaskId
+    worker: WorkerId
+    deps: Tuple[TaskId, ...] = ()
+    label: str = ""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.replace("Task", "").lower()
+
+    def chunk_requirements(self) -> Sequence[Tuple[ChunkId, str]]:
+        """Chunks this task touches and the memory kind they must be staged in.
+
+        Returns pairs ``(chunk_id, "gpu"|"host")``; the memory manager
+        materialises every listed chunk before the task runs.
+        """
+        return ()
+
+    def __str__(self) -> str:
+        return f"{self.kind}#{self.task_id}@w{self.worker}"
+
+
+@dataclass
+class CreateChunkTask(Task):
+    """Register (and in functional mode allocate) a chunk on its home worker."""
+
+    chunk: ChunkMeta = None  # type: ignore[assignment]
+
+    def chunk_requirements(self):
+        return ()
+
+
+@dataclass
+class DeleteChunkTask(Task):
+    """Drop a chunk's data and bookkeeping."""
+
+    chunk_id: ChunkId = 0
+
+
+@dataclass
+class FillTask(Task):
+    """Initialise a chunk, either with a constant or with explicit data.
+
+    ``data`` (when given) is the slice of the source NumPy array corresponding
+    to the chunk's region; it is ``None`` in simulate-only mode.
+    """
+
+    chunk_id: ChunkId = 0
+    value: Optional[float] = None
+    data: Optional[np.ndarray] = None
+    nbytes: int = 0
+
+    def chunk_requirements(self):
+        return ((self.chunk_id, "host"),)
+
+
+@dataclass(frozen=True)
+class ArrayArgBinding:
+    """Binding of one kernel array parameter for one superblock."""
+
+    param: str
+    chunk_id: ChunkId
+    access_region: Region
+    mode: str  # 'read' | 'write' | 'readwrite' | 'reduce'
+    reduce_op: Optional[str] = None
+
+
+@dataclass
+class LaunchTask(Task):
+    """Execute the threads of one superblock of a distributed kernel launch."""
+
+    kernel_name: str = ""
+    device: DeviceId = None  # type: ignore[assignment]
+    superblock: Superblock = None  # type: ignore[assignment]
+    grid_dims: Tuple[int, ...] = ()
+    block_dims: Tuple[int, ...] = ()
+    scalar_args: Dict[str, object] = field(default_factory=dict)
+    array_args: Tuple[ArrayArgBinding, ...] = ()
+    array_shapes: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    launch_id: int = 0
+
+    def chunk_requirements(self):
+        return tuple((binding.chunk_id, "gpu") for binding in self.array_args)
+
+
+@dataclass
+class CopyTask(Task):
+    """Copy ``region`` (global coordinates) from one chunk to another on the same worker."""
+
+    src_chunk: ChunkId = 0
+    dst_chunk: ChunkId = 0
+    region: Region = None  # type: ignore[assignment]
+    nbytes: int = 0
+    src_device: Optional[DeviceId] = None
+    dst_device: Optional[DeviceId] = None
+
+    def chunk_requirements(self):
+        return ((self.src_chunk, "gpu"), (self.dst_chunk, "gpu"))
+
+
+@dataclass
+class SendTask(Task):
+    """Send ``region`` of a local chunk to another worker (MPI-style, matched by tag)."""
+
+    chunk_id: ChunkId = 0
+    region: Region = None  # type: ignore[assignment]
+    dst_worker: WorkerId = 0
+    tag: int = 0
+    nbytes: int = 0
+
+    def chunk_requirements(self):
+        # The region is staged through host memory by the send itself (Sec. 3.2);
+        # the chunk only has to be materialised wherever it currently lives.
+        return ((self.chunk_id, "any"),)
+
+
+@dataclass
+class RecvTask(Task):
+    """Receive ``region`` into a local chunk from another worker (matched by tag)."""
+
+    chunk_id: ChunkId = 0
+    region: Region = None  # type: ignore[assignment]
+    src_worker: WorkerId = 0
+    tag: int = 0
+    nbytes: int = 0
+
+    def chunk_requirements(self):
+        return ((self.chunk_id, "any"),)
+
+
+@dataclass
+class ReduceTask(Task):
+    """Combine ``region`` of a partial-result chunk into an accumulator chunk."""
+
+    src_chunk: ChunkId = 0
+    dst_chunk: ChunkId = 0
+    region: Region = None  # type: ignore[assignment]
+    op: str = "+"
+    nbytes: int = 0
+
+    def chunk_requirements(self):
+        return ((self.src_chunk, "gpu"), (self.dst_chunk, "gpu"))
+
+
+@dataclass
+class CombineTask(Task):
+    """Join node: no work, used to fan in dependencies (matches Fig. 4's 'combine')."""
+
+
+@dataclass
+class DownloadTask(Task):
+    """Return the contents of a chunk region to the driver (array gather)."""
+
+    chunk_id: ChunkId = 0
+    region: Region = None  # type: ignore[assignment]
+    nbytes: int = 0
+
+    def chunk_requirements(self):
+        return ((self.chunk_id, "any"),)
+
+
+@dataclass
+class ExecutionPlan:
+    """The per-worker DAGs produced by the planner for one driver operation."""
+
+    tasks_by_worker: Dict[WorkerId, List[Task]] = field(default_factory=dict)
+    launch_id: Optional[int] = None
+    description: str = ""
+
+    def add(self, task: Task) -> Task:
+        self.tasks_by_worker.setdefault(task.worker, []).append(task)
+        return task
+
+    def all_tasks(self) -> List[Task]:
+        return [task for tasks in self.tasks_by_worker.values() for task in tasks]
+
+    @property
+    def task_count(self) -> int:
+        return sum(len(tasks) for tasks in self.tasks_by_worker.values())
+
+    def workers(self) -> List[WorkerId]:
+        return sorted(self.tasks_by_worker)
+
+    def validate(self) -> None:
+        """Sanity-check the plan: unique ids and no dependency cycles inside the plan."""
+        ids = [t.task_id for t in self.all_tasks()]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate task ids in execution plan")
+        id_set = set(ids)
+        # Kahn's algorithm restricted to intra-plan edges (external deps are
+        # tasks from earlier plans and cannot form cycles with this one).
+        indegree = {t.task_id: 0 for t in self.all_tasks()}
+        edges: Dict[TaskId, List[TaskId]] = {t.task_id: [] for t in self.all_tasks()}
+        for task in self.all_tasks():
+            for dep in task.deps:
+                if dep in id_set:
+                    edges[dep].append(task.task_id)
+                    indegree[task.task_id] += 1
+        queue = [tid for tid, deg in indegree.items() if deg == 0]
+        visited = 0
+        while queue:
+            tid = queue.pop()
+            visited += 1
+            for nxt in edges[tid]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        if visited != len(ids):
+            raise ValueError("execution plan contains a dependency cycle")

@@ -1,0 +1,250 @@
+"""Lightning-specific data types seen by kernel code (Sec. 3.5, Figs. 7-8).
+
+Real Lightning passes each kernel a chunk of a larger array wrapped in a
+``lightning::Vector<float>``-style type that subtracts the chunk's offset once
+at construction, so kernel code keeps indexing with *global* indices.  This
+module provides the Python analogue:
+
+* :class:`ArrayView` (aliases :class:`Scalar`, :class:`Vector`,
+  :class:`Matrix`, :class:`Tensor`) wraps the chunk buffer and translates
+  global indices to chunk-local offsets on every access;
+* :class:`LaunchContext` is the Python replacement for CUDA's
+  ``blockIdx``/``threadIdx`` built-ins: it exposes the global thread indices
+  of the superblock being executed (already including the virtual block
+  offset added by the generated wrapper).
+
+Kernels in this reproduction are written *vectorised per superblock* — one
+Python call handles all threads of a superblock with NumPy — which keeps the
+functional execution fast while preserving the programming model: the kernel
+still only sees global indices and annotated arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .geometry import Region
+
+__all__ = [
+    "ArrayView",
+    "Scalar",
+    "Vector",
+    "Matrix",
+    "Tensor",
+    "LaunchContext",
+    "AccessViolation",
+]
+
+Index = Union[int, slice, np.ndarray]
+
+
+class AccessViolation(IndexError):
+    """A kernel touched elements outside its annotated access region."""
+
+
+class ArrayView:
+    """Global-index view over one chunk of a distributed array.
+
+    ``buffer`` has the shape of ``chunk_region``; indexing is expressed in
+    global array coordinates and translated by subtracting the chunk origin
+    (the translation is computed once at construction, mirroring the offset
+    subtraction in Lightning's generated wrapper kernel).
+    """
+
+    def __init__(
+        self,
+        buffer: Optional[np.ndarray],
+        chunk_region: Region,
+        array_shape: Sequence[int],
+        access_region: Optional[Region] = None,
+        writable: bool = True,
+        name: str = "",
+    ):
+        self._buffer = buffer
+        self.chunk_region = chunk_region
+        self.array_shape = tuple(int(s) for s in array_shape)
+        self.access_region = access_region if access_region is not None else chunk_region
+        self.writable = writable
+        self.name = name
+        self._origin = chunk_region.lo
+        if buffer is not None and tuple(buffer.shape) != chunk_region.shape:
+            raise ValueError(
+                f"buffer shape {buffer.shape} does not match chunk region {chunk_region}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        return len(self.array_shape)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """The *global* array shape (kernels index globally)."""
+        return self.array_shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        if self._buffer is None:
+            raise RuntimeError("array view has no data (simulate-only execution)")
+        return self._buffer.dtype
+
+    # ------------------------------------------------------------------ #
+    # index translation
+    # ------------------------------------------------------------------ #
+    def _translate(self, key: Union[Index, Tuple[Index, ...]]) -> Tuple[Index, ...]:
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != self.ndim:
+            raise IndexError(
+                f"{self.ndim}-d array {self.name!r} indexed with {len(key)} indices"
+            )
+        translated = []
+        for dim, idx in enumerate(key):
+            origin = self._origin[dim]
+            lo, hi = self.chunk_region.lo[dim], self.chunk_region.hi[dim]
+            if isinstance(idx, slice):
+                start = lo if idx.start is None else idx.start
+                stop = hi if idx.stop is None else idx.stop
+                if idx.step not in (None, 1):
+                    raise IndexError("strided slices are not supported by ArrayView")
+                if start < lo or stop > hi:
+                    raise AccessViolation(
+                        f"{self.name or 'array'}[{start}:{stop}] outside chunk {self.chunk_region} (dim {dim})"
+                    )
+                translated.append(slice(start - origin, stop - origin))
+            elif isinstance(idx, (int, np.integer)):
+                if not (lo <= idx < hi):
+                    raise AccessViolation(
+                        f"{self.name or 'array'}[{idx}] outside chunk {self.chunk_region} (dim {dim})"
+                    )
+                translated.append(int(idx) - origin)
+            else:
+                arr = np.asarray(idx)
+                if arr.size and (arr.min() < lo or arr.max() >= hi):
+                    raise AccessViolation(
+                        f"{self.name or 'array'} indexed outside chunk {self.chunk_region} (dim {dim})"
+                    )
+                translated.append(arr - origin)
+        return tuple(translated)
+
+    def _require_buffer(self) -> np.ndarray:
+        if self._buffer is None:
+            raise RuntimeError(
+                "array view has no backing data; kernels must not run in simulate-only mode"
+            )
+        return self._buffer
+
+    # ------------------------------------------------------------------ #
+    # element access
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key):
+        return self._require_buffer()[self._translate(key)]
+
+    def __setitem__(self, key, value):
+        if not self.writable:
+            raise AccessViolation(f"{self.name or 'array'} is read-only in this kernel")
+        self._require_buffer()[self._translate(key)] = value
+
+    def gather(self, *indices: np.ndarray, fill: Optional[float] = None) -> np.ndarray:
+        """Read elements at global ``indices``; out-of-array positions return ``fill``.
+
+        This mirrors the bounds guards CUDA kernels write by hand (e.g. the
+        ``i-1 >= 0 ? input[i-1] : 0`` in the stencil of Fig. 6).  Indices that
+        are inside the array but outside this chunk still raise
+        :class:`AccessViolation` because they indicate a wrong annotation.
+        """
+        buffer = self._require_buffer()
+        idx = [np.asarray(ix) for ix in indices]
+        if len(idx) != self.ndim:
+            raise IndexError(f"gather needs {self.ndim} index arrays, got {len(idx)}")
+        idx = list(np.broadcast_arrays(*idx))
+        in_bounds = np.ones(idx[0].shape, dtype=bool)
+        for dim, ix in enumerate(idx):
+            in_bounds &= (ix >= 0) & (ix < self.array_shape[dim])
+        if fill is None and not in_bounds.all():
+            raise AccessViolation(f"{self.name or 'array'}: gather outside the array bounds")
+        clipped = []
+        for dim, ix in enumerate(idx):
+            safe = np.where(in_bounds, ix, self.chunk_region.lo[dim])
+            clipped.append(safe)
+        values = buffer[self._translate(tuple(clipped))]
+        if fill is not None:
+            values = np.where(in_bounds, values, np.asarray(fill, dtype=buffer.dtype))
+        return values
+
+    def scatter(self, *args) -> None:
+        """``scatter(i0, ..., values)``: write ``values`` at global indices."""
+        if len(args) < 2:
+            raise TypeError("scatter needs index arrays and a values array")
+        *indices, values = args
+        self[tuple(np.asarray(ix) for ix in indices)] = values
+
+    # ------------------------------------------------------------------ #
+    # bulk access helpers
+    # ------------------------------------------------------------------ #
+    def region_view(self, region: Optional[Region] = None) -> np.ndarray:
+        """NumPy view of ``region`` (defaults to the access region), global coords."""
+        region = self.access_region if region is None else region
+        if not self.chunk_region.contains_region(region):
+            raise AccessViolation(
+                f"requested region {region} is outside chunk {self.chunk_region}"
+            )
+        return self._require_buffer()[region.as_local_slices(self.chunk_region)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ArrayView({self.name or '?'}, chunk={self.chunk_region}, "
+            f"array_shape={self.array_shape}, writable={self.writable})"
+        )
+
+
+# CUDA-style aliases: the dimensionality is informational, indexing is identical.
+Scalar = ArrayView
+Vector = ArrayView
+Matrix = ArrayView
+Tensor = ArrayView
+
+
+@dataclass(frozen=True)
+class LaunchContext:
+    """Per-superblock launch information passed to kernels.
+
+    Replaces CUDA's ``blockIdx``/``blockDim``/``threadIdx`` built-ins: the
+    wrapper has already applied the virtual block offset, so the indices
+    exposed here are *global* thread indices.
+    """
+
+    grid_dims: Tuple[int, ...]
+    block_dims: Tuple[int, ...]
+    thread_region: Region
+    block_offset: Tuple[int, ...]
+    superblock_index: int
+    device_name: str = ""
+
+    @property
+    def ndim(self) -> int:
+        return len(self.grid_dims)
+
+    @property
+    def thread_count(self) -> int:
+        return self.thread_region.size
+
+    def global_indices(self, dim: int = 0) -> np.ndarray:
+        """Global thread indices of this superblock along ``dim`` (1-d array)."""
+        return np.arange(self.thread_region.lo[dim], self.thread_region.hi[dim])
+
+    def global_grid(self) -> Tuple[np.ndarray, ...]:
+        """Meshgrid of global thread indices over all dimensions (ij indexing)."""
+        axes = [self.global_indices(d) for d in range(self.ndim)]
+        return tuple(np.meshgrid(*axes, indexing="ij"))
+
+    def block_indices(self, dim: int = 0) -> np.ndarray:
+        """Virtual (global) block indices covered by this superblock along ``dim``."""
+        lo = self.thread_region.lo[dim] // self.block_dims[dim]
+        hi = (self.thread_region.hi[dim] - 1) // self.block_dims[dim] + 1
+        return np.arange(lo, hi)

@@ -1,0 +1,45 @@
+"""Simulated cluster hardware: GPU/node/cluster specifications and memory spaces.
+
+The paper evaluates Lightning on Microsoft Azure ``NC24rsV2`` nodes (Sec. 4.1):
+an Intel E5-2690 CPU (24 cores), 448 GB of host memory, 3 TB of local SSD and
+four NVIDIA Tesla P100 GPUs (16 GB each), connected with InfiniBand FDR.  This
+package describes that hardware as plain data so the rest of the system
+(planner, memory manager, performance model, discrete-event simulator) can run
+without real GPUs.
+"""
+
+from .specs import (
+    GPUSpec,
+    NodeSpec,
+    ClusterSpec,
+    InterconnectSpec,
+    CPUSpec,
+    DiskSpec,
+    P100,
+    E5_2690,
+    AZURE_NC24RSV2_DISK,
+    INFINIBAND_FDR,
+    azure_nc24rsv2,
+)
+from .topology import DeviceId, WorkerId, MemorySpace, MemoryKind, Cluster, Node, Device
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "DiskSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "InterconnectSpec",
+    "P100",
+    "E5_2690",
+    "AZURE_NC24RSV2_DISK",
+    "INFINIBAND_FDR",
+    "azure_nc24rsv2",
+    "DeviceId",
+    "WorkerId",
+    "MemorySpace",
+    "MemoryKind",
+    "Cluster",
+    "Node",
+    "Device",
+]

@@ -1,0 +1,193 @@
+"""Hardware specifications for the simulated cluster.
+
+All values are plain floats/ints in SI units (bytes, FLOP/s, bytes/s,
+seconds).  The presets mirror the evaluation platform of the paper (Sec. 4.1):
+Azure NC24rsV2 nodes with four Tesla P100 GPUs on PCIe 3.0 x16 and InfiniBand
+FDR between nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "DiskSpec",
+    "InterconnectSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "P100",
+    "E5_2690",
+    "AZURE_NC24RSV2_DISK",
+    "INFINIBAND_FDR",
+    "azure_nc24rsv2",
+]
+
+GB = 1024 ** 3
+GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A discrete GPU accelerator.
+
+    ``peak_flops`` and ``mem_bandwidth`` feed the roofline kernel cost model;
+    ``memory_bytes`` bounds the memory manager's GPU pool; ``launch_latency``
+    is the fixed per-kernel-launch cost.
+    """
+
+    name: str
+    memory_bytes: int
+    peak_flops: float
+    mem_bandwidth: float
+    pcie_bandwidth: float
+    launch_latency: float = 10e-6
+    copy_engines: int = 2
+
+    def scaled(self, factor: float) -> "GPUSpec":
+        """A GPU with compute/bandwidth scaled by ``factor`` (ablations)."""
+        return replace(
+            self,
+            peak_flops=self.peak_flops * factor,
+            mem_bandwidth=self.mem_bandwidth * factor,
+        )
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The host CPU: used for the NumPy baseline and CPU-side tasks."""
+
+    name: str
+    cores: int
+    peak_flops: float
+    mem_bandwidth: float
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Local scratch storage used as the lowest spill tier."""
+
+    name: str
+    capacity_bytes: int
+    read_bandwidth: float
+    write_bandwidth: float
+    latency: float = 100e-6
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Network between nodes (the paper assumes InfiniBand FDR)."""
+
+    name: str
+    bandwidth: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One worker node: CPU + host memory + disk + a set of identical GPUs."""
+
+    name: str
+    cpu: CPUSpec
+    host_memory_bytes: int
+    disk: DiskSpec
+    gpus: List[GPUSpec] = field(default_factory=list)
+    pcie_bandwidth: float = 13e9
+    pcie_latency: float = 10e-6
+    p2p_bandwidth: float = 10e9
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpus)
+
+    def with_gpus(self, count: int) -> "NodeSpec":
+        if not self.gpus:
+            raise ValueError("node spec has no GPU template")
+        return replace(self, gpus=[self.gpus[0]] * count)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``node_count`` nodes."""
+
+    name: str
+    node: NodeSpec
+    node_count: int
+    interconnect: InterconnectSpec
+
+    @property
+    def total_gpus(self) -> int:
+        return self.node_count * self.node.gpu_count
+
+    @property
+    def gpu_memory_bytes(self) -> int:
+        """Combined GPU memory across the whole cluster."""
+        return sum(g.memory_bytes for g in self.node.gpus) * self.node_count
+
+    @property
+    def host_memory_bytes(self) -> int:
+        return self.node.host_memory_bytes * self.node_count
+
+    def describe(self) -> str:
+        return (
+            f"{self.node_count} node(s) x {self.node.gpu_count} GPU(s) "
+            f"({self.node.gpus[0].name if self.node.gpus else 'no GPU'})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Presets matching the paper's evaluation platform (Sec. 4.1)
+# --------------------------------------------------------------------------- #
+
+#: NVIDIA Tesla P100 (PCIe, 16 GB): ~9.3 TFLOP/s single precision, 732 GB/s HBM2.
+P100 = GPUSpec(
+    name="Tesla P100 16GB",
+    memory_bytes=16 * GB,
+    peak_flops=9.3e12,
+    mem_bandwidth=732e9,
+    pcie_bandwidth=13e9,
+)
+
+#: Intel Xeon E5-2690 v4-ish host CPU with 24 usable cores.
+E5_2690 = CPUSpec(
+    name="Intel E5-2690 (24 cores)",
+    cores=24,
+    peak_flops=0.8e12,
+    mem_bandwidth=68e9,
+)
+
+#: 3 TB local SSD scratch; the paper observes disk spilling is bandwidth-bound.
+AZURE_NC24RSV2_DISK = DiskSpec(
+    name="local SSD (3TB)",
+    capacity_bytes=3 * 1024 * GB,
+    read_bandwidth=0.75e9,
+    write_bandwidth=0.5e9,
+)
+
+#: InfiniBand FDR: ~7 GB/s effective (Sec. 4.5).
+INFINIBAND_FDR = InterconnectSpec(name="InfiniBand FDR", bandwidth=7e9, latency=2e-6)
+
+
+def azure_nc24rsv2(
+    nodes: int = 1,
+    gpus_per_node: int = 4,
+    host_memory_bytes: int = 448 * GB,
+) -> ClusterSpec:
+    """The paper's evaluation platform: Azure NC24rsV2 nodes (Sec. 4.1)."""
+    node = NodeSpec(
+        name="Azure NC24rsV2",
+        cpu=E5_2690,
+        host_memory_bytes=host_memory_bytes,
+        disk=AZURE_NC24RSV2_DISK,
+        gpus=[P100] * gpus_per_node,
+        pcie_bandwidth=13e9,
+        p2p_bandwidth=10e9,
+    )
+    return ClusterSpec(
+        name=f"azure-nc24rsv2-{nodes}x{gpus_per_node}",
+        node=node,
+        node_count=nodes,
+        interconnect=INFINIBAND_FDR,
+    )

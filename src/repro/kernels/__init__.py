@@ -1,0 +1,56 @@
+"""The paper's eight benchmark workloads (Sec. 4.2), expressed against the
+public Lightning-style API.
+
+Importing this package populates the :data:`~repro.kernels.base.WORKLOADS`
+registry used by the benchmark harness; the individual classes can also be
+used directly::
+
+    from repro.kernels import KMeansWorkload
+    result = KMeansWorkload(ctx, n=10_000_000).run()
+"""
+
+from .base import WORKLOADS, Workload, WorkloadResult, create_workload, register_workload
+from .black_scholes import BlackScholesWorkload, black_scholes_reference
+from .correlator import CorrelatorWorkload, correlator_reference
+from .gemm import GEMMWorkload
+from .hotspot import HotSpotWorkload, hotspot_reference_step
+from .kmeans import KMeansWorkload, kmeans_reference
+from .md5 import MD5Workload, mix_hash
+from .nbody import NBodyWorkload, nbody_reference_step
+from .spmv import SpMVWorkload, ell_reference_multiply
+
+#: benchmark order used throughout the figures (compute-intensive first).
+BENCHMARK_ORDER = [
+    "md5",
+    "nbody",
+    "correlator",
+    "kmeans",
+    "hotspot",
+    "gemm",
+    "spmv",
+    "black_scholes",
+]
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "WorkloadResult",
+    "create_workload",
+    "register_workload",
+    "BENCHMARK_ORDER",
+    "MD5Workload",
+    "NBodyWorkload",
+    "CorrelatorWorkload",
+    "KMeansWorkload",
+    "HotSpotWorkload",
+    "GEMMWorkload",
+    "SpMVWorkload",
+    "BlackScholesWorkload",
+    "mix_hash",
+    "nbody_reference_step",
+    "correlator_reference",
+    "kmeans_reference",
+    "hotspot_reference_step",
+    "ell_reference_multiply",
+    "black_scholes_reference",
+]

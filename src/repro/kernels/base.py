@@ -1,0 +1,153 @@
+"""Common infrastructure for the paper's eight benchmark workloads (Sec. 4.2).
+
+Every benchmark defines a problem size ``n`` such that the amount of *work*
+scales linearly with ``n`` (the amount of data need not).  A
+:class:`Workload` owns the arrays and kernels of one benchmark on one
+:class:`~repro.core.context.Context`, knows how to submit one full benchmark
+run, and reports the data footprint so harnesses can draw the GPU-memory /
+host-memory lines of Figs. 12-14.
+
+The measured quantity follows the paper: run time from the moment the first
+distributed kernel launch is submitted until all workers finish, converted to
+*throughput* ``n / time``.  Throughputs are not comparable across benchmarks
+because every benchmark defines ``n`` differently.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from ..core.context import Context
+
+__all__ = ["Workload", "WorkloadResult", "WORKLOADS", "register_workload", "create_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one timed benchmark run."""
+
+    name: str
+    problem_size: int
+    elapsed: float
+    throughput: float
+    data_bytes: int
+    gpus: int
+    nodes: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:>14s}  n={self.problem_size:<12.3g} data={self.data_bytes / 1e9:8.2f} GB  "
+            f"time={self.elapsed:9.4f} s  throughput={self.throughput:.3e} n/s"
+        )
+
+
+class Workload(abc.ABC):
+    """One benchmark bound to a context and a problem size."""
+
+    #: short name used by the harness and the figures
+    name: str = "workload"
+    #: True for the four compute-intensive benchmarks, False for data-intensive
+    compute_intensive: bool = True
+    #: default number of timed iterations (matches the paper where stated)
+    iterations: int = 1
+
+    def __init__(self, ctx: Context, n: int, **params):
+        self.ctx = ctx
+        self.n = int(n)
+        self.params = params
+        self._prepared = False
+
+    # ------------------------------------------------------------------ #
+    # benchmark-specific hooks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def prepare(self) -> None:
+        """Create arrays and compile kernels (not part of the timed section)."""
+
+    @abc.abstractmethod
+    def submit(self) -> None:
+        """Submit all kernel launches of one benchmark run (asynchronous)."""
+
+    @abc.abstractmethod
+    def data_bytes(self) -> int:
+        """Logical dataset size in bytes (used for the memory-limit lines)."""
+
+    def verify(self) -> bool:
+        """Check results against a NumPy reference (functional mode, small n)."""
+        raise NotImplementedError(f"{self.name} does not implement verification")
+
+    # ------------------------------------------------------------------ #
+    # the measurement protocol of Sec. 4.1
+    # ------------------------------------------------------------------ #
+    def run(self, warmup: Optional[bool] = None) -> WorkloadResult:
+        """Prepare (untimed), then measure submission-to-completion time.
+
+        As in Sec. 4.1, one initial untimed run warms up the system (so input
+        chunks are already resident in GPU memory when they fit).  The warm-up
+        is skipped in functional mode because re-running the kernels would
+        change the data the correctness checks compare against.
+        """
+        if not self._prepared:
+            self.prepare()
+            self._prepared = True
+        if warmup is None:
+            warmup = not self.ctx.functional
+        if warmup:
+            self.submit()
+        self.ctx.synchronize()
+        start = self.ctx.virtual_time
+        self.submit()
+        end = self.ctx.synchronize()
+        elapsed = max(end - start, 1e-12)
+        cluster = self.ctx.cluster
+        return WorkloadResult(
+            name=self.name,
+            problem_size=self.n,
+            elapsed=elapsed,
+            throughput=self.n / elapsed,
+            data_bytes=self.data_bytes(),
+            gpus=cluster.device_count,
+            nodes=cluster.worker_count,
+        )
+
+
+def align_extent(extent: int, block: int) -> int:
+    """Round a per-chunk extent down to a multiple of the thread-block size.
+
+    Chunk boundaries that are not multiples of the launch's thread-block size
+    cannot coincide with superblock boundaries (thread blocks are never split
+    across GPUs), so every superblock's access region would straddle two
+    chunks and the planner would assemble a temporary chunk per superblock on
+    every launch.  That is correct but slow — and for chunk sizes close to
+    GPU memory the assembled temporary no longer fits at all.  Rounding the
+    extent keeps chunks and superblocks aligned; extents at or below one
+    thread block are left untouched.
+    """
+    extent = int(extent)
+    block = max(1, int(block))
+    if extent > block and extent % block:
+        extent -= extent % block
+    return max(1, extent)
+
+
+#: registry used by the benchmark harness (name -> workload class)
+WORKLOADS: Dict[str, Type[Workload]] = {}
+
+
+def register_workload(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the global registry."""
+    if cls.name in WORKLOADS:
+        raise ValueError(f"workload {cls.name!r} registered twice")
+    WORKLOADS[cls.name] = cls
+    return cls
+
+
+def create_workload(name: str, ctx: Context, n: int, **params) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+    return cls(ctx, n, **params)

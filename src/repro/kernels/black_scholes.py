@@ -1,0 +1,121 @@
+"""Black-Scholes option pricing benchmark (from the CUDA samples, Sec. 4.2).
+
+Computes call and put prices for ``n`` independent options; embarrassingly
+parallel and strongly data-intensive (about 20 bytes of input/output per
+option against a few dozen flops), which is why the paper finds that spilling
+to host memory cannot be hidden for this benchmark: PCIe would need to supply
+hundreds of GB/s to keep up with the kernel (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distributions import BlockDist, BlockWorkDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from .base import Workload, align_extent, register_workload
+
+__all__ = ["BlackScholesWorkload", "black_scholes_reference"]
+
+#: per-option work: two cumulative-normal evaluations plus a few exp/log/sqrt.
+BS_COST = KernelCost(flops_per_thread=60.0, bytes_per_thread=20.0, efficiency=0.7,
+                     cpu_efficiency=0.5)
+
+RISK_FREE = 0.02
+VOLATILITY = 0.30
+
+
+def _cnd(x: np.ndarray) -> np.ndarray:
+    """Cumulative normal distribution (Abramowitz-Stegun polynomial, as in the CUDA sample)."""
+    a1, a2, a3, a4, a5 = 0.31938153, -0.356563782, 1.781477937, -1.821255978, 1.330274429
+    k = 1.0 / (1.0 + 0.2316419 * np.abs(x))
+    poly = k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))))
+    cnd = 1.0 - 1.0 / np.sqrt(2 * np.pi) * np.exp(-0.5 * x * x) * poly
+    return np.where(x < 0, 1.0 - cnd, cnd)
+
+
+def black_scholes_reference(price, strike, years, riskfree=RISK_FREE, volatility=VOLATILITY):
+    """NumPy reference returning (call, put)."""
+    price = np.asarray(price, dtype=np.float64)
+    strike = np.asarray(strike, dtype=np.float64)
+    years = np.asarray(years, dtype=np.float64)
+    sqrt_t = np.sqrt(years)
+    d1 = (np.log(price / strike) + (riskfree + 0.5 * volatility ** 2) * years) / (
+        volatility * sqrt_t
+    )
+    d2 = d1 - volatility * sqrt_t
+    expr = np.exp(-riskfree * years)
+    call = price * _cnd(d1) - strike * expr * _cnd(d2)
+    put = strike * expr * (1.0 - _cnd(d2)) - price * (1.0 - _cnd(d1))
+    return call, put
+
+
+def _black_scholes_kernel(lc, n, price, strike, years, call, put):
+    i = lc.global_indices(0)
+    i = i[i < n]
+    if i.size == 0:
+        return
+    c, p = black_scholes_reference(price.gather(i), strike.gather(i), years.gather(i))
+    call.scatter(i, c.astype(np.float32))
+    put.scatter(i, p.astype(np.float32))
+
+
+@register_workload
+class BlackScholesWorkload(Workload):
+    """n options priced in parallel; 100M options per chunk as in the paper."""
+
+    name = "black_scholes"
+    compute_intensive = False
+    iterations = 1
+
+    DEFAULT_CHUNK = 100_000_000
+
+    def __init__(self, ctx, n, chunk_elems: int | None = None, **params):
+        super().__init__(ctx, n, **params)
+        chunk_elems = chunk_elems or min(self.DEFAULT_CHUNK, max(1, self.n))
+        # keep chunk boundaries on thread-block boundaries (256-thread blocks)
+        self.chunk_elems = align_extent(chunk_elems, 256)
+
+    def prepare(self) -> None:
+        ctx = self.ctx
+        dist = BlockDist(self.chunk_elems)
+        self.price = ctx.full(self.n, 100.0, dist, dtype="float32", name="bs_price")
+        self.strike = ctx.full(self.n, 95.0, dist, dtype="float32", name="bs_strike")
+        self.years = ctx.full(self.n, 1.0, dist, dtype="float32", name="bs_years")
+        self.call = ctx.zeros(self.n, dist, dtype="float32", name="bs_call")
+        self.put = ctx.zeros(self.n, dist, dtype="float32", name="bs_put")
+        self.kernel = (
+            KernelDef("black_scholes", func=_black_scholes_kernel)
+            .param_value("n", "int64")
+            .param_array("price", "float32")
+            .param_array("strike", "float32")
+            .param_array("years", "float32")
+            .param_array("call", "float32")
+            .param_array("put", "float32")
+            .annotate(
+                "global i => read price[i], read strike[i], read years[i], "
+                "write call[i], write put[i]"
+            )
+            .with_cost(BS_COST)
+            .compile(ctx)
+        )
+
+    def submit(self) -> None:
+        work = BlockWorkDist(self.chunk_elems)
+        self.kernel.launch(
+            self.n, 256, work, (self.n, self.price, self.strike, self.years, self.call, self.put)
+        )
+
+    def data_bytes(self) -> int:
+        return 5 * self.n * 4
+
+    def verify(self) -> bool:
+        call = self.ctx.gather(self.call)
+        put = self.ctx.gather(self.put)
+        ref_call, ref_put = black_scholes_reference(
+            np.full(self.n, 100.0), np.full(self.n, 95.0), np.full(self.n, 1.0)
+        )
+        return bool(
+            np.allclose(call, ref_call, rtol=1e-4) and np.allclose(put, ref_put, rtol=1e-4, atol=1e-4)
+        )

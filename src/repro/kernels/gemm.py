@@ -1,0 +1,107 @@
+"""Dense matrix-matrix multiplication benchmark (handwritten, after Volkov et al.).
+
+``C = A @ B`` with square matrices of side ``m = n**(1/3)`` so that the total
+workload (``2 m^3`` flops) scales linearly with ``n``.  All three matrices are
+row-partitioned (250M elements per chunk by default) and the work follows the
+same row partitioning, so A and C are local to each superblock while **the
+entire matrix B must be exchanged between GPUs** — the paper calls this out as
+its most communication-intensive benchmark, and it is what limits GEMM's weak
+scaling at around 16 GPUs (Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distributions import BlockWorkDist, RowDist, TileWorkDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from .base import Workload, align_extent, register_workload
+
+__all__ = ["GEMMWorkload"]
+
+#: 2*m flops per output element; a tuned kernel reaches a high fraction of peak
+#: and touches ~8 bytes per element thanks to blocking.
+GEMM_COST = KernelCost(
+    flops_per_thread=lambda s: 2.0 * float(s["m"]),
+    bytes_per_thread=8.0,
+    efficiency=0.85,
+    cpu_efficiency=0.65,
+)
+
+
+def _gemm_kernel(lc, m, A, B, C):
+    rows = lc.global_indices(0)
+    rows = rows[rows < m]
+    cols = lc.global_indices(1)
+    cols = cols[cols < m]
+    if rows.size == 0 or cols.size == 0:
+        return
+    a_block = A[rows.min():rows.max() + 1, 0:m].astype(np.float32)
+    b_band = B[0:m, cols.min():cols.max() + 1].astype(np.float32)
+    C[rows.min():rows.max() + 1, cols.min():cols.max() + 1] = a_block @ b_band
+
+
+@register_workload
+class GEMMWorkload(Workload):
+    """C = A @ B with row-wise distribution; B is broadcast between GPUs."""
+
+    name = "gemm"
+    compute_intensive = True
+    iterations = 1
+
+    DEFAULT_CHUNK = 250_000_000
+
+    def __init__(self, ctx, n, chunk_elems: int | None = None, seed: int = 0, **params):
+        super().__init__(ctx, n, **params)
+        self.m = max(2, int(round(self.n ** (1.0 / 3.0))))
+        chunk_elems = chunk_elems or self.DEFAULT_CHUNK
+        # 16x16 thread blocks: keep chunk boundaries on block boundaries
+        self.rows_per_chunk = align_extent(max(1, min(self.m, chunk_elems // self.m)), 16)
+        self.seed = seed
+
+    def prepare(self) -> None:
+        ctx = self.ctx
+        dist = RowDist(self.rows_per_chunk)
+        shape = (self.m, self.m)
+        if ctx.functional:
+            rng = np.random.RandomState(self.seed)
+            a0 = rng.rand(*shape).astype(np.float32)
+            b0 = rng.rand(*shape).astype(np.float32)
+            self.A = ctx.from_numpy(a0, dist, name="gemm_A")
+            self.B = ctx.from_numpy(b0, dist, name="gemm_B")
+            self._a0, self._b0 = a0, b0
+        else:
+            self.A = ctx.zeros(shape, dist, dtype="float32", name="gemm_A")
+            self.B = ctx.zeros(shape, dist, dtype="float32", name="gemm_B")
+        self.C = ctx.zeros(shape, dist, dtype="float32", name="gemm_C")
+        self.kernel = (
+            KernelDef("gemm", func=_gemm_kernel)
+            .param_value("m", "int64")
+            .param_array("A", "float32")
+            .param_array("B", "float32")
+            .param_array("C", "float32")
+            .annotate("global [i, j] => read A[i,:], read B[:,j], write C[i,j]")
+            .with_cost(GEMM_COST)
+            .compile(ctx)
+        )
+
+    def submit(self) -> None:
+        # Superblocks follow the row partitioning of A and C; when the full B
+        # would not even fit into GPU memory the columns are additionally
+        # tiled so each superblock only needs a ~2 GB column band of B.
+        max_band_elems = (2 * 1024 ** 3) // 4
+        cols_per_tile = max(16, min(self.m, max_band_elems // self.m))
+        if cols_per_tile >= self.m:
+            work = BlockWorkDist(self.rows_per_chunk, axis=0)
+        else:
+            work = TileWorkDist((self.rows_per_chunk, cols_per_tile))
+        self.kernel.launch((self.m, self.m), (16, 16), work, (self.m, self.A, self.B, self.C))
+
+    def data_bytes(self) -> int:
+        return 3 * self.m * self.m * 4
+
+    def verify(self) -> bool:
+        result = self.ctx.gather(self.C)
+        expected = self._a0 @ self._b0
+        return bool(np.allclose(result, expected, rtol=1e-3, atol=1e-3))

@@ -1,0 +1,134 @@
+"""HotSpot thermal-simulation benchmark (from Rodinia, Sec. 4.2).
+
+Models the temperature of an integrated circuit on a ``sqrt(n) x sqrt(n)``
+grid with 10 iterations of a 3x3 stencil.  The temperature grids use a
+stencil distribution with a one-cell halo along the partitioned axis (50M
+points per chunk by default, as in the paper); the halo cells are replicated
+and exchanged automatically by the runtime in every iteration — the DAG of
+Fig. 4 is exactly this pattern.  HotSpot is data-intensive: a handful of
+flops per point against ~28 bytes of traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.distributions import BlockWorkDist, RowDist, StencilDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from .base import Workload, align_extent, register_workload
+
+__all__ = ["HotSpotWorkload", "hotspot_reference_step"]
+
+HOTSPOT_COST = KernelCost(flops_per_thread=15.0, bytes_per_thread=28.0, efficiency=0.75,
+                          cpu_efficiency=0.5)
+
+#: coefficients of the simplified HotSpot update
+CAP = 0.5
+AMBIENT = 80.0
+
+
+def hotspot_reference_step(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """One reference step of the simplified 5-point HotSpot update."""
+    padded = np.pad(temp.astype(np.float64), 1, mode="edge")
+    north = padded[:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, :-2]
+    east = padded[1:-1, 2:]
+    centre = temp.astype(np.float64)
+    return (
+        centre + CAP * (north + south + east + west - 4.0 * centre + power + 0.01 * (AMBIENT - centre))
+    ).astype(np.float32)
+
+
+def _hotspot_kernel(lc, rows, cols, temp_in, power, temp_out):
+    ii, jj = lc.global_grid()
+    mask = (ii < rows) & (jj < cols)
+    i, j = ii[mask], jj[mask]
+    if i.size == 0:
+        return
+    centre = temp_in.gather(i, j).astype(np.float64)
+    north = temp_in.gather(np.maximum(i - 1, 0), j).astype(np.float64)
+    south = temp_in.gather(np.minimum(i + 1, rows - 1), j).astype(np.float64)
+    west = temp_in.gather(i, np.maximum(j - 1, 0)).astype(np.float64)
+    east = temp_in.gather(i, np.minimum(j + 1, cols - 1)).astype(np.float64)
+    p = power.gather(i, j).astype(np.float64)
+    new = centre + CAP * (north + south + east + west - 4.0 * centre + p + 0.01 * (AMBIENT - centre))
+    temp_out.scatter(i, j, new.astype(np.float32))
+
+
+@register_workload
+class HotSpotWorkload(Workload):
+    """sqrt(n) x sqrt(n) grid, 10 stencil iterations, halo replication per chunk."""
+
+    name = "hotspot"
+    compute_intensive = False
+    iterations = 10
+
+    DEFAULT_CHUNK = 50_000_000
+
+    def __init__(self, ctx, n, chunk_elems: int | None = None, iterations: int | None = None,
+                 seed: int = 0, **params):
+        super().__init__(ctx, n, **params)
+        self.side = max(2, int(math.isqrt(self.n)))
+        chunk_elems = chunk_elems or self.DEFAULT_CHUNK
+        # 16x16 thread blocks: keep chunk boundaries on block boundaries
+        self.rows_per_chunk = align_extent(max(1, min(self.side, chunk_elems // self.side)), 16)
+        if iterations is not None:
+            self.iterations = iterations
+        self.seed = seed
+
+    def prepare(self) -> None:
+        ctx = self.ctx
+        halo_dist = StencilDist(self.rows_per_chunk, halo=1, axis=0)
+        power_dist = RowDist(self.rows_per_chunk)
+        shape = (self.side, self.side)
+        if ctx.functional:
+            rng = np.random.RandomState(self.seed)
+            temp0 = (60.0 + 10.0 * rng.rand(*shape)).astype(np.float32)
+            power0 = rng.rand(*shape).astype(np.float32)
+            self.temp_a = ctx.from_numpy(temp0, halo_dist, name="hotspot_temp_a")
+            self.power = ctx.from_numpy(power0, power_dist, name="hotspot_power")
+            self._initial_temp = temp0
+            self._initial_power = power0
+        else:
+            self.temp_a = ctx.zeros(shape, halo_dist, dtype="float32", name="hotspot_temp_a")
+            self.power = ctx.zeros(shape, power_dist, dtype="float32", name="hotspot_power")
+        self.temp_b = ctx.zeros(shape, halo_dist, dtype="float32", name="hotspot_temp_b")
+        self.kernel = (
+            KernelDef("hotspot_step", func=_hotspot_kernel)
+            .param_value("rows", "int64")
+            .param_value("cols", "int64")
+            .param_array("temp_in", "float32")
+            .param_array("power", "float32")
+            .param_array("temp_out", "float32")
+            .annotate(
+                "global [i, j] => read temp_in[i-1:i+1, j-1:j+1], read power[i,j], "
+                "write temp_out[i,j]"
+            )
+            .with_cost(HOTSPOT_COST)
+            .compile(ctx)
+        )
+
+    def submit(self) -> None:
+        work = BlockWorkDist(self.rows_per_chunk, axis=0)
+        src, dst = self.temp_a, self.temp_b
+        for _ in range(self.iterations):
+            self.kernel.launch(
+                (self.side, self.side), (16, 16), work,
+                (self.side, self.side, src, self.power, dst),
+            )
+            src, dst = dst, src
+        self._final = src
+
+    def data_bytes(self) -> int:
+        return 3 * self.side * self.side * 4
+
+    def verify(self) -> bool:
+        result = self.ctx.gather(self._final)
+        ref = self._initial_temp
+        for _ in range(self.iterations):
+            ref = hotspot_reference_step(ref, self._initial_power)
+        return bool(np.allclose(result, ref, rtol=1e-4, atol=1e-3))

@@ -1,0 +1,93 @@
+"""MD5 brute-force benchmark (from SHOC, Sec. 4.2).
+
+Calculates ``n`` MD5-style hashes in parallel and keeps track of the best
+match against a search digest.  The paper notes that no data is involved
+except the one search hash, so this is a purely compute-oriented benchmark;
+its role in the evaluation is to show near-perfect scaling.
+
+The functional kernel uses a cheap integer-mixing hash rather than real MD5
+rounds — the runtime behaviour (one superblock per slice of the key space, a
+single replicated result cell updated with ``reduce(max)``) is identical, and
+the cost model charges the arithmetic of a real MD5 round loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distributions import BlockWorkDist, ReplicatedDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from .base import Workload, register_workload
+
+__all__ = ["MD5Workload", "mix_hash"]
+
+#: Approximate arithmetic of one MD5 hash (64 rounds of a handful of 32-bit ops).
+MD5_COST = KernelCost(flops_per_thread=400.0, bytes_per_thread=0.0, efficiency=0.7,
+                      cpu_efficiency=0.35)
+
+
+def mix_hash(keys: np.ndarray) -> np.ndarray:
+    """Cheap stand-in for MD5: a 64-bit integer mixing function (splitmix64-style)."""
+    z = keys.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _md5_kernel(lc, n, target, best):
+    """Hash every key of this superblock and reduce the best match score."""
+    i = lc.global_indices(0)
+    i = i[i < n]
+    if i.size == 0:
+        return
+    digests = mix_hash(i)
+    # Match score: number of matching low bits against the search digest,
+    # encoded together with the key so the arg-max can be recovered.
+    score = 64.0 - np.log2((np.float64(1.0) + (digests ^ np.uint64(int(target)))).astype(np.float64))
+    best[0] = max(float(best[0]), float(score.max()))
+
+
+@register_workload
+class MD5Workload(Workload):
+    """n hashes, superblocks of a fixed number of threads, one replicated result."""
+
+    name = "md5"
+    compute_intensive = True
+    iterations = 1
+
+    def __init__(self, ctx, n, threads_per_superblock: int | None = None, **params):
+        super().__init__(ctx, n, **params)
+        if threads_per_superblock is None:
+            # The paper uses 5-billion-thread superblocks; scale so every GPU
+            # gets at least two superblocks for smaller problem sizes.
+            threads_per_superblock = max(1, min(5_000_000_000, self.n // (2 * ctx.device_count) or 1))
+        self.threads_per_superblock = threads_per_superblock
+        self.target = params.get("target", 0x1234_5678_9ABC_DEF0)
+
+    def prepare(self) -> None:
+        self.best = self.ctx.zeros(1, ReplicatedDist(), dtype="float32", name="md5_best")
+        self.kernel = (
+            KernelDef("md5_search", func=_md5_kernel)
+            .param_value("n", "int64")
+            .param_value("target", "int64")
+            .param_array("best", "float32")
+            .annotate("global i => reduce(max) best[0]")
+            .with_cost(MD5_COST)
+            .compile(self.ctx)
+        )
+
+    def submit(self) -> None:
+        work = BlockWorkDist(self.threads_per_superblock)
+        self.kernel.launch(self.n, 256, work, (self.n, self.target, self.best))
+
+    def data_bytes(self) -> int:
+        return self.best.nbytes
+
+    def verify(self) -> bool:
+        result = float(self.ctx.gather(self.best)[0])
+        digests = mix_hash(np.arange(self.n, dtype=np.uint64))
+        score = 64.0 - np.log2(
+            (np.float64(1.0) + (digests ^ np.uint64(self.target))).astype(np.float64)
+        )
+        return bool(np.isclose(result, float(score.max()), rtol=1e-5))

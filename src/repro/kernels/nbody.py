@@ -1,0 +1,136 @@
+"""All-pairs gravitational N-Body benchmark (from the CUDA samples, Sec. 4.2).
+
+The benchmark generates ``sqrt(n)`` bodies so that the number of pair-wise
+interactions — the actual workload — equals ``n``.  Body state is small and
+therefore fully replicated on every GPU; the work is divided equally.  Ten
+iterations are performed, double-buffering the positions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.distributions import BlockWorkDist, ReplicatedDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from .base import Workload, register_workload
+
+__all__ = ["NBodyWorkload", "nbody_reference_step"]
+
+#: ~20 flops per body-body interaction; the per-thread cost grows with the body count.
+NBODY_COST = KernelCost(
+    flops_per_thread=lambda s: 20.0 * float(s["bodies"]),
+    bytes_per_thread=16.0,
+    efficiency=0.55,
+    cpu_efficiency=0.25,
+)
+
+SOFTENING = 1e-3
+DT = 1e-2
+
+
+def nbody_reference_step(pos: np.ndarray, vel: np.ndarray):
+    """One NumPy reference step; ``pos``/``vel`` are (bodies, 4) arrays (x, y, z, mass)."""
+    xyz = pos[:, :3].astype(np.float64)
+    mass = pos[:, 3].astype(np.float64)
+    diff = xyz[None, :, :] - xyz[:, None, :]
+    dist2 = (diff ** 2).sum(axis=2) + SOFTENING
+    inv_d3 = dist2 ** -1.5
+    np.fill_diagonal(inv_d3, 0.0)
+    acc = (diff * (mass[None, :, None] * inv_d3[:, :, None])).sum(axis=1)
+    new_vel = vel.copy()
+    new_vel[:, :3] = vel[:, :3] + (DT * acc).astype(vel.dtype)
+    new_pos = pos.copy()
+    new_pos[:, :3] = pos[:, :3] + DT * new_vel[:, :3]
+    return new_pos, new_vel
+
+
+def _nbody_kernel(lc, bodies, pos_in, vel, pos_out):
+    i = lc.global_indices(0)
+    i = i[i < bodies]
+    if i.size == 0:
+        return
+    all_pos = pos_in[0:bodies, 0:4]
+    mine = pos_in.gather(i[:, None], np.arange(3)[None, :])
+    mass = all_pos[:, 3].astype(np.float64)
+    xyz = all_pos[:, :3].astype(np.float64)
+    diff = xyz[None, :, :] - mine[:, None, :].astype(np.float64)
+    dist2 = (diff ** 2).sum(axis=2) + SOFTENING
+    inv_d3 = dist2 ** -1.5
+    # remove self-interaction
+    inv_d3[np.arange(i.size), i] = 0.0
+    acc = (diff * (mass[None, :, None] * inv_d3[:, :, None])).sum(axis=1)
+
+    cols3 = np.arange(3)[None, :]
+    my_vel = vel.gather(i[:, None], cols3).astype(np.float64)
+    new_vel = my_vel + DT * acc
+    vel.scatter(i[:, None], cols3, new_vel.astype(np.float32))
+    new_pos = mine.astype(np.float64) + DT * new_vel
+    pos_out.scatter(i[:, None], cols3, new_pos.astype(np.float32))
+    pos_out.scatter(i, np.full(i.size, 3), pos_in.gather(i, np.full(i.size, 3)))
+
+
+@register_workload
+class NBodyWorkload(Workload):
+    """sqrt(n) bodies, replicated state, 10 iterations, work divided equally."""
+
+    name = "nbody"
+    compute_intensive = True
+    iterations = 10
+
+    def __init__(self, ctx, n, iterations: int | None = None, seed: int = 0, **params):
+        super().__init__(ctx, n, **params)
+        self.bodies = max(2, int(math.isqrt(self.n)))
+        if iterations is not None:
+            self.iterations = iterations
+        self.seed = seed
+
+    def prepare(self) -> None:
+        ctx = self.ctx
+        dist = ReplicatedDist()
+        if ctx.functional:
+            rng = np.random.RandomState(self.seed)
+            pos0 = rng.rand(self.bodies, 4).astype(np.float32)
+            pos0[:, 3] = 1.0  # unit masses
+            vel0 = np.zeros((self.bodies, 4), dtype=np.float32)
+            self.pos_a = ctx.from_numpy(pos0, dist, name="nbody_pos_a")
+            self.vel = ctx.from_numpy(vel0, dist, name="nbody_vel")
+            self._initial_pos = pos0
+            self._initial_vel = vel0
+        else:
+            self.pos_a = ctx.zeros((self.bodies, 4), dist, dtype="float32", name="nbody_pos_a")
+            self.vel = ctx.zeros((self.bodies, 4), dist, dtype="float32", name="nbody_vel")
+        self.pos_b = ctx.zeros((self.bodies, 4), dist, dtype="float32", name="nbody_pos_b")
+        self.kernel = (
+            KernelDef("nbody_step", func=_nbody_kernel)
+            .param_value("bodies", "int64")
+            .param_array("pos_in", "float32")
+            .param_array("vel", "float32")
+            .param_array("pos_out", "float32")
+            .annotate(
+                "global i => read pos_in[:,:], readwrite vel[i,:], write pos_out[i,:]"
+            )
+            .with_cost(NBODY_COST)
+            .compile(ctx)
+        )
+
+    def submit(self) -> None:
+        per_gpu = max(1, -(-self.bodies // self.ctx.device_count))
+        work = BlockWorkDist(per_gpu)
+        src, dst = self.pos_a, self.pos_b
+        for _ in range(self.iterations):
+            self.kernel.launch(self.bodies, 128, work, (self.bodies, src, self.vel, dst))
+            src, dst = dst, src
+        self._final = src
+
+    def data_bytes(self) -> int:
+        return 3 * self.bodies * 4 * 4
+
+    def verify(self) -> bool:
+        pos = self.ctx.gather(self._final)
+        ref_pos, ref_vel = self._initial_pos, self._initial_vel
+        for _ in range(self.iterations):
+            ref_pos, ref_vel = nbody_reference_step(ref_pos, ref_vel)
+        return bool(np.allclose(pos, ref_pos, rtol=1e-3, atol=1e-4))

@@ -1,0 +1,129 @@
+"""Sparse matrix-vector multiplication benchmark (from SHOC, Sec. 4.2).
+
+Repeated multiplication of a sparse ``sqrt(n) x sqrt(n)`` matrix (ELLPACK
+format, 0.1% density) with a dense vector; ten iterations, where each
+iteration's output becomes the next iteration's input and the vector is
+broadcast after every iteration.  The sparse reads on the input vector are
+data dependent, so — as Sec. 2.5 describes — the annotation over-approximates
+the access region to the whole vector; this costs performance but never
+correctness.  The matrix is row-distributed (100M elements per chunk by
+default) while both vectors are replicated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.distributions import BlockWorkDist, ReplicatedDist, RowDist
+from ..core.kernel import KernelDef
+from ..perfmodel.costs import KernelCost
+from .base import Workload, align_extent, register_workload
+
+__all__ = ["SpMVWorkload", "ell_reference_multiply"]
+
+DENSITY = 0.001
+
+SPMV_COST = KernelCost(
+    flops_per_thread=lambda s: 2.0 * float(s["nnz_per_row"]),
+    bytes_per_thread=lambda s: 12.0 * float(s["nnz_per_row"]),
+    efficiency=0.6,
+    cpu_efficiency=0.45,
+)
+
+
+def ell_reference_multiply(values: np.ndarray, columns: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Reference ELL SpMV: y[i] = sum_k values[i,k] * x[columns[i,k]]."""
+    return (values.astype(np.float64) * x[columns].astype(np.float64)).sum(axis=1).astype(np.float32)
+
+
+def _spmv_kernel(lc, rows, nnz_per_row, values, columns, x, y):
+    i = lc.global_indices(0)
+    i = i[i < rows]
+    if i.size == 0:
+        return
+    k = np.arange(nnz_per_row)[None, :]
+    vals = values.gather(i[:, None], k).astype(np.float64)
+    cols = columns.gather(i[:, None], k).astype(np.int64)
+    xs = x.gather(cols).astype(np.float64)
+    y.scatter(i, (vals * xs).sum(axis=1).astype(np.float32))
+
+
+@register_workload
+class SpMVWorkload(Workload):
+    """ELL SpMV, 10 iterations, replicated vectors, row-distributed matrix."""
+
+    name = "spmv"
+    compute_intensive = False
+    iterations = 10
+
+    DEFAULT_CHUNK = 100_000_000
+
+    def __init__(self, ctx, n, chunk_elems: int | None = None, iterations: int | None = None,
+                 seed: int = 0, **params):
+        super().__init__(ctx, n, **params)
+        self.rows = max(2, int(math.isqrt(self.n)))
+        self.nnz_per_row = max(1, int(DENSITY * self.rows))
+        chunk_elems = chunk_elems or self.DEFAULT_CHUNK
+        # keep chunk boundaries on thread-block boundaries (256-thread blocks)
+        self.rows_per_chunk = align_extent(
+            max(1, min(self.rows, chunk_elems // self.nnz_per_row)), 256)
+        if iterations is not None:
+            self.iterations = iterations
+        self.seed = seed
+
+    def prepare(self) -> None:
+        ctx = self.ctx
+        matrix_dist = RowDist(self.rows_per_chunk)
+        vector_dist = ReplicatedDist()
+        ell_shape = (self.rows, self.nnz_per_row)
+        if ctx.functional:
+            rng = np.random.RandomState(self.seed)
+            vals = rng.rand(*ell_shape).astype(np.float32)
+            cols = rng.randint(0, self.rows, size=ell_shape).astype(np.int32)
+            x0 = rng.rand(self.rows).astype(np.float32)
+            self.values = ctx.from_numpy(vals, matrix_dist, name="spmv_values")
+            self.columns = ctx.from_numpy(cols, matrix_dist, name="spmv_columns")
+            self.x = ctx.from_numpy(x0, vector_dist, name="spmv_x")
+            self._vals, self._cols, self._x0 = vals, cols, x0
+        else:
+            self.values = ctx.zeros(ell_shape, matrix_dist, dtype="float32", name="spmv_values")
+            self.columns = ctx.zeros(ell_shape, matrix_dist, dtype="int32", name="spmv_columns")
+            self.x = ctx.zeros(self.rows, vector_dist, dtype="float32", name="spmv_x")
+        self.y = ctx.zeros(self.rows, vector_dist, dtype="float32", name="spmv_y")
+        self.kernel = (
+            KernelDef("spmv_ell", func=_spmv_kernel)
+            .param_value("rows", "int64")
+            .param_value("nnz_per_row", "int64")
+            .param_array("values", "float32")
+            .param_array("columns", "int32")
+            .param_array("x", "float32")
+            .param_array("y", "float32")
+            .annotate(
+                "global i => read values[i,:], read columns[i,:], read x[:], write y[i]"
+            )
+            .with_cost(SPMV_COST)
+            .compile(ctx)
+        )
+
+    def submit(self) -> None:
+        work = BlockWorkDist(self.rows_per_chunk)
+        src, dst = self.x, self.y
+        for _ in range(self.iterations):
+            self.kernel.launch(
+                self.rows, 256, work,
+                (self.rows, self.nnz_per_row, self.values, self.columns, src, dst),
+            )
+            src, dst = dst, src
+        self._final = src
+
+    def data_bytes(self) -> int:
+        return self.rows * self.nnz_per_row * 8 + 2 * self.rows * 4
+
+    def verify(self) -> bool:
+        result = self.ctx.gather(self._final)
+        ref = self._x0.copy()
+        for _ in range(self.iterations):
+            ref = ell_reference_multiply(self._vals, self._cols, ref)
+        return bool(np.allclose(result, ref, rtol=1e-3, atol=1e-4))

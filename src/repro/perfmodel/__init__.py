@@ -1,0 +1,35 @@
+"""Performance model: task durations for the discrete-event simulator.
+
+The paper measures wall-clock time on real hardware; this reproduction derives
+per-task durations from a simple, explicit model:
+
+* kernel execution — a roofline bound: the larger of compute time
+  (``flops / peak_flops``) and memory time (``bytes / mem_bandwidth``),
+  divided by an achieved-efficiency factor, plus a fixed launch latency;
+* data transfers — ``latency + bytes / bandwidth``, with bandwidth shared
+  between concurrent transfers by the simulator's resources;
+* runtime overheads — fixed per-task planning cost on the driver and
+  per-task scheduling cost on each worker (these drive the chunk-size
+  trade-off of Fig. 10: too many small chunks → overhead dominates).
+
+The goal is to reproduce the *shape* of the paper's results (crossovers,
+scaling curves, who wins), not its absolute numbers.
+"""
+
+from .costs import (
+    KernelCost,
+    OverheadModel,
+    kernel_time,
+    cpu_time,
+    transfer_time,
+    DEFAULT_OVERHEADS,
+)
+
+__all__ = [
+    "KernelCost",
+    "OverheadModel",
+    "kernel_time",
+    "cpu_time",
+    "transfer_time",
+    "DEFAULT_OVERHEADS",
+]

@@ -1,0 +1,228 @@
+"""Task execution: durations, resource selection and functional payloads.
+
+Each worker owns one :class:`TaskExecutor`.  When the scheduler has staged a
+task, the executor decides which simulated resource the task occupies and for
+how long (kernel launches use the roofline cost model, copies and sends are
+sized in bytes on shared-bandwidth resources), and — in ``functional``
+execution mode — performs the task's actual effect on the chunk buffers so
+results can be checked against NumPy references.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core import tasks as T
+from ..core.chunk import ChunkMeta
+from ..core.reductions import get_reduce_op
+from ..core.types import ArrayView, LaunchContext
+from ..hardware.topology import Node
+from ..perfmodel.costs import OverheadModel, kernel_time
+from .network import Message, NetworkFabric
+from .resources import WorkerResources
+from .storage import ChunkStorage
+
+__all__ = ["TaskExecutor"]
+
+_TINY_TASK_DURATION = 1e-6
+
+
+class TaskExecutor:
+    """Executes staged tasks on one worker's simulated resources."""
+
+    def __init__(
+        self,
+        node: Node,
+        resources: WorkerResources,
+        storage: ChunkStorage,
+        fabric: NetworkFabric,
+        kernel_registry: Dict[str, object],
+        overheads: OverheadModel,
+        functional: bool,
+        memory=None,
+    ):
+        self.node = node
+        self.worker = node.worker
+        self.resources = resources
+        self.storage = storage
+        self.fabric = fabric
+        self.kernel_registry = kernel_registry
+        self.overheads = overheads
+        self.functional = functional
+        self.memory = memory
+        self.kernel_launches = 0
+        self.kernel_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def execute(self, task: T.Task, on_complete: Callable[[], None]) -> None:
+        """Occupy the right resource for the task, run its payload, then complete."""
+        handler = getattr(self, f"_exec_{task.kind}", None)
+        if handler is None:
+            raise NotImplementedError(f"no executor for task kind {task.kind!r}")
+        handler(task, on_complete)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping-only tasks
+    # ------------------------------------------------------------------ #
+    def _exec_createchunk(self, task: T.CreateChunkTask, done: Callable[[], None]) -> None:
+        def payload() -> None:
+            if task.chunk.chunk_id not in self.storage:
+                self.storage.create(task.chunk)
+            done()
+
+        self.resources.cpu.request(_TINY_TASK_DURATION, payload, label=task.label or "create")
+
+    def _exec_deletechunk(self, task: T.DeleteChunkTask, done: Callable[[], None]) -> None:
+        def payload() -> None:
+            self.storage.delete(task.chunk_id)
+            if self.memory is not None:
+                self.memory.delete(task.chunk_id)
+            done()
+
+        self.resources.cpu.request(_TINY_TASK_DURATION, payload, label=task.label or "delete")
+
+    def _exec_combine(self, task: T.CombineTask, done: Callable[[], None]) -> None:
+        self.resources.cpu.request(_TINY_TASK_DURATION, done, label=task.label or "combine")
+
+    # ------------------------------------------------------------------ #
+    # data initialisation / download
+    # ------------------------------------------------------------------ #
+    def _exec_fill(self, task: T.FillTask, done: Callable[[], None]) -> None:
+        duration = task.nbytes / self.node.spec.cpu.mem_bandwidth
+
+        def payload() -> None:
+            if self.functional:
+                self.storage.fill(task.chunk_id, task.value, task.data)
+            done()
+
+        self.resources.cpu.request(duration, payload, label=task.label or "fill")
+
+    def _exec_download(self, task: T.DownloadTask, done: Callable[[], None]) -> None:
+        def to_driver() -> None:
+            if self.worker == 0:
+                duration = task.nbytes / self.node.spec.cpu.mem_bandwidth
+                self.resources.cpu.request(duration, done, label=task.label or "download")
+            else:
+                self.resources.nic.request(task.nbytes, done, label=task.label or "download")
+
+        # Chunk contents are brought to host memory over PCIe before going to the driver.
+        self.resources.pcie.request(task.nbytes, to_driver, label="download d2h")
+
+    # ------------------------------------------------------------------ #
+    # kernel execution
+    # ------------------------------------------------------------------ #
+    def _exec_launch(self, task: T.LaunchTask, done: Callable[[], None]) -> None:
+        kernel = self.kernel_registry[task.kernel_name]
+        device_spec = self.node.spec.gpus[task.device.local_index]
+        duration = (
+            kernel_time(device_spec, kernel.cost, task.superblock.thread_count, task.scalar_args)
+            + self.overheads.launch_fixed
+        )
+        self.kernel_launches += 1
+        self.kernel_seconds += duration
+
+        def payload() -> None:
+            if self.functional:
+                self._run_kernel(kernel, task)
+            done()
+
+        resource = self.resources.compute_for(task.device)
+        resource.request(duration, payload, label=task.label or task.kernel_name)
+
+    def _run_kernel(self, kernel, task: T.LaunchTask) -> None:
+        views: Dict[str, ArrayView] = {}
+        for binding in task.array_args:
+            chunk: ChunkMeta = self.storage.meta(binding.chunk_id)
+            buffer = self.storage.buffer(binding.chunk_id)
+            array_shape = task.array_shapes[binding.param]
+            views[binding.param] = ArrayView(
+                buffer,
+                chunk.region,
+                array_shape,
+                access_region=binding.access_region,
+                writable=binding.mode in ("write", "readwrite", "reduce"),
+                name=binding.param,
+            )
+        launch_ctx = LaunchContext(
+            grid_dims=task.grid_dims,
+            block_dims=task.block_dims,
+            thread_region=task.superblock.thread_region,
+            block_offset=task.superblock.block_offset,
+            superblock_index=task.superblock.index,
+            device_name=str(task.device),
+        )
+        kernel.run_superblock(launch_ctx, task.scalar_args, views)
+
+    # ------------------------------------------------------------------ #
+    # data movement
+    # ------------------------------------------------------------------ #
+    def _exec_copy(self, task: T.CopyTask, done: Callable[[], None]) -> None:
+        def payload() -> None:
+            if self.functional:
+                self.storage.copy_region(task.src_chunk, task.dst_chunk, task.region)
+            done()
+
+        if (
+            task.src_device is not None
+            and task.dst_device is not None
+            and task.src_device == task.dst_device
+        ):
+            resource = self.resources.dtod_for(task.src_device)
+        else:
+            resource = self.resources.pcie
+        resource.request(task.nbytes, payload, label=task.label or "copy")
+
+    def _exec_reduce(self, task: T.ReduceTask, done: Callable[[], None]) -> None:
+        dst_meta = self.storage.meta(task.dst_chunk)
+        device = dst_meta.home
+        device_spec = self.node.spec.gpus[device.local_index]
+        duration = (
+            task.nbytes / device_spec.mem_bandwidth / 0.8 + device_spec.launch_latency
+        )
+
+        def payload() -> None:
+            if self.functional:
+                op = get_reduce_op(task.op)
+                self.storage.combine_region(task.src_chunk, task.dst_chunk, task.region, op.combine)
+            done()
+
+        self.resources.compute_for(device).request(duration, payload, label=task.label or "reduce")
+
+    def _exec_send(self, task: T.SendTask, done: Callable[[], None]) -> None:
+        data: Optional[np.ndarray] = None
+        if self.functional:
+            data = self.storage.read_region(task.chunk_id, task.region)
+        message = Message(
+            src=self.worker,
+            dst=task.dst_worker,
+            tag=task.tag,
+            nbytes=task.nbytes,
+            data=data,
+        )
+
+        def delivered() -> None:
+            self.fabric.deliver(message)
+            done()
+
+        def on_wire() -> None:
+            self.resources.nic.request(task.nbytes, delivered, label=task.label or "send")
+
+        # Inter-node transfers are staged through host memory (Sec. 3.2):
+        # device -> host over PCIe, then host -> remote host over the network.
+        self.resources.pcie.request(task.nbytes, on_wire, label="send d2h")
+
+    def _exec_recv(self, task: T.RecvTask, done: Callable[[], None]) -> None:
+        def on_message(message: Message) -> None:
+            def into_device() -> None:
+                if self.functional and message.data is not None:
+                    self.storage.write_region(task.chunk_id, task.region, message.data)
+                done()
+
+            # Arrived in host memory; move into the chunk's GPU over PCIe.
+            self.resources.pcie.request(task.nbytes, into_device, label="recv h2d")
+
+        self.fabric.expect(task.src_worker, self.worker, task.tag, on_message)

@@ -1,0 +1,385 @@
+"""Per-worker memory manager (Sec. 3.4).
+
+Every worker tracks where each of its chunks currently lives (GPU memory, host
+memory or disk) and how much of every memory space is in use.  Staging a task
+means materialising all of the task's chunks in the memory spaces it needs —
+allocating from pre-sized pools, evicting least-recently-used unpinned chunks
+to the next level of the hierarchy when a pool is full (GPU → host → disk),
+and transferring previously evicted data back.  All of a task's chunks are
+reserved in one atomic action to prevent deadlocks, exactly as the paper
+describes.  Transfers issued here occupy the PCIe/disk resources of the
+simulator, which is what makes spilling visible in the measured run times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.chunk import ChunkId, ChunkMeta
+from ..hardware.topology import MemoryKind, MemorySpace, Node
+from .resources import WorkerResources
+
+__all__ = ["MemoryManager", "OutOfMemoryError", "MemoryStats"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """A task's working set cannot fit in the requested memory space."""
+
+
+@dataclass
+class MemoryStats:
+    """Counters exposed for tests, benchmarks and EXPERIMENTS.md."""
+
+    bytes_to_gpu: int = 0
+    bytes_from_gpu: int = 0
+    bytes_to_disk: int = 0
+    bytes_from_disk: int = 0
+    evictions_to_host: int = 0
+    evictions_to_disk: int = 0
+    peak_gpu_bytes: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class _ChunkState:
+    meta: ChunkMeta
+    space: Optional[MemorySpace] = None
+    pins: int = 0
+    last_use: int = 0
+
+
+@dataclass
+class _PendingStage:
+    task_id: int
+    requirements: List[Tuple[ChunkId, str]]
+    callback: Callable[[], None]
+
+
+class MemoryManager:
+    """Tracks residency, allocation and spilling of one worker's chunks."""
+
+    def __init__(
+        self,
+        node: Node,
+        resources: WorkerResources,
+        capacities: Optional[Dict[MemorySpace, int]] = None,
+    ):
+        self.node = node
+        self.worker = node.worker
+        self.resources = resources
+        self._chunks: Dict[ChunkId, _ChunkState] = {}
+        self._staged: Dict[int, List[ChunkId]] = {}
+        self._pending: List[_PendingStage] = []
+        self._use_counter = 0
+        self.stats = MemoryStats()
+
+        self._capacity: Dict[MemorySpace, int] = {}
+        self._used: Dict[MemorySpace, int] = {}
+        spaces = [dev.memory_space for dev in node.devices]
+        spaces += [node.host_space, node.disk_space]
+        for space in spaces:
+            if capacities and space in capacities:
+                cap = capacities[space]
+            elif space.kind is MemoryKind.GPU:
+                cap = node.spec.gpus[space.device_index].memory_bytes
+            elif space.kind is MemoryKind.HOST:
+                cap = node.spec.host_memory_bytes
+            else:
+                cap = node.spec.disk.capacity_bytes
+            self._capacity[space] = cap
+            self._used[space] = 0
+
+    # ------------------------------------------------------------------ #
+    # chunk lifecycle
+    # ------------------------------------------------------------------ #
+    def register(self, chunk: ChunkMeta) -> None:
+        if chunk.chunk_id in self._chunks:
+            raise ValueError(f"chunk {chunk.chunk_id} already registered")
+        self._chunks[chunk.chunk_id] = _ChunkState(meta=chunk)
+
+    def delete(self, chunk_id: ChunkId) -> None:
+        state = self._chunks.pop(chunk_id, None)
+        if state is None:
+            return
+        if state.pins:
+            raise RuntimeError(f"cannot delete pinned chunk {chunk_id}")
+        if state.space is not None:
+            self._used[state.space] -= state.meta.nbytes
+
+    def knows(self, chunk_id: ChunkId) -> bool:
+        return chunk_id in self._chunks
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def residency(self, chunk_id: ChunkId) -> Optional[MemorySpace]:
+        return self._chunks[chunk_id].space
+
+    def used_bytes(self, space: MemorySpace) -> int:
+        return self._used[space]
+
+    def capacity(self, space: MemorySpace) -> int:
+        return self._capacity[space]
+
+    def free_bytes(self, space: MemorySpace) -> int:
+        return self._capacity[space] - self._used[space]
+
+    def pinned_bytes(self, space: MemorySpace) -> int:
+        return sum(
+            st.meta.nbytes
+            for st in self._chunks.values()
+            if st.space == space and st.pins > 0
+        )
+
+    # ------------------------------------------------------------------ #
+    # staging
+    # ------------------------------------------------------------------ #
+    def _target_space(self, state: _ChunkState, kind: str) -> MemorySpace:
+        if kind == "gpu":
+            return state.meta.home.memory_space
+        if kind == "host":
+            return MemorySpace(self.worker, MemoryKind.HOST)
+        if kind == "any":
+            # Materialised wherever it currently is; unallocated chunks start
+            # in host memory (matching the behaviour of a fresh upload).
+            if state.space is not None:
+                return state.space
+            return MemorySpace(self.worker, MemoryKind.HOST)
+        raise ValueError(f"unknown staging kind {kind!r}")
+
+    def footprint(self, requirements: List[Tuple[ChunkId, str]]) -> int:
+        """Total bytes of the chunks named in ``requirements``."""
+        return sum(self._chunks[cid].meta.nbytes for cid, _ in requirements)
+
+    def staging_bytes_needed(self, requirements: List[Tuple[ChunkId, str]]) -> int:
+        """Bytes that staging ``requirements`` would actually have to move.
+
+        Chunks already resident in the memory space a task needs cost nothing;
+        everything else must be transferred (from host, another space, or be
+        allocated fresh).  Locality-aware scheduling policies use this to
+        prefer tasks whose working set is already in place.
+        """
+        total = 0
+        for chunk_id, kind in requirements:
+            state = self._chunks.get(chunk_id)
+            if state is None:
+                continue
+            target = self._target_space(state, kind)
+            if state.space != target:
+                total += state.meta.nbytes
+        return total
+
+    def stage(
+        self,
+        task_id: int,
+        requirements: List[Tuple[ChunkId, str]],
+        callback: Callable[[], None],
+    ) -> None:
+        """Materialise and pin every required chunk, then invoke ``callback``.
+
+        If the request cannot be satisfied right now because pinned chunks
+        occupy the space, it is queued and retried when something unstages.
+        If it can never be satisfied, :class:`OutOfMemoryError` is raised.
+        """
+        if not self._try_stage(task_id, requirements, callback):
+            self._pending.append(_PendingStage(task_id, requirements, callback))
+
+    def unstage(self, task_id: int) -> None:
+        """Release the pins taken by :meth:`stage` for ``task_id``."""
+        for chunk_id in self._staged.pop(task_id, []):
+            state = self._chunks.get(chunk_id)
+            if state is not None and state.pins > 0:
+                state.pins -= 1
+        self._retry_pending()
+
+    def _retry_pending(self) -> None:
+        still_pending: List[_PendingStage] = []
+        for pending in self._pending:
+            if not self._try_stage(pending.task_id, pending.requirements, pending.callback):
+                still_pending.append(pending)
+        self._pending = still_pending
+
+    # ------------------------------------------------------------------ #
+    # the staging transaction
+    # ------------------------------------------------------------------ #
+    def _try_stage(
+        self,
+        task_id: int,
+        requirements: List[Tuple[ChunkId, str]],
+        callback: Callable[[], None],
+    ) -> bool:
+        # Resolve targets and verify feasibility per memory space.
+        plan: List[Tuple[_ChunkState, MemorySpace]] = []
+        needed: Dict[MemorySpace, int] = {}
+        working_set: Dict[MemorySpace, int] = {}
+        plan_ids = {chunk_id for chunk_id, _ in requirements}
+        for chunk_id, kind in requirements:
+            state = self._chunks[chunk_id]
+            target = self._target_space(state, kind)
+            plan.append((state, target))
+            working_set[target] = working_set.get(target, 0) + state.meta.nbytes
+            if state.space != target:
+                needed[target] = needed.get(target, 0) + state.meta.nbytes
+
+        # The task's whole working set (chunks to bring in *and* chunks that
+        # are already resident but will be pinned) must fit simultaneously;
+        # otherwise no amount of waiting or eviction can ever run this task.
+        for space, nbytes in working_set.items():
+            if nbytes > self._capacity[space]:
+                raise OutOfMemoryError(
+                    f"task {task_id} needs {nbytes} bytes simultaneously in {space} "
+                    f"(capacity {self._capacity[space]}); the task's working set can "
+                    f"never fit — use smaller chunks or a larger memory pool"
+                )
+
+        # Check that evicting *unpinned* chunks not belonging to this task
+        # could make enough room right now; otherwise wait for an unstage.
+        for space, nbytes in needed.items():
+            evictable = sum(
+                st.meta.nbytes
+                for st in self._chunks.values()
+                if st.space == space and st.pins == 0 and st.meta.chunk_id not in plan_ids
+            )
+            if self.free_bytes(space) + evictable < nbytes:
+                return False
+
+        # Commit: make room, move/allocate, pin.  Bookkeeping happens now (so
+        # the reservation is atomic); the incoming data transfers occupy their
+        # resources and the callback only fires when they all complete, which
+        # is what makes un-spilling visible in the task's start time.
+        staged: List[ChunkId] = []
+        transfers: List[Tuple[object, int, str]] = []
+        for state, target in plan:
+            if state.space != target:
+                self._make_room(target, state.meta.nbytes, protect=plan_ids)
+                transfers.extend(self._move(state, target))
+            self._touch(state)
+            state.pins += 1
+            staged.append(state.meta.chunk_id)
+        self._staged.setdefault(task_id, []).extend(staged)
+
+        if not transfers:
+            callback()
+            return True
+
+        remaining = {"count": len(transfers)}
+
+        def _one_done() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                callback()
+
+        for resource, nbytes, label in transfers:
+            resource.request(nbytes, _one_done, label=label)
+        return True
+
+    def _touch(self, state: _ChunkState) -> None:
+        self._use_counter += 1
+        state.last_use = self._use_counter
+
+    # ------------------------------------------------------------------ #
+    # allocation, eviction and transfers
+    # ------------------------------------------------------------------ #
+    def _lower_space(self, space: MemorySpace) -> Optional[MemorySpace]:
+        if space.kind is MemoryKind.GPU:
+            return MemorySpace(self.worker, MemoryKind.HOST)
+        if space.kind is MemoryKind.HOST:
+            return MemorySpace(self.worker, MemoryKind.DISK)
+        return None
+
+    def _make_room(self, space: MemorySpace, nbytes: int, protect=frozenset()) -> None:
+        """Evict LRU unpinned chunks from ``space`` until ``nbytes`` fit.
+
+        ``protect`` names chunks that must not be evicted even though they are
+        not pinned yet — the rest of the working set of the task currently
+        being staged.
+        """
+        if self.free_bytes(space) >= nbytes:
+            return
+        candidates = sorted(
+            (
+                st
+                for st in self._chunks.values()
+                if st.space == space and st.pins == 0 and st.meta.chunk_id not in protect
+            ),
+            key=lambda st: st.last_use,
+        )
+        for victim in candidates:
+            if self.free_bytes(space) >= nbytes:
+                break
+            lower = self._lower_space(space)
+            if lower is None:
+                raise OutOfMemoryError(
+                    f"cannot evict from {space}: no lower memory level exists"
+                )
+            self._make_room(lower, victim.meta.nbytes)
+            self._move(victim, lower, eviction=True)
+        if self.free_bytes(space) < nbytes:
+            raise OutOfMemoryError(
+                f"could not free {nbytes} bytes in {space} "
+                f"(free {self.free_bytes(space)}, capacity {self._capacity[space]})"
+            )
+
+    def _move(self, state: _ChunkState, target: MemorySpace, eviction: bool = False):
+        """Update bookkeeping for a chunk move and return the data transfers it implies.
+
+        Evictions issue their transfers immediately (write-back can proceed in
+        the background, but still loads the PCIe/disk resources); staging-in
+        moves return the transfer list so the caller can block on completion.
+        """
+        source = state.space
+        nbytes = state.meta.nbytes
+        if source is not None:
+            self._used[source] -= nbytes
+        self._used[target] += nbytes
+        state.space = target
+        if target.kind is MemoryKind.GPU:
+            peak = self.stats.peak_gpu_bytes
+            peak[target.device_index] = max(
+                peak.get(target.device_index, 0), self._used[target]
+            )
+
+        if source is None:
+            return []  # fresh allocation from the pool: no data to move
+
+        transfers = self._transfer_requests(source, target, nbytes)
+        if eviction:
+            if target.kind is MemoryKind.HOST:
+                self.stats.evictions_to_host += 1
+            elif target.kind is MemoryKind.DISK:
+                self.stats.evictions_to_disk += 1
+            for resource, amount, label in transfers:
+                resource.request(amount, lambda: None, label=label)
+            return []
+        return transfers
+
+    def _transfer_requests(self, source: MemorySpace, target: MemorySpace, nbytes: int):
+        """The (resource, bytes, label) requests implied by moving a chunk."""
+        pair = (source.kind, target.kind)
+        requests = []
+        if pair == (MemoryKind.GPU, MemoryKind.HOST):
+            self.stats.bytes_from_gpu += nbytes
+            requests.append((self.resources.pcie, nbytes, "spill d2h"))
+        elif pair == (MemoryKind.HOST, MemoryKind.GPU):
+            self.stats.bytes_to_gpu += nbytes
+            requests.append((self.resources.pcie, nbytes, "stage h2d"))
+        elif pair == (MemoryKind.HOST, MemoryKind.DISK):
+            self.stats.bytes_to_disk += nbytes
+            requests.append((self.resources.disk, nbytes, "spill to disk"))
+        elif pair == (MemoryKind.DISK, MemoryKind.HOST):
+            self.stats.bytes_from_disk += nbytes
+            requests.append((self.resources.disk, nbytes, "read from disk"))
+        elif pair == (MemoryKind.GPU, MemoryKind.DISK):
+            self.stats.bytes_from_gpu += nbytes
+            self.stats.bytes_to_disk += nbytes
+            requests.append((self.resources.pcie, nbytes, "spill d2h"))
+            requests.append((self.resources.disk, nbytes, "spill to disk"))
+        elif pair == (MemoryKind.DISK, MemoryKind.GPU):
+            self.stats.bytes_from_disk += nbytes
+            self.stats.bytes_to_gpu += nbytes
+            requests.append((self.resources.disk, nbytes, "read from disk"))
+            requests.append((self.resources.pcie, nbytes, "stage h2d"))
+        elif pair == (MemoryKind.GPU, MemoryKind.GPU):
+            requests.append((self.resources.pcie, nbytes, "p2p"))
+        # HOST -> HOST (and identical spaces) move no data.
+        return requests

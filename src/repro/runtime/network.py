@@ -1,0 +1,110 @@
+"""Simulated inter-node communication (Sec. 3.2).
+
+Lightning uses MPI: an RPC protocol on top of MPI for driver↔worker control
+messages and non-blocking point-to-point transfers for bulk data between
+workers.  This module provides the in-process equivalent: messages between
+workers are matched by ``(src, dst, tag)`` exactly like MPI point-to-point
+traffic, the bytes occupy the sender's NIC (a shared-bandwidth resource) for
+the transfer duration, and receives complete only when both the matching
+message has arrived *and* the receive task's dependencies are satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..hardware.topology import WorkerId
+
+__all__ = ["Message", "NetworkFabric", "RpcChannel"]
+
+
+@dataclass
+class Message:
+    """One point-to-point message: payload plus matching information."""
+
+    src: WorkerId
+    dst: WorkerId
+    tag: int
+    nbytes: int
+    data: Optional[np.ndarray] = None
+
+    @property
+    def key(self) -> Tuple[WorkerId, WorkerId, int]:
+        return (self.src, self.dst, self.tag)
+
+
+class NetworkFabric:
+    """Matches sends with receives, MPI style.
+
+    The timing of the wire transfer is charged by the sender (on its NIC
+    resource) *before* :meth:`deliver` is called, so the fabric itself only
+    performs matching and hands the payload to the registered receiver
+    callback.
+    """
+
+    def __init__(self) -> None:
+        self._arrived: Dict[Tuple[WorkerId, WorkerId, int], Message] = {}
+        self._waiting: Dict[Tuple[WorkerId, WorkerId, int], Callable[[Message], None]] = {}
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    def deliver(self, message: Message) -> None:
+        """Called by the sender when the wire transfer completes."""
+        key = message.key
+        if key in self._arrived:
+            raise RuntimeError(f"duplicate message for tag {key}")
+        callback = self._waiting.pop(key, None)
+        if callback is not None:
+            self._complete(message, callback)
+        else:
+            self._arrived[key] = message
+
+    def expect(
+        self,
+        src: WorkerId,
+        dst: WorkerId,
+        tag: int,
+        callback: Callable[[Message], None],
+    ) -> None:
+        """Called by the receiver when its RecvTask is ready to consume data."""
+        key = (src, dst, tag)
+        message = self._arrived.pop(key, None)
+        if message is not None:
+            self._complete(message, callback)
+        else:
+            if key in self._waiting:
+                raise RuntimeError(f"duplicate receive posted for tag {key}")
+            self._waiting[key] = callback
+
+    def _complete(self, message: Message, callback: Callable[[Message], None]) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += message.nbytes
+        callback(message)
+
+    @property
+    def outstanding(self) -> int:
+        """Messages delivered but not yet consumed plus receives still waiting."""
+        return len(self._arrived) + len(self._waiting)
+
+
+@dataclass
+class RpcChannel:
+    """Driver → worker control channel.
+
+    Control messages are small, so only their latency matters; the channel
+    simply schedules the handler after ``latency`` seconds of virtual time.
+    The paper notes the driver runs on the first worker node, so messages to
+    worker 0 are free.
+    """
+
+    engine: "object"
+    latency: float
+    control_messages: int = field(default=0)
+
+    def call(self, dst_worker: WorkerId, handler: Callable[[], None]) -> None:
+        self.control_messages += 1
+        delay = 0.0 if dst_worker == 0 else self.latency
+        self.engine.schedule(delay, handler)

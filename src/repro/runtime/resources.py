@@ -1,0 +1,94 @@
+"""Per-worker simulated resources.
+
+Each worker node owns the resources the paper's executors map onto:
+
+* one compute engine per GPU (kernel launches, reductions),
+* one device-to-device copy engine per GPU (copies inside one GPU),
+* one PCIe bus per node, **shared** by all of the node's GPUs — host↔device
+  staging transfers and peer-to-peer copies both ride on it,
+* one NIC per node for inter-node sends,
+* one disk per node for the lowest spill tier,
+* a host/CPU executor (chunk fills, downloads), and
+* the worker's scheduler control path, which charges a fixed cost per task
+  and therefore bounds how many tiny tasks per second one worker can manage
+  (the left edge of Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hardware.topology import DeviceId, Node
+from ..perfmodel.costs import OverheadModel
+from ..simulator.engine import Engine
+from ..simulator.resources import BandwidthResource, ChannelResource
+from ..simulator.trace import Trace
+
+__all__ = ["WorkerResources"]
+
+
+class WorkerResources:
+    """Bundle of simulated resources belonging to one worker node."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: Node,
+        overheads: OverheadModel,
+        trace: Trace,
+    ):
+        worker = node.worker
+        spec = node.spec
+        self.node = node
+        prefix = f"w{worker}"
+
+        self.gpu_compute: Dict[DeviceId, ChannelResource] = {}
+        self.gpu_dtod: Dict[DeviceId, BandwidthResource] = {}
+        for device in node.devices:
+            name = f"{prefix}.gpu{device.device_id.local_index}"
+            self.gpu_compute[device.device_id] = ChannelResource(
+                engine, f"{name}.compute", channels=1, trace=trace
+            )
+            self.gpu_dtod[device.device_id] = BandwidthResource(
+                engine, f"{name}.dtod", bandwidth=device.spec.mem_bandwidth, trace=trace
+            )
+
+        self.pcie = BandwidthResource(
+            engine,
+            f"{prefix}.pcie",
+            bandwidth=spec.pcie_bandwidth,
+            latency=spec.pcie_latency,
+            trace=trace,
+        )
+        self.nic = BandwidthResource(
+            engine,
+            f"{prefix}.nic",
+            bandwidth=1e9,  # replaced below: interconnect bandwidth comes from the cluster
+            trace=trace,
+        )
+        self.disk = BandwidthResource(
+            engine,
+            f"{prefix}.disk",
+            bandwidth=min(spec.disk.read_bandwidth, spec.disk.write_bandwidth),
+            latency=spec.disk.latency,
+            trace=trace,
+        )
+        self.cpu = ChannelResource(engine, f"{prefix}.cpu", channels=spec.cpu.cores, trace=trace)
+        self.scheduler = ChannelResource(
+            engine,
+            f"{prefix}.sched",
+            channels=1,
+            per_item_overhead=overheads.schedule_per_task,
+            trace=trace,
+        )
+
+    def set_nic_bandwidth(self, bandwidth: float, latency: float) -> None:
+        """Configure the NIC from the cluster's interconnect spec."""
+        self.nic.bandwidth = bandwidth
+        self.nic.latency = latency
+
+    def compute_for(self, device: DeviceId) -> ChannelResource:
+        return self.gpu_compute[device]
+
+    def dtod_for(self, device: DeviceId) -> BandwidthResource:
+        return self.gpu_dtod[device]

@@ -1,0 +1,165 @@
+"""Per-worker task scheduler (Sec. 3.3).
+
+Each worker schedules its own DAG: the driver only *plans*.  A task becomes
+ready when all its predecessor tasks (possibly from earlier plans) have
+finished; it then passes through the worker's scheduler control path (fixed
+per-task cost), is *staged* by the memory manager (all its chunks are
+materialised in the right memory spaces), executed on its resource, and
+finally unstaged so its successors can proceed.
+
+The scheduler throttles how many bytes may be staged per executor at once
+(default 2 GB, as in the paper): too few concurrently staged tasks prevents
+overlapping transfers with execution, too many causes contention because
+chunks are staged too far ahead of time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import tasks as T
+from ..hardware.topology import DeviceId, WorkerId
+from .executors import TaskExecutor
+from .memory import MemoryManager
+from .policies import SchedulingPolicy, get_policy
+from .resources import WorkerResources
+
+__all__ = ["Scheduler", "DEFAULT_STAGE_THRESHOLD"]
+
+#: Maximum bytes staged per executor at any one time (Sec. 3.4: "2 GB works well").
+DEFAULT_STAGE_THRESHOLD = 2 * 1024 ** 3
+
+
+class Scheduler:
+    """Schedules one worker's tasks onto its local resources."""
+
+    def __init__(
+        self,
+        runtime: "object",
+        worker: WorkerId,
+        resources: WorkerResources,
+        memory: MemoryManager,
+        executor: TaskExecutor,
+        stage_threshold: int = DEFAULT_STAGE_THRESHOLD,
+        policy: "str | SchedulingPolicy | None" = None,
+    ):
+        self.runtime = runtime
+        self.worker = worker
+        self.resources = resources
+        self.memory = memory
+        self.executor = executor
+        self.stage_threshold = stage_threshold
+        self.policy = get_policy(policy)
+
+        self._waiting: Dict[int, Tuple[T.Task, int]] = {}
+        self._staged_bytes: Dict[object, int] = {}
+        self._throttled: Dict[object, List[T.Task]] = {}
+        self.tasks_completed = 0
+        self.tasks_submitted = 0
+
+    # ------------------------------------------------------------------ #
+    # submission and readiness
+    # ------------------------------------------------------------------ #
+    def submit(self, tasks: List[T.Task]) -> None:
+        """Receive a DAG fragment from the driver."""
+        for task in tasks:
+            self.tasks_submitted += 1
+            unmet = [dep for dep in task.deps if not self.runtime.is_finished(dep)]
+            if not unmet:
+                self._ready(task)
+                continue
+            self._waiting[task.task_id] = (task, len(unmet))
+            for dep in unmet:
+                self.runtime.subscribe(dep, self._make_dep_callback(task.task_id))
+
+    def _make_dep_callback(self, task_id: int):
+        def _dep_done() -> None:
+            entry = self._waiting.get(task_id)
+            if entry is None:
+                return
+            task, remaining = entry
+            remaining -= 1
+            if remaining == 0:
+                del self._waiting[task_id]
+                self._ready(task)
+            else:
+                self._waiting[task_id] = (task, remaining)
+
+        return _dep_done
+
+    def _ready(self, task: T.Task) -> None:
+        """Dependencies satisfied: pass through the scheduler control path."""
+        self.resources.scheduler.request(
+            0.0, lambda: self._begin_staging(task), label=f"sched {task.kind}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # staging with throttle
+    # ------------------------------------------------------------------ #
+    def _throttle_key(self, task: T.Task) -> object:
+        if isinstance(task, T.LaunchTask):
+            return task.device
+        if isinstance(task, T.ReduceTask) and self.memory.knows(task.dst_chunk):
+            return self.memory._chunks[task.dst_chunk].meta.home  # noqa: SLF001 - internal peer
+        return "host"
+
+    def _begin_staging(self, task: T.Task) -> None:
+        requirements = list(task.chunk_requirements())
+        key = self._throttle_key(task)
+        footprint = self.memory.footprint(requirements) if requirements else 0
+        staged = self._staged_bytes.get(key, 0)
+        if requirements and staged > 0 and staged + footprint > self.stage_threshold:
+            self._throttled.setdefault(key, []).append(task)
+            return
+        self._stage_now(task, key, footprint, requirements)
+
+    def _stage_now(self, task: T.Task, key, footprint: int, requirements) -> None:
+        self._staged_bytes[key] = self._staged_bytes.get(key, 0) + footprint
+
+        def _staged() -> None:
+            self.executor.execute(task, lambda: self._finish(task, key, footprint))
+
+        if requirements:
+            self.memory.stage(task.task_id, requirements, _staged)
+        else:
+            _staged()
+
+    def _finish(self, task: T.Task, key, footprint: int) -> None:
+        if footprint or task.chunk_requirements():
+            self.memory.unstage(task.task_id)
+        self._staged_bytes[key] = self._staged_bytes.get(key, 0) - footprint
+        self.tasks_completed += 1
+        self.runtime.notify_completion(task.task_id)
+        self._drain_throttled(key)
+
+    def _drain_throttled(self, key) -> None:
+        backlog = self._throttled.get(key)
+        while backlog:
+            # The scheduling policy picks which backlogged task to stage next
+            # (the paper picks arbitrarily; locality/priority policies are the
+            # future work of Sec. 3.3).  If the chosen task does not fit under
+            # the staging throttle we stop draining until more work unstages.
+            index = self.policy.select(backlog, self)
+            task = backlog[index]
+            requirements = list(task.chunk_requirements())
+            footprint = self.memory.footprint(requirements) if requirements else 0
+            staged = self._staged_bytes.get(key, 0)
+            if staged > 0 and staged + footprint > self.stage_threshold:
+                return
+            backlog.pop(index)
+            self._stage_now(task, key, footprint, requirements)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def pending_tasks(self) -> int:
+        return len(self._waiting) + sum(len(q) for q in self._throttled.values())
+
+    def describe_stuck(self) -> str:
+        lines = [f"worker {self.worker}: {len(self._waiting)} waiting tasks"]
+        for task, remaining in list(self._waiting.values())[:10]:
+            lines.append(f"  {task} waiting on {remaining} dependencies ({task.deps})")
+        for key, queue in self._throttled.items():
+            if queue:
+                lines.append(f"  {len(queue)} tasks throttled on {key}")
+        return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""The runtime system: driver-side coordination of all workers (Sec. 3.1).
+
+:class:`RuntimeSystem` owns the discrete-event engine, the cluster topology,
+the network fabric and one :class:`~repro.runtime.worker.Worker` per node.
+The driver (the user's :class:`~repro.core.context.Context`) hands it
+execution plans; the runtime charges plan-construction time on the driver's
+own resource (so planning overlaps with execution on the workers, as in the
+paper), delivers each worker's DAG fragment through the RPC channel, tracks
+completion of every task, and advances virtual time until the system is idle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.tasks import ExecutionPlan, TaskId
+from ..hardware.specs import ClusterSpec
+from ..hardware.topology import Cluster
+from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel
+from ..simulator.engine import Engine
+from ..simulator.resources import ChannelResource
+from ..simulator.trace import Trace
+from .memory import MemoryStats, OutOfMemoryError
+from .network import NetworkFabric, RpcChannel
+from .scheduler import DEFAULT_STAGE_THRESHOLD
+from .worker import Worker
+
+__all__ = ["ExecutionMode", "RuntimeSystem", "RuntimeStats", "OutOfMemoryError"]
+
+
+class ExecutionMode(enum.Enum):
+    """How plans are executed.
+
+    * ``FUNCTIONAL`` — chunks are backed by NumPy buffers and kernels really
+      compute; used by tests, examples and any run whose results are read back.
+    * ``SIMULATE`` — only metadata and the performance model run; used by the
+      benchmark harness to sweep the paper's large problem sizes.
+    """
+
+    FUNCTIONAL = "functional"
+    SIMULATE = "simulate"
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate counters collected after a run."""
+
+    virtual_time: float = 0.0
+    tasks_completed: int = 0
+    kernel_launches: int = 0
+    control_messages: int = 0
+    network_bytes: float = 0.0
+    network_messages: int = 0
+    memory: Dict[int, MemoryStats] = field(default_factory=dict)
+    resource_busy: Dict[str, float] = field(default_factory=dict)
+
+
+class RuntimeSystem:
+    """Driver-side owner of the whole simulated runtime."""
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+        overheads: OverheadModel = DEFAULT_OVERHEADS,
+        stage_threshold: int = DEFAULT_STAGE_THRESHOLD,
+        enable_trace: bool = True,
+        memory_capacities=None,
+        scheduler_policy=None,
+        record_plans: bool = False,
+    ):
+        self.cluster = Cluster(cluster_spec)
+        self.mode = mode
+        self.overheads = overheads
+        self.engine = Engine()
+        self.trace = Trace() if enable_trace else None
+        self.fabric = NetworkFabric()
+        self.rpc = RpcChannel(self.engine, overheads.rpc_latency)
+        self.kernel_registry: Dict[str, object] = {}
+
+        #: Planning happens on the driver; one serial resource models it.
+        self.driver_plan = ChannelResource(
+            self.engine,
+            "driver.plan",
+            channels=1,
+            per_item_overhead=0.0,
+            trace=self.trace,
+        )
+
+        self.workers: List[Worker] = []
+        for node in self.cluster.nodes:
+            worker = Worker(
+                runtime=self,
+                node=node,
+                engine=self.engine,
+                trace=self.trace,
+                fabric=self.fabric,
+                kernel_registry=self.kernel_registry,
+                overheads=overheads,
+                functional=(mode is ExecutionMode.FUNCTIONAL),
+                stage_threshold=stage_threshold,
+                memory_capacities=memory_capacities,
+                scheduler_policy=scheduler_policy,
+            )
+            worker.resources.set_nic_bandwidth(
+                cluster_spec.interconnect.bandwidth, cluster_spec.interconnect.latency
+            )
+            self.workers.append(worker)
+
+        self._finished: Set[TaskId] = set()
+        self._subscribers: Dict[TaskId, List[Callable[[], None]]] = {}
+        self._outstanding = 0
+        self.plans_submitted = 0
+        #: When ``record_plans`` is set, every submitted plan is kept here so
+        #: ``repro.analysis`` can rebuild the full task DAG (Fig. 4) afterwards.
+        self.record_plans = record_plans
+        self.recorded_plans: List[ExecutionPlan] = []
+
+    # ------------------------------------------------------------------ #
+    # completion tracking (shared by all schedulers)
+    # ------------------------------------------------------------------ #
+    def is_finished(self, task_id: TaskId) -> bool:
+        return task_id in self._finished
+
+    def subscribe(self, task_id: TaskId, callback: Callable[[], None]) -> None:
+        if task_id in self._finished:
+            callback()
+            return
+        self._subscribers.setdefault(task_id, []).append(callback)
+
+    def notify_completion(self, task_id: TaskId) -> None:
+        if task_id in self._finished:
+            raise RuntimeError(f"task {task_id} completed twice")
+        self._finished.add(task_id)
+        self._outstanding -= 1
+        for callback in self._subscribers.pop(task_id, []):
+            callback()
+
+    @property
+    def outstanding_tasks(self) -> int:
+        return self._outstanding
+
+    # ------------------------------------------------------------------ #
+    # plan submission
+    # ------------------------------------------------------------------ #
+    def submit_plan(self, plan: ExecutionPlan) -> None:
+        """Charge planning time, then deliver each worker's DAG fragment via RPC.
+
+        Submission is asynchronous with respect to execution: the driver keeps
+        planning the next launch while workers execute earlier ones, exactly
+        the overlap the paper exploits (Sec. 2.4).
+        """
+        plan.validate()
+        self.plans_submitted += 1
+        if self.record_plans:
+            self.recorded_plans.append(plan)
+        self._outstanding += plan.task_count
+        planning_time = self.overheads.plan_per_task * plan.task_count
+
+        def _deliver() -> None:
+            for worker_id, tasks in plan.tasks_by_worker.items():
+                worker = self.workers[worker_id]
+                self.rpc.call(worker_id, lambda w=worker, t=tasks: w.submit(t))
+
+        self.driver_plan.request(planning_time, _deliver, label=plan.description or "plan")
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_until_idle(self) -> float:
+        """Advance virtual time until every submitted task has completed."""
+        self.engine.run()
+        if self._outstanding > 0:
+            details = "\n".join(w.scheduler.describe_stuck() for w in self.workers)
+            raise RuntimeError(
+                f"runtime deadlock: {self._outstanding} tasks never became runnable\n{details}"
+            )
+        return self.engine.now
+
+    @property
+    def virtual_time(self) -> float:
+        return self.engine.now
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> RuntimeStats:
+        stats = RuntimeStats(virtual_time=self.engine.now)
+        stats.control_messages = self.rpc.control_messages
+        stats.network_bytes = self.fabric.bytes_delivered
+        stats.network_messages = self.fabric.messages_delivered
+        for worker in self.workers:
+            stats.tasks_completed += worker.scheduler.tasks_completed
+            stats.kernel_launches += worker.executor.kernel_launches
+            stats.memory[worker.worker_id] = worker.memory.stats
+        if self.trace is not None:
+            stats.resource_busy = self.trace.summary()
+        return stats
+
+    def register_kernel(self, name: str, kernel: object) -> None:
+        if name in self.kernel_registry:
+            raise ValueError(f"kernel {name!r} already registered")
+        self.kernel_registry[name] = kernel

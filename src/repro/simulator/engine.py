@@ -1,0 +1,81 @@
+"""Minimal discrete-event engine.
+
+The engine keeps a priority queue of timestamped callbacks.  Resources
+(:mod:`repro.simulator.resources`) schedule their own completion events; the
+runtime's scheduler reacts to completions by releasing dependent tasks, which
+in turn request resources.  ``run()`` drains the queue and returns the final
+virtual time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Priority-queue driven virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` ``delay`` seconds of virtual time from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` at absolute virtual time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def call_soon(self, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` at the current virtual time, after pending same-time events."""
+        self.schedule(0.0, callback)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        if time < self.now:
+            raise RuntimeError("event queue went backwards in time")
+        self.now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue (optionally bounded) and return the final time."""
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return self.now

@@ -1,0 +1,222 @@
+"""Simulated resources: FIFO channels and shared-bandwidth links.
+
+Two resource flavours cover everything the runtime needs:
+
+* :class:`ChannelResource` — ``k`` identical servers with a FIFO queue.  Used
+  for GPU compute engines (k=1), per-GPU copy engines, the per-worker
+  scheduler/control path and the driver's planner.
+
+* :class:`BandwidthResource` — a processor-sharing link: concurrent transfers
+  split the bandwidth equally, which is how a PCIe bus shared by several GPUs
+  or a NIC carrying several messages behaves to first order.  This is the
+  mechanism behind the paper's observation that multi-GPU nodes stop
+  benefiting from host-memory spilling because the GPUs share the PCIe bus
+  (Sec. 4.4), while spreading the same GPUs over multiple nodes restores the
+  benefit (Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from .engine import Engine
+from .trace import Trace
+
+__all__ = ["Resource", "ChannelResource", "BandwidthResource"]
+
+Callback = Callable[[], None]
+
+#: Transfers are considered complete when less than half a byte remains.  The
+#: processor-sharing arithmetic leaves tiny floating-point residuals; treating
+#: them as unfinished can produce wake-ups whose delay underflows below the
+#: clock's floating-point resolution and the simulation stops making progress.
+_BYTE_EPSILON = 0.5
+
+
+class Resource:
+    """Common interface: request work, get a callback when it completes."""
+
+    def __init__(self, engine: Engine, name: str, trace: Optional[Trace] = None):
+        self.engine = engine
+        self.name = name
+        self.trace = trace
+        self.completed_items = 0
+
+    def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        raise NotImplementedError
+
+    def _record(self, label: str, start: float, end: float) -> None:
+        if self.trace is not None:
+            self.trace.record(self.name, label, start, end)
+
+
+@dataclass
+class _QueuedWork:
+    duration: float
+    callback: Callback
+    label: str
+
+
+class ChannelResource(Resource):
+    """``channels`` identical servers with a FIFO queue.
+
+    ``request(duration)`` enqueues a work item lasting ``duration`` seconds.
+    An optional ``per_item_overhead`` is added to every item, modelling fixed
+    scheduling/launch costs.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        channels: int = 1,
+        per_item_overhead: float = 0.0,
+        trace: Optional[Trace] = None,
+    ):
+        super().__init__(engine, name, trace)
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.channels = channels
+        self.per_item_overhead = per_item_overhead
+        self._queue: Deque[_QueuedWork] = deque()
+        self._busy = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy_servers(self) -> int:
+        return self._busy
+
+    def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        if amount < 0:
+            raise ValueError(f"negative duration {amount!r}")
+        self._queue.append(_QueuedWork(amount + self.per_item_overhead, callback, label))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._busy < self.channels and self._queue:
+            work = self._queue.popleft()
+            self._busy += 1
+            start = self.engine.now
+            end = start + work.duration
+
+            def _complete(work=work, start=start, end=end) -> None:
+                self._busy -= 1
+                self.completed_items += 1
+                self._record(work.label, start, end)
+                work.callback()
+                self._dispatch()
+
+            self.engine.schedule(work.duration, _complete)
+
+
+@dataclass
+class _Transfer:
+    remaining: float
+    callback: Callback
+    label: str
+    started: float
+
+
+class BandwidthResource(Resource):
+    """Processor-sharing link with a fixed total bandwidth (bytes/second).
+
+    Active transfers progress simultaneously, each at ``bandwidth / n`` where
+    ``n`` is the number of active transfers.  Each transfer additionally pays a
+    fixed ``latency`` once.  Completion times are recomputed whenever the
+    active set changes.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bandwidth: float,
+        latency: float = 0.0,
+        trace: Optional[Trace] = None,
+        max_concurrency: Optional[int] = None,
+    ):
+        super().__init__(engine, name, trace)
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.max_concurrency = max_concurrency
+        self._active: List[_Transfer] = []
+        self._waiting: Deque[_Transfer] = deque()
+        self._last_update = 0.0
+        self._wakeup_pending = False
+        self.bytes_transferred = 0.0
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        """Start transferring ``amount`` bytes; ``callback`` fires on completion."""
+        if amount < 0:
+            raise ValueError(f"negative transfer size {amount!r}")
+        self.bytes_transferred += amount
+        transfer = _Transfer(
+            remaining=float(amount) + self.latency * self.bandwidth,
+            callback=callback,
+            label=label,
+            started=self.engine.now,
+        )
+        self._advance()
+        if self.max_concurrency is not None and len(self._active) >= self.max_concurrency:
+            self._waiting.append(transfer)
+        else:
+            self._active.append(transfer)
+        self._reschedule()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _rate(self) -> float:
+        n = max(1, len(self._active))
+        return self.bandwidth / n
+
+    def _advance(self) -> None:
+        """Account progress made since the last update at the previous rate."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed <= 0:
+            self._last_update = now
+            return
+        if self._active:
+            rate = self._rate()
+            for transfer in self._active:
+                transfer.remaining = max(0.0, transfer.remaining - rate * elapsed)
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest possible completion time."""
+        if not self._active or self._wakeup_pending:
+            return
+        rate = self._rate()
+        next_done = min(t.remaining for t in self._active) / rate
+        self._wakeup_pending = True
+
+        def _wake() -> None:
+            self._wakeup_pending = False
+            self._advance()
+            finished = [t for t in self._active if t.remaining <= _BYTE_EPSILON]
+            self._active = [t for t in self._active if t.remaining > _BYTE_EPSILON]
+            while (
+                self._waiting
+                and (self.max_concurrency is None or len(self._active) < self.max_concurrency)
+            ):
+                self._active.append(self._waiting.popleft())
+            for transfer in finished:
+                self.completed_items += 1
+                self._record(transfer.label, transfer.started, self.engine.now)
+                transfer.callback()
+            self._advance()
+            self._reschedule()
+
+        self.engine.schedule(next_done, _wake)

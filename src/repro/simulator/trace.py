@@ -1,0 +1,97 @@
+"""Execution-trace recording for the simulator.
+
+Every resource records the intervals during which it was busy and on behalf of
+which task.  Tests use the trace to check that the runtime actually overlaps
+data movement with kernel execution (one of the paper's central claims), and
+benchmark harnesses use it to report utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceInterval", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One busy interval of one resource."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Collection of busy intervals, indexed by resource name."""
+
+    intervals: List[TraceInterval] = field(default_factory=list)
+
+    def record(self, resource: str, label: str, start: float, end: float) -> None:
+        self.intervals.append(TraceInterval(resource, label, start, end))
+
+    def for_resource(self, resource: str) -> List[TraceInterval]:
+        return [iv for iv in self.intervals if iv.resource == resource]
+
+    def busy_time(self, resource: str) -> float:
+        """Total busy time of ``resource`` (intervals may overlap for shared resources)."""
+        ivs = sorted(self.for_resource(resource), key=lambda iv: iv.start)
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for iv in ivs:
+            if cur_start is None:
+                cur_start, cur_end = iv.start, iv.end
+            elif iv.start <= cur_end:
+                cur_end = max(cur_end, iv.end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = iv.start, iv.end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def utilisation(self, resource: str, makespan: float) -> float:
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time(resource) / makespan
+
+    def overlap_time(self, resource_a: str, resource_b: str) -> float:
+        """Total virtual time during which both resources were busy simultaneously."""
+        merged_a = self._merged(resource_a)
+        merged_b = self._merged(resource_b)
+        total = 0.0
+        i = j = 0
+        while i < len(merged_a) and j < len(merged_b):
+            a0, a1 = merged_a[i]
+            b0, b1 = merged_b[j]
+            lo, hi = max(a0, b0), min(a1, b1)
+            if hi > lo:
+                total += hi - lo
+            if a1 < b1:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def _merged(self, resource: str) -> List[tuple]:
+        ivs = sorted(self.for_resource(resource), key=lambda iv: iv.start)
+        merged: List[tuple] = []
+        for iv in ivs:
+            if merged and iv.start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], iv.end))
+            else:
+                merged.append((iv.start, iv.end))
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        """Busy time per resource."""
+        resources = {iv.resource for iv in self.intervals}
+        return {name: self.busy_time(name) for name in sorted(resources)}

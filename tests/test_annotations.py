@@ -1,0 +1,208 @@
+"""Tests for the data-annotation DSL: parsing and access-region evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotations import (
+    AccessMode,
+    Annotation,
+    AnnotationError,
+    LinearExpr,
+    parse_linear_expr,
+)
+from repro.core.distributions import Superblock
+from repro.core.geometry import Region
+from repro.hardware.topology import DeviceId
+
+
+def make_superblock(lo, hi, block=None):
+    lo = (lo,) if isinstance(lo, int) else tuple(lo)
+    hi = (hi,) if isinstance(hi, int) else tuple(hi)
+    block = block or tuple(1 for _ in lo)
+    return Superblock(
+        index=0,
+        device=DeviceId(0, 0),
+        thread_region=Region(lo, hi),
+        block_offset=tuple(l // b for l, b in zip(lo, block)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# linear expressions
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "text, values, expected",
+    [
+        ("i", {"i": 5}, 5),
+        ("i-1", {"i": 5}, 4),
+        ("i + 1", {"i": 5}, 6),
+        ("2*i", {"i": 3}, 6),
+        ("2*i + 3*j - 4", {"i": 1, "j": 2}, 4),
+        ("i*2", {"i": 3}, 6),
+        ("7", {}, 7),
+        ("-i", {"i": 4}, -4),
+        ("2 * 3", {}, 6),
+    ],
+)
+def test_parse_linear_expr_evaluates(text, values, expected):
+    assert parse_linear_expr(text).evaluate(values) == expected
+
+
+def test_parse_linear_expr_rejects_nonlinear():
+    with pytest.raises(AnnotationError):
+        parse_linear_expr("i*j")
+
+
+def test_parse_linear_expr_rejects_garbage():
+    with pytest.raises(AnnotationError):
+        parse_linear_expr("i /")
+    with pytest.raises(AnnotationError):
+        parse_linear_expr("")
+
+
+def test_linear_expr_bounds_respects_coefficient_sign():
+    expr = parse_linear_expr("3 - 2*i")
+    lo, hi = expr.bounds({"i": (0, 10)})
+    assert (lo, hi) == (3 - 20, 3)
+
+
+def test_linear_expr_unbound_variable_raises():
+    with pytest.raises(AnnotationError):
+        parse_linear_expr("i + k").bounds({"i": (0, 1)})
+
+
+# --------------------------------------------------------------------------- #
+# parsing whole annotations
+# --------------------------------------------------------------------------- #
+def test_parse_stencil_annotation():
+    ann = Annotation.parse("global i => read A[i-1:i+1], write B[i]")
+    assert ann.variable_names() == ("i",)
+    assert ann.array_names() == ("A", "B")
+    assert ann.access_for("A").mode is AccessMode.READ
+    assert ann.access_for("B").mode is AccessMode.WRITE
+    assert ann.access_for("C") is None
+
+
+def test_parse_matmul_annotation():
+    ann = Annotation.parse("global [i, j] => read A[i,:], read B[:,j], write C[i,j]")
+    assert ann.variable_names() == ("i", "j")
+    a_access = ann.access_for("A")
+    assert a_access.indices[1].is_slice
+    assert a_access.indices[1].lower is None and a_access.indices[1].upper is None
+
+
+def test_parse_reduce_annotation():
+    ann = Annotation.parse("global [i, j] => read A[i,j], reduce(+) sum[i]")
+    access = ann.access_for("sum")
+    assert access.mode is AccessMode.REDUCE
+    assert access.reduce_op == "+"
+    assert access.mode.writes and not access.mode.reads
+
+
+def test_parse_readwrite_and_multiple_bindings():
+    ann = Annotation.parse("global i, block b => readwrite X[i], read Y[b]")
+    assert ann.access_for("X").mode is AccessMode.READWRITE
+    assert {b.space for b in ann.bindings} == {"global", "block"}
+
+
+def test_round_trip_through_str():
+    source = "global [i, j] => read A[i,:], read B[:,j], write C[i,j]"
+    ann = Annotation.parse(source)
+    again = Annotation.parse(str(ann))
+    assert again.array_names() == ann.array_names()
+    assert [a.mode for a in again.accesses] == [a.mode for a in ann.accesses]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "global i read A[i]",                      # missing =>
+        "global i =>",                             # no accesses
+        "wibble i => read A[i]",                   # unknown binding space
+        "global i => peek A[i]",                   # unknown mode
+        "global i => reduce A[i]",                 # reduce without operator
+        "global i => reduce(xor) A[i]",            # unsupported operator
+        "global i => read A[i], write A[i]",       # duplicate array
+        "global i, global i => read A[i]",         # duplicate variable
+        "global i => read A[i",                    # unbalanced bracket
+        "global i => read A[]",                    # empty index list
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(AnnotationError):
+        Annotation.parse(bad)
+
+
+def test_reduce_with_unexpected_parens_on_read():
+    with pytest.raises(AnnotationError):
+        Annotation.parse("global i => read(+) A[i]")
+
+
+# --------------------------------------------------------------------------- #
+# access-region evaluation (Fig. 3)
+# --------------------------------------------------------------------------- #
+def test_stencil_access_region_is_widened_and_clamped():
+    ann = Annotation.parse("global i => read A[i-1:i+1], write B[i]")
+    sb = make_superblock(100, 200)
+    read = ann.access_region("A", sb, (1,), (1000,))
+    write = ann.access_region("B", sb, (1,), (1000,))
+    assert read == Region((99,), (201,))
+    assert write == Region((100,), (200,))
+    # clamped at the array boundary
+    sb0 = make_superblock(0, 50)
+    assert ann.access_region("A", sb0, (1,), (1000,)) == Region((0,), (51,))
+
+
+def test_full_slice_access_region_covers_whole_axis():
+    ann = Annotation.parse("global [i, j] => read A[i,:], write C[i,j]")
+    sb = make_superblock((10, 0), (20, 64))
+    region = ann.access_region("A", sb, (1, 1), (100, 64))
+    assert region == Region((10, 0), (20, 64))
+
+
+def test_block_binding_ranges_use_block_size():
+    ann = Annotation.parse("block b => write A[b]")
+    sb = make_superblock(64, 128, block=(32,))
+    region = ann.access_region("A", sb, (32,), (100,))
+    assert region == Region((2,), (4,))  # blocks 2 and 3 (inclusive bounds)
+
+
+def test_scaled_index_expression_region():
+    ann = Annotation.parse("global i => write A[2*i]")
+    sb = make_superblock(0, 10)
+    region = ann.access_region("A", sb, (1,), (100,))
+    assert region == Region((0,), (19,))
+
+
+def test_access_region_for_unknown_array_raises():
+    ann = Annotation.parse("global i => read A[i]")
+    with pytest.raises(AnnotationError):
+        ann.access_region("Z", make_superblock(0, 4), (1,), (10,))
+
+
+def test_dimension_mismatch_between_access_and_array_raises():
+    ann = Annotation.parse("global i => read A[i]")
+    with pytest.raises(AnnotationError):
+        ann.access_region("A", make_superblock(0, 4), (1,), (10, 10))
+
+
+# --------------------------------------------------------------------------- #
+# property-based: the access region always contains every thread's accesses
+# --------------------------------------------------------------------------- #
+@given(
+    lo=st.integers(0, 500),
+    extent=st.integers(1, 200),
+    offset=st.integers(-3, 3),
+    width=st.integers(0, 4),
+    array_size=st.integers(1, 2000),
+)
+@settings(max_examples=150, deadline=None)
+def test_point_accesses_lie_inside_the_evaluated_region(lo, extent, offset, width, array_size):
+    ann = Annotation.parse(f"global i => read A[i+{offset}:i+{offset + width}]")
+    sb = make_superblock(lo, lo + extent)
+    region = ann.access_region("A", sb, (1,), (array_size,))
+    for i in (lo, lo + extent // 2, lo + extent - 1):
+        for accessed in range(i + offset, i + offset + width + 1):
+            if 0 <= accessed < array_size:
+                assert (accessed,) in region

@@ -1,0 +1,320 @@
+"""Tests for the chunk-size and distribution advisors (repro.autotune)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlockDist,
+    BlockWorkDist,
+    ColumnDist,
+    Context,
+    ExecutionMode,
+    KernelDef,
+    ReplicatedDist,
+    RowDist,
+    StencilDist,
+    TileDist,
+    TileWorkDist,
+    azure_nc24rsv2,
+)
+from repro.autotune import (
+    ChunkSizeAutotuner,
+    DistributionAdvice,
+    recommend_chunk_bytes,
+    suggest_data_distribution,
+    suggest_kernel_distributions,
+    suggest_work_distribution,
+)
+from repro.core.annotations import Annotation
+from repro.kernels import create_workload
+
+MB = 1024 ** 2
+GB = 1024 ** 3
+
+
+# --------------------------------------------------------------------------- #
+# analytic chunk-size model
+# --------------------------------------------------------------------------- #
+def test_recommend_chunk_bytes_matches_paper_guidance():
+    advice = recommend_chunk_bytes()
+    # Sec. 2.2 / Fig. 10: tens of MB up to a few GB are fine, ~0.5 GB is good.
+    assert advice.min_bytes < 512 * MB < advice.max_bytes
+    assert advice.min_bytes >= 1 * MB
+    assert advice.max_bytes <= 8 * GB
+    assert advice.contains(advice.recommended_bytes)
+    assert "PCIe" in advice.rationale
+
+
+def test_recommend_chunk_bytes_scales_with_overhead_budget():
+    strict = recommend_chunk_bytes(overhead_budget=0.01)
+    relaxed = recommend_chunk_bytes(overhead_budget=0.10)
+    assert strict.min_bytes > relaxed.min_bytes
+
+
+def test_recommend_chunk_bytes_upper_bound_tracks_gpu_memory_and_throttle():
+    small_throttle = recommend_chunk_bytes(stage_threshold=256 * MB)
+    assert small_throttle.max_bytes == 128 * MB
+    default = recommend_chunk_bytes()
+    assert default.max_bytes <= azure_nc24rsv2(1, 1).node.gpus[0].memory_bytes // 4
+
+
+def test_recommend_chunk_bytes_degenerate_configuration_collapses():
+    # An absurdly small throttle forces min >= max; the advice must stay consistent.
+    advice = recommend_chunk_bytes(stage_threshold=2 * MB, overhead_budget=0.001)
+    assert advice.min_bytes == advice.max_bytes == advice.recommended_bytes
+
+
+# --------------------------------------------------------------------------- #
+# profiling-based autotuner
+# --------------------------------------------------------------------------- #
+def test_autotuner_candidates_are_geometric_and_within_bounds():
+    tuner = ChunkSizeAutotuner(runner=lambda c: 1.0, element_bytes=8)
+    candidates = tuner.candidates(count=5)
+    advice = recommend_chunk_bytes()
+    assert len(candidates) >= 2
+    assert candidates == sorted(candidates)
+    assert candidates[0] >= advice.min_bytes // 8
+    assert candidates[-1] <= advice.max_bytes // 8
+
+
+def test_autotuner_picks_fastest_candidate():
+    # Synthetic U-shaped cost curve with the optimum at 1000 elements.
+    def runner(chunk):
+        return abs(np.log10(chunk) - 3.0) + 0.1
+
+    tuner = ChunkSizeAutotuner(runner=runner)
+    best, timings = tuner.tune(candidates=[10, 100, 1_000, 10_000, 100_000])
+    assert best == 1_000
+    assert set(timings) == {10, 100, 1_000, 10_000, 100_000}
+
+
+def test_autotuner_rejects_empty_candidate_list():
+    tuner = ChunkSizeAutotuner(runner=lambda c: 1.0)
+    with pytest.raises(ValueError):
+        tuner.tune(candidates=[])
+
+
+def test_autotuner_on_simulated_kmeans_reproduces_fig10_shape():
+    """Profiling K-Means on the simulated cluster: the tuned chunk size must
+    beat both a tiny and a huge chunk, which is exactly Fig. 10's U-shape."""
+    n = 400_000_000  # 6.4 GB of 16-byte records
+
+    def runner(chunk_elems):
+        ctx = Context(azure_nc24rsv2(1, 1), mode=ExecutionMode.SIMULATE)
+        return create_workload("kmeans", ctx, n, chunk_elems=chunk_elems).run().elapsed
+
+    tiny, huge = 400_000, 200_000_000
+    tuner = ChunkSizeAutotuner(runner=runner, element_bytes=16)
+    best, timings = tuner.tune(candidates=[tiny, 8_000_000, 32_000_000, huge])
+    assert timings[best] <= timings[tiny]
+    assert timings[best] <= timings[huge]
+    assert best not in (tiny,)
+
+
+# --------------------------------------------------------------------------- #
+# distribution advisor: per-array patterns
+# --------------------------------------------------------------------------- #
+def _single_access(annotation_text):
+    annotation = Annotation.parse(annotation_text)
+    return annotation, annotation.accesses
+
+
+def test_advisor_point_access_1d_suggests_block():
+    annotation, accesses = _single_access("global i => write out[i]")
+    advice = suggest_data_distribution(accesses[0], (10_000_000,), annotation, itemsize=4)
+    assert isinstance(advice.distribution, BlockDist)
+    assert advice.axis == 0
+    assert advice.distribution.chunk_size <= 10_000_000
+
+
+def test_advisor_stencil_access_suggests_halo():
+    annotation, accesses = _single_access("global i => read a[i-2:i+2], write b[i]")
+    advice = suggest_data_distribution(accesses[0], (1_000_000,), annotation)
+    assert isinstance(advice.distribution, StencilDist)
+    assert advice.halo == 2
+    assert advice.distribution.halo == 2
+    assert "halo" in advice.rationale
+
+
+def test_advisor_row_access_suggests_rowdist():
+    annotation, accesses = _single_access("global i => read A[i,:], write y[i]")
+    advice = suggest_data_distribution(accesses[0], (100_000, 1_000), annotation, itemsize=8)
+    assert isinstance(advice.distribution, RowDist)
+    assert advice.axis == 0
+
+
+def test_advisor_column_access_suggests_columndist():
+    annotation, accesses = _single_access("global j => read B[:,j], write y[j]")
+    advice = suggest_data_distribution(accesses[0], (1_000, 100_000), annotation, itemsize=8)
+    assert isinstance(advice.distribution, ColumnDist)
+    assert advice.axis == 1
+
+
+def test_advisor_small_thread_independent_array_is_replicated():
+    annotation, accesses = _single_access("global i => read c[:,:], write out[i]")
+    advice = suggest_data_distribution(accesses[0], (64, 64), annotation, itemsize=8)
+    assert isinstance(advice.distribution, ReplicatedDist)
+    assert advice.axis is None
+
+
+def test_advisor_large_thread_independent_array_is_partitioned_not_replicated():
+    annotation, accesses = _single_access("global i => read B[:,:], write out[i]")
+    advice = suggest_data_distribution(
+        accesses[0], (100_000, 100_000), annotation, itemsize=8
+    )
+    assert isinstance(advice.distribution, RowDist)
+    assert "too large" in advice.rationale
+
+
+def test_advisor_two_axis_point_access_suggests_tiles():
+    annotation, accesses = _single_access("global [i, j] => write C[i,j]")
+    advice = suggest_data_distribution(
+        accesses[0], (50_000, 50_000), annotation, itemsize=4
+    )
+    assert isinstance(advice.distribution, TileDist)
+
+
+def test_advisor_alignment_rounds_chunk_extent():
+    annotation, accesses = _single_access("global i => write out[i]")
+    advice = suggest_data_distribution(
+        accesses[0], (10_000_000,), annotation, itemsize=4,
+        target_chunk_bytes=1_000_003 * 4, align=128,
+    )
+    assert advice.distribution.chunk_size % 128 == 0
+
+
+def test_advisor_chunks_respect_target_bytes():
+    annotation, accesses = _single_access("global i => read A[i,:], write y[i]")
+    target = 64 * MB
+    advice = suggest_data_distribution(
+        accesses[0], (1_000_000, 1_000), annotation, itemsize=8, target_chunk_bytes=target
+    )
+    rows = advice.distribution.rows_per_chunk
+    assert rows * 1_000 * 8 <= target * 1.01
+
+
+# --------------------------------------------------------------------------- #
+# whole-kernel advice and work alignment
+# --------------------------------------------------------------------------- #
+def _stencil_kernel_def():
+    return (
+        KernelDef("advise_stencil", func=lambda *a, **k: None)
+        .param_value("n", "int64")
+        .param_array("output", "float32")
+        .param_array("input", "float32")
+        .annotate("global i => read input[i-1:i+1], write output[i]")
+    )
+
+
+def test_suggest_kernel_distributions_for_stencil():
+    n = 10_000_000
+    kernel = _stencil_kernel_def()
+    advice, work, rationale = suggest_kernel_distributions(
+        kernel, {"output": (n,), "input": (n,)}, grid=(n,), block=(256,), device_count=4
+    )
+    assert set(advice) == {"output", "input"}
+    assert isinstance(advice["input"].distribution, StencilDist)
+    assert advice["input"].halo == 1
+    assert isinstance(advice["output"].distribution, BlockDist)
+    assert isinstance(work, BlockWorkDist)
+    # superblocks aligned with the written array's chunks and the block size
+    assert work.threads_per_superblock == advice["output"].distribution.chunk_size
+    assert work.threads_per_superblock % 256 == 0
+    assert "output" in rationale
+
+
+def test_suggest_kernel_distributions_matmul_matches_paper_choices():
+    """For GEMM the advisor recovers the paper's setup: row-partitioned A and C,
+    broadcast-heavy B (replicated when small), tiles for the 2-d launch."""
+    side = 20_000
+    annotation = Annotation.parse(
+        "global [i, j] => read A[i,:], read B[:,j], write C[i,j]"
+    )
+    advice, work, _ = suggest_kernel_distributions(
+        annotation,
+        {"A": (side, side), "B": (side, side), "C": (side, side)},
+        grid=(side, side),
+        block=(16, 16),
+        device_count=4,
+        itemsizes={"A": 4, "B": 4, "C": 4},
+    )
+    assert isinstance(advice["A"].distribution, RowDist)
+    assert isinstance(advice["B"].distribution, ColumnDist)
+    assert isinstance(advice["C"].distribution, TileDist)
+    assert isinstance(work, (TileWorkDist, BlockWorkDist))
+
+
+def test_suggest_kernel_distributions_replicated_only_splits_evenly():
+    annotation = Annotation.parse("global i => read table[:,:], reduce(+) acc[:]")
+    advice, work, rationale = suggest_kernel_distributions(
+        annotation,
+        {"table": (100, 100), "acc": (16,)},
+        grid=(1_000_000,),
+        block=(128,),
+        device_count=4,
+    )
+    assert all(isinstance(a.distribution, ReplicatedDist) for a in advice.values())
+    assert isinstance(work, BlockWorkDist)
+    assert work.threads_per_superblock % 128 == 0
+    assert "evenly" in rationale
+
+
+def test_suggest_kernel_distributions_requires_shapes():
+    kernel = _stencil_kernel_def()
+    with pytest.raises(KeyError, match="input"):
+        suggest_kernel_distributions(
+            kernel, {"output": (100,)}, grid=(100,), block=(32,), device_count=1
+        )
+
+
+def test_suggest_kernel_distributions_requires_annotation():
+    kernel = KernelDef("bare", func=lambda: None).param_array("x", "float32")
+    with pytest.raises(ValueError, match="annotation"):
+        suggest_kernel_distributions(kernel, {"x": (10,)}, grid=(10,), block=(1,), device_count=1)
+
+
+# --------------------------------------------------------------------------- #
+# the advice actually works end to end
+# --------------------------------------------------------------------------- #
+def test_advised_distributions_run_correctly_on_the_runtime():
+    """Feed the advisor's output straight into the runtime and verify the
+    numerical result of the stencil against NumPy."""
+    n = 8_192
+    ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=2))
+
+    def stencil(lc, n, output, inputv):
+        i = lc.global_indices(0)
+        i = i[i < n]
+        if i.size == 0:
+            return
+        left = np.where(i - 1 >= 0, inputv.gather(np.maximum(i - 1, 0)), 0.0)
+        mid = inputv.gather(i)
+        right = np.where(i + 1 < n, inputv.gather(np.minimum(i + 1, n - 1)), 0.0)
+        output.scatter(i, ((left + mid + right) / 3.0).astype(np.float32))
+
+    kernel_def = (
+        KernelDef("advised_stencil", func=stencil)
+        .param_value("n", "int64")
+        .param_array("output", "float32")
+        .param_array("input", "float32")
+        .annotate("global i => read input[i-1:i+1], write output[i]")
+    )
+    advice, work, _ = suggest_kernel_distributions(
+        kernel_def,
+        {"output": (n,), "input": (n,)},
+        grid=(n,),
+        block=(256,),
+        device_count=ctx.device_count,
+        target_chunk_bytes=2_048 * 4,
+    )
+    rng = np.random.RandomState(3)
+    data = rng.rand(n).astype(np.float32)
+    inputv = ctx.from_numpy(data, advice["input"].distribution, name="in")
+    output = ctx.zeros(n, advice["output"].distribution, dtype="float32", name="out")
+    kernel = kernel_def.compile(ctx)
+    kernel.launch(n, 256, work, (n, output, inputv))
+    result = ctx.gather(output)
+
+    padded = np.concatenate([[0.0], data, [0.0]])
+    expected = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+    np.testing.assert_allclose(result, expected.astype(np.float32), rtol=1e-5)

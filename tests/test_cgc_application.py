@@ -1,0 +1,129 @@
+"""Tests for the CGC co-clustering application and the Fig. 16 baselines."""
+
+import numpy as np
+import pytest
+
+from repro import Context, ExecutionMode, azure_nc24rsv2
+from repro.apps import CGC_DATASETS, CoClusteringApp, coclustering_reference
+from repro.baselines import CPUBaseline, SingleGPUBaseline, SingleGpuOutOfMemory
+from repro.kernels import create_workload
+
+
+def make_app(nodes=1, gpus=2, rows=48, cols=36, **kw):
+    ctx = Context(azure_nc24rsv2(nodes=nodes, gpus_per_node=gpus))
+    defaults = dict(k_row=4, k_col=3, rows_per_chunk=12, seed=5)
+    defaults.update(kw)
+    return ctx, CoClusteringApp(ctx, rows, cols, **defaults)
+
+
+# --------------------------------------------------------------------------- #
+# functional correctness
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("nodes,gpus", [(1, 1), (1, 4), (2, 2)])
+def test_coclustering_matches_reference(nodes, gpus):
+    ctx, app = make_app(nodes=nodes, gpus=gpus)
+    iterations = 2
+    per_iteration = app.run(iterations=iterations)
+    assert per_iteration > 0
+    assert app.verify(iterations)
+
+
+def test_coclustering_converges_like_reference_over_more_iterations():
+    ctx, app = make_app(rows=60, cols=40, seed=9)
+    iterations = 4
+    app.run(iterations=iterations)
+    rows, cols = app.assignments()
+    ref_rows, ref_cols = coclustering_reference(
+        app._matrix0, app._row0, app._col0, app.k_row, app.k_col, iterations
+    )
+    assert np.array_equal(rows, ref_rows)
+    assert np.array_equal(cols, ref_cols)
+    # assignments stay within the valid cluster ranges
+    assert rows.min() >= 0 and rows.max() < app.k_row
+    assert cols.min() >= 0 and cols.max() < app.k_col
+
+
+def test_reference_coclustering_reduces_objective():
+    rng = np.random.RandomState(0)
+    matrix = rng.rand(50, 30)
+    row0 = np.arange(50) % 4
+    col0 = np.arange(30) % 3
+
+    def objective(ra, ca):
+        sums = np.zeros((4, 3))
+        counts = np.zeros((4, 3))
+        np.add.at(sums, (ra[:, None], ca[None, :]), matrix)
+        np.add.at(counts, (ra[:, None], ca[None, :]), 1.0)
+        means = sums / np.maximum(counts, 1.0)
+        return ((matrix - means[ra[:, None], ca[None, :]]) ** 2).sum()
+
+    before = objective(row0, col0)
+    ra, ca = coclustering_reference(matrix, row0, col0, 4, 3, 5)
+    after = objective(ra, ca)
+    assert after <= before
+
+
+def test_cgc_workload_adapter_verifies():
+    ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=2))
+    workload = create_workload("cgc", ctx, n=40 * 40, k_row=4, k_col=4,
+                               rows_per_chunk=10, iterations=2)
+    workload.run()
+    assert workload.verify()
+
+
+# --------------------------------------------------------------------------- #
+# paper-scale behaviour (simulate mode) and baselines
+# --------------------------------------------------------------------------- #
+def test_cgc_dataset_table_matches_paper_sizes():
+    assert CGC_DATASETS["5GB"][0] == 25_000
+    assert CGC_DATASETS["80GB"][0] == 100_000
+    for label, (side, nbytes) in CGC_DATASETS.items():
+        assert nbytes == side * side * 8
+
+
+def test_single_gpu_baseline_out_of_memory_beyond_16gb():
+    baseline = SingleGPUBaseline()
+    ctx = Context(azure_nc24rsv2(1, 1), mode=ExecutionMode.SIMULATE)
+    small = CoClusteringApp(ctx, 10_000, 10_000)
+    small.prepare()
+    seq = small.kernel_cost_sequence()
+    assert baseline.run_time(seq, small.data_bytes()) > 0
+    with pytest.raises(SingleGpuOutOfMemory):
+        baseline.run_time(seq, 20 * 1024 ** 3)
+    # upload time is charged when requested
+    with_upload = baseline.run_time(seq, small.data_bytes(), include_upload=True)
+    assert with_upload > baseline.run_time(seq, small.data_bytes())
+
+
+def test_gpu_baseline_faster_than_cpu_baseline():
+    ctx = Context(azure_nc24rsv2(1, 1), mode=ExecutionMode.SIMULATE)
+    app = CoClusteringApp(ctx, 12_000, 12_000)
+    app.prepare()
+    seq = app.kernel_cost_sequence()
+    cpu = CPUBaseline().run_time(seq)
+    gpu = SingleGPUBaseline().run_time(seq, app.data_bytes())
+    assert 1.5 < cpu / gpu < 20.0
+
+
+def test_lightning_single_gpu_overhead_is_small():
+    """Fig. 16 / Sec. 4.6: Lightning on one GPU is close to plain CUDA (1.6% in the paper)."""
+    side = 20_000
+    ctx = Context(azure_nc24rsv2(1, 1), mode=ExecutionMode.SIMULATE)
+    app = CoClusteringApp(ctx, side, side)
+    app.prepare()
+    app.run(iterations=1)  # warm-up
+    lightning = app.run(iterations=2)
+    cuda = SingleGPUBaseline().run_time(app.kernel_cost_sequence(), app.data_bytes())
+    overhead = lightning / cuda - 1.0
+    assert overhead < 0.25, f"single-GPU overhead {overhead:.1%}"
+
+
+def test_multi_gpu_lightning_beats_cpu_for_large_dataset():
+    side = 40_000  # 12.8 GB
+    ctx = Context(azure_nc24rsv2(nodes=2, gpus_per_node=2), mode=ExecutionMode.SIMULATE)
+    app = CoClusteringApp(ctx, side, side)
+    app.prepare()
+    app.run(iterations=1)  # warm-up
+    lightning = app.run(iterations=1)
+    cpu = CPUBaseline().run_time(app.kernel_cost_sequence())
+    assert cpu / lightning > 4.0

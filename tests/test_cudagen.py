@@ -1,0 +1,159 @@
+"""Tests for the CUDA wrapper-kernel source generator (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro import KernelDef
+from repro.core.cudagen import (
+    ArrayLayout,
+    cuda_type_for,
+    generate_array_struct,
+    generate_cuda_wrapper,
+    generate_device_kernel_skeleton,
+)
+
+
+def _stencil_def():
+    return (
+        KernelDef("stencil", func=lambda *a: None)
+        .param_value("n", "int32")
+        .param_array("output", "float32")
+        .param_array("input", "float32")
+        .annotate("global i => read input[i-1:i+1], write output[i]")
+    )
+
+
+def _layouts():
+    return {
+        "output": ArrayLayout(offsets=(1024,), strides=(1,)),
+        "input": ArrayLayout(offsets=(1023,), strides=(1,)),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# dtype mapping
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "dtype,expected",
+    [
+        ("float32", "float"),
+        ("float64", "double"),
+        ("int32", "int32_t"),
+        ("int64", "int64_t"),
+        ("uint8", "uint8_t"),
+        (np.dtype("bool"), "bool"),
+    ],
+)
+def test_cuda_type_mapping(dtype, expected):
+    assert cuda_type_for(dtype) == expected
+
+
+def test_cuda_type_rejects_unsupported_dtype():
+    with pytest.raises(ValueError, match="no CUDA equivalent"):
+        cuda_type_for("complex64")
+
+
+# --------------------------------------------------------------------------- #
+# array layouts
+# --------------------------------------------------------------------------- #
+def test_array_layout_validation():
+    with pytest.raises(ValueError):
+        ArrayLayout(offsets=(1, 2), strides=(1,))
+    with pytest.raises(ValueError):
+        ArrayLayout(offsets=(), strides=())
+    assert ArrayLayout(offsets=(0, 4), strides=(8, 1)).ndim == 2
+
+
+# --------------------------------------------------------------------------- #
+# wrapper generation (the Fig. 8 contract)
+# --------------------------------------------------------------------------- #
+def test_wrapper_structure_matches_fig8():
+    source = generate_cuda_wrapper(_stencil_def(), block_offset=(1024,), layouts=_layouts())
+    assert source.startswith('extern "C" __global__ void stencil_wrapper_')
+    # worker-specific constants are baked into the source
+    assert "const uint32_t block_offset_x = 1024, block_offset_y = 0, block_offset_z = 0;" in source
+    assert "const size_t input_offset_0 = 1023, input_strides_0 = 1;" in source
+    assert "const size_t output_offset_0 = 1024, output_strides_0 = 1;" in source
+    # virtual block index built from the physical one plus the offset
+    assert "dim3 virtual_block_index(block_offset_x + blockIdx.x," in source
+    # offset-shifted array construction and the final call into the user kernel
+    assert "::lightning::Array<float, 1> output(" in source
+    assert "output_ptr - output_offset_0 * output_strides_0" in source
+    assert "stencil(virtual_block_index, n, output, input);" in source
+    # braces balance so NVRTC would at least parse the top level
+    assert source.count("{") == source.count("}")
+
+
+def test_wrapper_parameter_order_and_types_follow_signature():
+    source = generate_cuda_wrapper(_stencil_def(), (0,), _layouts())
+    header = source.split(") {")[0]
+    n_pos = header.index("int32_t n")
+    out_pos = header.index("float* const output_ptr")
+    in_pos = header.index("float* const input_ptr")
+    assert n_pos < out_pos < in_pos
+
+
+def test_wrapper_is_deterministic_and_superblock_specific():
+    kernel = _stencil_def()
+    a = generate_cuda_wrapper(kernel, (1024,), _layouts())
+    b = generate_cuda_wrapper(kernel, (1024,), _layouts())
+    c = generate_cuda_wrapper(kernel, (2048,), _layouts())
+    assert a == b
+    assert a != c
+    assert "block_offset_x = 2048" in c
+
+
+def test_wrapper_scalar_suffix_distinguishes_specialisations():
+    kernel = _stencil_def()
+    a = generate_cuda_wrapper(kernel, (0,), _layouts(), scalar_suffix="w0g0")
+    b = generate_cuda_wrapper(kernel, (0,), _layouts(), scalar_suffix="w1g0")
+    name_a = a.split("(")[0]
+    name_b = b.split("(")[0]
+    assert name_a != name_b
+    assert name_a.endswith("_w0g0")
+
+
+def test_wrapper_requires_layout_for_every_array_parameter():
+    with pytest.raises(ValueError, match="input"):
+        generate_cuda_wrapper(
+            _stencil_def(), (0,), {"output": ArrayLayout((0,), (1,))}
+        )
+
+
+def test_wrapper_multidimensional_layout_emits_all_offsets():
+    kernel = (
+        KernelDef("gemm", func=lambda *a: None)
+        .param_value("m", "int64")
+        .param_array("A", "float64")
+        .param_array("C", "float64")
+        .annotate("global [i, j] => read A[i,:], write C[i,j]")
+    )
+    layouts = {
+        "A": ArrayLayout(offsets=(5000, 0), strides=(20000, 1)),
+        "C": ArrayLayout(offsets=(5000, 0), strides=(20000, 1)),
+    }
+    source = generate_cuda_wrapper(kernel, (312, 0), layouts)
+    assert "const size_t A_offset_0 = 5000, A_strides_0 = 20000;" in source
+    assert "const size_t A_offset_1 = 0, A_strides_1 = 1;" in source
+    assert "::lightning::Array<double, 2> A(" in source
+    assert "A_ptr - A_offset_0 * A_strides_0 - A_offset_1 * A_strides_1" in source
+    assert "block_offset_x = 312" in source
+
+
+# --------------------------------------------------------------------------- #
+# supporting sources
+# --------------------------------------------------------------------------- #
+def test_array_struct_defines_lightning_types():
+    header = generate_array_struct()
+    assert "namespace lightning" in header
+    assert "template <typename T, int N>" in header
+    assert "struct Array" in header
+    assert header.count("{") == header.count("}")
+
+
+def test_device_kernel_skeleton_lists_parameters_in_order():
+    skeleton = generate_device_kernel_skeleton(_stencil_def())
+    assert skeleton.startswith("__device__ void stencil(")
+    assert "dim3 virtBlockIdx," in skeleton
+    assert skeleton.index("int32_t n") < skeleton.index("output") < skeleton.index("input")
+    assert skeleton.count("(") == skeleton.count(")")

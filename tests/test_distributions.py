@@ -1,0 +1,181 @@
+"""Tests for data distributions (chunks) and work distributions (superblocks)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    BlockDist,
+    BlockWorkDist,
+    ChunkPlacement,
+    ColumnDist,
+    CustomDist,
+    CustomWorkDist,
+    ReplicatedDist,
+    RowDist,
+    StencilDist,
+    TileDist,
+    TileWorkDist,
+)
+from repro.core.geometry import Region, regions_cover
+from repro.hardware.topology import DeviceId
+
+DEVICES = [DeviceId(0, 0), DeviceId(0, 1), DeviceId(1, 0), DeviceId(1, 1)]
+
+
+# --------------------------------------------------------------------------- #
+# data distributions
+# --------------------------------------------------------------------------- #
+def test_block_dist_covers_and_round_robins():
+    placements = BlockDist(100).chunks((350,), DEVICES)
+    assert len(placements) == 4
+    assert regions_cover(Region.from_shape((350,)), [p.region for p in placements])
+    assert [p.device for p in placements] == DEVICES  # round-robin order
+    assert placements[-1].region == Region((300,), (350,))
+
+
+def test_block_dist_rejects_2d_and_bad_chunk():
+    with pytest.raises(ValueError):
+        BlockDist(10).chunks((10, 10), DEVICES)
+    with pytest.raises(ValueError):
+        BlockDist(0).chunks((10,), DEVICES)
+
+
+def test_row_dist_partitions_rows_only():
+    placements = RowDist(3).chunks((10, 7), DEVICES)
+    assert len(placements) == 4
+    assert all(p.region.lo[1] == 0 and p.region.hi[1] == 7 for p in placements)
+    assert regions_cover(Region.from_shape((10, 7)), [p.region for p in placements])
+
+
+def test_column_dist_partitions_columns_only():
+    placements = ColumnDist(4).chunks((6, 10), DEVICES)
+    assert len(placements) == 3
+    assert all(p.region.lo[0] == 0 and p.region.hi[0] == 6 for p in placements)
+    assert regions_cover(Region.from_shape((6, 10)), [p.region for p in placements])
+
+
+def test_tile_dist_covers_grid():
+    placements = TileDist((4, 4)).chunks((10, 10), DEVICES)
+    assert len(placements) == 9
+    assert regions_cover(Region.from_shape((10, 10)), [p.region for p in placements])
+
+
+def test_stencil_dist_adds_halo_overlap():
+    placements = StencilDist(chunk_size=4, halo=1).chunks((12,), DEVICES)
+    assert len(placements) == 3
+    # interior chunks grow by one cell on each side, clamped at the edges
+    assert placements[0].region == Region((0,), (5,))
+    assert placements[1].region == Region((3,), (9,))
+    assert placements[2].region == Region((7,), (12,))
+    # neighbouring chunks overlap (replicated halo cells)
+    assert placements[0].region.overlaps(placements[1].region)
+
+
+def test_stencil_dist_zero_halo_is_disjoint():
+    placements = StencilDist(chunk_size=4, halo=0).chunks((12,), DEVICES)
+    for a, b in zip(placements, placements[1:]):
+        assert not a.region.overlaps(b.region)
+
+
+def test_replicated_dist_one_full_copy_per_device():
+    placements = ReplicatedDist().chunks((5, 5), DEVICES)
+    assert len(placements) == len(DEVICES)
+    assert all(p.region == Region.from_shape((5, 5)) for p in placements)
+    assert {p.device for p in placements} == set(DEVICES)
+
+
+def test_custom_dist_validates_domain():
+    good = CustomDist((ChunkPlacement(Region((0,), (5,)), DEVICES[0]),))
+    assert len(good.chunks((5,), DEVICES)) == 1
+    bad = CustomDist((ChunkPlacement(Region((0,), (9,)), DEVICES[0]),))
+    with pytest.raises(ValueError):
+        bad.chunks((5,), DEVICES)
+
+
+def test_distributions_require_devices():
+    with pytest.raises(ValueError):
+        BlockDist(8).chunks((10,), [])
+
+
+# --------------------------------------------------------------------------- #
+# work distributions
+# --------------------------------------------------------------------------- #
+def test_block_work_dist_superblocks_are_disjoint_and_cover():
+    superblocks = BlockWorkDist(1000).superblocks((3500,), (128,), DEVICES)
+    regions = [sb.thread_region for sb in superblocks]
+    assert regions_cover(Region.from_shape((3500,)), regions)
+    for a, b in zip(regions, regions[1:]):
+        assert not a.overlaps(b)
+    # block alignment: every boundary except the last is a multiple of the block size
+    for sb in superblocks[:-1]:
+        assert sb.thread_region.hi[0] % 128 == 0
+    # block offsets expressed in blocks
+    assert superblocks[1].block_offset[0] == superblocks[1].thread_region.lo[0] // 128
+
+
+def test_block_work_dist_round_robins_devices():
+    superblocks = BlockWorkDist(100).superblocks((400,), (10,), DEVICES[:2])
+    assert [sb.device for sb in superblocks] == [DEVICES[0], DEVICES[1], DEVICES[0], DEVICES[1]]
+
+
+def test_tile_work_dist_covers_2d_grid():
+    superblocks = TileWorkDist((64, 64)).superblocks((100, 150), (16, 16), DEVICES)
+    regions = [sb.thread_region for sb in superblocks]
+    assert regions_cover(Region.from_shape((100, 150)), regions)
+    for a in regions:
+        for b in regions:
+            if a is not b:
+                assert not a.overlaps(b)
+
+
+def test_custom_work_dist_delegates_to_factory():
+    def factory(grid, block, devices):
+        return BlockWorkDist(grid[0]).superblocks(grid, block, devices)
+
+    superblocks = CustomWorkDist(factory).superblocks((64,), (8,), DEVICES)
+    assert len(superblocks) == 1
+    assert superblocks[0].thread_count == 64
+
+
+def test_work_dist_validation_errors():
+    with pytest.raises(ValueError):
+        BlockWorkDist(10).superblocks((100,), (8, 8), DEVICES)  # dim mismatch
+    with pytest.raises(ValueError):
+        BlockWorkDist(0).superblocks((100,), (8,), DEVICES)
+    with pytest.raises(ValueError):
+        BlockWorkDist(10, axis=2).superblocks((100,), (8,), DEVICES)
+
+
+# --------------------------------------------------------------------------- #
+# property-based coverage invariants
+# --------------------------------------------------------------------------- #
+@given(
+    extent=st.integers(1, 5000),
+    chunk=st.integers(1, 700),
+    halo=st.integers(0, 3),
+    ndev=st.integers(1, 4),
+)
+@settings(max_examples=100, deadline=None)
+def test_stencil_dist_always_covers(extent, chunk, halo, ndev):
+    devices = DEVICES[:ndev]
+    placements = StencilDist(chunk, halo=halo).chunks((extent,), devices)
+    assert regions_cover(Region.from_shape((extent,)), [p.region for p in placements])
+    assert all(Region.from_shape((extent,)).contains_region(p.region) for p in placements)
+
+
+@given(
+    extent=st.integers(1, 5000),
+    per_sb=st.integers(1, 900),
+    block=st.integers(1, 64),
+    ndev=st.integers(1, 4),
+)
+@settings(max_examples=100, deadline=None)
+def test_block_work_dist_partitions_threads_exactly(extent, per_sb, block, ndev):
+    superblocks = BlockWorkDist(per_sb).superblocks((extent,), (block,), DEVICES[:ndev])
+    total = sum(sb.thread_count for sb in superblocks)
+    assert total == extent
+    # disjointness: sorted regions must not overlap
+    regions = sorted((sb.thread_region for sb in superblocks), key=lambda r: r.lo[0])
+    for a, b in zip(regions, regions[1:]):
+        assert a.hi[0] <= b.lo[0]

@@ -1,0 +1,191 @@
+"""Unit and property tests for the region algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Region, bounding_region, regions_cover, split_evenly
+
+
+# --------------------------------------------------------------------------- #
+# construction and basic queries
+# --------------------------------------------------------------------------- #
+def test_from_shape_covers_origin_box():
+    r = Region.from_shape((4, 5))
+    assert r.lo == (0, 0)
+    assert r.hi == (4, 5)
+    assert r.shape == (4, 5)
+    assert r.size == 20
+    assert not r.is_empty
+
+
+def test_scalar_shape_is_one_dimensional():
+    r = Region.from_shape(7)
+    assert r.ndim == 1
+    assert r.size == 7
+
+
+def test_from_bounds_round_trips():
+    r = Region.from_bounds([(2, 5), (1, 9)])
+    assert r.bounds() == ((2, 5), (1, 9))
+
+
+def test_empty_region_has_zero_size():
+    r = Region.empty(2)
+    assert r.is_empty
+    assert r.size == 0
+
+
+def test_contains_point_and_region():
+    r = Region((1, 1), (4, 4))
+    assert (1, 1) in r
+    assert (3, 3) in r
+    assert (4, 4) not in r
+    assert r.contains_region(Region((2, 2), (3, 3)))
+    assert not r.contains_region(Region((0, 0), (2, 2)))
+    assert r.contains_region(Region.empty(2))
+
+
+def test_dimension_mismatch_raises():
+    with pytest.raises(ValueError):
+        Region((0,), (1,)).intersect(Region((0, 0), (1, 1)))
+
+
+# --------------------------------------------------------------------------- #
+# algebra
+# --------------------------------------------------------------------------- #
+def test_intersection_of_disjoint_is_empty():
+    a = Region((0,), (5,))
+    b = Region((7,), (9,))
+    assert a.intersect(b).is_empty
+    assert not a.overlaps(b)
+
+
+def test_intersection_of_overlapping():
+    a = Region((0, 0), (5, 5))
+    b = Region((3, 2), (8, 4))
+    c = a.intersect(b)
+    assert c == Region((3, 2), (5, 4))
+    assert a.overlaps(b)
+
+
+def test_union_bounds_encloses_both():
+    a = Region((0,), (3,))
+    b = Region((5,), (9,))
+    u = a.union_bounds(b)
+    assert u.contains_region(a) and u.contains_region(b)
+    assert u == Region((0,), (9,))
+
+
+def test_translate_and_relative_to_are_inverse():
+    a = Region((2, 3), (5, 7))
+    origin = Region((2, 3), (10, 10))
+    local = a.relative_to(origin)
+    assert local == Region((0, 0), (3, 4))
+    assert local.translate(origin.lo) == a
+
+
+def test_expand_and_clamp():
+    a = Region((2,), (4,))
+    grown = a.expand(1)
+    assert grown == Region((1,), (5,))
+    assert grown.clamp(Region((0,), (4,))) == Region((1,), (4,))
+
+
+def test_as_slices_and_local_slices_index_numpy_consistently():
+    data = np.arange(100).reshape(10, 10)
+    chunk = Region((2, 2), (8, 8))
+    inner = Region((3, 4), (5, 9)).intersect(chunk)
+    global_view = data[inner.as_slices()]
+    chunk_view = data[chunk.as_slices()]
+    assert np.array_equal(global_view, chunk_view[inner.as_local_slices(chunk)])
+
+
+def test_iter_points_matches_size():
+    r = Region((1, 1), (3, 4))
+    points = list(r.iter_points())
+    assert len(points) == r.size
+    assert all(p in r for p in points)
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def test_bounding_region_of_many():
+    regions = [Region((i,), (i + 2,)) for i in range(0, 10, 3)]
+    assert bounding_region(regions) == Region((0,), (11,))
+
+
+def test_bounding_region_empty_input_raises():
+    with pytest.raises(ValueError):
+        bounding_region([])
+
+
+def test_regions_cover_detects_gap():
+    domain = Region.from_shape((10,))
+    assert regions_cover(domain, [Region((0,), (6,)), Region((6,), (10,))])
+    assert not regions_cover(domain, [Region((0,), (5,)), Region((6,), (10,))])
+
+
+def test_regions_cover_with_overlap():
+    domain = Region.from_shape((8, 8))
+    tiles = [Region((0, 0), (5, 8)), Region((3, 0), (8, 8))]
+    assert regions_cover(domain, tiles)
+
+
+def test_split_evenly_partitions_extent():
+    bounds = split_evenly(10, 3)
+    assert bounds[0][0] == 0 and bounds[-1][1] == 10
+    assert sum(hi - lo for lo, hi in bounds) == 10
+    # contiguous
+    assert all(b[0] == a[1] for a, b in zip(bounds, bounds[1:]))
+
+
+def test_split_evenly_rejects_zero_parts():
+    with pytest.raises(ValueError):
+        split_evenly(5, 0)
+
+
+# --------------------------------------------------------------------------- #
+# property-based invariants
+# --------------------------------------------------------------------------- #
+interval = st.tuples(st.integers(-50, 50), st.integers(0, 30)).map(lambda t: (t[0], t[0] + t[1]))
+region_1d = interval.map(lambda b: Region((b[0],), (b[1],)))
+region_2d = st.tuples(interval, interval).map(
+    lambda bs: Region((bs[0][0], bs[1][0]), (bs[0][1], bs[1][1]))
+)
+
+
+@given(region_2d, region_2d)
+@settings(max_examples=100, deadline=None)
+def test_intersection_is_commutative_and_contained(a, b):
+    ab = a.intersect(b)
+    ba = b.intersect(a)
+    assert ab.size == ba.size
+    if not ab.is_empty:
+        assert a.contains_region(ab)
+        assert b.contains_region(ab)
+
+
+@given(region_2d, region_2d)
+@settings(max_examples=100, deadline=None)
+def test_union_bounds_contains_intersection(a, b):
+    u = a.union_bounds(b)
+    assert u.contains_region(a.intersect(b))
+    assert u.size >= max(a.size, b.size)
+
+
+@given(region_1d, st.integers(-20, 20))
+@settings(max_examples=100, deadline=None)
+def test_translation_preserves_size(region, offset):
+    assert region.translate((offset,)).size == region.size
+
+
+@given(st.integers(1, 200), st.integers(1, 20))
+@settings(max_examples=100, deadline=None)
+def test_split_evenly_is_balanced(extent, parts):
+    bounds = split_evenly(extent, parts)
+    lengths = [hi - lo for lo, hi in bounds]
+    assert sum(lengths) == extent
+    assert max(lengths) - min(lengths) <= 1

@@ -1,0 +1,116 @@
+"""Tests for the hardware specs, cluster topology and performance model."""
+
+import pytest
+
+from repro.hardware import (
+    Cluster,
+    DeviceId,
+    MemoryKind,
+    MemorySpace,
+    P100,
+    azure_nc24rsv2,
+)
+from repro.perfmodel import DEFAULT_OVERHEADS, KernelCost, cpu_time, kernel_time, transfer_time
+
+
+# --------------------------------------------------------------------------- #
+# specs and topology
+# --------------------------------------------------------------------------- #
+def test_azure_preset_matches_paper_platform():
+    spec = azure_nc24rsv2(nodes=4, gpus_per_node=4)
+    assert spec.node_count == 4
+    assert spec.node.gpu_count == 4
+    assert spec.total_gpus == 16
+    assert spec.node.gpus[0].memory_bytes == 16 * 1024 ** 3
+    assert spec.node.host_memory_bytes == 448 * 1024 ** 3
+    assert "4 node(s) x 4 GPU(s)" in spec.describe()
+
+
+def test_cluster_topology_enumeration():
+    cluster = Cluster(azure_nc24rsv2(nodes=2, gpus_per_node=3))
+    assert cluster.worker_count == 2
+    assert cluster.device_count == 6
+    ids = cluster.device_ids()
+    assert ids[0] == DeviceId(0, 0)
+    assert ids[-1] == DeviceId(1, 2)
+    spaces = list(cluster.iter_memory_spaces())
+    # 3 GPU spaces + host + disk per node
+    assert len(spaces) == 2 * 5
+
+
+def test_memory_space_capacities_and_levels():
+    cluster = Cluster(azure_nc24rsv2(nodes=1, gpus_per_node=2))
+    gpu_space = DeviceId(0, 1).memory_space
+    assert cluster.capacity(gpu_space) == 16 * 1024 ** 3
+    host = MemorySpace(0, MemoryKind.HOST)
+    disk = MemorySpace(0, MemoryKind.DISK)
+    assert cluster.capacity(host) == 448 * 1024 ** 3
+    assert cluster.capacity(disk) > cluster.capacity(host)
+    assert MemoryKind.GPU.level < MemoryKind.HOST.level < MemoryKind.DISK.level
+    assert cluster.same_node(gpu_space, host)
+
+
+def test_node_spec_with_gpus_and_gpu_scaling():
+    spec = azure_nc24rsv2(1, 1)
+    node8 = spec.node.with_gpus(8)
+    assert node8.gpu_count == 8
+    faster = P100.scaled(2.0)
+    assert faster.peak_flops == pytest.approx(2 * P100.peak_flops)
+
+
+def test_cluster_aggregate_memory():
+    spec = azure_nc24rsv2(nodes=2, gpus_per_node=4)
+    assert spec.gpu_memory_bytes == 8 * 16 * 1024 ** 3
+    assert spec.host_memory_bytes == 2 * 448 * 1024 ** 3
+
+
+# --------------------------------------------------------------------------- #
+# cost model
+# --------------------------------------------------------------------------- #
+def test_kernel_time_uses_roofline_maximum():
+    compute_bound = KernelCost(flops_per_thread=1000.0, bytes_per_thread=1.0, efficiency=1.0)
+    memory_bound = KernelCost(flops_per_thread=1.0, bytes_per_thread=1000.0, efficiency=1.0)
+    n = 1_000_000
+    t_compute = kernel_time(P100, compute_bound, n, {})
+    t_memory = kernel_time(P100, memory_bound, n, {})
+    assert t_compute == pytest.approx(n * 1000 / P100.peak_flops + P100.launch_latency)
+    assert t_memory == pytest.approx(n * 1000 / P100.mem_bandwidth + P100.launch_latency)
+
+
+def test_kernel_time_scales_with_efficiency_and_threads():
+    cost = KernelCost(flops_per_thread=100.0, efficiency=0.5)
+    t1 = kernel_time(P100, cost, 1_000, {})
+    t2 = kernel_time(P100, cost, 2_000, {})
+    assert t2 > t1
+    full = KernelCost(flops_per_thread=100.0, efficiency=1.0)
+    assert kernel_time(P100, full, 1_000_000, {}) < kernel_time(
+        P100, cost, 1_000_000, {}
+    )
+
+
+def test_cost_expressions_can_depend_on_scalars():
+    cost = KernelCost(flops_per_thread=lambda s: 2.0 * s["m"], bytes_per_thread=0.0)
+    assert cost.flops(10, {"m": 50}) == pytest.approx(1000.0)
+    t_small = kernel_time(P100, cost, 1000, {"m": 10})
+    t_large = kernel_time(P100, cost, 1000, {"m": 1000})
+    assert t_large > t_small
+
+
+def test_cpu_time_slower_than_gpu_for_compute_bound_kernel():
+    from repro.hardware import E5_2690
+
+    cost = KernelCost(flops_per_thread=1000.0, efficiency=0.7, cpu_efficiency=0.7)
+    n = 10_000_000
+    assert cpu_time(E5_2690, cost, n, {}) > kernel_time(P100, cost, n, {})
+
+
+def test_transfer_time_latency_plus_size():
+    assert transfer_time(1000, 100.0, latency=0.5) == pytest.approx(10.5)
+    with pytest.raises(ValueError):
+        transfer_time(10, 0.0)
+
+
+def test_default_overheads_are_small_but_positive():
+    assert 0 < DEFAULT_OVERHEADS.plan_per_task < 1e-3
+    assert 0 < DEFAULT_OVERHEADS.schedule_per_task < 1e-3
+    assert 0 < DEFAULT_OVERHEADS.rpc_latency < 1e-2

@@ -1,0 +1,144 @@
+"""Tests for the kernel definition builder, wrapper generation and launch API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlockDist,
+    BlockWorkDist,
+    Context,
+    KernelCost,
+    KernelDef,
+    azure_nc24rsv2,
+)
+from repro.core.wrapper import WrapperCache, generate_wrapper_source
+
+
+def make_ctx():
+    return Context(azure_nc24rsv2(nodes=1, gpus_per_node=1))
+
+
+def simple_def(name="k"):
+    def body(lc, n, out):
+        i = lc.global_indices(0)
+        i = i[i < n]
+        out.scatter(i, np.float32(1.0) * i)
+
+    return (
+        KernelDef(name, func=body)
+        .param_value("n", "int64")
+        .param_array("out", "float32")
+        .annotate("global i => write out[i]")
+        .with_cost(KernelCost(1, 4))
+    )
+
+
+# --------------------------------------------------------------------------- #
+# KernelDef builder and validation
+# --------------------------------------------------------------------------- #
+def test_builder_is_immutable_and_accumulates_params():
+    base = KernelDef("k", func=lambda lc: None)
+    with_params = base.param_value("n").param_array("out")
+    assert len(base.params) == 0
+    assert [p.name for p in with_params.params] == ["n", "out"]
+    assert [p.kind for p in with_params.params] == ["value", "array"]
+
+
+def test_validation_errors():
+    ctx = make_ctx()
+    with pytest.raises(ValueError):
+        KernelDef("k").param_array("a").annotate("global i => write a[i]").compile(ctx)  # no func
+    with pytest.raises(ValueError):
+        KernelDef("k", func=lambda: None).compile(ctx)  # no params
+    with pytest.raises(ValueError):  # annotation missing
+        KernelDef("k", func=lambda: None).param_array("a").compile(ctx)
+    with pytest.raises(ValueError):  # annotation names unknown array
+        (KernelDef("k", func=lambda: None)
+         .param_array("a")
+         .annotate("global i => write a[i], read b[i]")
+         .compile(ctx))
+    with pytest.raises(ValueError):  # array parameter without annotation
+        (KernelDef("k", func=lambda: None)
+         .param_array("a").param_array("b")
+         .annotate("global i => write a[i]")
+         .compile(ctx))
+    with pytest.raises(ValueError):  # duplicate parameter names
+        (KernelDef("k", func=lambda: None)
+         .param_array("a").param_array("a")
+         .annotate("global i => write a[i]")
+         .compile(ctx))
+    with pytest.raises(ValueError):  # bad param kind through Param directly
+        from repro.core.kernel import Param
+        Param("x", "weird", "float32")
+
+
+def test_compile_registers_kernel_once():
+    ctx = make_ctx()
+    kernel = simple_def().compile(ctx)
+    assert kernel.name in ctx.kernels
+    assert ctx.runtime.kernel_registry["k"] is kernel
+    with pytest.raises(ValueError):
+        simple_def().compile(ctx)  # same name again
+
+
+def test_launch_argument_binding_errors():
+    ctx = make_ctx()
+    kernel = simple_def().compile(ctx)
+    out = ctx.zeros(16, BlockDist(16), name="out")
+    with pytest.raises(TypeError):
+        kernel.launch(16, 4, BlockWorkDist(16), (out,))  # missing scalar
+    with pytest.raises(TypeError):
+        kernel.launch(16, 4, BlockWorkDist(16), (out, 16))  # scalar/array swapped
+    with pytest.raises(TypeError):
+        ctx.launch(kernel, 16, 4, BlockWorkDist(16), (16, np.zeros(16)))  # not a DistributedArray
+
+
+def test_end_to_end_launch_writes_expected_values():
+    ctx = make_ctx()
+    kernel = simple_def().compile(ctx)
+    out = ctx.zeros(64, BlockDist(16), name="out")
+    kernel.launch(64, 8, BlockWorkDist(16), (64, out))
+    assert np.array_equal(ctx.gather(out), np.arange(64, dtype=np.float32))
+    assert kernel.launches == 1
+
+
+# --------------------------------------------------------------------------- #
+# wrapper generation (runtime compilation analogue)
+# --------------------------------------------------------------------------- #
+def test_generate_wrapper_source_is_deterministic_and_positional():
+    name1, src1 = generate_wrapper_source("stencil", ["n", "output", "input"])
+    name2, src2 = generate_wrapper_source("stencil", ["n", "output", "input"])
+    assert name1 == name2 and src1 == src2
+    assert "args['n']" in src1 and "args['input']" in src1
+    name3, _ = generate_wrapper_source("stencil", ["n", "input", "output"])
+    assert name3 != name1  # different signature, different mangled name
+
+
+def test_wrapper_cache_compiles_each_signature_once():
+    cache = WrapperCache()
+    w1 = cache.get("k", ["a", "b"])
+    w2 = cache.get("k", ["a", "b"])
+    w3 = cache.get("k", ["b", "a"])
+    assert w1 is w2
+    assert w3 is not w1
+    assert cache.compilations == 2
+    assert len(cache) == 2
+
+
+def test_wrapper_forwards_arguments_in_declaration_order():
+    cache = WrapperCache()
+    wrapper = cache.get("k", ["x", "y"])
+    seen = {}
+
+    def user_kernel(lc, x, y):
+        seen["args"] = (lc, x, y)
+
+    wrapper(user_kernel, "LC", {"y": 2, "x": 1})
+    assert seen["args"] == ("LC", 1, 2)
+
+
+def test_context_reuses_wrapper_cache_across_kernels():
+    ctx = make_ctx()
+    simple_def("k1").compile(ctx)
+    simple_def("k2").compile(ctx)
+    assert ctx.wrappers.compilations == 2

@@ -1,0 +1,143 @@
+"""Tests for weighted work distributions (heterogeneous-GPU load balancing)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import BlockDist, Context, ExecutionMode, KernelDef, WeightedBlockWorkDist, azure_nc24rsv2
+from repro.core.geometry import Region
+from repro.hardware.specs import P100, azure_nc24rsv2 as make_cluster
+from repro.hardware.topology import Cluster, DeviceId
+from repro.kernels import create_workload
+
+
+def _device_ids(count, worker=0):
+    return [DeviceId(worker, i) for i in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# superblock construction
+# --------------------------------------------------------------------------- #
+def test_equal_weights_split_evenly_and_cover_grid():
+    dist = WeightedBlockWorkDist((1.0, 1.0, 1.0, 1.0))
+    superblocks = dist.superblocks((1024,), (32,), _device_ids(4))
+    assert len(superblocks) == 4
+    extents = [sb.thread_region.shape[0] for sb in superblocks]
+    assert extents == [256, 256, 256, 256]
+    # disjoint and covering
+    assert superblocks[0].thread_region.lo[0] == 0
+    assert superblocks[-1].thread_region.hi[0] == 1024
+    for a, b in zip(superblocks, superblocks[1:]):
+        assert a.thread_region.hi[0] == b.thread_region.lo[0]
+
+
+def test_unequal_weights_give_proportional_shares():
+    dist = WeightedBlockWorkDist((3.0, 1.0))
+    superblocks = dist.superblocks((1000,), (10,), _device_ids(2))
+    extents = {sb.device.local_index: sb.thread_region.shape[0] for sb in superblocks}
+    assert sum(extents.values()) == 1000
+    assert extents[0] == pytest.approx(750, abs=10)
+    assert extents[1] == pytest.approx(250, abs=10)
+
+
+def test_boundaries_are_block_aligned():
+    dist = WeightedBlockWorkDist((2.0, 1.0, 1.0))
+    superblocks = dist.superblocks((1000,), (128,), _device_ids(3))
+    for sb in superblocks[:-1]:
+        assert sb.thread_region.hi[0] % 128 == 0
+    assert superblocks[-1].thread_region.hi[0] == 1000
+    # block offsets expressed in blocks, matching the regions
+    for sb in superblocks:
+        assert sb.block_offset[0] == sb.thread_region.lo[0] // 128
+
+
+def test_zero_weight_device_receives_no_superblock():
+    dist = WeightedBlockWorkDist((1.0, 0.0, 1.0))
+    superblocks = dist.superblocks((512,), (16,), _device_ids(3))
+    used_devices = {sb.device.local_index for sb in superblocks}
+    assert 1 not in used_devices
+    assert sum(sb.thread_region.shape[0] for sb in superblocks) == 512
+
+
+def test_weight_validation_errors():
+    with pytest.raises(ValueError, match="one weight per GPU"):
+        WeightedBlockWorkDist((1.0,)).superblocks((64,), (8,), _device_ids(2))
+    with pytest.raises(ValueError, match="non-negative"):
+        WeightedBlockWorkDist((-1.0, 2.0)).superblocks((64,), (8,), _device_ids(2))
+    with pytest.raises(ValueError, match="axis"):
+        WeightedBlockWorkDist((1.0, 1.0), axis=1).superblocks((64,), (8,), _device_ids(2))
+
+
+def test_from_cluster_uses_peak_flops():
+    spec = make_cluster(nodes=1, gpus_per_node=2)
+    slow = P100.scaled(0.5)
+    spec = replace(spec, node=replace(spec.node, gpus=[P100, slow]))
+    cluster = Cluster(spec)
+    dist = WeightedBlockWorkDist.from_cluster(cluster)
+    assert dist.weights == (P100.peak_flops, slow.peak_flops)
+    superblocks = dist.superblocks((3000,), (10,), cluster.device_ids())
+    extents = {sb.device.local_index: sb.thread_region.shape[0] for sb in superblocks}
+    assert extents[0] > extents[1]
+    assert extents[0] == pytest.approx(2000, abs=20)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end behaviour
+# --------------------------------------------------------------------------- #
+def _saxpy_context(spec, weights, n=4_096):
+    ctx = Context(spec)
+
+    def saxpy(lc, n, x, y):
+        i = lc.global_indices(0)
+        i = i[i < n]
+        if i.size == 0:
+            return
+        y.scatter(i, (2.0 * x.gather(i) + y.gather(i)).astype(np.float32))
+
+    kernel = (
+        KernelDef("weighted_saxpy", func=saxpy)
+        .param_value("n", "int64")
+        .param_array("x", "float32")
+        .param_array("y", "float32")
+        .annotate("global i => read x[i], readwrite y[i]")
+        .compile(ctx)
+    )
+    rng = np.random.RandomState(11)
+    xs, ys = rng.rand(n).astype(np.float32), rng.rand(n).astype(np.float32)
+    x = ctx.from_numpy(xs, BlockDist(512), name="x")
+    y = ctx.from_numpy(ys, BlockDist(512), name="y")
+    kernel.launch(n, 128, WeightedBlockWorkDist(weights), (n, x, y))
+    return ctx, y, 2.0 * xs + ys
+
+
+def test_weighted_launch_produces_correct_results():
+    spec = make_cluster(nodes=1, gpus_per_node=2)
+    ctx, y, expected = _saxpy_context(spec, (3.0, 1.0))
+    np.testing.assert_allclose(ctx.gather(y), expected, rtol=1e-6)
+
+
+def test_weighted_launch_balances_heterogeneous_simulated_node():
+    """On a node with one full-speed and one half-speed GPU, weighting the work
+    by compute throughput is faster than splitting it evenly."""
+    slow = P100.scaled(0.5)
+
+    def run(work_weights):
+        spec = make_cluster(nodes=1, gpus_per_node=2)
+        spec = replace(spec, node=replace(spec.node, gpus=[P100, slow]))
+        ctx = Context(spec, mode=ExecutionMode.SIMULATE)
+        workload = create_workload("md5", ctx, n=int(4e10))
+        workload.prepare()
+        workload._prepared = True
+        ctx.synchronize()
+        start = ctx.virtual_time
+        from repro.kernels.md5 import MD5Workload  # block size used by the workload
+
+        workload.kernel.launch(
+            workload.n, 256, WeightedBlockWorkDist(work_weights), (workload.n, workload.target, workload.best)
+        )
+        return ctx.synchronize() - start
+
+    even = run((1.0, 1.0))
+    weighted = run((P100.peak_flops, slow.peak_flops))
+    assert weighted < even * 0.85, (even, weighted)

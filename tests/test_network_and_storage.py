@@ -1,0 +1,174 @@
+"""Unit tests for the network fabric, RPC channel and chunk storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunk import ChunkMeta
+from repro.core.geometry import Region
+from repro.core.reductions import get_reduce_op
+from repro.hardware import DeviceId
+from repro.runtime.network import Message, NetworkFabric, RpcChannel
+from repro.runtime.storage import ChunkStorage
+from repro.simulator import Engine
+
+
+# --------------------------------------------------------------------------- #
+# network fabric (MPI-style matching)
+# --------------------------------------------------------------------------- #
+def test_message_delivered_before_receive_is_buffered():
+    fabric = NetworkFabric()
+    received = []
+    fabric.deliver(Message(src=0, dst=1, tag=7, nbytes=16, data=None))
+    assert fabric.outstanding == 1
+    fabric.expect(0, 1, 7, received.append)
+    assert len(received) == 1
+    assert fabric.outstanding == 0
+    assert fabric.messages_delivered == 1
+    assert fabric.bytes_delivered == 16
+
+
+def test_receive_posted_before_message_waits_for_it():
+    fabric = NetworkFabric()
+    received = []
+    fabric.expect(2, 3, 1, received.append)
+    assert not received
+    fabric.deliver(Message(src=2, dst=3, tag=1, nbytes=8))
+    assert len(received) == 1
+
+
+def test_messages_matched_by_tag_not_order():
+    fabric = NetworkFabric()
+    seen = []
+    fabric.expect(0, 1, 2, lambda m: seen.append(("b", m.tag)))
+    fabric.deliver(Message(src=0, dst=1, tag=1, nbytes=1))
+    fabric.deliver(Message(src=0, dst=1, tag=2, nbytes=1))
+    fabric.expect(0, 1, 1, lambda m: seen.append(("a", m.tag)))
+    assert seen == [("b", 2), ("a", 1)]
+
+
+def test_duplicate_message_or_receive_rejected():
+    fabric = NetworkFabric()
+    fabric.deliver(Message(src=0, dst=1, tag=5, nbytes=1))
+    with pytest.raises(RuntimeError):
+        fabric.deliver(Message(src=0, dst=1, tag=5, nbytes=1))
+    fabric2 = NetworkFabric()
+    fabric2.expect(0, 1, 5, lambda m: None)
+    with pytest.raises(RuntimeError):
+        fabric2.expect(0, 1, 5, lambda m: None)
+
+
+def test_rpc_channel_is_free_for_worker_zero():
+    engine = Engine()
+    rpc = RpcChannel(engine, latency=0.5)
+    times = {}
+    rpc.call(0, lambda: times.setdefault("local", engine.now))
+    rpc.call(3, lambda: times.setdefault("remote", engine.now))
+    engine.run()
+    assert times["local"] == 0.0
+    assert times["remote"] == pytest.approx(0.5)
+    assert rpc.control_messages == 2
+
+
+# --------------------------------------------------------------------------- #
+# chunk storage
+# --------------------------------------------------------------------------- #
+def chunk(cid, lo, hi):
+    return ChunkMeta(chunk_id=cid, region=Region((lo,), (hi,)), dtype=np.float32,
+                     home=DeviceId(0, 0), array_id=1)
+
+
+def test_storage_create_fill_read_write_delete():
+    storage = ChunkStorage()
+    storage.create(chunk(1, 0, 10))
+    assert 1 in storage
+    storage.fill(1, 2.5, None)
+    assert np.all(storage.buffer(1) == 2.5)
+    storage.write_region(1, Region((2,), (4,)), np.array([7.0, 8.0], dtype=np.float32))
+    assert np.array_equal(storage.read_region(1, Region((2,), (4,))), [7.0, 8.0])
+    storage.delete(1)
+    assert 1 not in storage
+    assert storage.chunk_count == 0
+
+
+def test_storage_duplicate_create_rejected():
+    storage = ChunkStorage()
+    storage.create(chunk(1, 0, 4))
+    with pytest.raises(ValueError):
+        storage.create(chunk(1, 0, 4))
+
+
+def test_storage_region_bounds_are_enforced():
+    storage = ChunkStorage()
+    storage.create(chunk(1, 10, 20))
+    with pytest.raises(ValueError):
+        storage.read_region(1, Region((0,), (5,)))
+    with pytest.raises(ValueError):
+        storage.write_region(1, Region((15,), (25,)), np.zeros(10, dtype=np.float32))
+
+
+def test_storage_copy_between_workers_uses_global_coordinates():
+    a = ChunkStorage()
+    b = ChunkStorage()
+    a.create(chunk(1, 0, 10))
+    b.create(chunk(2, 4, 12))
+    a.fill(1, None, np.arange(10, dtype=np.float32))
+    a.copy_region(1, 2, Region((4,), (10,)), dst_storage=b)
+    assert np.array_equal(b.buffer(2)[:6], np.arange(4, 10, dtype=np.float32))
+
+
+def test_storage_combine_region_applies_reduction():
+    storage = ChunkStorage()
+    storage.create(chunk(1, 0, 4))
+    storage.create(chunk(2, 0, 4))
+    storage.fill(1, None, np.array([1, 2, 3, 4], dtype=np.float32))
+    storage.fill(2, None, np.array([10, 10, 10, 10], dtype=np.float32))
+    storage.combine_region(1, 2, Region((1,), (3,)), get_reduce_op("+").combine)
+    assert np.array_equal(storage.buffer(2), [10, 12, 13, 10])
+
+
+def test_unmaterialised_storage_skips_data_but_keeps_metadata():
+    storage = ChunkStorage(materialize=False)
+    storage.create(chunk(1, 0, 1000))
+    assert storage.buffer(1) is None
+    assert storage.read_region(1, Region((0,), (10,))) is None
+    storage.fill(1, 1.0, None)  # no-op, must not raise
+    assert storage.total_bytes() == 4000
+
+
+def test_total_bytes_counts_all_chunks():
+    storage = ChunkStorage()
+    storage.create(chunk(1, 0, 100))
+    storage.create(chunk(2, 100, 300))
+    assert storage.total_bytes() == 300 * 4
+
+
+# --------------------------------------------------------------------------- #
+# reduction operators
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name,a,b,expected", [
+    ("+", 2.0, 3.0, 5.0),
+    ("*", 2.0, 3.0, 6.0),
+    ("min", 2.0, 3.0, 2.0),
+    ("max", 2.0, 3.0, 3.0),
+])
+def test_reduce_ops_combine(name, a, b, expected):
+    op = get_reduce_op(name)
+    assert op.combine(np.float32(a), np.float32(b)) == np.float32(expected)
+
+
+def test_reduce_identities_are_neutral():
+    for name in ("+", "*", "min", "max"):
+        op = get_reduce_op(name)
+        identity = op.identity(np.float32)
+        value = np.float32(3.5)
+        assert op.combine(identity, value) == value
+
+
+def test_integer_identities_for_min_max():
+    assert get_reduce_op("min").identity(np.int32) == np.iinfo(np.int32).max
+    assert get_reduce_op("max").identity(np.int32) == np.iinfo(np.int32).min
+
+
+def test_unknown_reduce_op_raises():
+    with pytest.raises(ValueError):
+        get_reduce_op("xor")

@@ -1,0 +1,208 @@
+"""Tests for the discrete-event engine, resources and trace analysis."""
+
+import pytest
+
+from repro.simulator import BandwidthResource, ChannelResource, Engine, Trace
+
+
+# --------------------------------------------------------------------------- #
+# engine
+# --------------------------------------------------------------------------- #
+def test_engine_processes_events_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(2.0, lambda: order.append("b"))
+    engine.schedule(1.0, lambda: order.append("a"))
+    engine.schedule(3.0, lambda: order.append("c"))
+    end = engine.run()
+    assert order == ["a", "b", "c"]
+    assert end == pytest.approx(3.0)
+    assert engine.events_processed == 3
+
+
+def test_engine_same_time_events_keep_fifo_order():
+    engine = Engine()
+    order = []
+    for name in "xyz":
+        engine.call_soon(lambda n=name: order.append(n))
+    engine.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_engine_rejects_negative_delay_and_past_times():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1.0, lambda: None)
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_engine_run_until_bound():
+    engine = Engine()
+    hits = []
+    engine.schedule(1.0, lambda: hits.append(1))
+    engine.schedule(5.0, lambda: hits.append(2))
+    engine.run(until=2.0)
+    assert hits == [1]
+    assert engine.now == pytest.approx(2.0)
+    engine.run()
+    assert hits == [1, 2]
+
+
+def test_events_can_schedule_more_events():
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append(engine.now)
+        engine.schedule(1.5, lambda: seen.append(engine.now))
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert seen == [pytest.approx(1.0), pytest.approx(2.5)]
+
+
+# --------------------------------------------------------------------------- #
+# channel resources (FIFO servers)
+# --------------------------------------------------------------------------- #
+def test_channel_resource_serialises_work():
+    engine = Engine()
+    res = ChannelResource(engine, "gpu", channels=1)
+    done = []
+    res.request(1.0, lambda: done.append(engine.now))
+    res.request(2.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(1.0), pytest.approx(3.0)]
+    assert res.completed_items == 2
+
+
+def test_channel_resource_parallel_channels():
+    engine = Engine()
+    res = ChannelResource(engine, "copy", channels=2)
+    done = []
+    for _ in range(3):
+        res.request(1.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(1.0), pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_channel_resource_per_item_overhead():
+    engine = Engine()
+    res = ChannelResource(engine, "sched", per_item_overhead=0.5)
+    done = []
+    res.request(0.0, lambda: done.append(engine.now))
+    res.request(0.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(0.5), pytest.approx(1.0)]
+
+
+def test_channel_resource_rejects_bad_arguments():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        ChannelResource(engine, "x", channels=0)
+    res = ChannelResource(engine, "x")
+    with pytest.raises(ValueError):
+        res.request(-1.0, lambda: None)
+
+
+# --------------------------------------------------------------------------- #
+# bandwidth resources (processor sharing)
+# --------------------------------------------------------------------------- #
+def test_single_transfer_takes_bytes_over_bandwidth():
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    done = []
+    link.request(200.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_concurrent_transfers_share_bandwidth():
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    done = []
+    link.request(100.0, lambda: done.append(("a", engine.now)))
+    link.request(100.0, lambda: done.append(("b", engine.now)))
+    engine.run()
+    # Two equal transfers sharing the link both finish after 2x the solo time.
+    assert done[0][1] == pytest.approx(2.0, rel=1e-6)
+    assert done[1][1] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_later_arrival_slows_down_inflight_transfer():
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    times = {}
+    link.request(100.0, lambda: times.setdefault("first", engine.now))
+
+    def start_second():
+        link.request(50.0, lambda: times.setdefault("second", engine.now))
+
+    engine.schedule(0.5, start_second)
+    engine.run()
+    # First transfer: 0.5s alone (50 bytes) + shares the link afterwards.
+    assert times["first"] > 1.0
+    assert times["first"] == pytest.approx(1.5, rel=1e-2)
+    assert times["second"] == pytest.approx(1.5, rel=1e-2)
+
+
+def test_bandwidth_latency_adds_fixed_cost():
+    engine = Engine()
+    link = BandwidthResource(engine, "nic", bandwidth=100.0, latency=1.0)
+    done = []
+    link.request(0.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(1.0)]
+
+
+def test_bandwidth_resource_counts_bytes():
+    engine = Engine()
+    link = BandwidthResource(engine, "disk", bandwidth=10.0)
+    link.request(30.0, lambda: None)
+    link.request(20.0, lambda: None)
+    engine.run()
+    assert link.bytes_transferred == pytest.approx(50.0)
+    assert link.completed_items == 2
+
+
+def test_many_tiny_transfers_terminate():
+    """Regression test: fractional residual bytes must not stall the clock."""
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=7e9, latency=2e-6)
+    done = []
+    for i in range(50):
+        engine.schedule(i * 1e-7, lambda: link.request(64.0, lambda: done.append(1)))
+    engine.run()
+    assert len(done) == 50
+
+
+# --------------------------------------------------------------------------- #
+# trace analysis
+# --------------------------------------------------------------------------- #
+def test_trace_busy_time_merges_overlaps():
+    trace = Trace()
+    trace.record("gpu", "k1", 0.0, 2.0)
+    trace.record("gpu", "k2", 1.0, 3.0)
+    trace.record("gpu", "k3", 5.0, 6.0)
+    assert trace.busy_time("gpu") == pytest.approx(4.0)
+    assert trace.utilisation("gpu", 10.0) == pytest.approx(0.4)
+
+
+def test_trace_overlap_between_resources():
+    trace = Trace()
+    trace.record("gpu", "kernel", 0.0, 4.0)
+    trace.record("pcie", "copy", 2.0, 6.0)
+    assert trace.overlap_time("gpu", "pcie") == pytest.approx(2.0)
+    assert trace.overlap_time("gpu", "disk") == 0.0
+
+
+def test_resources_record_into_trace():
+    engine = Engine()
+    trace = Trace()
+    res = ChannelResource(engine, "gpu0", trace=trace)
+    res.request(1.0, lambda: None, label="kernel")
+    engine.run()
+    assert trace.busy_time("gpu0") == pytest.approx(1.0)
+    assert trace.summary() == {"gpu0": pytest.approx(1.0)}

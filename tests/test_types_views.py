@@ -1,0 +1,178 @@
+"""Tests for ArrayView (offset-adjusted chunk views) and LaunchContext."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Region
+from repro.core.types import AccessViolation, ArrayView, LaunchContext
+
+
+def make_view(writable=True, buffer=None):
+    chunk = Region((10,), (20,))
+    if buffer is None:
+        buffer = np.arange(10, 20, dtype=np.float32)
+    return ArrayView(buffer, chunk, (100,), writable=writable, name="A"), buffer
+
+
+# --------------------------------------------------------------------------- #
+# indexing with global coordinates
+# --------------------------------------------------------------------------- #
+def test_global_integer_indexing_subtracts_offset():
+    view, buf = make_view()
+    assert view[12] == buf[2]
+    view[12] = 99.0
+    assert buf[2] == 99.0
+
+
+def test_global_slice_indexing():
+    view, buf = make_view()
+    assert np.array_equal(view[11:15], buf[1:5])
+    view[11:13] = 0.0
+    assert np.array_equal(buf[1:3], [0.0, 0.0])
+
+
+def test_open_slice_covers_the_chunk():
+    view, buf = make_view()
+    assert np.array_equal(view[:], buf)
+
+
+def test_fancy_indexing_with_arrays():
+    view, buf = make_view()
+    idx = np.array([10, 15, 19])
+    assert np.array_equal(view[idx], buf[[0, 5, 9]])
+
+
+def test_out_of_chunk_access_raises():
+    view, _ = make_view()
+    with pytest.raises(AccessViolation):
+        _ = view[5]
+    with pytest.raises(AccessViolation):
+        _ = view[25]
+    with pytest.raises(AccessViolation):
+        _ = view[np.array([10, 30])]
+    with pytest.raises(AccessViolation):
+        _ = view[8:12]
+
+
+def test_read_only_view_rejects_writes():
+    view, _ = make_view(writable=False)
+    with pytest.raises(AccessViolation):
+        view[12] = 1.0
+
+
+def test_strided_slices_unsupported():
+    view, _ = make_view()
+    with pytest.raises(IndexError):
+        _ = view[10:20:2]
+
+
+def test_wrong_index_arity_raises():
+    view, _ = make_view()
+    with pytest.raises(IndexError):
+        _ = view[1, 2]
+
+
+def test_2d_view_indexing():
+    chunk = Region((2, 0), (5, 4))
+    buf = np.arange(12, dtype=np.float32).reshape(3, 4)
+    view = ArrayView(buf, chunk, (10, 4), name="M")
+    assert view[2, 0] == buf[0, 0]
+    assert np.array_equal(view[3:5, 1:3], buf[1:3, 1:3])
+    view[4, 3] = -1.0
+    assert buf[2, 3] == -1.0
+
+
+def test_buffer_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ArrayView(np.zeros(5), Region((0,), (6,)), (6,))
+
+
+# --------------------------------------------------------------------------- #
+# gather / scatter (bounds-guard semantics of CUDA kernels)
+# --------------------------------------------------------------------------- #
+def test_gather_with_fill_handles_array_boundaries():
+    chunk = Region((0,), (10,))
+    buf = np.arange(10, dtype=np.float32)
+    view = ArrayView(buf, chunk, (10,), name="A")
+    idx = np.array([-1, 0, 5, 9, 10])
+    out = view.gather(idx, fill=0.0)
+    assert np.array_equal(out, [0.0, 0.0, 5.0, 9.0, 0.0])
+
+
+def test_gather_without_fill_raises_outside_array():
+    view, _ = make_view()
+    with pytest.raises(AccessViolation):
+        view.gather(np.array([120]))
+
+
+def test_gather_inside_array_but_outside_chunk_raises():
+    view, _ = make_view()
+    with pytest.raises(AccessViolation):
+        view.gather(np.array([5]), fill=0.0)
+
+
+def test_gather_2d_broadcasts_indices():
+    chunk = Region((0, 0), (4, 4))
+    buf = np.arange(16, dtype=np.float32).reshape(4, 4)
+    view = ArrayView(buf, chunk, (4, 4))
+    rows = np.array([[0], [2]])
+    cols = np.array([[1, 3]])
+    assert np.array_equal(view.gather(rows, cols), buf[[[0], [2]], [[1, 3]]])
+
+
+def test_scatter_writes_values():
+    view, buf = make_view()
+    view.scatter(np.array([10, 11]), np.array([7.0, 8.0], dtype=np.float32))
+    assert buf[0] == 7.0 and buf[1] == 8.0
+
+
+def test_scatter_requires_values():
+    view, _ = make_view()
+    with pytest.raises(TypeError):
+        view.scatter(np.array([10]))
+
+
+def test_region_view_returns_numpy_window():
+    view, buf = make_view()
+    window = view.region_view(Region((12,), (15,)))
+    assert np.shares_memory(window, buf)
+    assert np.array_equal(window, buf[2:5])
+    with pytest.raises(AccessViolation):
+        view.region_view(Region((0,), (5,)))
+
+
+def test_view_without_buffer_raises_on_access():
+    view = ArrayView(None, Region((0,), (4,)), (4,))
+    with pytest.raises(RuntimeError):
+        _ = view[0]
+
+
+# --------------------------------------------------------------------------- #
+# LaunchContext
+# --------------------------------------------------------------------------- #
+def test_launch_context_global_indices_and_blocks():
+    lc = LaunchContext(
+        grid_dims=(1000,),
+        block_dims=(32,),
+        thread_region=Region((256,), (512,)),
+        block_offset=(8,),
+        superblock_index=1,
+    )
+    idx = lc.global_indices(0)
+    assert idx[0] == 256 and idx[-1] == 511
+    assert lc.thread_count == 256
+    blocks = lc.block_indices(0)
+    assert blocks[0] == 8 and blocks[-1] == 15
+
+
+def test_launch_context_global_grid_2d():
+    lc = LaunchContext(
+        grid_dims=(8, 6),
+        block_dims=(4, 2),
+        thread_region=Region((4, 0), (8, 6)),
+        block_offset=(1, 0),
+        superblock_index=1,
+    )
+    ii, jj = lc.global_grid()
+    assert ii.shape == (4, 6)
+    assert ii[0, 0] == 4 and jj[0, -1] == 5
