@@ -80,12 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scheduler-policy", default=None,
                      help="scheduler task-selection policy (fifo/locality/priority/smallest)")
     _add_cluster_args(run)
+    _add_plan_cache_arg(run)
 
     sweep = sub.add_parser("sweep", help="run a problem-size sweep for one workload")
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
     sweep.add_argument("--sizes", required=True,
                        help="comma-separated problem sizes, e.g. 1e8,1e9,4e9")
     _add_cluster_args(sweep)
+    _add_plan_cache_arg(sweep)
 
     sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
 
@@ -105,6 +107,15 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gpus", type=int, default=1, help="GPUs per node")
 
 
+def _add_plan_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--plan-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached plan templates for repeated launches (default: on)",
+    )
+
+
 def _parse_dims(text: str) -> Tuple[int, ...]:
     return tuple(int(float(part)) for part in text.lower().replace("*", "x").split("x"))
 
@@ -122,7 +133,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    context_kwargs = {}
+    context_kwargs = {"plan_cache": args.plan_cache}
     if args.scheduler_policy:
         context_kwargs["scheduler_policy"] = args.scheduler_policy
     point = run_workload(
@@ -131,7 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         nodes=args.nodes,
         gpus_per_node=args.gpus,
         mode=args.mode,
-        context_kwargs=context_kwargs or None,
+        context_kwargs=context_kwargs,
     )
     print(format_table([point], title=f"{args.workload} on {args.nodes}x{args.gpus} GPUs"))
     print(f"GPU memory limit: {gpu_memory_limit(args.nodes * args.gpus) / 1e9:.0f} GB, "
@@ -145,7 +156,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("no problem sizes given", file=sys.stderr)
         return 2
     points = [
-        run_workload(args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus)
+        run_workload(args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
+                     context_kwargs={"plan_cache": args.plan_cache})
         for n in sizes
     ]
     print(format_table(points, title=f"{args.workload} problem-size sweep"))

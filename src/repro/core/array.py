@@ -56,6 +56,9 @@ class DistributedArray:
         self.context = context
         self.name = name or f"array{array_id}"
         self.deleted = False
+        #: bumped whenever the chunk layout changes (e.g. a future in-place
+        #: redistribution), invalidating cached plan templates keyed on it
+        self.layout_epoch = 0
 
     # ------------------------------------------------------------------ #
     # metadata

@@ -34,7 +34,7 @@ from .array import ArrayIdAllocator, DistributedArray
 from .chunk import ChunkIdAllocator, ChunkMeta
 from .distributions import DataDistribution, WorkDistribution
 from .kernel import CompiledKernel, KernelDef
-from .planner import Planner
+from .planning import Planner
 from .tasks import TaskIdAllocator
 from .wrapper import WrapperCache
 
@@ -60,6 +60,7 @@ class Context:
         memory_capacities=None,
         scheduler_policy=None,
         record_plans: bool = False,
+        plan_cache: bool = True,
     ):
         if cluster is None:
             cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
@@ -80,7 +81,9 @@ class Context:
         self._task_ids = TaskIdAllocator()
         self._chunk_ids = ChunkIdAllocator()
         self._array_ids = ArrayIdAllocator()
-        self.planner = Planner(self.cluster, self._task_ids, self._chunk_ids)
+        self.planner = Planner(
+            self.cluster, self._task_ids, self._chunk_ids, plan_cache=plan_cache
+        )
         self.wrappers = WrapperCache()
         self.kernels: Dict[str, CompiledKernel] = {}
         self.arrays: Dict[int, DistributedArray] = {}

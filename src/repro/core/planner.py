@@ -1,583 +1,11 @@
-"""The execution planner (Sec. 2.4, Fig. 4).
+"""Compatibility shim: the planner now lives in :mod:`repro.core.planning`.
 
-For every operation the application performs (creating an array, launching a
-kernel, gathering results, deleting an array) the planner produces an
-:class:`~repro.core.tasks.ExecutionPlan`: a DAG fragment per worker.  For a
-distributed kernel launch it
-
-1. splits the launch into superblocks using the work distribution,
-2. evaluates, per superblock and per argument array, the annotation's access
-   region,
-3. queries the array's data distribution for the chunks intersecting that
-   region and decides whether the superblock can use a chunk directly, needs a
-   copy from another GPU/node, or needs a temporary chunk assembled from (or
-   scattered back to) several chunks,
-4. handles ``reduce`` accesses with per-superblock partial-result chunks and a
-   hierarchical reduction (superblock → GPU → destination), and
-5. inserts dependencies on tasks from *previous* launches whenever there is a
-   read-write, write-write or write-read conflict on a chunk, so execution is
-   sequentially consistent even though everything is submitted asynchronously.
-
-The planner is purely driver-side: it never touches data, only metadata.
+The monolithic planner was restructured into an explicit pass pipeline over a
+plan IR with a plan-template cache; see :mod:`repro.core.planning` for the
+real implementation.  This module keeps the historical import path
+``repro.core.planner`` working.
 """
 
-from __future__ import annotations
-
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..hardware.topology import Cluster, DeviceId
-from .annotations import AccessMode
-from .array import DistributedArray
-from .chunk import ChunkIdAllocator, ChunkMeta
-from .distributions import Superblock, WorkDistribution
-from .geometry import Region, bounding_region
-from .kernel import CompiledKernel
-from .reductions import get_reduce_op
-from . import tasks as T
+from .planning import Planner, PlanningError
 
 __all__ = ["Planner", "PlanningError"]
-
-
-class PlanningError(RuntimeError):
-    """The planner could not construct a valid execution plan."""
-
-
-@dataclass
-class _ParamPlan:
-    """Intermediate per-(superblock, array-parameter) planning record."""
-
-    param: str
-    array: DistributedArray
-    mode: AccessMode
-    reduce_op: Optional[str]
-    region: Region
-    binding_chunk: ChunkMeta
-    launch_deps: List[int] = field(default_factory=list)
-    #: chunks read directly or via transfer (for reader-dependency bookkeeping):
-    read_chunks: List[Tuple[int, int]] = field(default_factory=list)  # (chunk_id, reading task)
-    #: direct write target (chunk used in place), if any
-    direct_write_chunk: Optional[ChunkMeta] = None
-    #: temporary chunk that must be scattered back after the launch
-    scatter_from_temp: bool = False
-    temp_chunk: Optional[ChunkMeta] = None
-    temp_tasks: List[int] = field(default_factory=list)
-
-
-class Planner:
-    """Builds execution plans and tracks inter-launch dependencies."""
-
-    def __init__(self, cluster: Cluster, task_ids: T.TaskIdAllocator, chunk_ids: ChunkIdAllocator):
-        self.cluster = cluster
-        self._task_ids = task_ids
-        self._chunk_ids = chunk_ids
-        self._tag_counter = 0
-        #: chunk-level conflict tracking across launches
-        self._writers: Dict[int, List[int]] = defaultdict(list)
-        self._readers: Dict[int, List[int]] = defaultdict(list)
-        self.launches_planned = 0
-
-    # ------------------------------------------------------------------ #
-    # small helpers
-    # ------------------------------------------------------------------ #
-    def _next_tag(self) -> int:
-        self._tag_counter += 1
-        return self._tag_counter
-
-    def _new_task_id(self) -> int:
-        return self._task_ids.next_id()
-
-    def _temp_chunk(self, region: Region, dtype, device: DeviceId, label: str) -> ChunkMeta:
-        return ChunkMeta(
-            chunk_id=self._chunk_ids.next_id(),
-            region=region,
-            dtype=np.dtype(dtype),
-            home=device,
-            array_id=None,
-            temporary=True,
-            label=label,
-        )
-
-    def _read_deps(self, chunk_id: int) -> List[int]:
-        return list(self._writers.get(chunk_id, []))
-
-    def _write_deps(self, chunk_id: int) -> List[int]:
-        return list(self._writers.get(chunk_id, [])) + list(self._readers.get(chunk_id, []))
-
-    # ------------------------------------------------------------------ #
-    # transfers between chunks (copy within a node, send/recv across nodes)
-    # ------------------------------------------------------------------ #
-    def _transfer(
-        self,
-        plan: T.ExecutionPlan,
-        src: ChunkMeta,
-        dst: ChunkMeta,
-        region: Region,
-        deps: Sequence[int],
-        label: str = "",
-    ) -> Tuple[int, int]:
-        """Move ``region`` from ``src`` to ``dst``.
-
-        Returns ``(src_read_task, dst_write_task)`` — the task that reads the
-        source (for reader bookkeeping) and the task whose completion means the
-        data has arrived at the destination.
-        """
-        nbytes = region.size * src.dtype.itemsize
-        if src.worker == dst.worker:
-            copy = T.CopyTask(
-                task_id=self._new_task_id(),
-                worker=src.worker,
-                deps=tuple(deps),
-                label=label or f"copy {src.chunk_id}->{dst.chunk_id}",
-                src_chunk=src.chunk_id,
-                dst_chunk=dst.chunk_id,
-                region=region,
-                nbytes=nbytes,
-                src_device=src.home,
-                dst_device=dst.home,
-            )
-            plan.add(copy)
-            return copy.task_id, copy.task_id
-        tag = self._next_tag()
-        send = T.SendTask(
-            task_id=self._new_task_id(),
-            worker=src.worker,
-            deps=tuple(deps),
-            label=label or f"send {src.chunk_id}->{dst.chunk_id}",
-            chunk_id=src.chunk_id,
-            region=region,
-            dst_worker=dst.worker,
-            tag=tag,
-            nbytes=nbytes,
-        )
-        recv = T.RecvTask(
-            task_id=self._new_task_id(),
-            worker=dst.worker,
-            deps=tuple(list(deps) + [send.task_id]),
-            label=label or f"recv {src.chunk_id}->{dst.chunk_id}",
-            chunk_id=dst.chunk_id,
-            region=region,
-            src_worker=src.worker,
-            tag=tag,
-            nbytes=nbytes,
-        )
-        plan.add(send)
-        plan.add(recv)
-        return send.task_id, recv.task_id
-
-    def _create_temp(
-        self,
-        plan: T.ExecutionPlan,
-        region: Region,
-        dtype,
-        device: DeviceId,
-        label: str,
-        fill_value: Optional[float] = None,
-    ) -> Tuple[ChunkMeta, int]:
-        """Create (and optionally fill) a temporary chunk; returns (chunk, ready-task)."""
-        chunk = self._temp_chunk(region, dtype, device, label)
-        create = T.CreateChunkTask(
-            task_id=self._new_task_id(),
-            worker=device.worker,
-            label=f"create {label}",
-            chunk=chunk,
-        )
-        plan.add(create)
-        ready = create.task_id
-        if fill_value is not None:
-            fill = T.FillTask(
-                task_id=self._new_task_id(),
-                worker=device.worker,
-                deps=(create.task_id,),
-                label=f"fill {label}",
-                chunk_id=chunk.chunk_id,
-                value=float(fill_value),
-                nbytes=chunk.nbytes,
-            )
-            plan.add(fill)
-            ready = fill.task_id
-        return chunk, ready
-
-    def _delete_chunk(self, plan: T.ExecutionPlan, chunk: ChunkMeta, deps: Sequence[int]) -> None:
-        plan.add(
-            T.DeleteChunkTask(
-                task_id=self._new_task_id(),
-                worker=chunk.worker,
-                deps=tuple(deps),
-                label=f"delete {chunk.label or chunk.chunk_id}",
-                chunk_id=chunk.chunk_id,
-            )
-        )
-
-    # ------------------------------------------------------------------ #
-    # array lifecycle plans
-    # ------------------------------------------------------------------ #
-    def plan_create_array(
-        self,
-        array: DistributedArray,
-        value: Optional[float] = None,
-        data: Optional[np.ndarray] = None,
-    ) -> T.ExecutionPlan:
-        """CreateChunk + Fill tasks for every chunk of a new array."""
-        plan = T.ExecutionPlan(description=f"create {array.name}")
-        for chunk in array.chunks:
-            create = T.CreateChunkTask(
-                task_id=self._new_task_id(),
-                worker=chunk.worker,
-                label=f"create {array.name}",
-                chunk=chunk,
-            )
-            plan.add(create)
-            chunk_data = None
-            if data is not None:
-                chunk_data = np.ascontiguousarray(data[chunk.region.as_slices()])
-            fill = T.FillTask(
-                task_id=self._new_task_id(),
-                worker=chunk.worker,
-                deps=(create.task_id,),
-                label=f"fill {array.name}",
-                chunk_id=chunk.chunk_id,
-                value=value,
-                data=chunk_data,
-                nbytes=chunk.nbytes,
-            )
-            plan.add(fill)
-            self._writers[chunk.chunk_id] = [fill.task_id]
-        return plan
-
-    def plan_gather(self, array: DistributedArray) -> T.ExecutionPlan:
-        """Download every chunk's contents back to the driver."""
-        plan = T.ExecutionPlan(description=f"gather {array.name}")
-        for chunk in array.chunks:
-            download = T.DownloadTask(
-                task_id=self._new_task_id(),
-                worker=chunk.worker,
-                deps=tuple(self._read_deps(chunk.chunk_id)),
-                label=f"download {array.name}",
-                chunk_id=chunk.chunk_id,
-                region=chunk.region,
-                nbytes=chunk.nbytes,
-            )
-            plan.add(download)
-            self._readers[chunk.chunk_id].append(download.task_id)
-        return plan
-
-    def plan_delete_array(self, array: DistributedArray) -> T.ExecutionPlan:
-        """Delete every chunk once its last reader/writer has finished."""
-        plan = T.ExecutionPlan(description=f"delete {array.name}")
-        for chunk in array.chunks:
-            self._delete_chunk(plan, chunk, self._write_deps(chunk.chunk_id))
-            self._writers.pop(chunk.chunk_id, None)
-            self._readers.pop(chunk.chunk_id, None)
-        return plan
-
-    # ------------------------------------------------------------------ #
-    # distributed kernel launches
-    # ------------------------------------------------------------------ #
-    def plan_launch(
-        self,
-        kernel: CompiledKernel,
-        grid: Tuple[int, ...],
-        block: Tuple[int, ...],
-        work_dist: WorkDistribution,
-        scalars: Dict[str, object],
-        arrays: Dict[str, DistributedArray],
-        launch_id: int,
-    ) -> T.ExecutionPlan:
-        plan = T.ExecutionPlan(
-            launch_id=launch_id, description=f"launch {kernel.name} #{launch_id}"
-        )
-        devices = self.cluster.device_ids()
-        superblocks = work_dist.superblocks(grid, block, devices)
-        if not superblocks:
-            raise PlanningError(f"work distribution produced no superblocks for grid {grid}")
-
-        annotation = kernel.annotation
-        new_reads: Dict[int, List[int]] = defaultdict(list)
-        new_writes: Dict[int, List[int]] = defaultdict(list)
-        #: param -> list of (superblock, partial chunk, region, launch task id)
-        reduce_jobs: Dict[str, List[Tuple[Superblock, ChunkMeta, Region, int]]] = defaultdict(list)
-
-        for sb in superblocks:
-            param_plans: List[_ParamPlan] = []
-            var_ranges = annotation.var_ranges(sb, block)
-            for param in kernel.definition.array_params:
-                array = arrays[param.name]
-                access = annotation.access_for(param.name)
-                region = access.access_region(var_ranges, array.shape)
-                if region.is_empty:
-                    raise PlanningError(
-                        f"superblock {sb.index} of kernel {kernel.name!r} has an empty "
-                        f"access region on {param.name!r}; check the annotation"
-                    )
-                param_plans.append(
-                    self._plan_param(plan, sb, param.name, array, access.mode,
-                                     access.reduce_op, region)
-                )
-
-            launch_deps = sorted({dep for pp in param_plans for dep in pp.launch_deps})
-            launch = T.LaunchTask(
-                task_id=self._new_task_id(),
-                worker=sb.device.worker,
-                deps=tuple(launch_deps),
-                label=f"{kernel.name}[{sb.index}]",
-                kernel_name=kernel.name,
-                device=sb.device,
-                superblock=sb,
-                grid_dims=tuple(grid),
-                block_dims=tuple(block),
-                scalar_args=dict(scalars),
-                array_args=tuple(
-                    T.ArrayArgBinding(
-                        param=pp.param,
-                        chunk_id=pp.binding_chunk.chunk_id,
-                        access_region=pp.region,
-                        mode=pp.mode.value,
-                        reduce_op=pp.reduce_op,
-                    )
-                    for pp in param_plans
-                ),
-                array_shapes={pp.param: pp.array.shape for pp in param_plans},
-                launch_id=launch_id,
-            )
-            plan.add(launch)
-
-            # Post-launch bookkeeping and write-back/coherence traffic.
-            for pp in param_plans:
-                if pp.mode is AccessMode.REDUCE:
-                    reduce_jobs[pp.param].append((sb, pp.binding_chunk, pp.region, launch.task_id))
-                    continue
-                for chunk_id, reader in pp.read_chunks:
-                    new_reads[chunk_id].append(reader if reader >= 0 else launch.task_id)
-                if not pp.mode.writes:
-                    if pp.temp_chunk is not None:
-                        self._delete_chunk(plan, pp.temp_chunk, [launch.task_id])
-                    continue
-                written = pp.region
-                if pp.direct_write_chunk is not None:
-                    source = pp.direct_write_chunk
-                    new_writes[source.chunk_id].append(launch.task_id)
-                    targets = [
-                        c for c in pp.array.chunks_overlapping(written)
-                        if c.chunk_id != source.chunk_id
-                    ]
-                else:
-                    source = pp.temp_chunk
-                    targets = pp.array.chunks_overlapping(written)
-                last_uses = [launch.task_id]
-                for target in targets:
-                    overlap = target.region.intersect(written)
-                    if overlap.is_empty:
-                        continue
-                    deps = [launch.task_id] + self._write_deps(target.chunk_id)
-                    src_read, dst_write = self._transfer(
-                        plan, source, target, overlap, deps,
-                        label=f"writeback {pp.param}",
-                    )
-                    new_writes[target.chunk_id].append(dst_write)
-                    last_uses.append(src_read)
-                if pp.temp_chunk is not None:
-                    self._delete_chunk(plan, pp.temp_chunk, last_uses)
-
-        # Hierarchical reductions (per reduce parameter).
-        for param, jobs in reduce_jobs.items():
-            array = arrays[param]
-            access = annotation.access_for(param)
-            self._plan_reduction(plan, array, access.reduce_op, jobs, new_writes)
-
-        # Apply chunk-conflict bookkeeping for the next launch.
-        for chunk_id, writers in new_writes.items():
-            self._writers[chunk_id] = list(dict.fromkeys(writers))
-            self._readers[chunk_id] = list(dict.fromkeys(new_reads.get(chunk_id, [])))
-        for chunk_id, readers in new_reads.items():
-            if chunk_id not in new_writes:
-                self._readers[chunk_id].extend(readers)
-
-        self.launches_planned += 1
-        return plan
-
-    # ------------------------------------------------------------------ #
-    # per-parameter planning for one superblock
-    # ------------------------------------------------------------------ #
-    def _plan_param(
-        self,
-        plan: T.ExecutionPlan,
-        sb: Superblock,
-        param: str,
-        array: DistributedArray,
-        mode: AccessMode,
-        reduce_op: Optional[str],
-        region: Region,
-    ) -> _ParamPlan:
-        pp = _ParamPlan(
-            param=param,
-            array=array,
-            mode=mode,
-            reduce_op=reduce_op,
-            region=region,
-            binding_chunk=None,  # type: ignore[arg-type]
-        )
-
-        if mode is AccessMode.REDUCE:
-            op = get_reduce_op(reduce_op)
-            identity = float(op.identity(array.dtype))
-            partial, ready = self._create_temp(
-                plan, region, array.dtype, sb.device,
-                label=f"partial {param} sb{sb.index}", fill_value=identity,
-            )
-            pp.binding_chunk = partial
-            pp.temp_chunk = partial
-            pp.launch_deps.append(ready)
-            return pp
-
-        chunk = array.find_enclosing_chunk(region, prefer_device=sb.device)
-        if chunk is not None and chunk.home == sb.device:
-            # Common case: an enclosing chunk already lives on the right GPU.
-            pp.binding_chunk = chunk
-            if mode.reads:
-                pp.launch_deps.extend(self._read_deps(chunk.chunk_id))
-                pp.read_chunks.append((chunk.chunk_id, -1))  # -1: the launch itself reads
-            if mode.writes:
-                pp.launch_deps.extend(self._write_deps(chunk.chunk_id))
-                pp.direct_write_chunk = chunk
-            return pp
-
-        # A temporary chunk on the superblock's GPU is needed.
-        temp, ready = self._create_temp(
-            plan, region, array.dtype, sb.device, label=f"tmp {param} sb{sb.index}"
-        )
-        pp.binding_chunk = temp
-        pp.temp_chunk = temp
-        pp.launch_deps.append(ready)
-
-        if mode.reads:
-            sources = [chunk] if chunk is not None else array.chunks_overlapping(region)
-            if not sources:
-                raise PlanningError(
-                    f"no chunk of {array.name} overlaps access region {region} of {param!r}"
-                )
-            for src in sources:
-                piece = src.region.intersect(region)
-                if piece.is_empty:
-                    continue
-                deps = [ready] + self._read_deps(src.chunk_id)
-                src_read, dst_write = self._transfer(
-                    plan, src, temp, piece, deps, label=f"gather {param}"
-                )
-                pp.read_chunks.append((src.chunk_id, src_read))
-                pp.launch_deps.append(dst_write)
-        if mode.writes:
-            pp.scatter_from_temp = True
-        return pp
-
-    # ------------------------------------------------------------------ #
-    # hierarchical reductions
-    # ------------------------------------------------------------------ #
-    def _plan_reduction(
-        self,
-        plan: T.ExecutionPlan,
-        array: DistributedArray,
-        op_name: str,
-        jobs: List[Tuple[Superblock, ChunkMeta, Region, int]],
-        new_writes: Dict[int, List[int]],
-    ) -> None:
-        """Reduce per-superblock partials into the destination array's chunks.
-
-        The reduction is hierarchical, as in the paper: first the partial
-        results of the superblocks on one GPU, then across GPUs/nodes into a
-        root accumulator located on the destination chunk's home device, and
-        finally the result is written into the destination chunk(s) and their
-        replicas.
-        """
-        op = get_reduce_op(op_name)
-        identity = float(op.identity(array.dtype))
-        total_region = bounding_region([region for _, _, region, _ in jobs])
-
-        # Group partials per device and reduce locally.
-        per_device: Dict[DeviceId, List[Tuple[ChunkMeta, Region, int]]] = defaultdict(list)
-        for sb, partial, region, launch_id in jobs:
-            per_device[sb.device].append((partial, region, launch_id))
-
-        dest_chunks = array.chunks_overlapping(total_region)
-        if not dest_chunks:
-            raise PlanningError(
-                f"reduction target {array.name} has no chunk overlapping {total_region}"
-            )
-        root_chunk = array.find_enclosing_chunk(total_region) or dest_chunks[0]
-        root_device = root_chunk.home
-
-        device_accs: Dict[DeviceId, Tuple[ChunkMeta, int]] = {}
-        for device, items in per_device.items():
-            acc, ready = self._create_temp(
-                plan, total_region, array.dtype, device,
-                label=f"acc {array.name} @{device}", fill_value=identity,
-            )
-            prev = ready
-            for partial, region, launch_id in items:
-                reduce_task = T.ReduceTask(
-                    task_id=self._new_task_id(),
-                    worker=device.worker,
-                    deps=(launch_id, prev),
-                    label=f"reduce {array.name}",
-                    src_chunk=partial.chunk_id,
-                    dst_chunk=acc.chunk_id,
-                    region=region,
-                    op=op_name,
-                    nbytes=region.size * array.dtype.itemsize,
-                )
-                plan.add(reduce_task)
-                prev = reduce_task.task_id
-                self._delete_chunk(plan, partial, [reduce_task.task_id])
-            device_accs[device] = (acc, prev)
-
-        # Bring every device accumulator to the root device and combine.
-        if root_device in device_accs:
-            root_acc, root_ready = device_accs[root_device]
-        else:
-            root_acc, root_ready = self._create_temp(
-                plan, total_region, array.dtype, root_device,
-                label=f"acc {array.name} root", fill_value=identity,
-            )
-        for device, (acc, ready) in device_accs.items():
-            if device == root_device:
-                continue
-            staging, staging_ready = self._create_temp(
-                plan, total_region, array.dtype, root_device,
-                label=f"acc {array.name} from {device}",
-            )
-            src_read, arrived = self._transfer(
-                plan, acc, staging, total_region, [ready, staging_ready],
-                label=f"move acc {array.name}",
-            )
-            combine = T.ReduceTask(
-                task_id=self._new_task_id(),
-                worker=root_device.worker,
-                deps=(arrived, root_ready),
-                label=f"combine {array.name}",
-                src_chunk=staging.chunk_id,
-                dst_chunk=root_acc.chunk_id,
-                region=total_region,
-                op=op_name,
-                nbytes=total_region.size * array.dtype.itemsize,
-            )
-            plan.add(combine)
-            root_ready = combine.task_id
-            self._delete_chunk(plan, acc, [src_read])
-            self._delete_chunk(plan, staging, [combine.task_id])
-
-        # Write the reduced result into the destination chunks (and replicas).
-        final_uses = [root_ready]
-        for dest in dest_chunks:
-            overlap = dest.region.intersect(total_region)
-            if overlap.is_empty:
-                continue
-            deps = [root_ready] + self._write_deps(dest.chunk_id)
-            src_read, dst_write = self._transfer(
-                plan, root_acc, dest, overlap, deps, label=f"scatter {array.name}"
-            )
-            new_writes[dest.chunk_id].append(dst_write)
-            final_uses.append(src_read)
-        self._delete_chunk(plan, root_acc, final_uses)

@@ -1,0 +1,51 @@
+"""Pass-based execution planning (Sec. 2.4, restructured).
+
+The package splits the old monolithic planner into
+
+* :mod:`.ir` — the plan IR: task protos, plan recipes and stamping;
+* :mod:`.passes` — the pass pipeline (access analysis, transfer resolution,
+  reduction planning, redundant-transfer elimination, copy coalescing, task
+  emission) plus the stamp-time dependency-injection pass;
+* :mod:`.costmodel` — topology-aware transfer cost ranking;
+* :mod:`.cache` — the plan-template cache for iterative launches;
+* :mod:`.planner` — the :class:`Planner` facade the driver talks to.
+"""
+
+from .cache import PlanTemplateCache
+from .costmodel import TransferCostModel
+from .ir import PlanRecipe, RecipeBuilder, TransferStep, stamp_recipe
+from .passes import (
+    AccessAnalysisPass,
+    CopyCoalescingPass,
+    DependencyInjectionPass,
+    PlanningError,
+    PlanningPass,
+    RedundantTransferEliminationPass,
+    ReductionPlanningPass,
+    TaskEmissionPass,
+    TransferResolutionPass,
+    build_launch_recipe,
+    default_pipeline,
+)
+from .planner import Planner
+
+__all__ = [
+    "Planner",
+    "PlanningError",
+    "PlanTemplateCache",
+    "TransferCostModel",
+    "PlanRecipe",
+    "RecipeBuilder",
+    "TransferStep",
+    "stamp_recipe",
+    "PlanningPass",
+    "AccessAnalysisPass",
+    "TransferResolutionPass",
+    "ReductionPlanningPass",
+    "RedundantTransferEliminationPass",
+    "CopyCoalescingPass",
+    "TaskEmissionPass",
+    "DependencyInjectionPass",
+    "build_launch_recipe",
+    "default_pipeline",
+]

@@ -1,0 +1,96 @@
+"""The plan-template cache: reuse launch plans across iterations.
+
+Iterative applications (K-Means, HotSpot, the CGC co-clustering app) replay
+the *same* kernel launch hundreds of times.  The structural part of such a
+launch's plan — superblocks, access regions, transfers, reductions — depends
+only on the kernel, the grid/block dimensions, the work distribution and the
+argument arrays' chunk layouts, none of which change between iterations.
+Only task ids, temporary chunk ids, send/recv tags, scalar arguments and
+cross-launch conflict dependencies differ, and those are exactly what
+re-stamping a cached :class:`~.ir.PlanRecipe` regenerates.
+
+The cache key is ``(kernel name, grid, block, work distribution, per-array
+(array id, layout epoch))``.  Scalar arguments are deliberately *not* part of
+the key: access regions are functions of the superblock and the array shape
+only, so scalars are pure payload stamped into the cached skeleton.  The
+layout epoch guards against future in-place redistribution of an array;
+array ids are never reused, so deleted arrays cannot alias a stale entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..array import DistributedArray
+from ..distributions import WorkDistribution
+from ..kernel import CompiledKernel
+from .ir import PlanRecipe
+
+__all__ = ["PlanTemplateCache"]
+
+
+class PlanTemplateCache:
+    """A bounded LRU cache of structural launch-plan recipes."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, PlanRecipe]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # keying
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(
+        kernel: CompiledKernel,
+        grid: Tuple[int, ...],
+        block: Tuple[int, ...],
+        work_dist: WorkDistribution,
+        arrays: Dict[str, DistributedArray],
+    ) -> Hashable:
+        """Cache key for one launch (see module docstring for the rationale)."""
+        layout = tuple(
+            (name, array.array_id, array.layout_epoch)
+            for name, array in sorted(arrays.items())
+        )
+        return (kernel.name, tuple(grid), tuple(block), work_dist, layout)
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: Hashable) -> Optional[PlanRecipe]:
+        recipe = self._entries.get(key)
+        if recipe is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return recipe
+
+    def store(self, key: Hashable, recipe: PlanRecipe) -> None:
+        self._entries[key] = recipe
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"plan-template cache: {len(self._entries)} entries, "
+            f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%} hit rate)"
+        )

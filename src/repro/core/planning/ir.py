@@ -1,0 +1,451 @@
+"""The mutable plan IR the planning passes operate on.
+
+Planning a kernel launch is split into two halves:
+
+* **Recipe construction** — the pass pipeline (see :mod:`.passes`) analyses
+  access regions, resolves transfers, plans reductions and optimises the
+  result.  Everything it produces is *structural*: a :class:`PlanRecipe` holds
+  an ordered list of :class:`TaskProto` records whose dependencies are indices
+  into the same list, temporary chunks are symbolic :class:`TempRef` slots and
+  send/recv tags are symbolic :class:`TagRef` slots.  A recipe contains no
+  task ids, no chunk ids and no cross-launch dependencies, which is what makes
+  it reusable across launches (the plan-template cache stores recipes).
+
+* **Stamping** — :func:`stamp_recipe` turns a recipe into a concrete
+  :class:`~repro.core.tasks.ExecutionPlan`: it allocates fresh task ids, chunk
+  ids and tags, substitutes the launch's scalar arguments, and injects
+  cross-launch conflict dependencies by querying the planner's reader/writer
+  tables (the dependency-injection pass).  Stamping is a cheap linear walk, so
+  cached re-launches skip all of the analysis work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ...hardware.topology import DeviceId, WorkerId
+from ..chunk import ChunkId, ChunkMeta
+from ..geometry import Region
+from .. import tasks as T
+
+__all__ = [
+    "TempRef",
+    "TempMetaRef",
+    "TagRef",
+    "SCALAR_ARGS",
+    "LAUNCH_ID",
+    "TempChunkSpec",
+    "ChunkHandle",
+    "TransferStep",
+    "ArgBindingProto",
+    "TaskProto",
+    "PlanRecipe",
+    "RecipeBuilder",
+    "StampedPlan",
+    "stamp_recipe",
+]
+
+
+# --------------------------------------------------------------------------- #
+# symbolic references resolved at stamp time
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TempRef:
+    """Placeholder for the *chunk id* of a temporary chunk (fresh per stamp)."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class TempMetaRef:
+    """Placeholder for the full :class:`ChunkMeta` of a temporary chunk."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class TagRef:
+    """Placeholder for a send/recv matching tag (fresh per stamp)."""
+
+    slot: int
+
+
+class _Sentinel:
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self._name}>"
+
+
+#: Substituted with the launch's scalar-argument dict at stamp time.
+SCALAR_ARGS = _Sentinel("scalar-args")
+#: Substituted with the launch id at stamp time.
+LAUNCH_ID = _Sentinel("launch-id")
+
+
+@dataclass(frozen=True)
+class TempChunkSpec:
+    """Blueprint of one temporary chunk created by the plan."""
+
+    slot: int
+    region: Region
+    dtype: np.dtype
+    home: DeviceId
+    label: str
+
+    @property
+    def worker(self) -> WorkerId:
+        return self.home.worker
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.size * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ChunkHandle:
+    """Uniform view of a transfer endpoint: a persistent chunk or a temp slot.
+
+    ``ref`` is either a concrete chunk id (persistent array chunk) or a
+    :class:`TempRef`.  ``meta`` is set for persistent chunks only.
+    """
+
+    ref: object
+    home: DeviceId
+    dtype: np.dtype
+    meta: Optional[ChunkMeta] = None
+
+    @classmethod
+    def of_chunk(cls, chunk: ChunkMeta) -> "ChunkHandle":
+        return cls(ref=chunk.chunk_id, home=chunk.home, dtype=chunk.dtype, meta=chunk)
+
+    @classmethod
+    def of_temp(cls, spec: TempChunkSpec) -> "ChunkHandle":
+        return cls(ref=TempRef(spec.slot), home=spec.home, dtype=np.dtype(spec.dtype))
+
+    @property
+    def worker(self) -> WorkerId:
+        return self.home.worker
+
+    @property
+    def is_temp(self) -> bool:
+        return isinstance(self.ref, TempRef)
+
+    @property
+    def chunk_id(self) -> Optional[ChunkId]:
+        return None if self.is_temp else self.ref
+
+
+@dataclass
+class TransferStep:
+    """One planned data movement, before being lowered to copy/send+recv protos."""
+
+    src: ChunkHandle
+    dst: ChunkHandle
+    region: Region
+    purpose: str  # 'gather' | 'writeback' | 'scatter' | 'move-acc'
+    label: str = ""
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.size * np.dtype(self.src.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ArgBindingProto:
+    """Structural form of one :class:`~repro.core.tasks.ArrayArgBinding`."""
+
+    param: str
+    chunk_ref: object  # ChunkId or TempRef
+    access_region: Region
+    mode: str
+    reduce_op: Optional[str] = None
+
+
+@dataclass
+class TaskProto:
+    """One task of the recipe: a task class plus its structural fields.
+
+    ``deps`` are indices of earlier protos in the recipe.  ``conflicts`` are
+    ``(kind, chunk_id)`` queries against the planner's cross-launch conflict
+    tables, resolved at stamp time (``kind`` is ``"read"`` or ``"write"``).
+    """
+
+    factory: Type[T.Task]
+    worker: WorkerId
+    label: str
+    fields: Dict[str, object]
+    deps: Tuple[int, ...] = ()
+    conflicts: Tuple[Tuple[str, ChunkId], ...] = ()
+
+
+@dataclass
+class PlanRecipe:
+    """A reusable structural execution-plan template for one driver operation."""
+
+    description: str = ""
+    protos: List[TaskProto] = field(default_factory=list)
+    temps: List[TempChunkSpec] = field(default_factory=list)
+    tag_slots: int = 0
+    #: conflict-table bookkeeping applied after stamping: (chunk_id, proto idx)
+    reads: List[Tuple[ChunkId, int]] = field(default_factory=list)
+    writes: List[Tuple[ChunkId, int]] = field(default_factory=list)
+    #: optimisation-pass statistics recorded while this recipe was built
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def task_count(self) -> int:
+        return len(self.protos)
+
+
+class RecipeBuilder:
+    """Incrementally assembles a :class:`PlanRecipe` (used by the passes)."""
+
+    def __init__(self, description: str = "") -> None:
+        self.recipe = PlanRecipe(description=description)
+
+    # ------------------------------------------------------------------ #
+    # symbolic allocation
+    # ------------------------------------------------------------------ #
+    def temp(self, region: Region, dtype, home: DeviceId, label: str) -> TempChunkSpec:
+        spec = TempChunkSpec(
+            slot=len(self.recipe.temps),
+            region=region,
+            dtype=np.dtype(dtype),
+            home=home,
+            label=label,
+        )
+        self.recipe.temps.append(spec)
+        return spec
+
+    def tag(self) -> TagRef:
+        ref = TagRef(self.recipe.tag_slots)
+        self.recipe.tag_slots += 1
+        return ref
+
+    # ------------------------------------------------------------------ #
+    # proto emission
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        factory: Type[T.Task],
+        worker: WorkerId,
+        label: str = "",
+        deps: Sequence[int] = (),
+        conflicts: Sequence[Tuple[str, ChunkId]] = (),
+        **fields,
+    ) -> int:
+        """Append a task proto; returns its index in the recipe."""
+        index = len(self.recipe.protos)
+        self.recipe.protos.append(
+            TaskProto(
+                factory=factory,
+                worker=worker,
+                label=label,
+                fields=fields,
+                deps=tuple(deps),
+                conflicts=tuple(conflicts),
+            )
+        )
+        return index
+
+    def create_temp(
+        self,
+        spec: TempChunkSpec,
+        fill_value: Optional[float] = None,
+        deps: Sequence[int] = (),
+    ) -> int:
+        """Create (and optionally identity-fill) a temp chunk; returns ready idx."""
+        create = self.add(
+            T.CreateChunkTask,
+            worker=spec.worker,
+            label=f"create {spec.label}",
+            deps=deps,
+            chunk=TempMetaRef(spec.slot),
+        )
+        if fill_value is None:
+            return create
+        return self.add(
+            T.FillTask,
+            worker=spec.worker,
+            label=f"fill {spec.label}",
+            deps=(create,),
+            chunk_id=TempRef(spec.slot),
+            value=float(fill_value),
+            nbytes=spec.nbytes,
+        )
+
+    def delete_chunk(self, handle: ChunkHandle, label: str, deps: Sequence[int]) -> int:
+        return self.add(
+            T.DeleteChunkTask,
+            worker=handle.worker,
+            label=f"delete {label}",
+            deps=deps,
+            chunk_id=handle.ref,
+        )
+
+    def transfer(
+        self,
+        step: TransferStep,
+        deps: Sequence[int],
+        conflicts: Sequence[Tuple[str, ChunkId]] = (),
+    ) -> Tuple[int, int]:
+        """Lower one :class:`TransferStep` to copy or send+recv protos.
+
+        Returns ``(src_read_idx, dst_write_idx)`` mirroring the semantics of
+        the original planner: the proto that reads the source and the proto
+        whose completion means the data arrived at the destination.
+        """
+        src, dst, region = step.src, step.dst, step.region
+        nbytes = step.nbytes
+        if src.worker == dst.worker:
+            copy = self.add(
+                T.CopyTask,
+                worker=src.worker,
+                label=step.label or f"copy {step.purpose}",
+                deps=deps,
+                conflicts=conflicts,
+                src_chunk=src.ref,
+                dst_chunk=dst.ref,
+                region=region,
+                nbytes=nbytes,
+                src_device=src.home,
+                dst_device=dst.home,
+            )
+            return copy, copy
+        tag = self.tag()
+        send = self.add(
+            T.SendTask,
+            worker=src.worker,
+            label=step.label or f"send {step.purpose}",
+            deps=deps,
+            conflicts=conflicts,
+            chunk_id=src.ref,
+            region=region,
+            dst_worker=dst.worker,
+            tag=tag,
+            nbytes=nbytes,
+        )
+        recv = self.add(
+            T.RecvTask,
+            worker=dst.worker,
+            label=step.label or f"recv {step.purpose}",
+            deps=tuple(deps) + (send,),
+            conflicts=conflicts,
+            chunk_id=dst.ref,
+            region=region,
+            src_worker=src.worker,
+            tag=tag,
+            nbytes=nbytes,
+        )
+        return send, recv
+
+    # ------------------------------------------------------------------ #
+    # conflict bookkeeping
+    # ------------------------------------------------------------------ #
+    def note_read(self, chunk_id: ChunkId, proto_index: int) -> None:
+        self.recipe.reads.append((chunk_id, proto_index))
+
+    def note_write(self, chunk_id: ChunkId, proto_index: int) -> None:
+        self.recipe.writes.append((chunk_id, proto_index))
+
+
+# --------------------------------------------------------------------------- #
+# stamping: recipe -> concrete ExecutionPlan
+# --------------------------------------------------------------------------- #
+@dataclass
+class StampedPlan:
+    """A stamped plan plus the metadata the planner needs for bookkeeping."""
+
+    plan: T.ExecutionPlan
+    #: concrete task id of every proto, by recipe index
+    task_ids: List[int]
+    #: fresh ChunkMeta of every temp slot
+    temp_chunks: List[ChunkMeta]
+
+
+def stamp_recipe(
+    recipe: PlanRecipe,
+    *,
+    new_task_id: Callable[[], int],
+    new_chunk_id: Callable[[], ChunkId],
+    new_tag: Callable[[], int],
+    resolve_conflicts: Callable[[str, ChunkId], List[int]],
+    scalars: Optional[Dict[str, object]] = None,
+    launch_id: Optional[int] = None,
+    cache_status: Optional[str] = None,
+) -> StampedPlan:
+    """Materialise ``recipe`` into a concrete :class:`ExecutionPlan`.
+
+    Fresh task/chunk/tag identifiers come from the supplied allocators;
+    ``resolve_conflicts`` is the dependency-injection hook that maps a
+    ``(kind, chunk_id)`` conflict query to the task ids of earlier launches
+    that must complete first.
+    """
+    temp_chunks: List[ChunkMeta] = [
+        ChunkMeta(
+            chunk_id=new_chunk_id(),
+            region=spec.region,
+            dtype=spec.dtype,
+            home=spec.home,
+            array_id=None,
+            temporary=True,
+            label=spec.label,
+        )
+        for spec in recipe.temps
+    ]
+    tags: List[int] = [new_tag() for _ in range(recipe.tag_slots)]
+
+    def resolve(value: object) -> object:
+        if isinstance(value, TempRef):
+            return temp_chunks[value.slot].chunk_id
+        if isinstance(value, TempMetaRef):
+            return temp_chunks[value.slot]
+        if isinstance(value, TagRef):
+            return tags[value.slot]
+        if value is SCALAR_ARGS:
+            return dict(scalars or {})
+        if value is LAUNCH_ID:
+            return launch_id
+        if isinstance(value, tuple) and value and isinstance(value[0], ArgBindingProto):
+            return tuple(
+                T.ArrayArgBinding(
+                    param=b.param,
+                    chunk_id=resolve(b.chunk_ref),
+                    access_region=b.access_region,
+                    mode=b.mode,
+                    reduce_op=b.reduce_op,
+                )
+                for b in value
+            )
+        return value
+
+    description = recipe.description
+    if launch_id is not None:
+        # literal substitution: kernel names may contain arbitrary characters
+        description = description.replace("{launch_id}", str(launch_id))
+    plan = T.ExecutionPlan(launch_id=launch_id, description=description,
+                           cache_status=cache_status)
+    task_ids: List[int] = []
+    for proto in recipe.protos:
+        deps: List[int] = [task_ids[i] for i in proto.deps]
+        for kind, chunk_id in proto.conflicts:
+            deps.extend(resolve_conflicts(kind, chunk_id))
+        deps = list(dict.fromkeys(deps))  # dedupe, preserving order
+        if proto.factory is T.LaunchTask:
+            deps = sorted(deps)
+        fields = {name: resolve(value) for name, value in proto.fields.items()}
+        task = proto.factory(
+            task_id=new_task_id(),
+            worker=proto.worker,
+            deps=tuple(deps),
+            label=proto.label,
+            **fields,
+        )
+        plan.add(task)
+        task_ids.append(task.task_id)
+    return StampedPlan(plan=plan, task_ids=task_ids, temp_chunks=temp_chunks)

@@ -1,0 +1,790 @@
+"""The planning passes (Sec. 2.4, restructured as an explicit pipeline).
+
+Planning one distributed kernel launch runs a sequence of passes over a
+mutable :class:`LaunchState` IR:
+
+1. :class:`AccessAnalysisPass` — split the launch into superblocks and
+   evaluate every array parameter's access region per superblock.
+2. :class:`TransferResolutionPass` — decide, per (superblock, parameter),
+   whether the superblock can use a chunk in place, or needs a temporary
+   assembled from source chunks; candidate sources are ranked by the
+   topology-aware :class:`~.costmodel.TransferCostModel` (same GPU < peer GPU
+   < remote node) instead of taking whatever ``chunks_overlapping`` returns.
+3. :class:`ReductionPlanningPass` — plan hierarchical reductions
+   (superblock partials → per-GPU accumulators → root → destination chunks).
+4. :class:`RedundantTransferEliminationPass` — drop or trim gather pieces
+   whose region is already covered by a cheaper source (overlapping halos of
+   ``StencilDist``, full replicas of ``ReplicatedDist``).
+5. :class:`CopyCoalescingPass` — merge transfers between the same pair of
+   chunks whose regions are adjacent into one larger transfer.
+6. :class:`TaskEmissionPass` — lower the IR to a structural
+   :class:`~.ir.PlanRecipe` (task protos with intra-plan dependencies only).
+
+Cross-launch read/write/write conflict dependencies are *not* part of the
+recipe: they are injected at stamp time by :class:`DependencyInjectionPass`,
+which is also what allows a cached recipe to be re-stamped for a later launch
+with fresh conflict edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...hardware.topology import Cluster, DeviceId
+from ..annotations import AccessMode
+from ..array import DistributedArray
+from ..chunk import ChunkId, ChunkMeta
+from ..distributions import Superblock, WorkDistribution
+from ..geometry import Region, bounding_region, regions_cover
+from ..kernel import CompiledKernel
+from ..reductions import get_reduce_op
+from .. import tasks as T
+from .costmodel import TransferCostModel
+from .ir import (
+    ArgBindingProto,
+    ChunkHandle,
+    LAUNCH_ID,
+    PlanRecipe,
+    RecipeBuilder,
+    SCALAR_ARGS,
+    TempChunkSpec,
+    TransferStep,
+)
+
+__all__ = [
+    "PlanningError",
+    "LaunchState",
+    "PlanningPass",
+    "AccessAnalysisPass",
+    "TransferResolutionPass",
+    "ReductionPlanningPass",
+    "RedundantTransferEliminationPass",
+    "CopyCoalescingPass",
+    "TaskEmissionPass",
+    "DependencyInjectionPass",
+    "default_pipeline",
+    "build_launch_recipe",
+]
+
+
+class PlanningError(RuntimeError):
+    """The planner could not construct a valid execution plan."""
+
+
+# --------------------------------------------------------------------------- #
+# the launch IR
+# --------------------------------------------------------------------------- #
+@dataclass
+class ParamIR:
+    """Planning state of one (superblock, array-parameter) pair."""
+
+    param: str
+    array: DistributedArray
+    mode: AccessMode
+    reduce_op: Optional[str]
+    region: Region
+    #: chunk used in place (home == superblock device), if any
+    direct_chunk: Optional[ChunkMeta] = None
+    #: temporary chunk blueprint (assembled input / scratch output / partial)
+    temp_spec: Optional[TempChunkSpec] = None
+    binding: Optional[ChunkHandle] = None
+    identity: Optional[float] = None  # reduce identity for partial fills
+    gather_steps: List[TransferStep] = field(default_factory=list)
+    writeback_steps: List[TransferStep] = field(default_factory=list)
+
+
+@dataclass
+class SuperblockIR:
+    sb: Superblock
+    params: List[ParamIR] = field(default_factory=list)
+
+
+@dataclass
+class ReduceJobIR:
+    """One superblock's contribution to a reduction."""
+
+    sb_index: int  # index into LaunchState.superblocks
+    partial: ChunkHandle
+    partial_label: str
+    region: Region
+
+
+@dataclass
+class ReductionIR:
+    """Hierarchical reduction plan for one reduce parameter."""
+
+    param: str
+    array: DistributedArray
+    op_name: str
+    identity: float
+    total_region: Region
+    #: insertion-ordered groups of jobs per device
+    per_device: Dict[DeviceId, List[ReduceJobIR]] = field(default_factory=dict)
+    acc_specs: Dict[DeviceId, TempChunkSpec] = field(default_factory=dict)
+    root_device: DeviceId = None  # type: ignore[assignment]
+    #: separate root accumulator when no partials live on the root device
+    root_acc_spec: Optional[TempChunkSpec] = None
+    staging_specs: Dict[DeviceId, TempChunkSpec] = field(default_factory=dict)
+    move_steps: Dict[DeviceId, TransferStep] = field(default_factory=dict)
+    scatter_steps: List[TransferStep] = field(default_factory=list)
+
+
+@dataclass
+class LaunchState:
+    """Mutable IR threaded through the pass pipeline for one launch."""
+
+    cluster: Cluster
+    kernel: CompiledKernel
+    grid: Tuple[int, ...]
+    block: Tuple[int, ...]
+    work_dist: WorkDistribution
+    arrays: Dict[str, DistributedArray]
+    builder: RecipeBuilder
+    cost_model: TransferCostModel
+    superblocks: List[SuperblockIR] = field(default_factory=list)
+    reductions: List[ReductionIR] = field(default_factory=list)
+    #: free-form per-pass statistics (bytes eliminated, steps coalesced, ...)
+    notes: Dict[str, float] = field(default_factory=dict)
+
+
+class PlanningPass:
+    """Base class: a named transformation of the launch IR."""
+
+    name = "pass"
+
+    def run(self, state: LaunchState) -> None:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# 1. access analysis
+# --------------------------------------------------------------------------- #
+class AccessAnalysisPass(PlanningPass):
+    """Superblock split + per-parameter access regions (paper steps 1 and 2)."""
+
+    name = "access-analysis"
+
+    def run(self, state: LaunchState) -> None:
+        devices = state.cluster.device_ids()
+        superblocks = state.work_dist.superblocks(state.grid, state.block, devices)
+        if not superblocks:
+            raise PlanningError(
+                f"work distribution produced no superblocks for grid {state.grid}"
+            )
+        annotation = state.kernel.annotation
+        for sb in superblocks:
+            sbir = SuperblockIR(sb=sb)
+            var_ranges = annotation.var_ranges(sb, state.block)
+            for param in state.kernel.definition.array_params:
+                array = state.arrays[param.name]
+                access = annotation.access_for(param.name)
+                region = access.access_region(var_ranges, array.shape)
+                if region.is_empty:
+                    raise PlanningError(
+                        f"superblock {sb.index} of kernel {state.kernel.name!r} has an empty "
+                        f"access region on {param.name!r}; check the annotation"
+                    )
+                sbir.params.append(
+                    ParamIR(
+                        param=param.name,
+                        array=array,
+                        mode=access.mode,
+                        reduce_op=access.reduce_op,
+                        region=region,
+                    )
+                )
+            state.superblocks.append(sbir)
+
+
+# --------------------------------------------------------------------------- #
+# 2. transfer resolution (topology/cost-aware source selection)
+# --------------------------------------------------------------------------- #
+class TransferResolutionPass(PlanningPass):
+    """Bind each (superblock, parameter) to a chunk, planning transfers.
+
+    Gather sources are emitted cheapest-first (cost model ranking); the
+    redundant-transfer elimination pass later drops the pieces that cheaper
+    sources already cover, which is what makes the combination pick a local
+    replica over a remote one.
+    """
+
+    name = "transfer-resolution"
+
+    def run(self, state: LaunchState) -> None:
+        for sbir in state.superblocks:
+            for pir in sbir.params:
+                self._resolve(state, sbir.sb, pir)
+
+    def _resolve(self, state: LaunchState, sb: Superblock, pir: ParamIR) -> None:
+        array, region = pir.array, pir.region
+        builder = state.builder
+
+        if pir.mode is AccessMode.REDUCE:
+            op = get_reduce_op(pir.reduce_op)
+            pir.identity = float(op.identity(array.dtype))
+            pir.temp_spec = builder.temp(
+                region, array.dtype, sb.device, label=f"partial {pir.param} sb{sb.index}"
+            )
+            pir.binding = ChunkHandle.of_temp(pir.temp_spec)
+            return
+
+        chunk = array.find_enclosing_chunk(region, prefer_device=sb.device)
+        if chunk is not None and chunk.home == sb.device:
+            # Common case: an enclosing chunk already lives on the right GPU.
+            pir.direct_chunk = chunk
+            pir.binding = ChunkHandle.of_chunk(chunk)
+            if pir.mode.writes:
+                source = ChunkHandle.of_chunk(chunk)
+                for target in array.chunks_overlapping(region):
+                    if target.chunk_id == chunk.chunk_id:
+                        continue
+                    overlap = target.region.intersect(region)
+                    if overlap.is_empty:
+                        continue
+                    pir.writeback_steps.append(
+                        TransferStep(
+                            src=source,
+                            dst=ChunkHandle.of_chunk(target),
+                            region=overlap,
+                            purpose="writeback",
+                            label=f"writeback {pir.param}",
+                        )
+                    )
+            return
+
+        # A temporary chunk on the superblock's GPU is needed.
+        pir.temp_spec = builder.temp(
+            region, array.dtype, sb.device, label=f"tmp {pir.param} sb{sb.index}"
+        )
+        temp = ChunkHandle.of_temp(pir.temp_spec)
+        pir.binding = temp
+
+        if pir.mode.reads:
+            candidates = array.chunks_overlapping(region)
+            if not candidates:
+                raise PlanningError(
+                    f"no chunk of {array.name} overlaps access region {region} of {pir.param!r}"
+                )
+            itemsize = np.dtype(array.dtype).itemsize
+
+            def rank(candidate: ChunkMeta):
+                piece = candidate.region.intersect(region)
+                return state.cost_model.rank_key(
+                    candidate, sb.device, piece.size * itemsize
+                )
+
+            for src in sorted(candidates, key=rank):
+                piece = src.region.intersect(region)
+                if piece.is_empty:
+                    continue
+                pir.gather_steps.append(
+                    TransferStep(
+                        src=ChunkHandle.of_chunk(src),
+                        dst=temp,
+                        region=piece,
+                        purpose="gather",
+                        label=f"gather {pir.param}",
+                    )
+                )
+        if pir.mode.writes:
+            for target in array.chunks_overlapping(region):
+                overlap = target.region.intersect(region)
+                if overlap.is_empty:
+                    continue
+                pir.writeback_steps.append(
+                    TransferStep(
+                        src=temp,
+                        dst=ChunkHandle.of_chunk(target),
+                        region=overlap,
+                        purpose="writeback",
+                        label=f"writeback {pir.param}",
+                    )
+                )
+
+
+# --------------------------------------------------------------------------- #
+# 3. reduction planning
+# --------------------------------------------------------------------------- #
+class ReductionPlanningPass(PlanningPass):
+    """Hierarchical reduction placement: partials → GPU accs → root → dests."""
+
+    name = "reduction-planning"
+
+    def run(self, state: LaunchState) -> None:
+        #: param -> jobs in superblock order
+        jobs_by_param: Dict[str, List[ReduceJobIR]] = {}
+        for sb_index, sbir in enumerate(state.superblocks):
+            for pir in sbir.params:
+                if pir.mode is not AccessMode.REDUCE:
+                    continue
+                jobs_by_param.setdefault(pir.param, []).append(
+                    ReduceJobIR(
+                        sb_index=sb_index,
+                        partial=pir.binding,
+                        partial_label=pir.temp_spec.label,
+                        region=pir.region,
+                    )
+                )
+        for param, jobs in jobs_by_param.items():
+            state.reductions.append(self._plan(state, param, jobs))
+
+    def _plan(self, state: LaunchState, param: str, jobs: List[ReduceJobIR]) -> ReductionIR:
+        array = state.arrays[param]
+        access = state.kernel.annotation.access_for(param)
+        op = get_reduce_op(access.reduce_op)
+        identity = float(op.identity(array.dtype))
+        total_region = bounding_region([job.region for job in jobs])
+
+        rir = ReductionIR(
+            param=param,
+            array=array,
+            op_name=access.reduce_op,
+            identity=identity,
+            total_region=total_region,
+        )
+        for job in jobs:
+            device = state.superblocks[job.sb_index].sb.device
+            rir.per_device.setdefault(device, []).append(job)
+
+        dest_chunks = array.chunks_overlapping(total_region)
+        if not dest_chunks:
+            raise PlanningError(
+                f"reduction target {array.name} has no chunk overlapping {total_region}"
+            )
+        root_chunk = array.find_enclosing_chunk(total_region) or dest_chunks[0]
+        rir.root_device = root_chunk.home
+
+        builder = state.builder
+        for device in rir.per_device:
+            rir.acc_specs[device] = builder.temp(
+                total_region, array.dtype, device, label=f"acc {array.name} @{device}"
+            )
+        if rir.root_device not in rir.per_device:
+            rir.root_acc_spec = builder.temp(
+                total_region, array.dtype, rir.root_device, label=f"acc {array.name} root"
+            )
+        root_acc_spec = rir.root_acc_spec or rir.acc_specs[rir.root_device]
+        root_acc = ChunkHandle.of_temp(root_acc_spec)
+
+        for device in rir.per_device:
+            if device == rir.root_device:
+                continue
+            staging = builder.temp(
+                total_region, array.dtype, rir.root_device,
+                label=f"acc {array.name} from {device}",
+            )
+            rir.staging_specs[device] = staging
+            rir.move_steps[device] = TransferStep(
+                src=ChunkHandle.of_temp(rir.acc_specs[device]),
+                dst=ChunkHandle.of_temp(staging),
+                region=total_region,
+                purpose="move-acc",
+                label=f"move acc {array.name}",
+            )
+
+        for dest in dest_chunks:
+            overlap = dest.region.intersect(total_region)
+            if overlap.is_empty:
+                continue
+            rir.scatter_steps.append(
+                TransferStep(
+                    src=root_acc,
+                    dst=ChunkHandle.of_chunk(dest),
+                    region=overlap,
+                    purpose="scatter",
+                    label=f"scatter {array.name}",
+                )
+            )
+        return rir
+
+
+# --------------------------------------------------------------------------- #
+# 4. redundant-transfer elimination
+# --------------------------------------------------------------------------- #
+def _subtract_covered(region: Region, covered: Sequence[Region]) -> Region:
+    """Shrink ``region`` by peeling off boundary slabs already covered.
+
+    Only exact slab subtractions are applied (the result must stay a single
+    rectangle); anything more complex is conservatively left untouched, which
+    is always sound — it merely re-transfers coherent replicated data.
+    """
+    changed = True
+    while changed and not region.is_empty:
+        changed = False
+        for cov in covered:
+            inter = region.intersect(cov)
+            if inter.is_empty:
+                continue
+            if cov.contains_region(region):
+                return Region.empty(region.ndim)
+            for d in range(region.ndim):
+                spans_others = all(
+                    inter.lo[k] == region.lo[k] and inter.hi[k] == region.hi[k]
+                    for k in range(region.ndim)
+                    if k != d
+                )
+                if not spans_others:
+                    continue
+                if inter.lo[d] == region.lo[d] and inter.hi[d] < region.hi[d]:
+                    lo = tuple(inter.hi[d] if k == d else region.lo[k]
+                               for k in range(region.ndim))
+                    region = Region(lo, region.hi)
+                    changed = True
+                    break
+                if inter.hi[d] == region.hi[d] and inter.lo[d] > region.lo[d]:
+                    hi = tuple(inter.lo[d] if k == d else region.hi[k]
+                               for k in range(region.ndim))
+                    region = Region(region.lo, hi)
+                    changed = True
+                    break
+            if changed:
+                break
+    return region
+
+
+class RedundantTransferEliminationPass(PlanningPass):
+    """Drop or trim gather pieces already covered by cheaper sources.
+
+    Transfer resolution emits pieces cheapest-first, so keeping the first
+    cover of every sub-region means expensive (peer-GPU, remote-node) pieces
+    are the ones eliminated whenever a local replica covers the region.
+    """
+
+    name = "redundant-transfer-elimination"
+
+    def run(self, state: LaunchState) -> None:
+        saved = 0
+        for sbir in state.superblocks:
+            for pir in sbir.params:
+                if not pir.gather_steps:
+                    continue
+                kept: List[TransferStep] = []
+                covered: List[Region] = []
+                for step in pir.gather_steps:
+                    if covered and regions_cover(step.region, covered):
+                        saved += step.nbytes
+                        continue
+                    trimmed = _subtract_covered(step.region, covered)
+                    if trimmed.is_empty:
+                        saved += step.nbytes
+                        continue
+                    saved += step.nbytes - trimmed.size * np.dtype(step.src.dtype).itemsize
+                    step.region = trimmed
+                    kept.append(step)
+                    covered.append(trimmed)
+                pir.gather_steps = kept
+        state.notes["eliminated_bytes"] = state.notes.get("eliminated_bytes", 0) + saved
+
+
+# --------------------------------------------------------------------------- #
+# 5. copy coalescing
+# --------------------------------------------------------------------------- #
+def _mergeable(a: Region, b: Region) -> bool:
+    """True when the union of two boxes is exactly their bounding box."""
+    union = a.union_bounds(b)
+    return union.size == a.size + b.size - a.intersect(b).size
+
+
+class CopyCoalescingPass(PlanningPass):
+    """Merge adjacent transfers between the same two chunks into one.
+
+    With today's stock distributions, resolution emits at most one step per
+    (source, destination) pair, so this pass mostly guards future producers
+    of fragmented transfer lists (elimination trims, the planned kernel-fusion
+    pass) and custom pipelines; the scan is over per-parameter lists whose
+    length is bounded by the chunk count.
+    """
+
+    name = "copy-coalescing"
+
+    @staticmethod
+    def coalesce(steps: List[TransferStep]) -> Tuple[List[TransferStep], int]:
+        """Return (coalesced steps, number of merges)."""
+        merged = 0
+        out: List[TransferStep] = []
+        for step in steps:
+            for prev in out:
+                if (
+                    prev.src.ref == step.src.ref
+                    and prev.dst.ref == step.dst.ref
+                    and prev.purpose == step.purpose
+                    and _mergeable(prev.region, step.region)
+                ):
+                    prev.region = prev.region.union_bounds(step.region)
+                    merged += 1
+                    break
+            else:
+                out.append(step)
+        return out, merged
+
+    def run(self, state: LaunchState) -> None:
+        merged = 0
+        for sbir in state.superblocks:
+            for pir in sbir.params:
+                pir.gather_steps, m = self.coalesce(pir.gather_steps)
+                merged += m
+                pir.writeback_steps, m = self.coalesce(pir.writeback_steps)
+                merged += m
+        for rir in state.reductions:
+            rir.scatter_steps, m = self.coalesce(rir.scatter_steps)
+            merged += m
+        state.notes["coalesced_steps"] = state.notes.get("coalesced_steps", 0) + merged
+
+
+# --------------------------------------------------------------------------- #
+# 6. task emission: IR -> structural PlanRecipe
+# --------------------------------------------------------------------------- #
+class TaskEmissionPass(PlanningPass):
+    """Lower the resolved IR to task protos (intra-plan dependencies only)."""
+
+    name = "task-emission"
+
+    def run(self, state: LaunchState) -> None:
+        launch_proto_of_sb: List[int] = []
+
+        for sbir in state.superblocks:
+            launch_proto_of_sb.append(self._emit_superblock(state, sbir))
+
+        for rir in state.reductions:
+            self._emit_reduction(state, rir, launch_proto_of_sb)
+
+    # ------------------------------------------------------------------ #
+    def _emit_superblock(self, state: LaunchState, sbir: SuperblockIR) -> int:
+        builder = state.builder
+        sb = sbir.sb
+        launch_deps: List[int] = []
+        launch_conflicts: List[Tuple[str, ChunkId]] = []
+        gather_reads: List[Tuple[ChunkId, int]] = []  # (chunk, src-read proto)
+        direct_reads: List[ChunkId] = []
+
+        for pir in sbir.params:
+            if pir.mode is AccessMode.REDUCE:
+                ready = builder.create_temp(pir.temp_spec, fill_value=pir.identity)
+                launch_deps.append(ready)
+                continue
+            if pir.direct_chunk is not None:
+                chunk_id = pir.direct_chunk.chunk_id
+                if pir.mode.reads:
+                    launch_conflicts.append(("read", chunk_id))
+                    direct_reads.append(chunk_id)
+                if pir.mode.writes:
+                    launch_conflicts.append(("write", chunk_id))
+                continue
+            ready = builder.create_temp(pir.temp_spec)
+            launch_deps.append(ready)
+            for step in pir.gather_steps:
+                src_id = step.src.chunk_id
+                src_read, dst_write = builder.transfer(
+                    step, deps=(ready,), conflicts=(("read", src_id),)
+                )
+                gather_reads.append((src_id, src_read))
+                launch_deps.append(dst_write)
+
+        launch_idx = builder.add(
+            T.LaunchTask,
+            worker=sb.device.worker,
+            label=f"{state.kernel.name}[{sb.index}]",
+            deps=launch_deps,
+            conflicts=launch_conflicts,
+            kernel_name=state.kernel.name,
+            device=sb.device,
+            superblock=sb,
+            grid_dims=tuple(state.grid),
+            block_dims=tuple(state.block),
+            scalar_args=SCALAR_ARGS,
+            array_args=tuple(
+                ArgBindingProto(
+                    param=pir.param,
+                    chunk_ref=pir.binding.ref,
+                    access_region=pir.region,
+                    mode=pir.mode.value,
+                    reduce_op=pir.reduce_op,
+                )
+                for pir in sbir.params
+            ),
+            array_shapes={pir.param: pir.array.shape for pir in sbir.params},
+            launch_id=LAUNCH_ID,
+        )
+        for chunk_id, src_read in gather_reads:
+            builder.note_read(chunk_id, src_read)
+        for chunk_id in direct_reads:
+            builder.note_read(chunk_id, launch_idx)
+
+        # Post-launch write-back / coherence traffic and temp cleanup.
+        for pir in sbir.params:
+            if pir.mode is AccessMode.REDUCE:
+                continue
+            if not pir.mode.writes:
+                if pir.temp_spec is not None:
+                    builder.delete_chunk(
+                        pir.binding, pir.temp_spec.label, deps=(launch_idx,)
+                    )
+                continue
+            if pir.direct_chunk is not None:
+                builder.note_write(pir.direct_chunk.chunk_id, launch_idx)
+            last_uses = [launch_idx]
+            for step in pir.writeback_steps:
+                target_id = step.dst.chunk_id
+                src_read, dst_write = builder.transfer(
+                    step, deps=(launch_idx,), conflicts=(("write", target_id),)
+                )
+                builder.note_write(target_id, dst_write)
+                last_uses.append(src_read)
+            if pir.temp_spec is not None:
+                builder.delete_chunk(pir.binding, pir.temp_spec.label, deps=last_uses)
+        return launch_idx
+
+    # ------------------------------------------------------------------ #
+    def _emit_reduction(
+        self, state: LaunchState, rir: ReductionIR, launch_proto_of_sb: List[int]
+    ) -> None:
+        builder = state.builder
+        array = rir.array
+        itemsize = np.dtype(array.dtype).itemsize
+
+        device_accs: Dict[DeviceId, Tuple[ChunkHandle, int]] = {}
+        for device, jobs in rir.per_device.items():
+            acc_spec = rir.acc_specs[device]
+            acc = ChunkHandle.of_temp(acc_spec)
+            prev = builder.create_temp(acc_spec, fill_value=rir.identity)
+            for job in jobs:
+                launch_idx = launch_proto_of_sb[job.sb_index]
+                reduce_idx = builder.add(
+                    T.ReduceTask,
+                    worker=device.worker,
+                    label=f"reduce {array.name}",
+                    deps=(launch_idx, prev),
+                    src_chunk=job.partial.ref,
+                    dst_chunk=acc.ref,
+                    region=job.region,
+                    op=rir.op_name,
+                    nbytes=job.region.size * itemsize,
+                )
+                prev = reduce_idx
+                builder.delete_chunk(job.partial, job.partial_label, deps=(reduce_idx,))
+            device_accs[device] = (acc, prev)
+
+        # Bring every device accumulator to the root device and combine.
+        if rir.root_device in device_accs:
+            root_acc, root_ready = device_accs[rir.root_device]
+        else:
+            root_acc = ChunkHandle.of_temp(rir.root_acc_spec)
+            root_ready = builder.create_temp(rir.root_acc_spec, fill_value=rir.identity)
+        for device, (acc, ready) in device_accs.items():
+            if device == rir.root_device:
+                continue
+            staging_spec = rir.staging_specs[device]
+            staging = ChunkHandle.of_temp(staging_spec)
+            staging_ready = builder.create_temp(staging_spec)
+            src_read, arrived = builder.transfer(
+                rir.move_steps[device], deps=(ready, staging_ready)
+            )
+            combine_idx = builder.add(
+                T.ReduceTask,
+                worker=rir.root_device.worker,
+                label=f"combine {array.name}",
+                deps=(arrived, root_ready),
+                src_chunk=staging.ref,
+                dst_chunk=root_acc.ref,
+                region=rir.total_region,
+                op=rir.op_name,
+                nbytes=rir.total_region.size * itemsize,
+            )
+            root_ready = combine_idx
+            builder.delete_chunk(acc, rir.acc_specs[device].label, deps=(src_read,))
+            builder.delete_chunk(staging, staging_spec.label, deps=(combine_idx,))
+
+        # Write the reduced result into the destination chunks (and replicas).
+        final_uses = [root_ready]
+        for step in rir.scatter_steps:
+            dest_id = step.dst.chunk_id
+            src_read, dst_write = builder.transfer(
+                step, deps=(root_ready,), conflicts=(("write", dest_id),)
+            )
+            builder.note_write(dest_id, dst_write)
+            final_uses.append(src_read)
+        root_spec = rir.root_acc_spec or rir.acc_specs[rir.root_device]
+        builder.delete_chunk(root_acc, root_spec.label, deps=final_uses)
+
+
+# --------------------------------------------------------------------------- #
+# stamp-time pass: cross-launch dependency injection
+# --------------------------------------------------------------------------- #
+class DependencyInjectionPass:
+    """Resolves conflict queries against the planner's reader/writer tables.
+
+    This pass runs at *stamp* time — for cold launches and cached re-launches
+    alike — because cross-launch conflict edges depend on what was planned
+    before this launch, which is exactly the part of a plan that cannot be
+    cached.
+    """
+
+    name = "dependency-injection"
+
+    def __init__(self, writers: Dict[ChunkId, List[int]], readers: Dict[ChunkId, List[int]]):
+        self._writers = writers
+        self._readers = readers
+
+    def resolve(self, kind: str, chunk_id: ChunkId) -> List[int]:
+        if kind == "read":
+            return list(self._writers.get(chunk_id, []))
+        return list(self._writers.get(chunk_id, [])) + list(self._readers.get(chunk_id, []))
+
+    def apply_bookkeeping(self, recipe: PlanRecipe, task_ids: List[int]) -> None:
+        """Update the conflict tables with this plan's reads and writes."""
+        new_writes: Dict[ChunkId, List[int]] = {}
+        new_reads: Dict[ChunkId, List[int]] = {}
+        for chunk_id, proto_index in recipe.writes:
+            new_writes.setdefault(chunk_id, []).append(task_ids[proto_index])
+        for chunk_id, proto_index in recipe.reads:
+            new_reads.setdefault(chunk_id, []).append(task_ids[proto_index])
+        for chunk_id, writers in new_writes.items():
+            self._writers[chunk_id] = list(dict.fromkeys(writers))
+            self._readers[chunk_id] = list(dict.fromkeys(new_reads.get(chunk_id, [])))
+        for chunk_id, readers in new_reads.items():
+            if chunk_id not in new_writes:
+                self._readers.setdefault(chunk_id, []).extend(readers)
+
+
+# --------------------------------------------------------------------------- #
+# the pipeline
+# --------------------------------------------------------------------------- #
+def default_pipeline() -> List[PlanningPass]:
+    return [
+        AccessAnalysisPass(),
+        TransferResolutionPass(),
+        ReductionPlanningPass(),
+        RedundantTransferEliminationPass(),
+        CopyCoalescingPass(),
+        TaskEmissionPass(),
+    ]
+
+
+def build_launch_recipe(
+    cluster: Cluster,
+    kernel: CompiledKernel,
+    grid: Tuple[int, ...],
+    block: Tuple[int, ...],
+    work_dist: WorkDistribution,
+    arrays: Dict[str, DistributedArray],
+    cost_model: Optional[TransferCostModel] = None,
+    pipeline: Optional[Sequence[PlanningPass]] = None,
+) -> PlanRecipe:
+    """Run the pass pipeline and return the structural plan recipe."""
+    state = LaunchState(
+        cluster=cluster,
+        kernel=kernel,
+        grid=tuple(grid),
+        block=tuple(block),
+        work_dist=work_dist,
+        arrays=dict(arrays),
+        builder=RecipeBuilder(description=f"launch {kernel.name} #{{launch_id}}"),
+        cost_model=cost_model or TransferCostModel(cluster),
+    )
+    for planning_pass in (pipeline or default_pipeline()):
+        planning_pass.run(state)
+    state.builder.recipe.notes.update(state.notes)
+    return state.builder.recipe

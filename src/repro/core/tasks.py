@@ -230,6 +230,13 @@ class ExecutionPlan:
     tasks_by_worker: Dict[WorkerId, List[Task]] = field(default_factory=dict)
     launch_id: Optional[int] = None
     description: str = ""
+    #: ``"hit"`` when the plan was re-stamped from a cached template,
+    #: ``"miss"`` when planned cold with the cache enabled, ``None`` otherwise.
+    cache_status: Optional[str] = None
+
+    @property
+    def from_cache(self) -> bool:
+        return self.cache_status == "hit"
 
     def add(self, task: Task) -> Task:
         self.tasks_by_worker.setdefault(task.worker, []).append(task)

@@ -57,6 +57,9 @@ class OverheadModel:
 
     * ``plan_per_task`` — time the driver spends constructing one DAG task
       (plan construction happens on the driver and overlaps with execution).
+    * ``restamp_per_task`` — driver time per task when a launch is re-stamped
+      from a cached plan template instead of planned from scratch (fresh ids
+      and conflict deps only; the analysis passes are skipped).
     * ``schedule_per_task`` — time a worker's scheduler spends per task
       (staging requests, readiness checks).
     * ``launch_fixed`` — additional fixed cost of one kernel-launch task
@@ -65,6 +68,7 @@ class OverheadModel:
     """
 
     plan_per_task: float = 20e-6
+    restamp_per_task: float = 4e-6
     schedule_per_task: float = 60e-6
     launch_fixed: float = 30e-6
     rpc_latency: float = 50e-6

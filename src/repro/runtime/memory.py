@@ -112,6 +112,15 @@ class MemoryManager:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    def home_of(self, chunk_id: ChunkId):
+        """Home device of a registered chunk, or ``None`` when unknown.
+
+        The home is where the data distribution assigned the chunk; the chunk
+        may currently be spilled elsewhere (see :meth:`residency`).
+        """
+        state = self._chunks.get(chunk_id)
+        return state.meta.home if state is not None else None
+
     def residency(self, chunk_id: ChunkId) -> Optional[MemorySpace]:
         return self._chunks[chunk_id].space
 

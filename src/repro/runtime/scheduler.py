@@ -99,8 +99,10 @@ class Scheduler:
     def _throttle_key(self, task: T.Task) -> object:
         if isinstance(task, T.LaunchTask):
             return task.device
-        if isinstance(task, T.ReduceTask) and self.memory.knows(task.dst_chunk):
-            return self.memory._chunks[task.dst_chunk].meta.home  # noqa: SLF001 - internal peer
+        if isinstance(task, T.ReduceTask):
+            home = self.memory.home_of(task.dst_chunk)
+            if home is not None:
+                return home
         return "host"
 
     def _begin_staging(self, task: T.Task) -> None:

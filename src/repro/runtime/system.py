@@ -53,6 +53,9 @@ class RuntimeStats:
     control_messages: int = 0
     network_bytes: float = 0.0
     network_messages: int = 0
+    #: launch plans re-stamped from a cached plan template / planned cold
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     memory: Dict[int, MemoryStats] = field(default_factory=dict)
     resource_busy: Dict[str, float] = field(default_factory=dict)
 
@@ -113,6 +116,8 @@ class RuntimeSystem:
         self._subscribers: Dict[TaskId, List[Callable[[], None]]] = {}
         self._outstanding = 0
         self.plans_submitted = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         #: When ``record_plans`` is set, every submitted plan is kept here so
         #: ``repro.analysis`` can rebuild the full task DAG (Fig. 4) afterwards.
         self.record_plans = record_plans
@@ -154,10 +159,21 @@ class RuntimeSystem:
         """
         plan.validate()
         self.plans_submitted += 1
+        if plan.cache_status == "hit":
+            self.plan_cache_hits += 1
+        elif plan.cache_status == "miss":
+            self.plan_cache_misses += 1
         if self.record_plans:
             self.recorded_plans.append(plan)
         self._outstanding += plan.task_count
-        planning_time = self.overheads.plan_per_task * plan.task_count
+        # Re-stamping a cached plan template is much cheaper for the driver
+        # than planning from scratch (the analysis passes are skipped).
+        per_task = (
+            self.overheads.restamp_per_task
+            if plan.from_cache
+            else self.overheads.plan_per_task
+        )
+        planning_time = per_task * plan.task_count
 
         def _deliver() -> None:
             for worker_id, tasks in plan.tasks_by_worker.items():
@@ -189,6 +205,8 @@ class RuntimeSystem:
     def stats(self) -> RuntimeStats:
         stats = RuntimeStats(virtual_time=self.engine.now)
         stats.control_messages = self.rpc.control_messages
+        stats.plan_cache_hits = self.plan_cache_hits
+        stats.plan_cache_misses = self.plan_cache_misses
         stats.network_bytes = self.fabric.bytes_delivered
         stats.network_messages = self.fabric.messages_delivered
         for worker in self.workers:

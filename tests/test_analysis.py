@@ -284,6 +284,7 @@ def test_overlap_report_no_activity():
     assert report.overlap_fraction == 0.0
 
 
+@pytest.mark.slow
 def test_spilling_overlaps_compute_with_pcie():
     """The paper's central overlap claim, measured from the trace: when a
     compute-intensive benchmark spills past GPU memory, PCIe transfers happen

@@ -94,6 +94,7 @@ def test_autotuner_rejects_empty_candidate_list():
         tuner.tune(candidates=[])
 
 
+@pytest.mark.slow
 def test_autotuner_on_simulated_kmeans_reproduces_fig10_shape():
     """Profiling K-Means on the simulated cluster: the tuned chunk size must
     beat both a tiny and a huge chunk, which is exactly Fig. 10's U-shape."""

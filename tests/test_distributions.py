@@ -150,6 +150,7 @@ def test_work_dist_validation_errors():
 # --------------------------------------------------------------------------- #
 # property-based coverage invariants
 # --------------------------------------------------------------------------- #
+@pytest.mark.slow
 @given(
     extent=st.integers(1, 5000),
     chunk=st.integers(1, 700),

@@ -89,6 +89,7 @@ def test_spilling_degrades_data_intensive_benchmark():
     assert spills < 0.5 * fits
 
 
+@pytest.mark.slow
 def test_spilling_tolerated_by_compute_intensive_benchmark():
     """Correlator keeps most of its throughput beyond GPU memory (Sec. 4.3)."""
     def throughput(n):
