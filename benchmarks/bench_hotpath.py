@@ -1,0 +1,336 @@
+"""Simulator hot-path perf harness: the repo's wall-clock trajectory.
+
+Runs the Fig. 15 weak-scaling sweep (HotSpot and K-Means, simulate mode) plus
+a spilling-stress configuration, and records *wall-clock* metrics — the time
+the simulator itself needs, not the virtual time it predicts:
+
+* wall seconds, engine events processed/cancelled, events per wall second,
+* peak RSS of the process,
+* the run's virtual time (so perf work can prove it didn't change results).
+
+Three arms per configuration:
+
+``current``
+    The as-checked-out implementation (virtual-service links, indexed LRU
+    spilling).
+
+``legacy_hotpaths``
+    Same code base with the pre-rewrite hot loops re-enabled
+    (:func:`repro.simulator.use_legacy_links` +
+    :func:`repro.runtime.memory.use_legacy_memory_scans`): O(n)-per-event
+    links with spurious wake-ups, full-scan eviction checks.  Virtual time
+    must agree with ``current`` to ~1 ulp; the wall-clock ratio isolates the
+    rewritten loops.
+
+``pre_pr`` (optional, ``--pre-pr-src PATH``)
+    The same sweep executed by a subprocess whose ``PYTHONPATH`` points at a
+    checkout of the previous PR (e.g. a ``git worktree`` of the base commit).
+    This is the honest end-to-end speedup — it includes wins the in-process
+    toggles cannot reproduce (e.g. ``ChunkMeta.nbytes`` memoisation).
+
+Two correctness gates run alongside the measurements:
+
+* **determinism** — the same configuration run twice must produce a
+  bit-identical virtual time (the rewrite introduced no hidden state);
+* **functional equivalence** — a functional-mode K-Means run must produce
+  bit-identical numerical results under ``current`` and ``legacy_hotpaths``.
+
+Virtual times between the arms agree exactly for uninterrupted links and to
+~1 ulp per rate change on shared links; on long event-order-sensitive runs
+those ulps amplify through scheduling ties into percent-level drift (as any
+FP/compiler change would).  The drift is *reported* per config
+(``virtual_time`` fields and ``summary.max_virtual_time_drift_vs_*``) rather
+than asserted, because the legacy arithmetic is path-dependent and cannot be
+reproduced by any O(log n) formulation.
+
+Results go to ``benchmarks/results/BENCH_hotpath.json``; the committed
+baseline lives at ``benchmarks/BENCH_hotpath.json``.  ``--baseline PATH``
+compares the current run's deterministic event counts against the baseline
+and exits non-zero on a >25% regression (the CI perf smoke step runs
+``--quick --baseline benchmarks/BENCH_hotpath.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+
+#: (workload, total gpus, gpus per node, problem size, workload params)
+#: Problem sizes follow Fig. 15's per-GPU sizes; iteration counts are raised
+#: so the steady state (cached plans, busy simulator) dominates cold planning.
+QUICK_CONFIGS = [
+    ("hotspot", 4, 4, int(5.4e8 * 4), {"iterations": 10}),
+    ("kmeans", 4, 4, int(2.7e8 * 4), {"iterations": 8}),
+]
+
+#: The full sweep is a superset of the quick one, so a full-run baseline
+#: always contains the keys the CI ``--quick --baseline`` smoke step checks.
+FULL_CONFIGS = QUICK_CONFIGS + [
+    ("hotspot", 4, 4, int(5.4e8 * 4), {"iterations": 40}),
+    ("hotspot", 16, 4, int(5.4e8 * 16), {"iterations": 40}),
+    ("kmeans", 4, 4, int(2.7e8 * 4), {"iterations": 25}),
+    ("kmeans", 16, 4, int(2.7e8 * 16), {"iterations": 25}),
+]
+
+#: Spilling stress: K-Means forced to spill by capping every GPU pool well
+#: below its ~4.3 GB working set (but above one 400 MB chunk), so the
+#: eviction path (LRU index vs full sort) actually runs (Sec. 4.3 territory).
+SPILL_GPU_CAPACITY = 1024 ** 3
+
+
+def _config_key(workload, gpus, per_node, n, params) -> str:
+    extra = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{workload}/g{gpus}x{per_node}/n{n}/{extra}"
+
+
+def _spill_configs(quick: bool):
+    # Same config in quick and full mode, so the committed full-run baseline
+    # covers the spill key the CI quick run checks.
+    del quick
+    return [("kmeans", 2, 2, int(2.7e8 * 2), {"iterations": 12, "_spill": True})]
+
+
+def _make_context(total_gpus, per_node, params, mode="simulate"):
+    from repro.bench import make_context
+    from repro.hardware import DeviceId, MemorySpace, MemoryKind
+
+    nodes = total_gpus // per_node
+    kwargs = {}
+    if params.get("_spill"):
+        capacities = {}
+        for node in range(nodes):
+            for local in range(per_node):
+                capacities[DeviceId(node, local).memory_space] = SPILL_GPU_CAPACITY
+        kwargs["memory_capacities"] = capacities
+    return make_context(nodes, per_node, mode=mode, **kwargs)
+
+
+def _reset_peak_rss() -> None:
+    """Reset the kernel's per-process RSS high-water mark (Linux only)."""
+    try:
+        with open("/proc/self/clear_refs", "w", encoding="ascii") as handle:
+            handle.write("5")
+    except OSError:
+        pass
+
+
+def _peak_rss_kb() -> int:
+    """VmHWM since the last reset; falls back to the process-lifetime max."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _run_one(workload, total_gpus, per_node, n, params, mode="simulate"):
+    """Run one configuration once; returns the measured metrics dict."""
+    from repro.kernels import create_workload
+
+    ctx = _make_context(total_gpus, per_node, params, mode=mode)
+    workload_params = {k: v for k, v in params.items() if not k.startswith("_")}
+    instance = create_workload(workload, ctx, n, **workload_params)
+    _reset_peak_rss()
+    start = time.perf_counter()
+    instance.run()
+    wall = time.perf_counter() - start
+    engine = ctx.runtime.engine
+    metrics = {
+        "wall_seconds": wall,
+        "virtual_time": engine.now,
+        "events_processed": engine.events_processed,
+        "events_per_second": engine.events_processed / wall if wall > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    # Only present on the rewritten engine (absent when this file runs against
+    # a pre-PR checkout in --emit-arm-json mode).
+    if hasattr(engine, "events_cancelled"):
+        metrics["events_cancelled"] = engine.events_cancelled
+    stats = ctx.stats()
+    if hasattr(stats, "memory"):
+        metrics["evictions"] = sum(
+            m.evictions_to_host + m.evictions_to_disk for m in stats.memory.values()
+        )
+    return metrics
+
+
+def _run_arm(configs):
+    """Measure every configuration once with whatever repro is importable."""
+    results = {}
+    for workload, gpus, per_node, n, params in configs:
+        key = _config_key(workload, gpus, per_node, n, params)
+        results[key] = _run_one(workload, gpus, per_node, n, params)
+        print(f"  {key}: {results[key]['wall_seconds']:.2f}s, "
+              f"{results[key]['events_processed']} events", file=sys.stderr)
+    return results
+
+
+def _run_legacy_arm(configs):
+    from repro.runtime.memory import use_legacy_memory_scans
+    from repro.simulator import use_legacy_links
+
+    with use_legacy_links(), use_legacy_memory_scans():
+        return _run_arm(configs)
+
+
+def _run_pre_pr_arm(configs, pre_pr_src: str, quick: bool):
+    """Run the sweep in a subprocess importing ``repro`` from ``pre_pr_src``."""
+    env = dict(os.environ, PYTHONPATH=pre_pr_src)
+    cmd = [sys.executable, os.path.abspath(__file__), "--emit-arm-json"]
+    if quick:
+        cmd.append("--quick")
+    out = subprocess.run(cmd, env=env, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def _correctness_checks():
+    """Determinism and cross-implementation functional equivalence."""
+    import numpy as np
+
+    from repro.runtime.memory import use_legacy_memory_scans
+    from repro.simulator import use_legacy_links
+
+    first = _run_one("kmeans", 2, 2, 40_960, {"iterations": 12, "seed": 0})
+    second = _run_one("kmeans", 2, 2, 40_960, {"iterations": 12, "seed": 0})
+    checks = {
+        "determinism_virtual_time": first["virtual_time"],
+        "determinism_bit_identical": (
+            first["virtual_time"].hex() == second["virtual_time"].hex()
+        ),
+    }
+
+    def functional_result():
+        from repro.kernels import create_workload
+
+        ctx = _make_context(2, 2, {}, mode="functional")
+        workload = create_workload("kmeans", ctx, 40_960, iterations=12, seed=0)
+        workload.run()
+        return ctx.runtime.engine.now, ctx.gather(workload.centroids)
+
+    vt_new, result_new = functional_result()
+    with use_legacy_links(), use_legacy_memory_scans():
+        vt_old, result_old = functional_result()
+    checks["functional_results_bit_identical"] = bool(
+        np.array_equal(result_new, result_old)
+    )
+    checks["functional_virtual_time_drift"] = abs(vt_new - vt_old) / max(vt_old, 1e-12)
+    return checks
+
+
+def _summarise(results: dict) -> dict:
+    summary = {}
+    for arm in [a for a in ("legacy_hotpaths", "pre_pr") if a in results]:
+        shared = [k for k in results[arm] if k in results["current"]]
+        if not shared:
+            continue
+        wall_new = sum(results["current"][k]["wall_seconds"] for k in shared)
+        wall_old = sum(results[arm][k]["wall_seconds"] for k in shared)
+        ev_new = sum(results["current"][k]["events_processed"] for k in shared)
+        ev_old = sum(results[arm][k]["events_processed"] for k in shared)
+        summary[f"speedup_vs_{arm}"] = wall_old / wall_new if wall_new else 0.0
+        summary[f"event_ratio_vs_{arm}"] = ev_old / ev_new if ev_new else 0.0
+        summary[f"max_virtual_time_drift_vs_{arm}"] = max(
+            abs(results[arm][k]["virtual_time"] - results["current"][k]["virtual_time"])
+            / max(results["current"][k]["virtual_time"], 1e-12)
+            for k in shared
+        )
+    return summary
+
+
+def _check_baseline(results: dict, baseline_path: str, tolerance: float = 0.25) -> int:
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base = baseline.get("results", {}).get("current", {})
+    failures = []
+    for key, metrics in results["current"].items():
+        if key not in base:
+            print(f"baseline has no entry for {key}; skipping", file=sys.stderr)
+            continue
+        allowed = base[key]["events_processed"] * (1.0 + tolerance)
+        if metrics["events_processed"] > allowed:
+            failures.append(
+                f"{key}: events {metrics['events_processed']} > "
+                f"baseline {base[key]['events_processed']} +{tolerance:.0%}"
+            )
+    if failures:
+        print("PERF REGRESSION (events processed):", file=sys.stderr)
+        for line in failures:
+            print("  " + line, file=sys.stderr)
+        return 1
+    print(f"baseline check ok ({len(results['current'])} configs)", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configs for the CI perf smoke step")
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default benchmarks/results/BENCH_hotpath.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="compare event counts against this committed baseline JSON")
+    parser.add_argument("--pre-pr-src", default=None, metavar="PATH",
+                        help="src/ of a pre-PR checkout to measure as a third arm")
+    parser.add_argument("--no-legacy", action="store_true",
+                        help="skip the in-process legacy_hotpaths arm")
+    parser.add_argument("--emit-arm-json", action="store_true",
+                        help="internal: run the sweep and print metrics JSON to stdout")
+    args = parser.parse_args(argv)
+
+    configs = list(QUICK_CONFIGS if args.quick else FULL_CONFIGS)
+    configs += _spill_configs(args.quick)
+
+    if args.emit_arm_json:
+        print(json.dumps(_run_arm(configs)))
+        return 0
+
+    results = {}
+    print("arm: current", file=sys.stderr)
+    results["current"] = _run_arm(configs)
+    if not args.no_legacy:
+        print("arm: legacy_hotpaths", file=sys.stderr)
+        results["legacy_hotpaths"] = _run_legacy_arm(configs)
+    if args.pre_pr_src:
+        print("arm: pre_pr (subprocess)", file=sys.stderr)
+        results["pre_pr"] = _run_pre_pr_arm(configs, args.pre_pr_src, args.quick)
+
+    checks = _correctness_checks()
+    summary = _summarise(results)
+    payload = {
+        "benchmark": "hotpath",
+        "quick": args.quick,
+        "sweep": "fig15-weak-scaling + spill-stress",
+        "results": results,
+        "checks": checks,
+        "summary": summary,
+    }
+
+    from repro.bench import write_json
+    from repro.bench.harness import RESULTS_DIR
+
+    output = write_json(
+        args.output or os.path.join(RESULTS_DIR, "BENCH_hotpath.json"), payload
+    )
+    print(f"wrote {output}")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if not checks["determinism_bit_identical"]:
+        print("FAIL: repeated run virtual time not bit-identical", file=sys.stderr)
+        return 1
+    if not checks["functional_results_bit_identical"]:
+        print("FAIL: functional results differ between implementations", file=sys.stderr)
+        return 1
+    if args.baseline:
+        return _check_baseline(results, args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,11 @@ Run as a test (``pytest benchmarks/bench_plan_cache.py``) or standalone
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.bench import make_context, save_results
+from repro.bench import make_context, save_json
 from repro.kernels import create_workload
 
 
@@ -72,6 +72,16 @@ def run_once(workload: str, n: int, iterations: int, plan_cache: bool,
     return point, result
 
 
+def save_report(filename: str, title: str, on: CacheRunPoint, off: CacheRunPoint) -> None:
+    """Record the measured pair machine-readably under ``benchmarks/results/``."""
+    save_json(filename, {
+        "benchmark": "plan_cache",
+        "title": title,
+        "cache_on": {**asdict(on), "hit_rate": on.hit_rate},
+        "cache_off": {**asdict(off), "hit_rate": off.hit_rate},
+    })
+
+
 def format_report(title: str, on: CacheRunPoint, off: CacheRunPoint) -> str:
     lines = [
         title,
@@ -99,12 +109,9 @@ def test_plan_cache_on_iterative_kmeans_functional():
                              mode="functional", gpus=2)
     off, result_off = run_once("kmeans", n, iterations, plan_cache=False,
                                mode="functional", gpus=2)
-    text = format_report(
-        f"Plan-template cache (K-Means functional, n={n}, {iterations} iterations, 2 GPUs)",
-        on, off,
-    )
-    print("\n" + text)
-    save_results("plan_cache_kmeans_functional.txt", text)
+    title = f"Plan-template cache (K-Means functional, n={n}, {iterations} iterations, 2 GPUs)"
+    print("\n" + format_report(title, on, off))
+    save_report("plan_cache_kmeans_functional.json", title, on, off)
 
     assert on.hit_rate > 0.90, f"hit rate {on.hit_rate:.1%} below 90%"
     assert off.hits == 0 and off.misses == 0
@@ -122,12 +129,9 @@ def test_plan_cache_on_iterative_hotspot_simulate():
     iterations, n = 60, 64_000_000
     on, _ = run_once("hotspot", n, iterations, plan_cache=True)
     off, _ = run_once("hotspot", n, iterations, plan_cache=False)
-    text = format_report(
-        f"Plan-template cache (HotSpot simulate, n={n}, {iterations} iterations, 4 GPUs)",
-        on, off,
-    )
-    print("\n" + text)
-    save_results("plan_cache_hotspot_simulate.txt", text)
+    title = f"Plan-template cache (HotSpot simulate, n={n}, {iterations} iterations, 4 GPUs)"
+    print("\n" + format_report(title, on, off))
+    save_report("plan_cache_hotspot_simulate.json", title, on, off)
 
     assert on.hit_rate > 0.90
     assert on.driver_plan_busy < off.driver_plan_busy

@@ -10,9 +10,13 @@ from .harness import (
     format_table,
     gpu_memory_limit,
     host_memory_limit,
+    json_text,
     make_context,
     run_workload,
+    run_workload_with_stats,
+    save_json,
     save_results,
+    write_json,
 )
 
 __all__ = [
@@ -20,7 +24,11 @@ __all__ = [
     "format_table",
     "gpu_memory_limit",
     "host_memory_limit",
+    "json_text",
     "make_context",
     "run_workload",
+    "run_workload_with_stats",
+    "save_json",
     "save_results",
+    "write_json",
 ]

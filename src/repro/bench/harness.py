@@ -15,23 +15,28 @@ layer all run for real; only the chunk payloads are elided.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.context import Context
 from ..hardware.specs import azure_nc24rsv2
 from ..kernels import WORKLOADS, create_workload
-from ..runtime.system import ExecutionMode
+from ..runtime.system import ExecutionMode, RuntimeStats
 
 __all__ = [
     "BenchPoint",
     "make_context",
     "run_workload",
+    "run_workload_with_stats",
     "gpu_memory_limit",
     "host_memory_limit",
     "format_table",
     "save_results",
+    "save_json",
+    "write_json",
+    "json_text",
 ]
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
@@ -76,10 +81,27 @@ def run_workload(
     **workload_params,
 ) -> BenchPoint:
     """Run one workload once and return the figure point."""
+    point, _ = run_workload_with_stats(
+        name, n, nodes=nodes, gpus_per_node=gpus_per_node, mode=mode,
+        context_kwargs=context_kwargs, **workload_params,
+    )
+    return point
+
+
+def run_workload_with_stats(
+    name: str,
+    n: int,
+    nodes: int = 1,
+    gpus_per_node: int = 1,
+    mode: ExecutionMode | str = ExecutionMode.SIMULATE,
+    context_kwargs: Optional[Dict] = None,
+    **workload_params,
+) -> Tuple[BenchPoint, RuntimeStats]:
+    """Like :func:`run_workload` but also return the run's :class:`RuntimeStats`."""
     ctx = make_context(nodes, gpus_per_node, mode, **(context_kwargs or {}))
     workload = create_workload(name, ctx, n, **workload_params)
     result = workload.run()
-    return BenchPoint(
+    point = BenchPoint(
         benchmark=name,
         nodes=nodes,
         gpus_per_node=gpus_per_node,
@@ -88,6 +110,7 @@ def run_workload(
         elapsed=result.elapsed,
         throughput=result.throughput,
     )
+    return point, ctx.stats()
 
 
 def gpu_memory_limit(gpus: int = 1) -> int:
@@ -127,3 +150,30 @@ def save_results(filename: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     return path
+
+
+def write_json(path: str, payload) -> str:
+    """Write ``payload`` in the repo's machine-readable result convention.
+
+    One definition of the format (indented, key-sorted, trailing newline) so
+    ``benchmarks/results/*.json``, CLI ``--stats-json`` dumps and the perf
+    harness baseline all stay diffable with the same tooling.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json_text(payload) + "\n")
+    return path
+
+
+def json_text(payload) -> str:
+    """The result-convention JSON serialisation as a string."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def save_json(filename: str, payload) -> str:
+    """Write a machine-readable result under ``benchmarks/results/``.
+
+    All benchmark harnesses record their measurements this way so the perf
+    trajectory of the repo is diffable and scriptable (``results/*.json``).
+    """
+    return write_json(os.path.join(RESULTS_DIR, filename), payload)

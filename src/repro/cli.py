@@ -33,7 +33,13 @@ import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import __version__
-from .bench import format_table, gpu_memory_limit, host_memory_limit, make_context, run_workload
+from .bench import (
+    format_table,
+    gpu_memory_limit,
+    host_memory_limit,
+    make_context,
+    run_workload_with_stats,
+)
 from .hardware.specs import azure_nc24rsv2
 from .kernels import WORKLOADS
 
@@ -81,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="scheduler task-selection policy (fifo/locality/priority/smallest)")
     _add_cluster_args(run)
     _add_plan_cache_arg(run)
+    _add_stats_json_arg(run)
 
     sweep = sub.add_parser("sweep", help="run a problem-size sweep for one workload")
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
@@ -88,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated problem sizes, e.g. 1e8,1e9,4e9")
     _add_cluster_args(sweep)
     _add_plan_cache_arg(sweep)
+    _add_stats_json_arg(sweep)
 
     sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
 
@@ -116,6 +124,25 @@ def _add_plan_cache_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stats_json_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="dump RuntimeStats (events processed, per-resource busy time, "
+             "memory/spill counters, ...) as JSON; '-' writes to stdout",
+    )
+
+
+def _write_stats_json(path: str, payload) -> None:
+    from .bench import json_text, write_json
+
+    if path == "-":
+        print(json_text(payload))
+        return
+    write_json(path, payload)
+
+
 def _parse_dims(text: str) -> Tuple[int, ...]:
     return tuple(int(float(part)) for part in text.lower().replace("*", "x").split("x"))
 
@@ -136,7 +163,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     context_kwargs = {"plan_cache": args.plan_cache}
     if args.scheduler_policy:
         context_kwargs["scheduler_policy"] = args.scheduler_policy
-    point = run_workload(
+    point, stats = run_workload_with_stats(
         args.workload,
         int(args.n),
         nodes=args.nodes,
@@ -147,6 +174,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table([point], title=f"{args.workload} on {args.nodes}x{args.gpus} GPUs"))
     print(f"GPU memory limit: {gpu_memory_limit(args.nodes * args.gpus) / 1e9:.0f} GB, "
           f"host memory limit: {host_memory_limit(args.nodes) / 1e9:.0f} GB")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats.to_dict())
     return 0
 
 
@@ -155,12 +184,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not sizes:
         print("no problem sizes given", file=sys.stderr)
         return 2
-    points = [
-        run_workload(args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
-                     context_kwargs={"plan_cache": args.plan_cache})
-        for n in sizes
-    ]
+    points = []
+    stats_payload = []
+    for n in sizes:
+        point, stats = run_workload_with_stats(
+            args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
+            context_kwargs={"plan_cache": args.plan_cache},
+        )
+        points.append(point)
+        if args.stats_json:
+            stats_payload.append({"problem_size": n, "stats": stats.to_dict()})
     print(format_table(points, title=f"{args.workload} problem-size sweep"))
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats_payload)
     return 0
 
 

@@ -54,6 +54,9 @@ class ChunkMeta:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        # The memory manager and scheduler consult nbytes on every staging
+        # decision; Region recomputes its shape tuple per call, so memoise.
+        object.__setattr__(self, "_nbytes", self.region.size * self.dtype.itemsize)
 
     @property
     def worker(self) -> int:
@@ -69,7 +72,7 @@ class ChunkMeta:
 
     @property
     def nbytes(self) -> int:
-        return self.region.size * self.dtype.itemsize
+        return self._nbytes
 
     def __str__(self) -> str:
         kind = "tmp" if self.temporary else f"array{self.array_id}"

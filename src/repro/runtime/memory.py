@@ -13,6 +13,8 @@ simulator, which is what makes spilling visible in the measured run times.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -20,7 +22,31 @@ from ..core.chunk import ChunkId, ChunkMeta
 from ..hardware.topology import MemoryKind, MemorySpace, Node
 from .resources import WorkerResources
 
-__all__ = ["MemoryManager", "OutOfMemoryError", "MemoryStats"]
+__all__ = [
+    "MemoryManager",
+    "OutOfMemoryError",
+    "MemoryStats",
+    "use_legacy_memory_scans",
+]
+
+#: When True, eviction-candidate selection and the evictable-bytes check use
+#: the original full-scan/sort code paths instead of the LRU index and the
+#: per-space counters.  Only the perf harness flips this (to quantify the
+#: indexed rewrite against pre-rewrite behaviour); the LRU index is still
+#: maintained so the manager can switch back at any time.
+_LEGACY_SCANS = False
+
+
+@contextmanager
+def use_legacy_memory_scans(enabled: bool = True):
+    """Run with the pre-rewrite O(n)-scan memory-manager hot paths."""
+    global _LEGACY_SCANS
+    previous = _LEGACY_SCANS
+    _LEGACY_SCANS = enabled
+    try:
+        yield
+    finally:
+        _LEGACY_SCANS = previous
 
 
 class OutOfMemoryError(RuntimeError):
@@ -75,6 +101,14 @@ class MemoryManager:
 
         self._capacity: Dict[MemorySpace, int] = {}
         self._used: Dict[MemorySpace, int] = {}
+        #: Bytes of currently pinned chunks per space, maintained on
+        #: pin/unpin/move so eviction feasibility checks never scan all chunks.
+        self._pinned: Dict[MemorySpace, int] = {}
+        #: LRU index of resident chunks per space.  Front = least recently
+        #: used.  ``_touch`` moves a chunk to the back; chunks arriving by
+        #: eviction (old data pushed down the hierarchy, not a use) enter at
+        #: the front so they remain first in line for the next spill level.
+        self._lru: Dict[MemorySpace, "OrderedDict[ChunkId, _ChunkState]"] = {}
         spaces = [dev.memory_space for dev in node.devices]
         spaces += [node.host_space, node.disk_space]
         for space in spaces:
@@ -88,6 +122,8 @@ class MemoryManager:
                 cap = node.spec.disk.capacity_bytes
             self._capacity[space] = cap
             self._used[space] = 0
+            self._pinned[space] = 0
+            self._lru[space] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # chunk lifecycle
@@ -102,9 +138,11 @@ class MemoryManager:
         if state is None:
             return
         if state.pins:
+            self._chunks[chunk_id] = state
             raise RuntimeError(f"cannot delete pinned chunk {chunk_id}")
         if state.space is not None:
             self._used[state.space] -= state.meta.nbytes
+            del self._lru[state.space][chunk_id]
 
     def knows(self, chunk_id: ChunkId) -> bool:
         return chunk_id in self._chunks
@@ -134,11 +172,15 @@ class MemoryManager:
         return self._capacity[space] - self._used[space]
 
     def pinned_bytes(self, space: MemorySpace) -> int:
-        return sum(
-            st.meta.nbytes
-            for st in self._chunks.values()
-            if st.space == space and st.pins > 0
-        )
+        return self._pinned[space]
+
+    def evictable_bytes(self, space: MemorySpace) -> int:
+        """Bytes of unpinned resident chunks in ``space`` (O(1) counters)."""
+        return self._used[space] - self._pinned[space]
+
+    def lru_order(self, space: MemorySpace) -> List[ChunkId]:
+        """Resident chunks of ``space``, least recently used first."""
+        return list(self._lru[space])
 
     # ------------------------------------------------------------------ #
     # staging
@@ -197,8 +239,8 @@ class MemoryManager:
         """Release the pins taken by :meth:`stage` for ``task_id``."""
         for chunk_id in self._staged.pop(task_id, []):
             state = self._chunks.get(chunk_id)
-            if state is not None and state.pins > 0:
-                state.pins -= 1
+            if state is not None:
+                self._unpin(state)
         self._retry_pending()
 
     def _retry_pending(self) -> None:
@@ -243,12 +285,21 @@ class MemoryManager:
 
         # Check that evicting *unpinned* chunks not belonging to this task
         # could make enough room right now; otherwise wait for an unstage.
+        # The per-space counters make this O(|plan|) instead of O(|chunks|).
         for space, nbytes in needed.items():
-            evictable = sum(
-                st.meta.nbytes
-                for st in self._chunks.values()
-                if st.space == space and st.pins == 0 and st.meta.chunk_id not in plan_ids
-            )
+            if _LEGACY_SCANS:
+                evictable = sum(
+                    st.meta.nbytes
+                    for st in self._chunks.values()
+                    if st.space == space and st.pins == 0
+                    and st.meta.chunk_id not in plan_ids
+                )
+            else:
+                evictable = self._used[space] - self._pinned[space]
+                for chunk_id in plan_ids:
+                    st = self._chunks[chunk_id]
+                    if st.space == space and st.pins == 0:
+                        evictable -= st.meta.nbytes
             if self.free_bytes(space) + evictable < nbytes:
                 return False
 
@@ -263,7 +314,7 @@ class MemoryManager:
                 self._make_room(target, state.meta.nbytes, protect=plan_ids)
                 transfers.extend(self._move(state, target))
             self._touch(state)
-            state.pins += 1
+            self._pin(state)
             staged.append(state.meta.chunk_id)
         self._staged.setdefault(task_id, []).extend(staged)
 
@@ -285,6 +336,19 @@ class MemoryManager:
     def _touch(self, state: _ChunkState) -> None:
         self._use_counter += 1
         state.last_use = self._use_counter
+        if state.space is not None:
+            self._lru[state.space].move_to_end(state.meta.chunk_id)
+
+    def _pin(self, state: _ChunkState) -> None:
+        state.pins += 1
+        if state.pins == 1 and state.space is not None:
+            self._pinned[state.space] += state.meta.nbytes
+
+    def _unpin(self, state: _ChunkState) -> None:
+        if state.pins > 0:
+            state.pins -= 1
+            if state.pins == 0 and state.space is not None:
+                self._pinned[state.space] -= state.meta.nbytes
 
     # ------------------------------------------------------------------ #
     # allocation, eviction and transfers
@@ -302,20 +366,36 @@ class MemoryManager:
         ``protect`` names chunks that must not be evicted even though they are
         not pinned yet — the rest of the working set of the task currently
         being staged.
+
+        Victims come straight off the front of the per-space LRU index, so
+        selection is O(1) per victim (plus any pinned/protected chunks walked
+        over) instead of a full sort of the worker's chunks.
         """
-        if self.free_bytes(space) >= nbytes:
+        missing = nbytes - self.free_bytes(space)
+        if missing <= 0:
             return
-        candidates = sorted(
-            (
-                st
-                for st in self._chunks.values()
-                if st.space == space and st.pins == 0 and st.meta.chunk_id not in protect
-            ),
-            key=lambda st: st.last_use,
-        )
-        for victim in candidates:
-            if self.free_bytes(space) >= nbytes:
+        if _LEGACY_SCANS:
+            candidates = sorted(
+                (
+                    st
+                    for st in self._chunks.values()
+                    if st.space == space and st.pins == 0
+                    and st.meta.chunk_id not in protect
+                ),
+                key=lambda st: st.last_use,
+            )
+        else:
+            candidates = self._lru[space].values()
+        victims: List[_ChunkState] = []
+        for state in candidates:
+            if missing <= 0:
                 break
+            if state.pins or state.meta.chunk_id in protect:
+                continue
+            victims.append(state)
+            missing -= state.meta.nbytes
+        # Moving a victim mutates the index, so evict after the walk.
+        for victim in victims:
             lower = self._lower_space(space)
             if lower is None:
                 raise OutOfMemoryError(
@@ -323,6 +403,12 @@ class MemoryManager:
                 )
             self._make_room(lower, victim.meta.nbytes)
             self._move(victim, lower, eviction=True)
+        # Each eviction front-inserted its victim into the lower space, which
+        # reverses the batch's relative order; re-front in reverse so the
+        # oldest victim is first in line for the next spill level again.
+        for victim in reversed(victims):
+            if victim.space is not None:
+                self._lru[victim.space].move_to_end(victim.meta.chunk_id, last=False)
         if self.free_bytes(space) < nbytes:
             raise OutOfMemoryError(
                 f"could not free {nbytes} bytes in {space} "
@@ -338,9 +424,21 @@ class MemoryManager:
         """
         source = state.space
         nbytes = state.meta.nbytes
+        chunk_id = state.meta.chunk_id
         if source is not None:
             self._used[source] -= nbytes
+            del self._lru[source][chunk_id]
+            if state.pins:
+                self._pinned[source] -= nbytes
         self._used[target] += nbytes
+        self._lru[target][chunk_id] = state
+        if eviction:
+            # Spilled data was the *least* recently used of its old space; it
+            # enters the lower space first in line for the next spill, not as
+            # freshly used data would.
+            self._lru[target].move_to_end(chunk_id, last=False)
+        if state.pins:
+            self._pinned[target] += nbytes
         state.space = target
         if target.kind is MemoryKind.GPU:
             peak = self.stats.peak_gpu_bytes

@@ -21,7 +21,12 @@ from typing import Dict
 from ..hardware.topology import DeviceId, Node
 from ..perfmodel.costs import OverheadModel
 from ..simulator.engine import Engine
-from ..simulator.resources import BandwidthResource, ChannelResource
+from ..simulator.resources import (
+    BandwidthResource,
+    ChannelResource,
+    Resource,
+    bandwidth_resource_class,
+)
 from ..simulator.trace import Trace
 
 __all__ = ["WorkerResources"]
@@ -41,6 +46,7 @@ class WorkerResources:
         spec = node.spec
         self.node = node
         prefix = f"w{worker}"
+        link_cls = bandwidth_resource_class()
 
         self.gpu_compute: Dict[DeviceId, ChannelResource] = {}
         self.gpu_dtod: Dict[DeviceId, BandwidthResource] = {}
@@ -49,24 +55,24 @@ class WorkerResources:
             self.gpu_compute[device.device_id] = ChannelResource(
                 engine, f"{name}.compute", channels=1, trace=trace
             )
-            self.gpu_dtod[device.device_id] = BandwidthResource(
+            self.gpu_dtod[device.device_id] = link_cls(
                 engine, f"{name}.dtod", bandwidth=device.spec.mem_bandwidth, trace=trace
             )
 
-        self.pcie = BandwidthResource(
+        self.pcie = link_cls(
             engine,
             f"{prefix}.pcie",
             bandwidth=spec.pcie_bandwidth,
             latency=spec.pcie_latency,
             trace=trace,
         )
-        self.nic = BandwidthResource(
+        self.nic = link_cls(
             engine,
             f"{prefix}.nic",
             bandwidth=1e9,  # replaced below: interconnect bandwidth comes from the cluster
             trace=trace,
         )
-        self.disk = BandwidthResource(
+        self.disk = link_cls(
             engine,
             f"{prefix}.disk",
             bandwidth=min(spec.disk.read_bandwidth, spec.disk.write_bandwidth),
@@ -92,3 +98,10 @@ class WorkerResources:
 
     def dtod_for(self, device: DeviceId) -> BandwidthResource:
         return self.gpu_dtod[device]
+
+    def all_resources(self):
+        """Every simulated resource of this worker (for stats collection)."""
+        resources: list[Resource] = list(self.gpu_compute.values())
+        resources += list(self.gpu_dtod.values())
+        resources += [self.pcie, self.nic, self.disk, self.cpu, self.scheduler]
+        return resources

@@ -54,6 +54,9 @@ class Scheduler:
         self._waiting: Dict[int, Tuple[T.Task, int]] = {}
         self._staged_bytes: Dict[object, int] = {}
         self._throttled: Dict[object, List[T.Task]] = {}
+        #: Total tasks across all throttle backlogs, so ``pending_tasks`` is
+        #: O(1) instead of summing every backlog on each call.
+        self._throttled_count = 0
         self.tasks_completed = 0
         self.tasks_submitted = 0
 
@@ -112,6 +115,7 @@ class Scheduler:
         staged = self._staged_bytes.get(key, 0)
         if requirements and staged > 0 and staged + footprint > self.stage_threshold:
             self._throttled.setdefault(key, []).append(task)
+            self._throttled_count += 1
             return
         self._stage_now(task, key, footprint, requirements)
 
@@ -149,13 +153,14 @@ class Scheduler:
             if staged > 0 and staged + footprint > self.stage_threshold:
                 return
             backlog.pop(index)
+            self._throttled_count -= 1
             self._stage_now(task, key, footprint, requirements)
 
     # ------------------------------------------------------------------ #
     # diagnostics
     # ------------------------------------------------------------------ #
     def pending_tasks(self) -> int:
-        return len(self._waiting) + sum(len(q) for q in self._throttled.values())
+        return len(self._waiting) + self._throttled_count
 
     def describe_stuck(self) -> str:
         lines = [f"worker {self.worker}: {len(self._waiting)} waiting tasks"]

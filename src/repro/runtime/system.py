@@ -56,8 +56,28 @@ class RuntimeStats:
     #: launch plans re-stamped from a cached plan template / planned cold
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: total engine events processed / cancelled-before-firing
+    events_processed: int = 0
+    events_cancelled: int = 0
     memory: Dict[int, MemoryStats] = field(default_factory=dict)
     resource_busy: Dict[str, float] = field(default_factory=dict)
+    #: engine events consumed per resource (wake-ups + completions)
+    resource_events: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (``--stats-json`` and the bench harnesses)."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        # JSON objects need string keys; ``memory`` is keyed by worker id.
+        payload["memory"] = {
+            str(worker): stats for worker, stats in payload["memory"].items()
+        }
+        for stats in payload["memory"].values():
+            stats["peak_gpu_bytes"] = {
+                str(device): peak for device, peak in stats["peak_gpu_bytes"].items()
+            }
+        return payload
 
 
 class RuntimeSystem:
@@ -209,10 +229,15 @@ class RuntimeSystem:
         stats.plan_cache_misses = self.plan_cache_misses
         stats.network_bytes = self.fabric.bytes_delivered
         stats.network_messages = self.fabric.messages_delivered
+        stats.events_processed = self.engine.events_processed
+        stats.events_cancelled = self.engine.events_cancelled
+        stats.resource_events[self.driver_plan.name] = self.driver_plan.events_processed
         for worker in self.workers:
             stats.tasks_completed += worker.scheduler.tasks_completed
             stats.kernel_launches += worker.executor.kernel_launches
             stats.memory[worker.worker_id] = worker.memory.stats
+            for resource in worker.resources.all_resources():
+                stats.resource_events[resource.name] = resource.events_processed
         if self.trace is not None:
             stats.resource_busy = self.trace.summary()
         return stats

@@ -11,15 +11,24 @@ one node, network bandwidth limits — emerge from resource contention in the
 simulator rather than from hard-coded formulas.
 """
 
-from .engine import Engine
-from .resources import ChannelResource, BandwidthResource, Resource
+from .engine import Engine, EventHandle
+from .resources import (
+    BandwidthResource,
+    ChannelResource,
+    LegacyBandwidthResource,
+    Resource,
+    use_legacy_links,
+)
 from .trace import Trace, TraceInterval
 
 __all__ = [
     "Engine",
+    "EventHandle",
     "Resource",
     "ChannelResource",
     "BandwidthResource",
+    "LegacyBandwidthResource",
+    "use_legacy_links",
     "Trace",
     "TraceInterval",
 ]

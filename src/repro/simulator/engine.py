@@ -5,6 +5,14 @@ The engine keeps a priority queue of timestamped callbacks.  Resources
 runtime's scheduler reacts to completions by releasing dependent tasks, which
 in turn request resources.  ``run()`` drains the queue and returns the final
 virtual time.
+
+Events can be *cancelled* through the handle :meth:`Engine.schedule` returns.
+Cancelled entries stay in the heap (removing an arbitrary heap element is
+O(n)) but are discarded unprocessed when they reach the front: they are never
+invoked and never counted in :attr:`Engine.events_processed`.  This is what
+lets the shared-bandwidth links re-arm their single wake-up whenever the
+earliest completion time moves, instead of letting stale wake-ups fire as
+spurious no-op events.
 """
 
 from __future__ import annotations
@@ -13,7 +21,30 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """Handle to one scheduled event; supports cancellation before it fires."""
+
+    __slots__ = ("time", "callback", "_engine")
+
+    def __init__(self, engine: "Engine", time: float, callback: Callable[[], Any]):
+        self._engine = engine
+        self.time = time
+        self.callback: Optional[Callable[[], Any]] = callback
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False when already cancelled or fired."""
+        if self.callback is None:
+            return False
+        self.callback = None
+        self._engine._on_cancel()
+        return True
 
 
 class Engine:
@@ -21,9 +52,14 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        #: Heap entries are ``(time, seq, callback-or-EventHandle)``.  Plain
+        #: callables are the allocation-free common case; only callers that
+        #: need cancellation (:meth:`schedule_cancellable`) pay for a handle.
+        self._queue: List[Tuple[float, int, Any]] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        self._events_cancelled = 0
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -33,6 +69,15 @@ class Engine:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def schedule_cancellable(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Like :meth:`schedule`, but returns a handle that can cancel the event."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        time = self.now + delay
+        handle = EventHandle(self, time, callback)
+        heapq.heappush(self._queue, (time, next(self._counter), handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
         """Run ``callback`` at absolute virtual time ``time`` (>= now)."""
@@ -44,19 +89,39 @@ class Engine:
         """Run ``callback`` at the current virtual time, after pending same-time events."""
         self.schedule(0.0, callback)
 
+    def _on_cancel(self) -> None:
+        self._events_cancelled += 1
+        self._cancelled_in_queue += 1
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - self._cancelled_in_queue
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
 
+    @property
+    def events_cancelled(self) -> int:
+        """Events that were scheduled but cancelled before they could fire."""
+        return self._events_cancelled
+
+    def _prune_cancelled(self) -> None:
+        """Drop cancelled entries sitting at the front of the queue."""
+        while (
+            self._queue
+            and type(self._queue[0][2]) is EventHandle
+            and self._queue[0][2].callback is None
+        ):
+            heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
+
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""
+        self._prune_cancelled()
         if not self._queue:
             return False
         time, _, callback = heapq.heappop(self._queue)
@@ -64,13 +129,20 @@ class Engine:
             raise RuntimeError("event queue went backwards in time")
         self.now = time
         self._events_processed += 1
+        if type(callback) is EventHandle:
+            handle = callback
+            callback = handle.callback
+            handle.callback = None  # the handle can no longer be cancelled
         callback()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event queue (optionally bounded) and return the final time."""
         processed = 0
-        while self._queue:
+        while True:
+            self._prune_cancelled()
+            if not self._queue:
+                break
             if until is not None and self._queue[0][0] > until:
                 self.now = until
                 break

@@ -13,18 +13,57 @@ Two resource flavours cover everything the runtime needs:
   benefiting from host-memory spilling because the GPUs share the PCIe bus
   (Sec. 4.4), while spreading the same GPUs over multiple nodes restores the
   benefit (Sec. 4.5).
+
+The processor-sharing link uses the classic *virtual service* formulation:
+instead of decrementing every active transfer's remaining bytes at every
+event (O(n) per event, as the first implementation did), the link maintains a
+cumulative normalized-service clock ``V`` that advances at ``bandwidth / n``
+bytes per second, and every transfer admitted at clock value ``V0`` completes
+when ``V`` reaches its *finish tag* ``V0 + size``.  Finish tags live in a
+min-heap, so an arrival or completion costs O(log n), and the link keeps
+exactly one pending wake-up armed at the earliest finish time — cancelled and
+re-armed whenever an arrival or completion moves that time.
+
+:class:`LegacyBandwidthResource` preserves the original per-transfer
+recomputation so the perf harness in ``benchmarks/bench_hotpath.py`` can
+measure the rewrite against the exact pre-rewrite behaviour.  Besides being
+O(n) per event, the legacy link had two wake-up flaws the rewrite corrects —
+it never re-armed its pending wake-up when the active set changed, so
+
+* an arrival that *slowed* the link made the armed wake-up fire early as a
+  spurious no-op event, and
+* an arrival that would finish *before* the armed wake-up (a short transfer
+  joining a long one) was only detected at the old wake time and completed
+  late, stealing bandwidth from the other transfers in the meantime.
+
+The second flaw means simulated virtual times legitimately change with the
+rewrite (the new link is the correct processor-sharing model); the remaining
+differences are ~1-ulp FP rounding on rate-change crossings that can amplify
+through scheduling ties on long runs.  :func:`use_legacy_links` switches
+which implementation :class:`~repro.runtime.resources.WorkerResources`
+instantiates.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from .engine import Engine
+from .engine import Engine, EventHandle
 from .trace import Trace
 
-__all__ = ["Resource", "ChannelResource", "BandwidthResource"]
+__all__ = [
+    "Resource",
+    "ChannelResource",
+    "BandwidthResource",
+    "LegacyBandwidthResource",
+    "use_legacy_links",
+    "legacy_links_enabled",
+]
 
 Callback = Callable[[], None]
 
@@ -33,6 +72,30 @@ Callback = Callable[[], None]
 #: them as unfinished can produce wake-ups whose delay underflows below the
 #: clock's floating-point resolution and the simulation stops making progress.
 _BYTE_EPSILON = 0.5
+
+#: When True, ``WorkerResources`` builds :class:`LegacyBandwidthResource`
+#: links.  Only the perf harness should flip this (via :func:`use_legacy_links`).
+_LEGACY_LINKS = False
+
+
+def legacy_links_enabled() -> bool:
+    return _LEGACY_LINKS
+
+
+@contextmanager
+def use_legacy_links(enabled: bool = True):
+    """Build the pre-rewrite O(n)-per-event links inside this context.
+
+    Exists so ``benchmarks/bench_hotpath.py`` can measure the virtual-service
+    rewrite against the original implementation in the same process.
+    """
+    global _LEGACY_LINKS
+    previous = _LEGACY_LINKS
+    _LEGACY_LINKS = enabled
+    try:
+        yield
+    finally:
+        _LEGACY_LINKS = previous
 
 
 class Resource:
@@ -43,6 +106,10 @@ class Resource:
         self.name = name
         self.trace = trace
         self.completed_items = 0
+        #: Engine events this resource's callbacks consumed (wake-ups and
+        #: work-item completions).  The perf harness tracks this per resource
+        #: to show where simulated event traffic goes.
+        self.events_processed = 0
 
     def request(self, amount: float, callback: Callback, label: str = "") -> None:
         raise NotImplementedError
@@ -107,6 +174,7 @@ class ChannelResource(Resource):
             def _complete(work=work, start=start, end=end) -> None:
                 self._busy -= 1
                 self.completed_items += 1
+                self.events_processed += 1
                 self._record(work.label, start, end)
                 work.callback()
                 self._dispatch()
@@ -116,10 +184,22 @@ class ChannelResource(Resource):
 
 @dataclass
 class _Transfer:
-    remaining: float
+    size: float  # bytes of service owed, including the latency charge
     callback: Callback
     label: str
     started: float
+    #: Virtual-clock value when the transfer was admitted to the active set.
+    admit_virtual: float = 0.0
+
+    def remaining(self, virtual: float) -> float:
+        """Service bytes still owed at virtual-clock value ``virtual``.
+
+        Computed from the admission snapshot rather than the (rounded) finish
+        tag so that a transfer whose active set never changes completes at
+        exactly ``size / rate`` — bit-identical to the legacy per-transfer
+        decrement for the uninterrupted case.
+        """
+        return self.size - (virtual - self.admit_virtual)
 
 
 class BandwidthResource(Resource):
@@ -127,8 +207,14 @@ class BandwidthResource(Resource):
 
     Active transfers progress simultaneously, each at ``bandwidth / n`` where
     ``n`` is the number of active transfers.  Each transfer additionally pays a
-    fixed ``latency`` once.  Completion times are recomputed whenever the
-    active set changes.
+    fixed ``latency`` once (charged as ``latency * bandwidth`` extra service
+    bytes, so the latency of concurrent transfers is itself shared — matching
+    a link whose setup handshake rides on the same wire).
+
+    Incrementally maintained via the virtual-service clock (module docstring):
+    arrivals and completions are O(log n), and exactly one wake-up is armed at
+    the earliest finish time; the wake-up is cancelled and re-armed whenever
+    that time moves, so no spurious early wake-ups are ever processed.
     """
 
     def __init__(
@@ -146,15 +232,28 @@ class BandwidthResource(Resource):
         self.bandwidth = bandwidth
         self.latency = latency
         self.max_concurrency = max_concurrency
-        self._active: List[_Transfer] = []
-        self._waiting: Deque[_Transfer] = deque()
+        #: Cumulative normalized service: bytes a transfer active since t=0
+        #: would have received.  Monotonically non-decreasing.
+        self._virtual = 0.0
         self._last_update = 0.0
-        self._wakeup_pending = False
+        #: Min-heap of (finish_tag, seq, transfer) over the active set.
+        self._finish_heap: List[Tuple[float, int, _Transfer]] = []
+        self._seq = itertools.count()
+        self._waiting: Deque[_Transfer] = deque()
+        self._wakeup: Optional[EventHandle] = None
+        self._wakeup_time = 0.0
         self.bytes_transferred = 0.0
+        #: Wake-ups that were armed but superseded before firing (the legacy
+        #: implementation processed these as spurious no-op events).
+        self.wakeups_cancelled = 0
 
     @property
     def active_transfers(self) -> int:
-        return len(self._active)
+        return len(self._finish_heap)
+
+    @property
+    def queued_transfers(self) -> int:
+        return len(self._waiting)
 
     def request(self, amount: float, callback: Callback, label: str = "") -> None:
         """Start transferring ``amount`` bytes; ``callback`` fires on completion."""
@@ -162,6 +261,132 @@ class BandwidthResource(Resource):
             raise ValueError(f"negative transfer size {amount!r}")
         self.bytes_transferred += amount
         transfer = _Transfer(
+            size=float(amount) + self.latency * self.bandwidth,
+            callback=callback,
+            label=label,
+            started=self.engine.now,
+        )
+        self._advance()
+        if (
+            self.max_concurrency is not None
+            and len(self._finish_heap) >= self.max_concurrency
+        ):
+            self._waiting.append(transfer)
+            return  # active set unchanged: the armed wake-up stays valid
+        self._admit(transfer)
+        self._rearm()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _rate(self) -> float:
+        return self.bandwidth / max(1, len(self._finish_heap))
+
+    def _advance(self) -> None:
+        """Advance the virtual-service clock to the engine's current time."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed > 0 and self._finish_heap:
+            self._virtual += self._rate() * elapsed
+
+    def _admit(self, transfer: _Transfer) -> None:
+        transfer.admit_virtual = self._virtual
+        # The finish tag orders the heap; wake times and completion checks use
+        # ``_Transfer.remaining`` (see its docstring for the FP rationale).
+        heapq.heappush(
+            self._finish_heap, (self._virtual + transfer.size, next(self._seq), transfer)
+        )
+
+    def _rearm(self) -> None:
+        """Keep exactly one wake-up armed at the earliest finish time."""
+        if not self._finish_heap:
+            return
+        head = self._finish_heap[0][2]
+        delay = max(0.0, head.remaining(self._virtual) / self._rate())
+        due = self.engine.now + delay
+        if self._wakeup is not None:
+            if due == self._wakeup_time:
+                return  # earliest finish unchanged: keep the armed wake-up
+            self._wakeup.cancel()
+            self.wakeups_cancelled += 1
+        self._wakeup = self.engine.schedule_cancellable(delay, self._wake)
+        self._wakeup_time = due
+
+    def _wake(self) -> None:
+        self._wakeup = None
+        self.events_processed += 1
+        self._advance()
+        finished: List[_Transfer] = []
+        while (
+            self._finish_heap
+            and self._finish_heap[0][2].remaining(self._virtual) <= _BYTE_EPSILON
+        ):
+            finished.append(heapq.heappop(self._finish_heap)[2])
+        while self._waiting and (
+            self.max_concurrency is None
+            or len(self._finish_heap) < self.max_concurrency
+        ):
+            self._admit(self._waiting.popleft())
+        for transfer in finished:
+            self.completed_items += 1
+            self._record(transfer.label, transfer.started, self.engine.now)
+            transfer.callback()
+        self._advance()  # callbacks may have consumed virtual time via nested runs
+        self._rearm()
+        if not self._finish_heap and not self._waiting:
+            # Idle link: rewind the clock so it is bounded by one busy period.
+            # Otherwise ulp(_virtual) eventually exceeds _BYTE_EPSILON on
+            # high-bandwidth links and the completion check can never pass.
+            self._virtual = 0.0
+
+
+class LegacyBandwidthResource(Resource):
+    """Pre-rewrite processor-sharing link (reference for the perf harness).
+
+    Recomputes every active transfer's remaining bytes on each event and never
+    re-arms a scheduled wake-up, so an arrival that slows the shared rate
+    leaves a stale wake-up behind that fires early as a no-op — and an arrival
+    that would finish *before* the pending wake-up completes late (see the
+    module docstring).  Kept verbatim so ``benchmarks/bench_hotpath.py`` can
+    quantify the rewrite; do not use in new code.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bandwidth: float,
+        latency: float = 0.0,
+        trace: Optional[Trace] = None,
+        max_concurrency: Optional[int] = None,
+    ):
+        super().__init__(engine, name, trace)
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.max_concurrency = max_concurrency
+        self._active: List["_LegacyTransfer"] = []
+        self._waiting: Deque["_LegacyTransfer"] = deque()
+        self._last_update = 0.0
+        self._wakeup_pending = False
+        self.bytes_transferred = 0.0
+        self.wakeups_cancelled = 0  # interface parity; always 0 here
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    @property
+    def queued_transfers(self) -> int:
+        return len(self._waiting)
+
+    def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        if amount < 0:
+            raise ValueError(f"negative transfer size {amount!r}")
+        self.bytes_transferred += amount
+        transfer = _LegacyTransfer(
             remaining=float(amount) + self.latency * self.bandwidth,
             callback=callback,
             label=label,
@@ -174,15 +399,11 @@ class BandwidthResource(Resource):
             self._active.append(transfer)
         self._reschedule()
 
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
     def _rate(self) -> float:
         n = max(1, len(self._active))
         return self.bandwidth / n
 
     def _advance(self) -> None:
-        """Account progress made since the last update at the previous rate."""
         now = self.engine.now
         elapsed = now - self._last_update
         if elapsed <= 0:
@@ -195,7 +416,6 @@ class BandwidthResource(Resource):
         self._last_update = now
 
     def _reschedule(self) -> None:
-        """Schedule a wake-up at the earliest possible completion time."""
         if not self._active or self._wakeup_pending:
             return
         rate = self._rate()
@@ -204,6 +424,7 @@ class BandwidthResource(Resource):
 
         def _wake() -> None:
             self._wakeup_pending = False
+            self.events_processed += 1
             self._advance()
             finished = [t for t in self._active if t.remaining <= _BYTE_EPSILON]
             self._active = [t for t in self._active if t.remaining > _BYTE_EPSILON]
@@ -220,3 +441,16 @@ class BandwidthResource(Resource):
             self._reschedule()
 
         self.engine.schedule(next_done, _wake)
+
+
+@dataclass
+class _LegacyTransfer:
+    remaining: float
+    callback: Callback
+    label: str
+    started: float
+
+
+def bandwidth_resource_class():
+    """The link implementation to build (honours :func:`use_legacy_links`)."""
+    return LegacyBandwidthResource if _LEGACY_LINKS else BandwidthResource

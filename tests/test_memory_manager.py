@@ -194,3 +194,139 @@ def test_delete_pinned_chunk_rejected():
     stage(manager, engine, 1, [(1, "gpu")])
     with pytest.raises(RuntimeError):
         manager.delete(1)
+    # the failed delete must not corrupt the bookkeeping
+    assert manager.knows(1)
+    manager.unstage(1)
+    manager.delete(1)
+    assert not manager.knows(1)
+
+
+# --------------------------------------------------------------------------- #
+# LRU index order, pinned chunks and the protect set
+# --------------------------------------------------------------------------- #
+def test_lru_index_tracks_touch_order():
+    manager, engine = make_manager(gpu_capacity=8 * MB)
+    gpu = DeviceId(0, 0).memory_space
+    for cid in (1, 2, 3):
+        manager.register(chunk(cid, 2))
+        stage(manager, engine, cid, [(cid, "gpu")])
+        manager.unstage(cid)
+    assert manager.lru_order(gpu) == [1, 2, 3]
+    # re-touching chunk 1 moves it to the most-recently-used end
+    stage(manager, engine, 10, [(1, "gpu")])
+    manager.unstage(10)
+    assert manager.lru_order(gpu) == [2, 3, 1]
+
+
+def test_eviction_follows_lru_order_skipping_pinned():
+    manager, engine = make_manager(gpu_capacity=6 * MB)
+    for cid in (1, 2, 3):
+        manager.register(chunk(cid, 2))
+        stage(manager, engine, cid, [(cid, "gpu")])
+        manager.unstage(cid)
+    # pin chunk 1 (the LRU) through a staged task; 2 becomes the eviction victim
+    stage(manager, engine, 50, [(1, "gpu")])
+    manager.register(chunk(4, 2))
+    stage(manager, engine, 51, [(4, "gpu")])
+    assert manager.residency(1).kind is MemoryKind.GPU  # pinned: skipped
+    assert manager.residency(2).kind is MemoryKind.HOST  # LRU unpinned: evicted
+    assert manager.residency(3).kind is MemoryKind.GPU
+    assert manager.residency(4).kind is MemoryKind.GPU
+
+
+def test_staging_never_evicts_the_tasks_own_working_set():
+    """``protect`` keeps the not-yet-pinned rest of the working set resident."""
+    manager, engine = make_manager(gpu_capacity=6 * MB)
+    manager.register(chunk(1, 2))
+    manager.register(chunk(2, 2))
+    manager.register(chunk(3, 2))
+    stage(manager, engine, 1, [(1, "gpu")])
+    manager.unstage(1)
+    stage(manager, engine, 2, [(2, "gpu")])
+    manager.unstage(2)
+    # Chunk 1 is LRU.  A task needing {1, 2, 3} must evict nothing of its own
+    # working set even though 1 and 2 are unpinned while 3 is brought in.
+    assert stage(manager, engine, 3, [(1, "gpu"), (2, "gpu"), (3, "gpu")])
+    for cid in (1, 2, 3):
+        assert manager.residency(cid).kind is MemoryKind.GPU
+
+
+def test_evicted_chunk_is_first_out_of_the_lower_space():
+    """A chunk spilled GPU->host was the LRU of the GPU; it must also be the
+    first candidate out of host memory, ahead of recently used host chunks."""
+    manager, engine = make_manager(gpu_capacity=2 * MB, host_capacity=4 * MB)
+    host = MemorySpace(0, MemoryKind.HOST)
+    manager.register(chunk(1, 2))  # host-resident, recently used
+    stage(manager, engine, 1, [(1, "host")])
+    manager.unstage(1)
+    manager.register(chunk(2, 2))
+    stage(manager, engine, 2, [(2, "gpu")])
+    manager.unstage(2)
+    manager.register(chunk(3, 2))
+    stage(manager, engine, 3, [(3, "gpu")])  # evicts 2 to host
+    manager.unstage(3)
+    assert manager.residency(2) == host
+    # 2 entered host by eviction: it sits at the LRU end, before chunk 1,
+    # even though chunk 1's last touch is older than chunk 2's move.
+    assert manager.lru_order(host) == [2, 1]
+
+
+def test_pinned_bytes_counter_tracks_pin_unpin_and_moves():
+    manager, engine = make_manager()
+    gpu = DeviceId(0, 0).memory_space
+    host = MemorySpace(0, MemoryKind.HOST)
+    manager.register(chunk(1, 2))
+    stage(manager, engine, 1, [(1, "host")])
+    assert manager.pinned_bytes(host) == 2 * MB
+    assert manager.pinned_bytes(gpu) == 0
+    # double-pin through a second task, then move the pinned chunk to the GPU
+    stage(manager, engine, 2, [(1, "gpu")])
+    assert manager.pinned_bytes(host) == 0
+    assert manager.pinned_bytes(gpu) == 2 * MB
+    manager.unstage(1)
+    assert manager.pinned_bytes(gpu) == 2 * MB  # still pinned by task 2
+    manager.unstage(2)
+    assert manager.pinned_bytes(gpu) == 0
+    assert manager.evictable_bytes(gpu) == 2 * MB
+
+
+def test_batch_eviction_preserves_relative_lru_order():
+    """When one staging call evicts several chunks, they must enter the lower
+    space oldest-first (front-insertion must not reverse the batch)."""
+    manager, engine = make_manager(gpu_capacity=6 * MB, host_capacity=16 * MB)
+    host = MemorySpace(0, MemoryKind.HOST)
+    for cid in (1, 2, 3):
+        manager.register(chunk(cid, 2))
+        stage(manager, engine, cid, [(cid, "gpu")])
+        manager.unstage(cid)
+    # one stage evicts chunks 1 and 2 together (4 MB needed)
+    manager.register(chunk(4, 4))
+    stage(manager, engine, 10, [(4, "gpu")])
+    assert manager.residency(1) == host
+    assert manager.residency(2) == host
+    assert manager.lru_order(host) == [1, 2]
+
+
+def test_legacy_scan_mode_matches_indexed_eviction():
+    from repro.runtime.memory import use_legacy_memory_scans
+
+    def scenario():
+        manager, engine = make_manager(gpu_capacity=6 * MB)
+        for cid in (1, 2, 3):
+            manager.register(chunk(cid, 2))
+            stage(manager, engine, cid, [(cid, "gpu")])
+            manager.unstage(cid)
+        stage(manager, engine, 10, [(2, "gpu")])  # touch 2; 1 is LRU
+        manager.unstage(10)
+        manager.register(chunk(4, 4))
+        stage(manager, engine, 11, [(4, "gpu")])  # evicts 1 and 3
+        return {cid: manager.residency(cid).kind for cid in (1, 2, 3, 4)}
+
+    indexed = scenario()
+    with use_legacy_memory_scans():
+        legacy = scenario()
+    assert indexed == legacy
+    assert indexed[1] is MemoryKind.HOST
+    assert indexed[3] is MemoryKind.HOST
+    assert indexed[2] is MemoryKind.GPU
+    assert indexed[4] is MemoryKind.GPU

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.simulator import BandwidthResource, ChannelResource, Engine, Trace
+from repro.simulator import (
+    BandwidthResource,
+    ChannelResource,
+    Engine,
+    LegacyBandwidthResource,
+    Trace,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -176,6 +182,216 @@ def test_many_tiny_transfers_terminate():
         engine.schedule(i * 1e-7, lambda: link.request(64.0, lambda: done.append(1)))
     engine.run()
     assert len(done) == 50
+
+
+# --------------------------------------------------------------------------- #
+# engine event cancellation
+# --------------------------------------------------------------------------- #
+def test_cancelled_event_never_fires_and_is_not_counted():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule_cancellable(1.0, lambda: fired.append("cancelled"))
+    engine.schedule(2.0, lambda: fired.append("kept"))
+    assert engine.pending == 2
+    assert handle.cancel()
+    assert engine.pending == 1
+    engine.run()
+    assert fired == ["kept"]
+    assert engine.events_processed == 1
+    assert engine.events_cancelled == 1
+    # cancelling again (or after the queue drained) is a no-op
+    assert not handle.cancel()
+    assert engine.events_cancelled == 1
+
+
+def test_cancel_after_firing_is_rejected():
+    engine = Engine()
+    handle = engine.schedule_cancellable(0.5, lambda: None)
+    engine.run()
+    assert not handle.cancel()
+    assert engine.events_cancelled == 0
+
+
+def test_run_until_skips_cancelled_head():
+    engine = Engine()
+    hits = []
+    head = engine.schedule_cancellable(1.0, lambda: hits.append("head"))
+    engine.schedule(3.0, lambda: hits.append("tail"))
+    head.cancel()
+    engine.run(until=2.0)
+    assert hits == []
+    assert engine.now == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------------- #
+# processor-sharing fairness and wake-up hygiene
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("n", [2, 3, 8])
+def test_processor_sharing_fairness(n):
+    """n equal concurrent transfers each see bandwidth/n: all end at n*solo."""
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    done = []
+    for _ in range(n):
+        link.request(100.0, lambda: done.append(engine.now))
+    engine.run()
+    assert len(done) == n
+    for end in done:
+        assert end == pytest.approx(n * 1.0, rel=1e-9)
+
+
+def test_arrival_slowdown_cancels_stale_wakeup():
+    """Regression (tentpole): an arrival between scheduling a wake-up and its
+    due time re-arms the wake-up; the stale early wake-up must never be
+    processed as a no-op event."""
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    times = {}
+    link.request(100.0, lambda: times.setdefault("a", engine.now))
+    engine.schedule(0.5, lambda: link.request(100.0, lambda: times.setdefault("b", engine.now)))
+    engine.run()
+    # a: 0.5s solo (50 B) + 1.0s shared (50 B at 50 B/s) -> 1.5; b ends at 2.0.
+    assert times["a"] == pytest.approx(1.5, rel=1e-9)
+    assert times["b"] == pytest.approx(2.0, rel=1e-9)
+    # Exactly three events were processed: the scheduled arrival and the two
+    # completion wake-ups.  The wake-up armed for t=1.0 was cancelled, not
+    # fired early as a no-op (the legacy implementation processed 4 events).
+    assert engine.events_processed == 3
+    assert engine.events_cancelled == 1
+    assert link.wakeups_cancelled == 1
+
+
+def test_legacy_link_fires_spurious_wakeup():
+    """Documents the pre-rewrite behaviour the regression test above removes."""
+    engine = Engine()
+    link = LegacyBandwidthResource(engine, "pcie", bandwidth=100.0)
+    times = {}
+    link.request(100.0, lambda: times.setdefault("a", engine.now))
+    engine.schedule(0.5, lambda: link.request(100.0, lambda: times.setdefault("b", engine.now)))
+    engine.run()
+    assert times["a"] == pytest.approx(1.5, rel=1e-9)
+    assert engine.events_processed == 4  # includes the stale no-op wake at t=1.0
+    assert engine.events_cancelled == 0
+
+
+def test_short_arrival_completes_on_time_not_at_stale_wakeup():
+    """Bugfix: a short transfer joining a long one must finish at its true
+    processor-sharing time.  The legacy link only noticed it at the long
+    transfer's pre-armed wake-up, completing it late."""
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    done = {}
+    link.request(100.0, lambda: done.setdefault("big", engine.now))
+    engine.schedule(0.1, lambda: link.request(1.0, lambda: done.setdefault("tiny", engine.now)))
+    engine.run()
+    # tiny: arrives at 0.1 with 1 B at 50 B/s -> 0.12; big: 90 B left at 0.1,
+    # 1 B spent shared by 0.12, remaining 89 B at full rate -> 1.01.
+    assert done["tiny"] == pytest.approx(0.12, rel=1e-9)
+    assert done["big"] == pytest.approx(1.01, rel=1e-9)
+    # The legacy link completed tiny only when big's stale wake-up fired:
+    legacy_engine = Engine()
+    legacy = LegacyBandwidthResource(legacy_engine, "pcie", bandwidth=100.0)
+    late = {}
+    legacy.request(100.0, lambda: late.setdefault("big", legacy_engine.now))
+    legacy_engine.schedule(
+        0.1, lambda: legacy.request(1.0, lambda: late.setdefault("tiny", legacy_engine.now))
+    )
+    legacy_engine.run()
+    assert late["tiny"] == pytest.approx(1.0, rel=1e-9)  # 8x late
+
+
+def test_virtual_clock_rewinds_when_link_goes_idle():
+    """The normalized-service clock is bounded by one busy period, so its ulp
+    can never outgrow the completion epsilon on high-bandwidth links."""
+    engine = Engine()
+    link = BandwidthResource(engine, "dtod", bandwidth=9e11)
+    for _ in range(3):
+        link.request(1e9, lambda: None)
+        engine.run()
+        assert link._virtual == 0.0
+
+
+def test_completion_rearms_for_remaining_transfers():
+    """When the earliest transfer finishes, the remaining ones speed up and
+    their wake-up is re-armed at the (earlier) new finish time."""
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    done = {}
+    link.request(50.0, lambda: done.setdefault("small", engine.now))
+    link.request(100.0, lambda: done.setdefault("big", engine.now))
+    engine.run()
+    # shared until t=1.0 (each served 50 B) -> small done; big's last 50 B at
+    # full rate -> 1.5 total.
+    assert done["small"] == pytest.approx(1.0, rel=1e-9)
+    assert done["big"] == pytest.approx(1.5, rel=1e-9)
+
+
+def test_max_concurrency_queues_in_fifo_order():
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0, max_concurrency=2)
+    done = []
+    for name in ("a", "b", "c"):
+        link.request(100.0, lambda n=name: done.append((n, engine.now)))
+    engine.run()
+    # a and b share the link (done at 2.0); c starts only at 2.0 and runs alone.
+    assert [name for name, _ in done] == ["a", "b", "c"]
+    assert done[0][1] == pytest.approx(2.0, rel=1e-9)
+    assert done[1][1] == pytest.approx(2.0, rel=1e-9)
+    assert done[2][1] == pytest.approx(3.0, rel=1e-9)
+    assert link.queued_transfers == 0
+
+
+def test_queued_arrival_keeps_existing_wakeup():
+    """An arrival beyond max_concurrency does not touch the active set, so the
+    armed wake-up must not be cancelled or re-armed."""
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0, max_concurrency=1)
+    done = []
+    link.request(100.0, lambda: done.append(engine.now))
+    link.request(100.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert link.wakeups_cancelled == 0
+    assert engine.events_cancelled == 0
+
+
+def test_latency_is_shared_like_service_bytes():
+    """Latency is charged as latency*bandwidth service bytes, so two
+    concurrent zero-byte transfers each pay twice the solo latency."""
+    engine = Engine()
+    link = BandwidthResource(engine, "nic", bandwidth=100.0, latency=1.0)
+    done = []
+    link.request(0.0, lambda: done.append(engine.now))
+    link.request(0.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(2.0, rel=1e-9), pytest.approx(2.0, rel=1e-9)]
+
+
+def test_uninterrupted_transfer_matches_legacy_bitwise():
+    """A transfer whose active set never changes completes at exactly the same
+    float as the legacy per-transfer decrement produces."""
+    for cls in (BandwidthResource, LegacyBandwidthResource):
+        engine = Engine()
+        link = cls(engine, "pcie", bandwidth=7.3e9, latency=3.7e-6)
+        ends = []
+        link.request(123_456_789.0, lambda: ends.append(engine.now))
+        engine.run()
+        if cls is BandwidthResource:
+            new_end = ends[0]
+        else:
+            assert ends[0].hex() == new_end.hex()
+
+
+def test_per_resource_event_counter():
+    engine = Engine()
+    link = BandwidthResource(engine, "pcie", bandwidth=100.0)
+    chan = ChannelResource(engine, "gpu", channels=1)
+    link.request(100.0, lambda: None)
+    chan.request(1.0, lambda: None)
+    chan.request(1.0, lambda: None)
+    engine.run()
+    assert link.events_processed == 1
+    assert chan.events_processed == 2
 
 
 # --------------------------------------------------------------------------- #
