@@ -43,6 +43,15 @@ FP/compiler change would).  The drift is *reported* per config
 than asserted, because the legacy arithmetic is path-dependent and cannot be
 reproduced by any O(log n) formulation.
 
+A third sweep measures the **launch window**: the HotSpot double-stencil
+(fusion evidence) and the CGC application (reduce-heavy chains the fusion
+pass must leave alone — an overhead-neutrality control) run under four arms
+(window, ``no_fusion``, ``no_prefetch``, ``eager``/lookahead-1), recording
+the window counters (``launches_fused``, ``transfers_prefetched``,
+``window_flushes``) and the plan-cache hit rate; a gate fails the run when
+fusion stops reducing engine events and transferred bytes on the
+double-stencil configurations.
+
 Results go to ``benchmarks/results/BENCH_hotpath.json``; the committed
 baseline lives at ``benchmarks/BENCH_hotpath.json``.  ``--baseline PATH``
 compares the current run's deterministic event counts against the baseline
@@ -82,6 +91,31 @@ FULL_CONFIGS = QUICK_CONFIGS + [
 #: eviction path (LRU index vs full sort) actually runs (Sec. 4.3 territory).
 SPILL_GPU_CAPACITY = 1024 ** 3
 
+#: Launch-window feature sweep: the HotSpot double-stencil (whose
+#: stencil->apply pairs the fusion pass merges — the fusion evidence) and
+#: the CGC co-clustering application, whose reduce-heavy kernel chains are
+#: *not* fusable by design: its arms establish that the window is
+#: overhead-neutral on long chains of near-identical launches it cannot
+#: optimise.  Only the hotspot2 configs feed the fusion gate.
+WINDOW_QUICK_CONFIGS = [
+    ("hotspot2", 4, 2, int(5.4e8 * 4), {"iterations": 20}),
+    ("cgc", 4, 2, 12_000 ** 2, {"iterations": 3}),
+]
+
+WINDOW_FULL_CONFIGS = [
+    ("hotspot2", 4, 2, int(5.4e8 * 4), {"iterations": 40}),
+    ("hotspot2", 16, 4, int(5.4e8 * 16), {"iterations": 40}),
+    ("cgc", 4, 2, 25_000 ** 2, {"iterations": 5}),
+]
+
+#: arm name -> Context kwargs
+WINDOW_ARMS = {
+    "window": {},
+    "no_fusion": {"fusion": False},
+    "no_prefetch": {"prefetch": False},
+    "eager": {"lookahead": 1},
+}
+
 
 def _config_key(workload, gpus, per_node, n, params) -> str:
     extra = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
@@ -95,12 +129,12 @@ def _spill_configs(quick: bool):
     return [("kmeans", 2, 2, int(2.7e8 * 2), {"iterations": 12, "_spill": True})]
 
 
-def _make_context(total_gpus, per_node, params, mode="simulate"):
+def _make_context(total_gpus, per_node, params, mode="simulate", context_kwargs=None):
     from repro.bench import make_context
     from repro.hardware import DeviceId, MemorySpace, MemoryKind
 
     nodes = total_gpus // per_node
-    kwargs = {}
+    kwargs = dict(context_kwargs or {})
     if params.get("_spill"):
         capacities = {}
         for node in range(nodes):
@@ -131,11 +165,13 @@ def _peak_rss_kb() -> int:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
-def _run_one(workload, total_gpus, per_node, n, params, mode="simulate"):
+def _run_one(workload, total_gpus, per_node, n, params, mode="simulate",
+             context_kwargs=None):
     """Run one configuration once; returns the measured metrics dict."""
     from repro.kernels import create_workload
 
-    ctx = _make_context(total_gpus, per_node, params, mode=mode)
+    ctx = _make_context(total_gpus, per_node, params, mode=mode,
+                        context_kwargs=context_kwargs)
     workload_params = {k: v for k, v in params.items() if not k.startswith("_")}
     instance = create_workload(workload, ctx, n, **workload_params)
     _reset_peak_rss()
@@ -159,6 +195,14 @@ def _run_one(workload, total_gpus, per_node, n, params, mode="simulate"):
         metrics["evictions"] = sum(
             m.evictions_to_host + m.evictions_to_disk for m in stats.memory.values()
         )
+    # launch-window counters (absent on pre-window checkouts in --emit-arm-json)
+    for counter in ("launches_fused", "transfers_prefetched", "window_flushes",
+                    "network_bytes"):
+        if hasattr(stats, counter):
+            metrics[counter] = getattr(stats, counter)
+    cache = getattr(getattr(ctx, "planner", None), "cache", None)
+    if cache is not None:
+        metrics["plan_cache_hit_rate"] = cache.hit_rate
     return metrics
 
 
@@ -179,6 +223,51 @@ def _run_legacy_arm(configs):
 
     with use_legacy_links(), use_legacy_memory_scans():
         return _run_arm(configs)
+
+
+def _run_window_arms(quick: bool) -> dict:
+    """Measure the launch-window feature arms (fusion/prefetch on-off).
+
+    Returns ``{"results": {arm: {config: metrics}}, "summary": {...}}``; the
+    summary records, per config, how many engine events and transferred bytes
+    fusion removes versus the ``no_fusion`` arm — the committed evidence that
+    the fusion pass fires and pays for itself.
+    """
+    import repro.apps  # noqa: F401  (registers the cgc workload)
+
+    configs = WINDOW_QUICK_CONFIGS if quick else WINDOW_FULL_CONFIGS
+    results: dict = {}
+    for arm, context_kwargs in WINDOW_ARMS.items():
+        print(f"arm: launch-window/{arm}", file=sys.stderr)
+        arm_results = {}
+        for workload, gpus, per_node, n, params in configs:
+            key = _config_key(workload, gpus, per_node, n, params)
+            arm_results[key] = _run_one(
+                workload, gpus, per_node, n, params, context_kwargs=context_kwargs
+            )
+            print(f"  {key}: {arm_results[key]['wall_seconds']:.2f}s, "
+                  f"{arm_results[key]['events_processed']} events, "
+                  f"{arm_results[key].get('launches_fused', 0)} fused, "
+                  f"{arm_results[key].get('transfers_prefetched', 0)} prefetched",
+                  file=sys.stderr)
+        results[arm] = arm_results
+
+    summary: dict = {}
+    for key in results["window"]:
+        fused = results["window"][key]
+        unfused = results["no_fusion"][key]
+        summary[key] = {
+            "launches_fused": fused.get("launches_fused", 0),
+            "event_ratio_vs_no_fusion":
+                unfused["events_processed"] / max(fused["events_processed"], 1),
+            "network_bytes_ratio_vs_no_fusion":
+                unfused.get("network_bytes", 0.0)
+                / max(fused.get("network_bytes", 0.0), 1.0),
+            "virtual_time_ratio_vs_no_fusion":
+                unfused["virtual_time"] / max(fused["virtual_time"], 1e-12),
+            "plan_cache_hit_rate": fused.get("plan_cache_hit_rate", 0.0),
+        }
+    return {"results": results, "summary": summary}
 
 
 def _run_pre_pr_arm(configs, pre_pr_src: str, quick: bool):
@@ -304,13 +393,26 @@ def main(argv=None) -> int:
 
     checks = _correctness_checks()
     summary = _summarise(results)
+    window = _run_window_arms(args.quick)
+    # The fusion pass must demonstrably fire on the double-stencil sweep:
+    # events and transferred bytes drop versus the no-fusion arm, and the
+    # plan-template cache keeps serving the windowed launches.
+    checks["window_fusion_effective"] = all(
+        s["launches_fused"] > 0
+        and s["event_ratio_vs_no_fusion"] > 1.0
+        and s["network_bytes_ratio_vs_no_fusion"] > 1.0
+        and s["plan_cache_hit_rate"] > 0.9
+        for key, s in window["summary"].items()
+        if key.startswith("hotspot2/")
+    )
     payload = {
         "benchmark": "hotpath",
         "quick": args.quick,
-        "sweep": "fig15-weak-scaling + spill-stress",
+        "sweep": "fig15-weak-scaling + spill-stress + launch-window",
         "results": results,
         "checks": checks,
         "summary": summary,
+        "launch_window": window,
     }
 
     from repro.bench import write_json
@@ -321,11 +423,16 @@ def main(argv=None) -> int:
     )
     print(f"wrote {output}")
     print(json.dumps(summary, indent=2, sort_keys=True))
+    print(json.dumps(window["summary"], indent=2, sort_keys=True))
     if not checks["determinism_bit_identical"]:
         print("FAIL: repeated run virtual time not bit-identical", file=sys.stderr)
         return 1
     if not checks["functional_results_bit_identical"]:
         print("FAIL: functional results differ between implementations", file=sys.stderr)
+        return 1
+    if not checks["window_fusion_effective"]:
+        print("FAIL: fusion did not reduce events/bytes on the double-stencil sweep",
+              file=sys.stderr)
         return 1
     if args.baseline:
         return _check_baseline(results, args.baseline)

@@ -23,6 +23,7 @@ from repro.autotune import (
     recommend_chunk_bytes,
     suggest_kernel_distributions,
 )
+from repro.bench import scaled
 from repro.kernels import create_workload
 
 
@@ -34,7 +35,7 @@ def tune_kmeans_chunk_size():
           f"(recommended {advice.recommended_bytes / 1e6:.0f} MB)")
     print(f"  {advice.rationale}")
 
-    n = 300_000_000  # 4.8 GB of records: fits, but staging still matters
+    n = scaled(300_000_000, floor=1_000_000)  # 4.8 GB of records: fits, but staging still matters
 
     def runner(chunk_elems):
         ctx = Context(azure_nc24rsv2(1, 1), mode=ExecutionMode.SIMULATE)
@@ -52,7 +53,7 @@ def tune_kmeans_chunk_size():
 def advise_and_run_matmul():
     print("Distribution advice for C = A @ B")
     print("---------------------------------")
-    side = 768
+    side = max(192, scaled(768) // 16 * 16)  # keep 16x16 thread-block alignment
     annotation_text = "global [i, j] => read A[i,:], read B[:,j], write C[i,j]"
 
     def matmul_kernel(lc, m, A, B, C):

@@ -10,6 +10,7 @@ Run with:  python examples/black_scholes_options.py
 """
 
 from repro import Context, ExecutionMode, azure_nc24rsv2
+from repro.bench import scaled
 from repro.kernels import BlackScholesWorkload
 
 
@@ -22,8 +23,8 @@ def price(n: int):
 
 
 def main():
-    in_memory, mem_small = price(500_000_000)      # ~10 GB: fits in 16 GB
-    spilled, mem_large = price(1_500_000_000)      # ~30 GB: must spill
+    in_memory, mem_small = price(scaled(500_000_000))    # ~10 GB: fits in 16 GB
+    spilled, mem_large = price(scaled(1_500_000_000, floor=3))  # ~30 GB: must spill
 
     print("Black-Scholes on one (simulated) P100")
     print("-" * 60)

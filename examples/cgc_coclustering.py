@@ -12,6 +12,7 @@ Run with:  python examples/cgc_coclustering.py
 from repro import Context, ExecutionMode, azure_nc24rsv2
 from repro.apps import CGC_DATASETS, CoClusteringApp
 from repro.baselines import CPUBaseline, SingleGPUBaseline, SingleGpuOutOfMemory
+from repro.bench import scaled
 
 
 def small_functional_run():
@@ -30,7 +31,7 @@ def paper_scale_model():
     cuda = SingleGPUBaseline()
     for label, (side, _) in CGC_DATASETS.items():
         ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=4), mode=ExecutionMode.SIMULATE)
-        app = CoClusteringApp(ctx, side, side)
+        app = CoClusteringApp(ctx, scaled(side, floor=1_000), scaled(side, floor=1_000))
         app.prepare()
         lightning = app.run(iterations=1)
         sequence = app.kernel_cost_sequence()

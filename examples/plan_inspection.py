@@ -29,6 +29,7 @@ from repro import (
     azure_nc24rsv2,
 )
 from repro.analysis import PlanGraph, overlap_report, trace_to_chrome_json, utilisation_report
+from repro.bench import scaled
 
 
 def stencil_kernel(lc, n, output, input):
@@ -44,8 +45,8 @@ def main():
     # Two nodes with two GPUs each so the plan contains send/recv tasks, and
     # plan recording switched on so the DAG can be rebuilt afterwards.
     ctx = Context(azure_nc24rsv2(nodes=2, gpus_per_node=2), record_plans=True)
-    n = 512_000
-    chunk = 64_000
+    n = scaled(512_000, floor=8_192)
+    chunk = n // 8  # keep eight chunks so the DAG still has send/recv tasks
     dist = StencilDist(chunk_size=chunk, halo=1)
     input_ = ctx.ones(n, dist, dtype="float32")
     output = ctx.zeros(n, dist, dtype="float32")

@@ -17,6 +17,7 @@ from repro import (
     StencilDist,
     azure_nc24rsv2,
 )
+from repro.bench import scaled
 
 
 def stencil_kernel(lc, n, output, input):
@@ -36,8 +37,14 @@ def stencil_kernel(lc, n, output, input):
 
 def main():
     # A single node with four (simulated) P100 GPUs — the paper's node type.
-    ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=4))
-    n = 1_000_000
+    # ``with`` synchronises on exit, so no launch is ever left pending in the
+    # context's launch window at the end of the script.
+    with Context(azure_nc24rsv2(nodes=1, gpus_per_node=4)) as ctx:
+        run_stencil(ctx)
+
+
+def run_stencil(ctx):
+    n = scaled(1_000_000, floor=64_000)
     iterations = 10
 
     # Data distribution: 64 000-element chunks with a one-element halo,

@@ -16,6 +16,7 @@ from .harness import (
     run_workload_with_stats,
     save_json,
     save_results,
+    scaled,
     write_json,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "run_workload_with_stats",
     "save_json",
     "save_results",
+    "scaled",
     "write_json",
 ]

@@ -37,7 +37,20 @@ __all__ = [
     "save_json",
     "write_json",
     "json_text",
+    "scaled",
 ]
+
+
+def scaled(n: int, floor: int = 1) -> int:
+    """Scale a problem size by the ``REPRO_EXAMPLE_SCALE`` environment variable.
+
+    The example scripts wrap their problem sizes in ``scaled(...)`` so the CI
+    examples-smoke job can run every script end to end with tiny inputs
+    (``REPRO_EXAMPLE_SCALE=1e-3``) while humans running them unmodified get
+    the documented sizes (the default scale is 1).
+    """
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1") or "1")
+    return max(int(floor), int(n * scale))
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")

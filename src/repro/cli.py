@@ -87,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="scheduler task-selection policy (fifo/locality/priority/smallest)")
     _add_cluster_args(run)
     _add_plan_cache_arg(run)
+    _add_window_args(run)
     _add_stats_json_arg(run)
 
     sweep = sub.add_parser("sweep", help="run a problem-size sweep for one workload")
@@ -95,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated problem sizes, e.g. 1e8,1e9,4e9")
     _add_cluster_args(sweep)
     _add_plan_cache_arg(sweep)
+    _add_window_args(sweep)
     _add_stats_json_arg(sweep)
 
     sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
@@ -122,6 +124,39 @@ def _add_plan_cache_arg(parser: argparse.ArgumentParser) -> None:
         default=True,
         help="reuse cached plan templates for repeated launches (default: on)",
     )
+
+
+def _add_window_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lookahead",
+        type=int,
+        default=None,
+        metavar="N",
+        help="launch-window depth: launches buffered for cross-launch "
+             "optimisation before a forced drain (default 4; 1 disables "
+             "the window)",
+    )
+    parser.add_argument(
+        "--fusion",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuse back-to-back producer/consumer launches in the window "
+             "(default: on)",
+    )
+    parser.add_argument(
+        "--prefetch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="prioritise the next windowed launch's halo-exchange transfers "
+             "(default: on)",
+    )
+
+
+def _window_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {"fusion": args.fusion, "prefetch": args.prefetch}
+    if args.lookahead is not None:
+        kwargs["lookahead"] = args.lookahead
+    return kwargs
 
 
 def _add_stats_json_arg(parser: argparse.ArgumentParser) -> None:
@@ -160,7 +195,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    context_kwargs = {"plan_cache": args.plan_cache}
+    context_kwargs = {"plan_cache": args.plan_cache, **_window_kwargs(args)}
     if args.scheduler_policy:
         context_kwargs["scheduler_policy"] = args.scheduler_policy
     point, stats = run_workload_with_stats(
@@ -189,7 +224,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for n in sizes:
         point, stats = run_workload_with_stats(
             args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
-            context_kwargs={"plan_cache": args.plan_cache},
+            context_kwargs={"plan_cache": args.plan_cache, **_window_kwargs(args)},
         )
         points.append(point)
         if args.stats_json:

@@ -56,8 +56,8 @@ class DistributedArray:
         self.context = context
         self.name = name or f"array{array_id}"
         self.deleted = False
-        #: bumped whenever the chunk layout changes (e.g. a future in-place
-        #: redistribution), invalidating cached plan templates keyed on it
+        #: bumped whenever the chunk layout changes (an in-place
+        #: :meth:`redistribute`), invalidating cached plan templates keyed on it
         self.layout_epoch = 0
 
     # ------------------------------------------------------------------ #
@@ -161,3 +161,13 @@ class DistributedArray:
     def delete(self) -> None:
         """Free the array's chunks on the workers."""
         self.context.delete_array(self)
+
+    def redistribute(self, new_distribution: DataDistribution) -> "DistributedArray":
+        """Re-chunk this array in place via a planned all-to-all.
+
+        The contents are preserved (gather before == gather after); the chunk
+        layout, the distribution and ``layout_epoch`` change, so cached plan
+        templates referencing the old layout are invalidated and the next
+        launch on this array is planned cold.
+        """
+        return self.context.redistribute(self, new_distribution)

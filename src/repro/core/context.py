@@ -16,7 +16,12 @@ of the host-code sample in Fig. 9::
     ctx.synchronize()
 
 Everything is asynchronous until :meth:`Context.synchronize` (or a gather)
-drives the simulated runtime to completion.
+drives the simulated runtime to completion.  Launches are additionally
+*windowed*: they are analysed eagerly but stamped and submitted in bounded
+groups (see :mod:`repro.core.planning.window`), which is where the
+cross-launch kernel-fusion and halo-prefetch passes run.  ``with
+Context(...) as ctx:`` synchronises on exit, so scripts never leave work
+pending in the window.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from .array import ArrayIdAllocator, DistributedArray
 from .chunk import ChunkIdAllocator, ChunkMeta
 from .distributions import DataDistribution, WorkDistribution
 from .kernel import CompiledKernel, KernelDef
-from .planning import Planner
+from .planning import DEFAULT_LOOKAHEAD, LaunchWindow, PendingLaunch, Planner
 from .tasks import TaskIdAllocator
 from .wrapper import WrapperCache
 
@@ -61,6 +66,9 @@ class Context:
         scheduler_policy=None,
         record_plans: bool = False,
         plan_cache: bool = True,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        fusion: bool = True,
+        prefetch: bool = True,
     ):
         if cluster is None:
             cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
@@ -83,6 +91,15 @@ class Context:
         self._array_ids = ArrayIdAllocator()
         self.planner = Planner(
             self.cluster, self._task_ids, self._chunk_ids, plan_cache=plan_cache
+        )
+        #: bounded lookahead over pending launches: deferred submission with
+        #: cross-launch kernel fusion and halo-prefetch passes at drain time
+        self.window = LaunchWindow(
+            self.runtime,
+            self.planner,
+            depth=lookahead,
+            fusion=fusion,
+            prefetch=prefetch,
         )
         self.wrappers = WrapperCache()
         self.kernels: Dict[str, CompiledKernel] = {}
@@ -178,6 +195,9 @@ class Context:
             raise RuntimeError("gather() requires functional execution mode")
         if array.deleted:
             raise RuntimeError(f"array {array.name} has been deleted")
+        # Pending launches may write this array: drain the window so the
+        # gather observes them (program order), before planning the downloads.
+        self.window.flush("gather")
         self.runtime.submit_plan(self.planner.plan_gather(array))
         self.synchronize()
         out = np.zeros(array.shape, dtype=array.dtype)
@@ -191,19 +211,78 @@ class Context:
         """Free the array's chunks (asynchronously, after their last use)."""
         if array.deleted:
             return
+        if self.window.references(array.array_id):
+            self.window.flush("delete-array")
         self.runtime.submit_plan(self.planner.plan_delete_array(array))
         array.deleted = True
         self.arrays.pop(array.array_id, None)
+
+    def redistribute(
+        self, array: DistributedArray, new_distribution: DataDistribution
+    ) -> DistributedArray:
+        """Re-chunk ``array`` in place to ``new_distribution``.
+
+        Plans an all-to-all: the new chunks are created and filled from the
+        cheapest old sources, then the old chunks are deleted (after their
+        last use).  The array's ``layout_epoch`` is bumped so the next launch
+        on it misses the plan-template cache, and stale cache entries keyed on
+        the old epoch are evicted outright.  Asynchronous like any other plan;
+        returns the same (mutated) array handle.
+        """
+        if array.deleted:
+            raise RuntimeError(f"array {array.name} has been deleted")
+        if self.window.references(array.array_id):
+            # Pending launches were prepared against the old chunk layout.
+            self.window.flush("redistribute")
+        placements = new_distribution.chunks(array.shape, self.devices())
+        if not placements:
+            raise ValueError(
+                f"distribution produced no chunks for array of shape {array.shape}"
+            )
+        from .geometry import regions_cover
+
+        if not regions_cover(array.domain, [p.region for p in placements]):
+            raise ValueError(
+                f"new distribution of {array.name} does not cover the array domain"
+            )
+        new_chunks = [
+            ChunkMeta(
+                chunk_id=self._chunk_ids.next_id(),
+                region=p.region,
+                dtype=array.dtype,
+                home=p.device,
+                array_id=array.array_id,
+            )
+            for p in placements
+        ]
+        plan = self.planner.plan_redistribute(array, new_chunks)
+        self.runtime.submit_plan(plan)
+        array.chunks = new_chunks
+        array.distribution = new_distribution
+        array.layout_epoch += 1
+        self.planner.invalidate_array(array.array_id)
+        return array
 
     # ------------------------------------------------------------------ #
     # kernels
     # ------------------------------------------------------------------ #
     def compile(self, definition: KernelDef) -> CompiledKernel:
-        """Runtime-compile a kernel: generate its wrapper and register it with every worker."""
+        """Runtime-compile a kernel: generate its wrapper and register it with every worker.
+
+        Compiling the *identical* definition again is idempotent and returns
+        the already-compiled kernel; only a **different** definition reusing a
+        name is an error (it would silently change what launches execute).
+        """
+        existing = self.kernels.get(definition.name)
+        if existing is not None:
+            if existing.definition == definition:
+                return existing
+            raise ValueError(
+                f"kernel {definition.name!r} is already compiled in this context "
+                "with a different definition"
+            )
         wrapper = self.wrappers.get(definition.name, [p.name for p in definition.params])
         kernel = CompiledKernel(definition, self, wrapper)
-        if definition.name in self.kernels:
-            raise ValueError(f"kernel {definition.name!r} is already compiled in this context")
         self.kernels[definition.name] = kernel
         self.runtime.register_kernel(definition.name, kernel)
         return kernel
@@ -216,7 +295,14 @@ class Context:
         work_dist: WorkDistribution,
         args: Sequence[object],
     ) -> None:
-        """Submit one distributed kernel launch (asynchronous)."""
+        """Append one distributed kernel launch to the launch window.
+
+        The launch is *analysed* now (planning errors surface here, and the
+        plan-template cache is consulted) but stamped and submitted only when
+        the window drains — at a barrier, or when the lookahead depth is
+        reached — so the window's fusion and prefetch passes can look across
+        consecutive launches.
+        """
         grid_dims = _normalize_dims(grid)
         block_dims = _normalize_dims(block)
         if len(block_dims) == 1 and len(grid_dims) > 1:
@@ -230,26 +316,58 @@ class Context:
             if array.deleted:
                 raise RuntimeError(f"argument {name!r} refers to a deleted array")
         self._launch_counter += 1
-        plan = self.planner.plan_launch(
-            kernel,
-            grid_dims,
-            block_dims,
-            work_dist,
-            scalars,
-            {name: arr for name, arr in arrays.items()},
-            launch_id=self._launch_counter,
+        array_bindings = {name: arr for name, arr in arrays.items()}
+        prepared = self.planner.prepare_launch(
+            kernel, grid_dims, block_dims, work_dist, array_bindings
         )
-        self.runtime.submit_plan(plan)
+        self.window.submit(
+            PendingLaunch(
+                kernel=kernel,
+                grid=grid_dims,
+                block=block_dims,
+                work_dist=work_dist,
+                scalars=scalars,
+                arrays=array_bindings,
+                launch_id=self._launch_counter,
+                prepared=prepared,
+                array_ids=frozenset(a.array_id for a in array_bindings.values()),
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # synchronisation and statistics
     # ------------------------------------------------------------------ #
+    def flush_launches(self) -> None:
+        """Drain the launch window without waiting for completion."""
+        self.window.flush("explicit")
+
     def synchronize(self) -> float:
         """Block until all submitted work has finished; returns the virtual time."""
+        self.window.flush("synchronize")
         return self.runtime.run_until_idle()
 
+    # ------------------------------------------------------------------ #
+    # context-manager protocol
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        # Synchronise (which drains the launch window) on a clean exit so
+        # ``with Context(...) as ctx:`` blocks never leave work pending.  On
+        # an exception the pending work is abandoned rather than masking the
+        # original error with a secondary runtime failure.
+        if exc_type is None:
+            self.synchronize()
+        return False
+
     def stats(self) -> RuntimeStats:
-        return self.runtime.stats()
+        stats = self.runtime.stats()
+        stats.window_flushes = self.window.flushes
+        stats.launches_fused = self.window.launches_fused
+        stats.transfers_prefetched = self.window.transfers_prefetched
+        stats.plan_cache_invalidations = self.planner.cache.invalidations
+        return stats
 
     def trace(self):
         return self.runtime.trace

@@ -8,7 +8,9 @@ The package splits the old monolithic planner into
   emission) plus the stamp-time dependency-injection pass;
 * :mod:`.costmodel` — topology-aware transfer cost ranking;
 * :mod:`.cache` — the plan-template cache for iterative launches;
-* :mod:`.planner` — the :class:`Planner` facade the driver talks to.
+* :mod:`.planner` — the :class:`Planner` facade the driver talks to;
+* :mod:`.window` — the launch window: deferred submission with cross-launch
+  kernel fusion and halo-prefetch passes over a bounded lookahead group.
 """
 
 from .cache import PlanTemplateCache
@@ -24,10 +26,13 @@ from .passes import (
     ReductionPlanningPass,
     TaskEmissionPass,
     TransferResolutionPass,
+    build_fused_recipe,
     build_launch_recipe,
     default_pipeline,
+    fusion_prescreen,
 )
-from .planner import Planner
+from .planner import Planner, PreparedLaunch
+from .window import DEFAULT_LOOKAHEAD, LaunchWindow, PendingLaunch
 
 __all__ = [
     "Planner",
@@ -48,4 +53,10 @@ __all__ = [
     "DependencyInjectionPass",
     "build_launch_recipe",
     "default_pipeline",
+    "build_fused_recipe",
+    "fusion_prescreen",
+    "PreparedLaunch",
+    "LaunchWindow",
+    "PendingLaunch",
+    "DEFAULT_LOOKAHEAD",
 ]

@@ -13,8 +13,12 @@ The cache key is ``(kernel name, grid, block, work distribution, per-array
 (array id, layout epoch))``.  Scalar arguments are deliberately *not* part of
 the key: access regions are functions of the superblock and the array shape
 only, so scalars are pure payload stamped into the cached skeleton.  The
-layout epoch guards against future in-place redistribution of an array;
-array ids are never reused, so deleted arrays cannot alias a stale entry.
+layout epoch guards against in-place redistribution
+(:meth:`~repro.core.array.DistributedArray.redistribute`): re-chunking bumps
+the epoch so the next launch on the array misses, and
+:meth:`PlanTemplateCache.invalidate_array` evicts the old-epoch entries
+outright instead of leaving them to age out of the LRU.  Array ids are never
+reused, so deleted arrays cannot alias a stale entry.
 """
 
 from __future__ import annotations
@@ -38,6 +42,8 @@ class PlanTemplateCache:
         self._entries: "OrderedDict[Hashable, PlanRecipe]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: entries removed by targeted invalidation (redistribute)
+        self.invalidations = 0
 
     # ------------------------------------------------------------------ #
     # keying
@@ -74,6 +80,32 @@ class PlanTemplateCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # targeted invalidation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_mentions_array(key: Hashable, array_id: int) -> bool:
+        """True when a cache key references ``array_id`` (at any epoch)."""
+        if not isinstance(key, tuple) or len(key) != 5:
+            return False
+        layout = key[4]
+        return any(entry[1] == array_id for entry in layout)
+
+    def invalidate_array(self, array_id: int) -> int:
+        """Evict every entry keyed on ``array_id``; returns the eviction count.
+
+        After an in-place redistribution the array's layout epoch is bumped:
+        keys carrying the old epoch can never match again, so they are evicted
+        outright rather than left to age out of the LRU.
+        """
+        stale = [
+            key for key in self._entries if self.key_mentions_array(key, array_id)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -35,6 +35,8 @@ __all__ = [
     "TempRef",
     "TempMetaRef",
     "TagRef",
+    "ScalarArgsRef",
+    "LaunchIdRef",
     "SCALAR_ARGS",
     "LAUNCH_ID",
     "TempChunkSpec",
@@ -71,6 +73,20 @@ class TagRef:
     """Placeholder for a send/recv matching tag (fresh per stamp)."""
 
     slot: int
+
+
+@dataclass(frozen=True)
+class ScalarArgsRef:
+    """Placeholder for the scalar-argument dict of one fused segment."""
+
+    segment: int
+
+
+@dataclass(frozen=True)
+class LaunchIdRef:
+    """Placeholder for the launch id of one fused segment."""
+
+    segment: int
 
 
 class _Sentinel:
@@ -181,6 +197,9 @@ class TaskProto:
     fields: Dict[str, object]
     deps: Tuple[int, ...] = ()
     conflicts: Tuple[Tuple[str, ChunkId], ...] = ()
+    #: transfer purpose ('gather' | 'writeback' | 'scatter' | 'move-acc') for
+    #: copy/send/recv protos; lets the prefetch pass pick pre-launch transfers
+    category: str = ""
 
 
 @dataclass
@@ -237,6 +256,7 @@ class RecipeBuilder:
         label: str = "",
         deps: Sequence[int] = (),
         conflicts: Sequence[Tuple[str, ChunkId]] = (),
+        category: str = "",
         **fields,
     ) -> int:
         """Append a task proto; returns its index in the recipe."""
@@ -249,6 +269,7 @@ class RecipeBuilder:
                 fields=fields,
                 deps=tuple(deps),
                 conflicts=tuple(conflicts),
+                category=category,
             )
         )
         return index
@@ -309,6 +330,7 @@ class RecipeBuilder:
                 label=step.label or f"copy {step.purpose}",
                 deps=deps,
                 conflicts=conflicts,
+                category=step.purpose,
                 src_chunk=src.ref,
                 dst_chunk=dst.ref,
                 region=region,
@@ -324,6 +346,7 @@ class RecipeBuilder:
             label=step.label or f"send {step.purpose}",
             deps=deps,
             conflicts=conflicts,
+            category=step.purpose,
             chunk_id=src.ref,
             region=region,
             dst_worker=dst.worker,
@@ -336,6 +359,7 @@ class RecipeBuilder:
             label=step.label or f"recv {step.purpose}",
             deps=tuple(deps) + (send,),
             conflicts=conflicts,
+            category=step.purpose,
             chunk_id=dst.ref,
             region=region,
             src_worker=src.worker,
@@ -366,6 +390,12 @@ class StampedPlan:
     task_ids: List[int]
     #: fresh ChunkMeta of every temp slot
     temp_chunks: List[ChunkMeta]
+    #: number of transfer tasks marked as prefetchable by this stamp
+    prefetched: int = 0
+
+
+#: transfer factories the prefetch pass may raise the priority of
+_TRANSFER_FACTORIES = (T.CopyTask, T.SendTask, T.RecvTask)
 
 
 def stamp_recipe(
@@ -378,13 +408,19 @@ def stamp_recipe(
     scalars: Optional[Dict[str, object]] = None,
     launch_id: Optional[int] = None,
     cache_status: Optional[str] = None,
+    scalar_sets: Optional[Sequence[Dict[str, object]]] = None,
+    launch_ids: Optional[Sequence[int]] = None,
+    prefetch: bool = False,
 ) -> StampedPlan:
     """Materialise ``recipe`` into a concrete :class:`ExecutionPlan`.
 
     Fresh task/chunk/tag identifiers come from the supplied allocators;
     ``resolve_conflicts`` is the dependency-injection hook that maps a
     ``(kind, chunk_id)`` conflict query to the task ids of earlier launches
-    that must complete first.
+    that must complete first.  ``scalar_sets``/``launch_ids`` supply the
+    per-segment substitutions of fused recipes; ``prefetch`` marks the
+    recipe's pre-launch gather transfers as high-priority (the launch
+    window's cross-launch prefetch pass).
     """
     temp_chunks: List[ChunkMeta] = [
         ChunkMeta(
@@ -411,17 +447,20 @@ def stamp_recipe(
             return dict(scalars or {})
         if value is LAUNCH_ID:
             return launch_id
-        if isinstance(value, tuple) and value and isinstance(value[0], ArgBindingProto):
-            return tuple(
-                T.ArrayArgBinding(
-                    param=b.param,
-                    chunk_id=resolve(b.chunk_ref),
-                    access_region=b.access_region,
-                    mode=b.mode,
-                    reduce_op=b.reduce_op,
-                )
-                for b in value
+        if isinstance(value, ScalarArgsRef):
+            return dict((scalar_sets or [])[value.segment])
+        if isinstance(value, LaunchIdRef):
+            return (launch_ids or [])[value.segment]
+        if isinstance(value, ArgBindingProto):
+            return T.ArrayArgBinding(
+                param=value.param,
+                chunk_id=resolve(value.chunk_ref),
+                access_region=value.access_region,
+                mode=value.mode,
+                reduce_op=value.reduce_op,
             )
+        if isinstance(value, tuple):
+            return tuple(resolve(v) for v in value)
         return value
 
     description = recipe.description
@@ -431,21 +470,32 @@ def stamp_recipe(
     plan = T.ExecutionPlan(launch_id=launch_id, description=description,
                            cache_status=cache_status)
     task_ids: List[int] = []
+    prefetched = 0
     for proto in recipe.protos:
         deps: List[int] = [task_ids[i] for i in proto.deps]
         for kind, chunk_id in proto.conflicts:
             deps.extend(resolve_conflicts(kind, chunk_id))
         deps = list(dict.fromkeys(deps))  # dedupe, preserving order
-        if proto.factory is T.LaunchTask:
+        if proto.factory in (T.LaunchTask, T.FusedLaunchTask):
             deps = sorted(deps)
         fields = {name: resolve(value) for name, value in proto.fields.items()}
+        priority = 0
+        if (
+            prefetch
+            and proto.category == "gather"
+            and proto.factory in _TRANSFER_FACTORIES
+        ):
+            priority = 1
+            prefetched += 1
         task = proto.factory(
             task_id=new_task_id(),
             worker=proto.worker,
             deps=tuple(deps),
             label=proto.label,
+            priority=priority,
             **fields,
         )
         plan.add(task)
         task_ids.append(task.task_id)
-    return StampedPlan(plan=plan, task_ids=task_ids, temp_chunks=temp_chunks)
+    return StampedPlan(plan=plan, task_ids=task_ids, temp_chunks=temp_chunks,
+                       prefetched=prefetched)

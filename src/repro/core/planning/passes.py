@@ -47,9 +47,11 @@ from .ir import (
     ArgBindingProto,
     ChunkHandle,
     LAUNCH_ID,
+    LaunchIdRef,
     PlanRecipe,
     RecipeBuilder,
     SCALAR_ARGS,
+    ScalarArgsRef,
     TempChunkSpec,
     TransferStep,
 )
@@ -67,6 +69,8 @@ __all__ = [
     "DependencyInjectionPass",
     "default_pipeline",
     "build_launch_recipe",
+    "fusion_prescreen",
+    "build_fused_recipe",
 ]
 
 
@@ -94,6 +98,10 @@ class ParamIR:
     identity: Optional[float] = None  # reduce identity for partial fills
     gather_steps: List[TransferStep] = field(default_factory=list)
     writeback_steps: List[TransferStep] = field(default_factory=list)
+    #: producer ParamIR this consumer param was rebound to by the fusion pass
+    #: (the consumer then reads the producer's binding in place: no temp, no
+    #: gather transfers)
+    fused_source: Optional["ParamIR"] = None
 
 
 @dataclass
@@ -552,6 +560,67 @@ class TaskEmissionPass(PlanningPass):
             self._emit_reduction(state, rir, launch_proto_of_sb)
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def emit_param_inputs(
+        builder: RecipeBuilder, pir: ParamIR
+    ) -> Tuple[List[int], List[Tuple[str, ChunkId]], List[Tuple[ChunkId, int]], List[ChunkId]]:
+        """Emit the pre-launch protos of one parameter.
+
+        Returns ``(launch deps, launch conflicts, (chunk, gather-read proto)
+        pairs, directly-read chunk ids)``.  Shared by the single-launch and
+        fused emission paths.
+        """
+        launch_deps: List[int] = []
+        launch_conflicts: List[Tuple[str, ChunkId]] = []
+        gather_reads: List[Tuple[ChunkId, int]] = []
+        direct_reads: List[ChunkId] = []
+        if pir.mode is AccessMode.REDUCE:
+            ready = builder.create_temp(pir.temp_spec, fill_value=pir.identity)
+            launch_deps.append(ready)
+            return launch_deps, launch_conflicts, gather_reads, direct_reads
+        if pir.direct_chunk is not None:
+            chunk_id = pir.direct_chunk.chunk_id
+            if pir.mode.reads:
+                launch_conflicts.append(("read", chunk_id))
+                direct_reads.append(chunk_id)
+            if pir.mode.writes:
+                launch_conflicts.append(("write", chunk_id))
+            return launch_deps, launch_conflicts, gather_reads, direct_reads
+        ready = builder.create_temp(pir.temp_spec)
+        launch_deps.append(ready)
+        for step in pir.gather_steps:
+            src_id = step.src.chunk_id
+            src_read, dst_write = builder.transfer(
+                step, deps=(ready,), conflicts=(("read", src_id),)
+            )
+            gather_reads.append((src_id, src_read))
+            launch_deps.append(dst_write)
+        return launch_deps, launch_conflicts, gather_reads, direct_reads
+
+    @staticmethod
+    def emit_param_outputs(builder: RecipeBuilder, pir: ParamIR, launch_idx: int) -> None:
+        """Emit the post-launch write-back / coherence traffic and temp cleanup
+        of one parameter (shared by the single-launch and fused emission
+        paths; reductions are handled separately)."""
+        if pir.mode is AccessMode.REDUCE:
+            return
+        if not pir.mode.writes:
+            if pir.temp_spec is not None:
+                builder.delete_chunk(pir.binding, pir.temp_spec.label, deps=(launch_idx,))
+            return
+        if pir.direct_chunk is not None:
+            builder.note_write(pir.direct_chunk.chunk_id, launch_idx)
+        last_uses = [launch_idx]
+        for step in pir.writeback_steps:
+            target_id = step.dst.chunk_id
+            src_read, dst_write = builder.transfer(
+                step, deps=(launch_idx,), conflicts=(("write", target_id),)
+            )
+            builder.note_write(target_id, dst_write)
+            last_uses.append(src_read)
+        if pir.temp_spec is not None:
+            builder.delete_chunk(pir.binding, pir.temp_spec.label, deps=last_uses)
+
     def _emit_superblock(self, state: LaunchState, sbir: SuperblockIR) -> int:
         builder = state.builder
         sb = sbir.sb
@@ -561,27 +630,11 @@ class TaskEmissionPass(PlanningPass):
         direct_reads: List[ChunkId] = []
 
         for pir in sbir.params:
-            if pir.mode is AccessMode.REDUCE:
-                ready = builder.create_temp(pir.temp_spec, fill_value=pir.identity)
-                launch_deps.append(ready)
-                continue
-            if pir.direct_chunk is not None:
-                chunk_id = pir.direct_chunk.chunk_id
-                if pir.mode.reads:
-                    launch_conflicts.append(("read", chunk_id))
-                    direct_reads.append(chunk_id)
-                if pir.mode.writes:
-                    launch_conflicts.append(("write", chunk_id))
-                continue
-            ready = builder.create_temp(pir.temp_spec)
-            launch_deps.append(ready)
-            for step in pir.gather_steps:
-                src_id = step.src.chunk_id
-                src_read, dst_write = builder.transfer(
-                    step, deps=(ready,), conflicts=(("read", src_id),)
-                )
-                gather_reads.append((src_id, src_read))
-                launch_deps.append(dst_write)
+            deps, conflicts, gathers, directs = self.emit_param_inputs(builder, pir)
+            launch_deps.extend(deps)
+            launch_conflicts.extend(conflicts)
+            gather_reads.extend(gathers)
+            direct_reads.extend(directs)
 
         launch_idx = builder.add(
             T.LaunchTask,
@@ -615,26 +668,7 @@ class TaskEmissionPass(PlanningPass):
 
         # Post-launch write-back / coherence traffic and temp cleanup.
         for pir in sbir.params:
-            if pir.mode is AccessMode.REDUCE:
-                continue
-            if not pir.mode.writes:
-                if pir.temp_spec is not None:
-                    builder.delete_chunk(
-                        pir.binding, pir.temp_spec.label, deps=(launch_idx,)
-                    )
-                continue
-            if pir.direct_chunk is not None:
-                builder.note_write(pir.direct_chunk.chunk_id, launch_idx)
-            last_uses = [launch_idx]
-            for step in pir.writeback_steps:
-                target_id = step.dst.chunk_id
-                src_read, dst_write = builder.transfer(
-                    step, deps=(launch_idx,), conflicts=(("write", target_id),)
-                )
-                builder.note_write(target_id, dst_write)
-                last_uses.append(src_read)
-            if pir.temp_spec is not None:
-                builder.delete_chunk(pir.binding, pir.temp_spec.label, deps=last_uses)
+            self.emit_param_outputs(builder, pir, launch_idx)
         return launch_idx
 
     # ------------------------------------------------------------------ #
@@ -747,6 +781,282 @@ class DependencyInjectionPass:
         for chunk_id, readers in new_reads.items():
             if chunk_id not in new_writes:
                 self._readers.setdefault(chunk_id, []).extend(readers)
+
+
+# --------------------------------------------------------------------------- #
+# cross-launch kernel fusion (the launch window's first drain pass)
+# --------------------------------------------------------------------------- #
+def _access_modes(kernel: CompiledKernel) -> Dict[str, AccessMode]:
+    annotation = kernel.annotation
+    return {
+        p.name: annotation.access_for(p.name).mode
+        for p in kernel.definition.array_params
+    }
+
+
+def _arrays_by_id(launch) -> Optional[Dict[int, Tuple[str, AccessMode]]]:
+    """Map array id -> (param, mode) for one launch; None if a launch binds
+    the same array to several parameters (fusion then steps aside)."""
+    modes = _access_modes(launch.kernel)
+    out: Dict[int, Tuple[str, AccessMode]] = {}
+    for name, array in launch.arrays.items():
+        if array.array_id in out:
+            return None
+        out[array.array_id] = (name, modes[name])
+    return out
+
+
+def fusion_prescreen(a, b) -> bool:
+    """Cheap structural legality screen for fusing launches ``a`` then ``b``.
+
+    ``a``/``b`` expose ``kernel``, ``grid``, ``block``, ``work_dist`` and
+    ``arrays`` (the window's :class:`~.window.PendingLaunch` does).  The
+    screen requires, without evaluating any access region:
+
+    * identical grid, block and work distribution (same superblock split),
+    * no ``reduce`` parameters on either kernel,
+    * no array bound twice within one launch,
+    * no array written by both launches (WAW needs cross-plan ordering),
+    * at least one producer/consumer array: written by ``a``, read by ``b``.
+    """
+    if (a.grid, a.block) != (b.grid, b.block) or a.work_dist != b.work_dist:
+        return False
+    modes_a, modes_b = _access_modes(a.kernel), _access_modes(b.kernel)
+    if any(m is AccessMode.REDUCE for m in modes_a.values()):
+        return False
+    if any(m is AccessMode.REDUCE for m in modes_b.values()):
+        return False
+    ids_a, ids_b = _arrays_by_id(a), _arrays_by_id(b)
+    if ids_a is None or ids_b is None:
+        return False
+    produced = False
+    for array_id, (_, mode_b) in ids_b.items():
+        entry = ids_a.get(array_id)
+        if entry is None:
+            continue
+        _, mode_a = entry
+        if mode_a.writes and mode_b.writes:
+            return False
+        if mode_a.writes and mode_b.reads:
+            produced = True
+    return produced
+
+
+def _shared_param_pairs(state_a: LaunchState, state_b: LaunchState, s: int):
+    """Yield (a_pir, b_pir) pairs of superblock ``s`` bound to the same array."""
+    by_array = {pir.array.array_id: pir for pir in state_a.superblocks[s].params}
+    for b_pir in state_b.superblocks[s].params:
+        a_pir = by_array.get(b_pir.array.array_id)
+        if a_pir is not None:
+            yield a_pir, b_pir
+
+
+def _check_fusion_regions(state_a: LaunchState, state_b: LaunchState) -> bool:
+    """Region-level legality of fusing ``a`` then ``b`` (see ARCHITECTURE.md).
+
+    With both launches split into the same superblocks, executing segment
+    ``a`` then segment ``b`` *per superblock* is equivalent to executing all
+    of ``a`` before all of ``b`` iff:
+
+    * RAW: every region ``b`` reads of an ``a``-written array is contained in
+      what ``a``'s *own* superblock wrote (no halo/neighbour reads), and
+      ``a``'s writes are pairwise disjoint across superblocks;
+    * WAR: every region ``b`` writes of an ``a``-read array is disjoint from
+      what ``a`` reads on *every other* superblock.
+    """
+    sbs_a, sbs_b = state_a.superblocks, state_b.superblocks
+    if len(sbs_a) != len(sbs_b):
+        return False
+    for s in range(len(sbs_a)):
+        if sbs_a[s].sb.device != sbs_b[s].sb.device:
+            return False
+
+    #: per-array write/read regions of ``a`` by superblock, for hazard checks
+    raw_checked: set = set()
+    for s in range(len(sbs_a)):
+        for a_pir, b_pir in _shared_param_pairs(state_a, state_b, s):
+            if a_pir.mode.writes and b_pir.mode.reads:
+                if not a_pir.region.contains_region(b_pir.region):
+                    return False
+                raw_checked.add(a_pir.param)
+            if a_pir.mode.reads and b_pir.mode.writes:
+                # WAR: b's write on s must not touch a's read on any other s'
+                for other in range(len(sbs_a)):
+                    if other == s:
+                        continue
+                    for other_a in sbs_a[other].params:
+                        if other_a.array.array_id != b_pir.array.array_id:
+                            continue
+                        if not b_pir.region.intersect(other_a.region).is_empty:
+                            return False
+    # RAW producers must write pairwise-disjoint regions: the consumer reads
+    # its own superblock's values in place, which only equals the coherent
+    # array contents when no other superblock wrote the same elements.
+    for param in raw_checked:
+        regions = [
+            pir.region
+            for sbir in sbs_a
+            for pir in sbir.params
+            if pir.param == param
+        ]
+        for i in range(len(regions)):
+            for j in range(i + 1, len(regions)):
+                if not regions[i].intersect(regions[j]).is_empty:
+                    return False
+    return True
+
+
+def build_fused_recipe(
+    cluster: Cluster,
+    launches: Sequence[object],
+    cost_model: Optional[TransferCostModel] = None,
+) -> Optional[PlanRecipe]:
+    """Try to fuse a run of back-to-back launches into one plan recipe.
+
+    ``launches`` expose ``kernel``, ``grid``, ``block``, ``work_dist``,
+    ``arrays`` (the window's ``PendingLaunch``).  Returns the fused
+    :class:`~.ir.PlanRecipe` — one :class:`~repro.core.tasks.FusedLaunchTask`
+    per superblock, consumer reads bound to the producer's output in place,
+    the consumer's gather transfers elided — or ``None`` when fusion is not
+    legal.  Only adjacent pairs are fused today.
+    """
+    if len(launches) != 2:
+        return None
+    a, b = launches
+    if not fusion_prescreen(a, b):
+        return None
+
+    cost_model = cost_model or TransferCostModel(cluster)
+    names = "+".join(launch.kernel.name for launch in launches)
+    builder = RecipeBuilder(description=f"fused launch {names} #{{launch_id}}")
+    states: List[LaunchState] = []
+    analysis = [
+        AccessAnalysisPass(),
+        TransferResolutionPass(),
+        ReductionPlanningPass(),
+        RedundantTransferEliminationPass(),
+        CopyCoalescingPass(),
+    ]
+    for launch in launches:
+        state = LaunchState(
+            cluster=cluster,
+            kernel=launch.kernel,
+            grid=tuple(launch.grid),
+            block=tuple(launch.block),
+            work_dist=launch.work_dist,
+            arrays=dict(launch.arrays),
+            builder=builder,
+            cost_model=cost_model,
+        )
+        for planning_pass in analysis:
+            planning_pass.run(state)
+        states.append(state)
+    state_a, state_b = states
+    if not _check_fusion_regions(state_a, state_b):
+        return None
+
+    # Rebind consumer parameters of producer-written arrays to the producer's
+    # binding (direct chunk or scratch temp): the fused task reads the
+    # producer's output in place, so the consumer's assembled temp and its
+    # gather transfers disappear.
+    elided_bytes = 0
+    elided_steps = 0
+    for s in range(len(state_a.superblocks)):
+        producers = {
+            pir.array.array_id: pir
+            for pir in state_a.superblocks[s].params
+            if pir.mode.writes
+        }
+        for b_pir in state_b.superblocks[s].params:
+            a_pir = producers.get(b_pir.array.array_id)
+            if a_pir is None or not b_pir.mode.reads:
+                continue
+            elided_bytes += sum(step.nbytes for step in b_pir.gather_steps)
+            elided_steps += len(b_pir.gather_steps)
+            b_pir.gather_steps = []
+            b_pir.temp_spec = None
+            b_pir.direct_chunk = None
+            b_pir.binding = a_pir.binding
+            b_pir.fused_source = a_pir
+
+    _emit_fused_superblocks(states, builder)
+    recipe = builder.recipe
+    # The member launches' own analysis notes (eliminated_bytes, ...) were
+    # already accounted when each launch was prepared cold; only the
+    # fusion-specific savings are new information.
+    recipe.notes["fused_launches"] = len(launches) - 1
+    recipe.notes["fusion_elided_bytes"] = elided_bytes
+    recipe.notes["fusion_elided_steps"] = elided_steps
+    return recipe
+
+
+def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilder) -> None:
+    """Joint task emission for fused launches: one task per superblock."""
+    segments = len(states)
+    for s in range(len(states[0].superblocks)):
+        sb = states[0].superblocks[s].sb
+        launch_deps: List[int] = []
+        launch_conflicts: List[Tuple[str, ChunkId]] = []
+        gather_reads: List[Tuple[ChunkId, int]] = []
+        direct_reads: List[ChunkId] = []
+        for state in states:
+            for pir in state.superblocks[s].params:
+                if pir.fused_source is not None:
+                    # Producer emits the binding; the fused task's read of a
+                    # persistent producer chunk still registers as a reader.
+                    source = pir.fused_source
+                    if source.direct_chunk is not None:
+                        direct_reads.append(source.direct_chunk.chunk_id)
+                    continue
+                deps, conflicts, gathers, directs = TaskEmissionPass.emit_param_inputs(
+                    builder, pir
+                )
+                launch_deps.extend(deps)
+                launch_conflicts.extend(conflicts)
+                gather_reads.extend(gathers)
+                direct_reads.extend(directs)
+
+        launch_idx = builder.add(
+            T.FusedLaunchTask,
+            worker=sb.device.worker,
+            label=f"{'+'.join(st.kernel.name for st in states)}[{sb.index}]",
+            deps=launch_deps,
+            conflicts=launch_conflicts,
+            kernel_names=tuple(st.kernel.name for st in states),
+            device=sb.device,
+            superblock=sb,
+            grid_dims_list=tuple(tuple(st.grid) for st in states),
+            block_dims_list=tuple(tuple(st.block) for st in states),
+            scalar_args_list=tuple(ScalarArgsRef(h) for h in range(segments)),
+            array_args_list=tuple(
+                tuple(
+                    ArgBindingProto(
+                        param=pir.param,
+                        chunk_ref=pir.binding.ref,
+                        access_region=pir.region,
+                        mode=pir.mode.value,
+                        reduce_op=pir.reduce_op,
+                    )
+                    for pir in st.superblocks[s].params
+                )
+                for st in states
+            ),
+            array_shapes_list=tuple(
+                {pir.param: pir.array.shape for pir in st.superblocks[s].params}
+                for st in states
+            ),
+            launch_id=LaunchIdRef(0),
+            launch_ids=tuple(LaunchIdRef(h) for h in range(segments)),
+        )
+        for chunk_id, src_read in gather_reads:
+            builder.note_read(chunk_id, src_read)
+        for chunk_id in dict.fromkeys(direct_reads):
+            builder.note_read(chunk_id, launch_idx)
+        for state in states:
+            for pir in state.superblocks[s].params:
+                if pir.fused_source is not None:
+                    continue
+                TaskEmissionPass.emit_param_outputs(builder, pir, launch_idx)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,18 +1,29 @@
 """The execution planner (Sec. 2.4, Fig. 4) — facade over the pass pipeline.
 
 For every operation the application performs (creating an array, launching a
-kernel, gathering results, deleting an array) the planner produces an
-:class:`~repro.core.tasks.ExecutionPlan`: a DAG fragment per worker.  Kernel
-launches run through the planning pass pipeline (see :mod:`.passes`), which
-produces a structural :class:`~.ir.PlanRecipe`; the recipe is then *stamped*
-into a concrete plan — fresh task/chunk ids and tags, this launch's scalar
-arguments, and cross-launch conflict dependencies injected from the planner's
-reader/writer tables.
+kernel, gathering results, deleting an array, redistributing an array) the
+planner produces an :class:`~repro.core.tasks.ExecutionPlan`: a DAG fragment
+per worker.  Kernel launches run through the planning pass pipeline (see
+:mod:`.passes`), which produces a structural :class:`~.ir.PlanRecipe`; the
+recipe is then *stamped* into a concrete plan — fresh task/chunk ids and tags,
+this launch's scalar arguments, and cross-launch conflict dependencies
+injected from the planner's reader/writer tables.
 
-Because recipes are structural, they are reusable: the
-:class:`~.cache.PlanTemplateCache` keys them by (kernel, grid, block, work
-distribution, array layouts) so iterative applications skip the analysis
-passes entirely on repeat launches and only pay for the cheap re-stamp.
+Since the launch window was introduced, planning a launch is split in two
+driver-side steps:
+
+* :meth:`Planner.prepare_launch` runs at ``Context.launch`` time: it resolves
+  the plan-template cache and — on a miss — runs the analysis passes, so
+  planning errors still surface at the launch call site even though
+  submission is deferred;
+* :meth:`Planner.stamp_launch` runs when the window drains: it stamps the
+  prepared recipe with fresh ids and the cross-launch conflict edges that
+  depend on everything stamped before it.
+
+Fused recipes (the window's kernel-fusion pass) are cached separately, keyed
+by the *pair* of member cache keys, with a negative entry for pairs that
+failed the legality checks so the expensive region analysis runs once per
+launch shape, not once per drain.
 
 The planner is purely driver-side: it never touches data, only metadata.
 """
@@ -20,23 +31,46 @@ The planner is purely driver-side: it never touches data, only metadata.
 from __future__ import annotations
 
 import time
-from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...hardware.topology import Cluster
 from ..array import DistributedArray
-from ..chunk import ChunkIdAllocator
+from ..chunk import ChunkIdAllocator, ChunkMeta
 from ..distributions import WorkDistribution
+from ..geometry import Region, regions_cover
 from ..kernel import CompiledKernel
 from .. import tasks as T
 from .cache import PlanTemplateCache
 from .costmodel import TransferCostModel
-from .ir import stamp_recipe
-from .passes import DependencyInjectionPass, PlanningError, build_launch_recipe
+from .ir import PlanRecipe, stamp_recipe
+from .passes import (
+    DependencyInjectionPass,
+    PlanningError,
+    _subtract_covered,
+    build_fused_recipe,
+    build_launch_recipe,
+)
 
-__all__ = ["Planner", "PlanningError"]
+__all__ = ["Planner", "PlanningError", "PreparedLaunch"]
+
+#: negative fusion-cache entry: the pair is known not to fuse
+_NO_FUSION = object()
+
+#: bound on the fused-recipe cache (entries are pairs of launch keys)
+_FUSION_CACHE_MAX = 512
+
+
+@dataclass
+class PreparedLaunch:
+    """A launch that has been analysed but not yet stamped/submitted."""
+
+    recipe: PlanRecipe
+    key: Optional[Hashable]
+    cache_status: Optional[str]
 
 
 class Planner:
@@ -61,11 +95,13 @@ class Planner:
         self.cost_model = TransferCostModel(cluster)
         self.cache_enabled = plan_cache
         self.cache = PlanTemplateCache(maxsize=plan_cache_size)
+        #: fused-recipe LRU cache: (key_a, key_b) -> PlanRecipe | _NO_FUSION
+        self._fusion_cache: "OrderedDict[Hashable, object]" = OrderedDict()
         self.dependency_injector = DependencyInjectionPass(self._writers, self._readers)
         #: wall-clock seconds spent planning kernel launches (driver hot path)
         self.planning_seconds = 0.0
         #: aggregated optimisation-pass statistics over all cold-planned
-        #: launches (e.g. ``eliminated_bytes``, ``coalesced_steps``)
+        #: launches (e.g. ``eliminated_bytes``, ``fusion_elided_bytes``)
         self.pass_stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
@@ -149,18 +185,156 @@ class Planner:
         return plan
 
     # ------------------------------------------------------------------ #
+    # in-place redistribution (all-to-all re-chunking)
+    # ------------------------------------------------------------------ #
+    def plan_redistribute(
+        self, array: DistributedArray, new_chunks: Sequence[ChunkMeta]
+    ) -> T.ExecutionPlan:
+        """Re-chunk ``array`` in place: create the new chunks, fill each from
+        the cheapest old sources (all-to-all), then delete the old chunks.
+
+        Not cached: redistributions are rare, layout-changing operations.
+        """
+        plan = T.ExecutionPlan(description=f"redistribute {array.name}")
+        old_chunks = list(array.chunks)
+        itemsize = np.dtype(array.dtype).itemsize
+        for new_chunk in new_chunks:
+            create = T.CreateChunkTask(
+                task_id=self._new_task_id(),
+                worker=new_chunk.worker,
+                label=f"create {array.name}",
+                chunk=new_chunk,
+            )
+            plan.add(create)
+            writers: List[int] = []
+            covered: List[Region] = []
+
+            def rank(candidate: ChunkMeta):
+                piece = candidate.region.intersect(new_chunk.region)
+                return self.cost_model.rank_key(
+                    candidate, new_chunk.home, piece.size * itemsize
+                )
+
+            sources = [
+                c for c in old_chunks if c.region.overlaps(new_chunk.region)
+            ]
+            if not regions_cover(new_chunk.region, [c.region for c in sources]):
+                raise PlanningError(
+                    f"old chunks of {array.name} do not cover new chunk region "
+                    f"{new_chunk.region}"
+                )
+            for src in sorted(sources, key=rank):
+                piece = src.region.intersect(new_chunk.region)
+                if piece.is_empty or (covered and regions_cover(piece, covered)):
+                    continue
+                # Trim away what cheaper sources already provide (exact for
+                # the 1-axis stock layouts; anything irreducible re-transfers
+                # coherent replicated data, like the gather path).
+                piece = _subtract_covered(piece, covered)
+                if piece.is_empty:
+                    continue
+                covered.append(piece)
+                read_deps = tuple(
+                    self.dependency_injector.resolve("read", src.chunk_id)
+                ) + (create.task_id,)
+                nbytes = piece.size * itemsize
+                if src.worker == new_chunk.worker:
+                    copy = T.CopyTask(
+                        task_id=self._new_task_id(),
+                        worker=src.worker,
+                        deps=tuple(dict.fromkeys(read_deps)),
+                        label=f"redistribute {array.name}",
+                        src_chunk=src.chunk_id,
+                        dst_chunk=new_chunk.chunk_id,
+                        region=piece,
+                        nbytes=nbytes,
+                        src_device=src.home,
+                        dst_device=new_chunk.home,
+                    )
+                    plan.add(copy)
+                    self._readers[src.chunk_id].append(copy.task_id)
+                    writers.append(copy.task_id)
+                else:
+                    tag = self._next_tag()
+                    send = T.SendTask(
+                        task_id=self._new_task_id(),
+                        worker=src.worker,
+                        deps=tuple(dict.fromkeys(read_deps)),
+                        label=f"redistribute {array.name}",
+                        chunk_id=src.chunk_id,
+                        region=piece,
+                        dst_worker=new_chunk.worker,
+                        tag=tag,
+                        nbytes=nbytes,
+                    )
+                    recv = T.RecvTask(
+                        task_id=self._new_task_id(),
+                        worker=new_chunk.worker,
+                        deps=(send.task_id, create.task_id),
+                        label=f"redistribute {array.name}",
+                        chunk_id=new_chunk.chunk_id,
+                        region=piece,
+                        src_worker=src.worker,
+                        tag=tag,
+                        nbytes=nbytes,
+                    )
+                    plan.add(send)
+                    plan.add(recv)
+                    self._readers[src.chunk_id].append(send.task_id)
+                    writers.append(recv.task_id)
+            self._writers[new_chunk.chunk_id] = writers
+            self._readers[new_chunk.chunk_id] = []
+        for old in old_chunks:
+            plan.add(
+                T.DeleteChunkTask(
+                    task_id=self._new_task_id(),
+                    worker=old.worker,
+                    deps=tuple(self.dependency_injector.resolve("write", old.chunk_id)),
+                    label=f"delete {array.name} (redistribute)",
+                    chunk_id=old.chunk_id,
+                )
+            )
+            self._writers.pop(old.chunk_id, None)
+            self._readers.pop(old.chunk_id, None)
+        return plan
+
+    def invalidate_array(self, array_id: int) -> int:
+        """Evict every cached recipe (plain or fused) keyed on ``array_id``.
+
+        Called after an in-place redistribution: the array's layout epoch has
+        been bumped, so entries keyed on the old epoch can never hit again and
+        would otherwise sit in the LRU as garbage until pushed out.
+        """
+        evicted = self.cache.invalidate_array(array_id)
+        stale = [
+            pair_key
+            for pair_key in self._fusion_cache
+            if any(
+                PlanTemplateCache.key_mentions_array(member, array_id)
+                for member in pair_key
+            )
+        ]
+        for pair_key in stale:
+            del self._fusion_cache[pair_key]
+        return evicted + len(stale)
+
+    # ------------------------------------------------------------------ #
     # distributed kernel launches (pass pipeline + template cache)
     # ------------------------------------------------------------------ #
-    def plan_launch(
+    def prepare_launch(
         self,
         kernel: CompiledKernel,
         grid: Tuple[int, ...],
         block: Tuple[int, ...],
         work_dist: WorkDistribution,
-        scalars: Dict[str, object],
         arrays: Dict[str, DistributedArray],
-        launch_id: int,
-    ) -> T.ExecutionPlan:
+    ) -> PreparedLaunch:
+        """Resolve the template cache and (on a miss) run the analysis passes.
+
+        Runs at ``Context.launch`` time, before the launch enters the window:
+        planning errors surface at the call site and the cached hot path pays
+        nothing at drain time but the re-stamp.
+        """
         started = time.perf_counter()
         cache_status: Optional[str] = None
         recipe = None
@@ -185,18 +359,119 @@ class Planner:
                 self.pass_stats[note] = self.pass_stats.get(note, 0) + value
             if key is not None:
                 self.cache.store(key, recipe)
+        self.planning_seconds += time.perf_counter() - started
+        return PreparedLaunch(recipe=recipe, key=key, cache_status=cache_status)
 
+    def stamp_launch(
+        self,
+        prepared: PreparedLaunch,
+        scalars: Dict[str, object],
+        launch_id: int,
+        prefetch: bool = False,
+    ) -> Tuple[T.ExecutionPlan, int]:
+        """Stamp a prepared launch into a concrete plan (window drain time).
+
+        Returns ``(plan, prefetched transfer count)``.
+        """
+        started = time.perf_counter()
         stamped = stamp_recipe(
-            recipe,
+            prepared.recipe,
             new_task_id=self._new_task_id,
             new_chunk_id=self._chunk_ids.next_id,
             new_tag=self._next_tag,
             resolve_conflicts=self.dependency_injector.resolve,
             scalars=scalars,
             launch_id=launch_id,
-            cache_status=cache_status,
+            cache_status=prepared.cache_status,
+            prefetch=prefetch,
         )
-        self.dependency_injector.apply_bookkeeping(recipe, stamped.task_ids)
+        self.dependency_injector.apply_bookkeeping(prepared.recipe, stamped.task_ids)
         self.launches_planned += 1
         self.planning_seconds += time.perf_counter() - started
-        return stamped.plan
+        return stamped.plan, stamped.prefetched
+
+    def plan_launch(
+        self,
+        kernel: CompiledKernel,
+        grid: Tuple[int, ...],
+        block: Tuple[int, ...],
+        work_dist: WorkDistribution,
+        scalars: Dict[str, object],
+        arrays: Dict[str, DistributedArray],
+        launch_id: int,
+    ) -> T.ExecutionPlan:
+        """Prepare and stamp one launch eagerly (no window involved)."""
+        prepared = self.prepare_launch(kernel, grid, block, work_dist, arrays)
+        plan, _ = self.stamp_launch(prepared, scalars, launch_id)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # cross-launch kernel fusion (used by the launch window)
+    # ------------------------------------------------------------------ #
+    def prepare_fused(self, a, b) -> Tuple[Optional[PlanRecipe], Optional[str]]:
+        """Fused recipe for back-to-back launches ``a``, ``b``.
+
+        ``a``/``b`` are the window's ``PendingLaunch`` records.  Returns
+        ``(recipe, cache status)`` — ``(None, None)`` when the pair is not
+        fusable.  The status reflects the *fusion* cache: ``"hit"`` only when
+        the fused recipe was served memoised, ``"miss"`` when it was built
+        cold this drain (even if both members hit the per-launch template
+        cache).  Decisions are memoised by the pair of member cache keys —
+        including a *negative* entry when the pair is not fusable — so
+        iterative applications pay the legality analysis once per launch-pair
+        shape.
+        """
+        pair_key = None
+        if (
+            self.cache_enabled
+            and a.prepared.key is not None
+            and b.prepared.key is not None
+        ):
+            pair_key = (a.prepared.key, b.prepared.key)
+            cached = self._fusion_cache.get(pair_key)
+            if cached is not None:
+                self._fusion_cache.move_to_end(pair_key)
+                if cached is _NO_FUSION:
+                    return None, None
+                return cached, "hit"  # type: ignore[return-value]
+        started = time.perf_counter()
+        recipe = build_fused_recipe(self.cluster, (a, b), cost_model=self.cost_model)
+        self.planning_seconds += time.perf_counter() - started
+        if recipe is not None:
+            for note, value in recipe.notes.items():
+                self.pass_stats[note] = self.pass_stats.get(note, 0) + value
+        if pair_key is not None:
+            self._fusion_cache[pair_key] = recipe if recipe is not None else _NO_FUSION
+            while len(self._fusion_cache) > _FUSION_CACHE_MAX:
+                self._fusion_cache.popitem(last=False)
+        if recipe is None:
+            return None, None
+        return recipe, "miss" if pair_key is not None else None
+
+    def stamp_fused(
+        self,
+        recipe: PlanRecipe,
+        scalar_sets: Sequence[Dict[str, object]],
+        launch_ids: Sequence[int],
+        cache_status: Optional[str] = None,
+        prefetch: bool = False,
+    ) -> Tuple[T.ExecutionPlan, int]:
+        """Stamp a fused recipe; returns ``(plan, prefetched transfer count)``."""
+        started = time.perf_counter()
+        stamped = stamp_recipe(
+            recipe,
+            new_task_id=self._new_task_id,
+            new_chunk_id=self._chunk_ids.next_id,
+            new_tag=self._next_tag,
+            resolve_conflicts=self.dependency_injector.resolve,
+            scalars=scalar_sets[0] if scalar_sets else None,
+            launch_id=launch_ids[0] if launch_ids else None,
+            cache_status=cache_status,
+            scalar_sets=list(scalar_sets),
+            launch_ids=list(launch_ids),
+            prefetch=prefetch,
+        )
+        self.dependency_injector.apply_bookkeeping(recipe, stamped.task_ids)
+        self.launches_planned += len(launch_ids)
+        self.planning_seconds += time.perf_counter() - started
+        return stamped.plan, stamped.prefetched

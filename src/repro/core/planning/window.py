@@ -1,0 +1,152 @@
+"""The launch window: deferred submission and cross-launch optimisation.
+
+``Context.launch`` no longer plans-and-submits eagerly.  It appends a
+:class:`PendingLaunch` to a bounded :class:`LaunchWindow` (default depth 4);
+the window drains when a *barrier* forces program-order semantics to become
+observable:
+
+* ``Context.synchronize()`` (and therefore ``gather``, which synchronises),
+* ``gather``/``delete_array``/``redistribute`` of an array some pending
+  launch references,
+* the window reaching its depth (appending launch ``depth+1`` first drains
+  the current group),
+* context exit (``with Context(...) as ctx:``).
+
+Draining runs two cross-launch passes over the group before the per-launch
+stamping:
+
+1. **Kernel fusion** — adjacent launches whose producer/consumer access
+   regions are superblock-contained (see
+   :func:`~.passes.build_fused_recipe`) are merged into one plan template:
+   one :class:`~repro.core.tasks.FusedLaunchTask` per superblock instead of
+   two launch tasks, with the consumer's gather transfers elided because it
+   reads the producer's output in place.
+
+2. **Cross-launch prefetch** — every launch after the first in the drained
+   group has its pre-launch gather/halo transfers stamped with a raised
+   priority, so a worker's staging throttle starts the *next* launch's
+   predictable halo exchange while the current launch computes.
+
+Everything the window does is a driver-side reordering of plan construction;
+the stamped plans are submitted in program order, so cross-launch conflict
+dependencies (and therefore results) are exactly those of eager submission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .planner import Planner, PreparedLaunch
+
+__all__ = ["PendingLaunch", "LaunchWindow", "DEFAULT_LOOKAHEAD"]
+
+#: default window depth (launches held back before a forced drain)
+DEFAULT_LOOKAHEAD = 4
+
+
+@dataclass
+class PendingLaunch:
+    """One deferred kernel launch: everything needed to stamp it later."""
+
+    kernel: object
+    grid: Tuple[int, ...]
+    block: Tuple[int, ...]
+    work_dist: object
+    scalars: Dict[str, object]
+    arrays: Dict[str, object]
+    launch_id: int
+    prepared: PreparedLaunch
+    array_ids: frozenset = field(default_factory=frozenset)
+
+
+class LaunchWindow:
+    """Bounded lookahead buffer of pending launches with cross-launch passes."""
+
+    def __init__(
+        self,
+        runtime: "object",
+        planner: Planner,
+        depth: int = DEFAULT_LOOKAHEAD,
+        fusion: bool = True,
+        prefetch: bool = True,
+    ):
+        self.runtime = runtime
+        self.planner = planner
+        self.depth = max(1, int(depth))
+        self.fusion_enabled = fusion
+        self.prefetch_enabled = prefetch
+        self._pending: List[PendingLaunch] = []
+        # counters surfaced through RuntimeStats
+        self.flushes = 0
+        self.flush_reasons: Dict[str, int] = {}
+        self.launches_fused = 0
+        self.transfers_prefetched = 0
+
+    # ------------------------------------------------------------------ #
+    # filling
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, pending: PendingLaunch) -> None:
+        """Append one launch, draining first if the window is full."""
+        if len(self._pending) >= self.depth:
+            self.flush("window-full")
+        self._pending.append(pending)
+        if self.depth == 1:
+            # A depth-1 window is eager submission (no cross-launch passes).
+            self.flush("window-full")
+
+    def references(self, array_id: int) -> bool:
+        """True when some pending launch binds the given array."""
+        return any(array_id in p.array_ids for p in self._pending)
+
+    # ------------------------------------------------------------------ #
+    # draining
+    # ------------------------------------------------------------------ #
+    def flush(self, reason: str = "explicit") -> None:
+        """Stamp and submit every pending launch, fusing/prefetching first."""
+        if not self._pending:
+            return
+        group, self._pending = self._pending, []
+        self.flushes += 1
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+        plans = []
+        index = 0
+        while index < len(group):
+            fused, fused_status = None, None
+            if self.fusion_enabled and index + 1 < len(group):
+                fused, fused_status = self.planner.prepare_fused(
+                    group[index], group[index + 1]
+                )
+            # The prefetch pass applies to every launch after the first of the
+            # drained group: its pre-launch transfers are predictable one
+            # launch ahead, so they are stamped with a raised priority.
+            prefetch = self.prefetch_enabled and index > 0
+            if fused is not None:
+                members = (group[index], group[index + 1])
+                plan, prefetched = self.planner.stamp_fused(
+                    fused,
+                    scalar_sets=[m.scalars for m in members],
+                    launch_ids=[m.launch_id for m in members],
+                    cache_status=fused_status,
+                    prefetch=prefetch,
+                )
+                self.launches_fused += len(members) - 1
+                index += len(members)
+            else:
+                pending = group[index]
+                plan, prefetched = self.planner.stamp_launch(
+                    pending.prepared,
+                    pending.scalars,
+                    pending.launch_id,
+                    prefetch=prefetch,
+                )
+                index += 1
+            if prefetch:
+                self.transfers_prefetched += prefetched
+            plans.append(plan)
+        for plan in plans:
+            self.runtime.submit_plan(plan)

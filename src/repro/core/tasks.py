@@ -35,6 +35,7 @@ __all__ = [
     "DeleteChunkTask",
     "FillTask",
     "LaunchTask",
+    "FusedLaunchTask",
     "ArrayArgBinding",
     "CopyTask",
     "SendTask",
@@ -67,6 +68,12 @@ class Task:
     worker: WorkerId
     deps: Tuple[TaskId, ...] = ()
     label: str = ""
+    #: Scheduling hint: tasks with a higher priority are staged before other
+    #: backlogged tasks when the staging throttle has to pick.  The launch
+    #: window's prefetch pass raises the priority of the next launch's
+    #: gather/halo transfers so they can start while the current launch
+    #: computes; priorities never affect correctness, only staging order.
+    priority: int = 0
 
     @property
     def kind(self) -> str:
@@ -145,6 +152,41 @@ class LaunchTask(Task):
 
     def chunk_requirements(self):
         return tuple((binding.chunk_id, "gpu") for binding in self.array_args)
+
+
+@dataclass
+class FusedLaunchTask(Task):
+    """Execute one superblock of several fused kernel launches back to back.
+
+    The launch-window fusion pass merges back-to-back launches whose
+    producer/consumer access regions are superblock-contained into one task
+    per superblock: the segments run sequentially on the same device, reading
+    the producer's output in place, and pay the fixed launch overhead once.
+    Parallel tuples hold one entry per fused segment.
+    """
+
+    kernel_names: Tuple[str, ...] = ()
+    device: DeviceId = None  # type: ignore[assignment]
+    superblock: Superblock = None  # type: ignore[assignment]
+    grid_dims_list: Tuple[Tuple[int, ...], ...] = ()
+    block_dims_list: Tuple[Tuple[int, ...], ...] = ()
+    scalar_args_list: Tuple[Dict[str, object], ...] = ()
+    array_args_list: Tuple[Tuple[ArrayArgBinding, ...], ...] = ()
+    array_shapes_list: Tuple[Dict[str, Tuple[int, ...]], ...] = ()
+    #: launch id of the first (producer) segment, used for priority ordering
+    launch_id: int = 0
+    launch_ids: Tuple[int, ...] = ()
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.kernel_names)
+
+    def chunk_requirements(self):
+        seen = {}
+        for bindings in self.array_args_list:
+            for binding in bindings:
+                seen.setdefault(binding.chunk_id, (binding.chunk_id, "gpu"))
+        return tuple(seen.values())
 
 
 @dataclass

@@ -13,7 +13,12 @@ from .base import WORKLOADS, Workload, WorkloadResult, create_workload, register
 from .black_scholes import BlackScholesWorkload, black_scholes_reference
 from .correlator import CorrelatorWorkload, correlator_reference
 from .gemm import GEMMWorkload
-from .hotspot import HotSpotWorkload, hotspot_reference_step
+from .hotspot import (
+    HotSpotDoubleWorkload,
+    HotSpotWorkload,
+    hotspot2_reference_step,
+    hotspot_reference_step,
+)
 from .kmeans import KMeansWorkload, kmeans_reference
 from .md5 import MD5Workload, mix_hash
 from .nbody import NBodyWorkload, nbody_reference_step
@@ -43,6 +48,7 @@ __all__ = [
     "CorrelatorWorkload",
     "KMeansWorkload",
     "HotSpotWorkload",
+    "HotSpotDoubleWorkload",
     "GEMMWorkload",
     "SpMVWorkload",
     "BlackScholesWorkload",
@@ -51,6 +57,7 @@ __all__ = [
     "correlator_reference",
     "kmeans_reference",
     "hotspot_reference_step",
+    "hotspot2_reference_step",
     "ell_reference_multiply",
     "black_scholes_reference",
 ]

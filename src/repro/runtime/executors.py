@@ -134,11 +134,26 @@ class TaskExecutor:
         resource.request(duration, payload, label=task.label or task.kernel_name)
 
     def _run_kernel(self, kernel, task: T.LaunchTask) -> None:
+        self._run_segment(
+            kernel,
+            array_args=task.array_args,
+            array_shapes=task.array_shapes,
+            scalar_args=task.scalar_args,
+            grid_dims=task.grid_dims,
+            block_dims=task.block_dims,
+            superblock=task.superblock,
+            device=task.device,
+        )
+
+    def _run_segment(
+        self, kernel, *, array_args, array_shapes, scalar_args,
+        grid_dims, block_dims, superblock, device,
+    ) -> None:
         views: Dict[str, ArrayView] = {}
-        for binding in task.array_args:
+        for binding in array_args:
             chunk: ChunkMeta = self.storage.meta(binding.chunk_id)
             buffer = self.storage.buffer(binding.chunk_id)
-            array_shape = task.array_shapes[binding.param]
+            array_shape = array_shapes[binding.param]
             views[binding.param] = ArrayView(
                 buffer,
                 chunk.region,
@@ -148,14 +163,46 @@ class TaskExecutor:
                 name=binding.param,
             )
         launch_ctx = LaunchContext(
-            grid_dims=task.grid_dims,
-            block_dims=task.block_dims,
-            thread_region=task.superblock.thread_region,
-            block_offset=task.superblock.block_offset,
-            superblock_index=task.superblock.index,
-            device_name=str(task.device),
+            grid_dims=grid_dims,
+            block_dims=block_dims,
+            thread_region=superblock.thread_region,
+            block_offset=superblock.block_offset,
+            superblock_index=superblock.index,
+            device_name=str(device),
         )
-        kernel.run_superblock(launch_ctx, task.scalar_args, views)
+        kernel.run_superblock(launch_ctx, scalar_args, views)
+
+    def _exec_fusedlaunch(self, task: T.FusedLaunchTask, done: Callable[[], None]) -> None:
+        """One superblock of several fused launches: the segments run back to
+        back on the same compute resource and pay the fixed launch overhead
+        once — that, plus the elided intermediate transfers, is the fusion
+        saving."""
+        device_spec = self.node.spec.gpus[task.device.local_index]
+        threads = task.superblock.thread_count
+        duration = self.overheads.launch_fixed
+        for name, scalars in zip(task.kernel_names, task.scalar_args_list):
+            kernel = self.kernel_registry[name]
+            duration += kernel_time(device_spec, kernel.cost, threads, scalars)
+        self.kernel_launches += task.segment_count
+        self.kernel_seconds += duration
+
+        def payload() -> None:
+            if self.functional:
+                for segment in range(task.segment_count):
+                    self._run_segment(
+                        self.kernel_registry[task.kernel_names[segment]],
+                        array_args=task.array_args_list[segment],
+                        array_shapes=task.array_shapes_list[segment],
+                        scalar_args=task.scalar_args_list[segment],
+                        grid_dims=task.grid_dims_list[segment],
+                        block_dims=task.block_dims_list[segment],
+                        superblock=task.superblock,
+                        device=task.device,
+                    )
+            done()
+
+        resource = self.resources.compute_for(task.device)
+        resource.request(duration, payload, label=task.label or "fused launch")
 
     # ------------------------------------------------------------------ #
     # data movement

@@ -113,6 +113,7 @@ _KIND_RANK: Dict[str, int] = {
     "deletechunk": 3,
     "download": 4,
     "launch": 5,
+    "fusedlaunch": 5,
 }
 
 

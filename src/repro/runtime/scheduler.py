@@ -100,7 +100,7 @@ class Scheduler:
     # staging with throttle
     # ------------------------------------------------------------------ #
     def _throttle_key(self, task: T.Task) -> object:
-        if isinstance(task, T.LaunchTask):
+        if isinstance(task, (T.LaunchTask, T.FusedLaunchTask)):
             return task.device
         if isinstance(task, T.ReduceTask):
             home = self.memory.home_of(task.dst_chunk)
@@ -141,20 +141,36 @@ class Scheduler:
     def _drain_throttled(self, key) -> None:
         backlog = self._throttled.get(key)
         while backlog:
-            # The scheduling policy picks which backlogged task to stage next
+            # Prefetch-marked transfers (the launch window raises the priority
+            # of the next launch's halo exchange) jump the backlog so data for
+            # launch i+1 moves while launch i computes; among equal priorities
+            # the scheduling policy picks which backlogged task to stage next
             # (the paper picks arbitrarily; locality/priority policies are the
-            # future work of Sec. 3.3).  If the chosen task does not fit under
-            # the staging throttle we stop draining until more work unstages.
-            index = self.policy.select(backlog, self)
-            task = backlog[index]
-            requirements = list(task.chunk_requirements())
-            footprint = self.memory.footprint(requirements) if requirements else 0
-            staged = self._staged_bytes.get(key, 0)
-            if staged > 0 and staged + footprint > self.stage_threshold:
+            # future work of Sec. 3.3).  A prefetch too large for the staging
+            # throttle must not block the policy's own pick, so both
+            # candidates are tried; when neither fits we stop draining until
+            # more work unstages.
+            candidates = [self.policy.select(backlog, self)]
+            top = max(task.priority for task in backlog)
+            if top > 0:
+                preferred = next(
+                    i for i, task in enumerate(backlog) if task.priority == top
+                )
+                if preferred != candidates[0]:
+                    candidates.insert(0, preferred)
+            for index in candidates:
+                task = backlog[index]
+                requirements = list(task.chunk_requirements())
+                footprint = self.memory.footprint(requirements) if requirements else 0
+                staged = self._staged_bytes.get(key, 0)
+                if staged > 0 and staged + footprint > self.stage_threshold:
+                    continue
+                backlog.pop(index)
+                self._throttled_count -= 1
+                self._stage_now(task, key, footprint, requirements)
+                break
+            else:
                 return
-            backlog.pop(index)
-            self._throttled_count -= 1
-            self._stage_now(task, key, footprint, requirements)
 
     # ------------------------------------------------------------------ #
     # diagnostics

@@ -53,9 +53,19 @@ class RuntimeStats:
     control_messages: int = 0
     network_bytes: float = 0.0
     network_messages: int = 0
-    #: launch plans re-stamped from a cached plan template / planned cold
+    #: launch *plans* re-stamped from a cached template / planned cold.  A
+    #: fused plan covers two launches but counts once (its status reflects
+    #: the fusion cache); per-launch lookup counts live on
+    #: ``Planner.cache.hits/misses``.
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: cache entries evicted by targeted invalidation (redistribute)
+    plan_cache_invalidations: int = 0
+    #: launch-window activity: drains, launches merged away by the fusion
+    #: pass, and next-launch transfers stamped with prefetch priority
+    window_flushes: int = 0
+    launches_fused: int = 0
+    transfers_prefetched: int = 0
     #: total engine events processed / cancelled-before-firing
     events_processed: int = 0
     events_cancelled: int = 0

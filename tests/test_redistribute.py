@@ -1,0 +1,211 @@
+"""Tests for in-place redistribution (`DistributedArray.redistribute`) and
+the targeted plan-template-cache invalidation it triggers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlockDist,
+    BlockWorkDist,
+    Context,
+    KernelCost,
+    KernelDef,
+    ReplicatedDist,
+    RowDist,
+    StencilDist,
+    azure_nc24rsv2,
+)
+from repro.core.planning import PlanTemplateCache
+
+
+def make_ctx(nodes=1, gpus=2, **kw):
+    return Context(azure_nc24rsv2(nodes=nodes, gpus_per_node=gpus), **kw)
+
+
+def scale_kernel(ctx, name="scale2"):
+    def body(lc, n, out, inp):
+        i = lc.global_indices(0)
+        i = i[i < n]
+        out.scatter(i, inp.gather(i) * 2.0)
+
+    return (
+        KernelDef(name, func=body)
+        .param_value("n", "int64")
+        .param_array("out", "float32")
+        .param_array("inp", "float32")
+        .annotate("global i => read inp[i], write out[i]")
+        .with_cost(KernelCost(1, 8))
+        .compile(ctx)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# round-trip correctness
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "nodes,gpus,new_dist",
+    [
+        (1, 2, BlockDist(37)),          # different chunk size, same kind
+        (1, 2, StencilDist(60, halo=2)),  # overlapping halos
+        (2, 2, BlockDist(25)),          # cross-node all-to-all
+        (1, 2, ReplicatedDist()),       # full replication
+    ],
+)
+def test_redistribute_round_trips(nodes, gpus, new_dist):
+    ctx = make_ctx(nodes=nodes, gpus=gpus)
+    data = np.arange(200, dtype=np.float32)
+    x = ctx.from_numpy(data, BlockDist(50), name="x")
+    before = ctx.gather(x)
+    x.redistribute(new_dist)
+    after = ctx.gather(x)
+    assert np.array_equal(before, after)
+    assert x.layout_epoch == 1
+    assert x.distribution == new_dist
+
+
+def test_redistribute_round_trips_2d():
+    ctx = make_ctx(nodes=2, gpus=2)
+    data = np.arange(40 * 12, dtype=np.float32).reshape(40, 12)
+    x = ctx.from_numpy(data, RowDist(7), name="grid")
+    x.redistribute(RowDist(16))
+    assert np.array_equal(ctx.gather(x), data)
+
+
+def test_redistribute_uses_network_across_nodes():
+    ctx = make_ctx(nodes=2, gpus=1)
+    data = np.arange(100, dtype=np.float32)
+    x = ctx.from_numpy(data, BlockDist(50), name="x")
+    ctx.synchronize()
+    # invert the placement: every element changes node
+    x.redistribute(BlockDist(25))
+    ctx.synchronize()
+    assert ctx.stats().network_messages > 0
+    assert np.array_equal(ctx.gather(x), data)
+
+
+def test_redistribute_frees_old_chunks():
+    ctx = make_ctx()
+    x = ctx.ones(200, BlockDist(50), name="x")
+    ctx.synchronize()
+    assert sum(w.storage.chunk_count for w in ctx.runtime.workers) == 4
+    x.redistribute(BlockDist(100))
+    ctx.synchronize()
+    assert sum(w.storage.chunk_count for w in ctx.runtime.workers) == 2
+
+
+def test_redistribute_of_deleted_array_raises():
+    ctx = make_ctx()
+    x = ctx.ones(100, BlockDist(50), name="x")
+    x.delete()
+    with pytest.raises(RuntimeError, match="deleted"):
+        x.redistribute(BlockDist(25))
+
+
+def test_redistribute_rejects_non_covering_distribution():
+    ctx = make_ctx()
+    x = ctx.ones((20, 6), RowDist(5), name="x")
+    with pytest.raises(ValueError):
+        x.redistribute(BlockDist(5))  # 1-d distribution on a 2-d array
+
+
+# --------------------------------------------------------------------------- #
+# interaction with pending launches (the window)
+# --------------------------------------------------------------------------- #
+def test_redistribute_drains_pending_launches_on_the_array():
+    ctx = make_ctx()
+    kernel = scale_kernel(ctx)
+    n = 256
+    a = ctx.ones(n, BlockDist(64), name="a")
+    b = ctx.zeros(n, BlockDist(64), name="b")
+    kernel.launch(n, 8, BlockWorkDist(64), (n, b, a))  # pending: writes b
+    b.redistribute(BlockDist(32))  # must observe the pending write
+    assert len(ctx.window) == 0
+    assert np.allclose(ctx.gather(b), 2.0)
+    # and launching again on the re-chunked array still works
+    kernel.launch(n, 8, BlockWorkDist(64), (n, b, a))
+    assert np.allclose(ctx.gather(b), 2.0)
+
+
+# --------------------------------------------------------------------------- #
+# plan-template cache invalidation
+# --------------------------------------------------------------------------- #
+def test_redistribute_invalidates_cached_templates():
+    ctx = make_ctx()
+    kernel = scale_kernel(ctx)
+    n = 256
+    a = ctx.ones(n, BlockDist(64), name="a")
+    b = ctx.zeros(n, BlockDist(64), name="b")
+    kernel.launch(n, 8, BlockWorkDist(64), (n, b, a))
+    kernel.launch(n, 8, BlockWorkDist(64), (n, b, a))
+    ctx.synchronize()
+    cache = ctx.planner.cache
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+    a.redistribute(BlockDist(32))
+    # the old-epoch entry is evicted, not just orphaned
+    assert len(cache) == 0
+    assert cache.invalidations == 1
+    assert ctx.stats().plan_cache_invalidations == 1
+
+    # the next launch on the array is a cache miss (new epoch in the key)
+    kernel.launch(n, 8, BlockWorkDist(64), (n, b, a))
+    ctx.synchronize()
+    assert cache.misses == 2 and cache.hits == 1
+    assert np.allclose(ctx.gather(b), 2.0)
+
+
+def test_invalidation_spares_unrelated_entries():
+    ctx = make_ctx()
+    kernel = scale_kernel(ctx)
+    other_kernel = scale_kernel(ctx, name="scale_other")
+    n = 256
+    a = ctx.ones(n, BlockDist(64), name="a")
+    b = ctx.zeros(n, BlockDist(64), name="b")
+    c = ctx.ones(n, BlockDist(64), name="c")
+    d = ctx.zeros(n, BlockDist(64), name="d")
+    kernel.launch(n, 8, BlockWorkDist(64), (n, b, a))
+    other_kernel.launch(n, 8, BlockWorkDist(64), (n, d, c))
+    ctx.synchronize()
+    cache = ctx.planner.cache
+    assert len(cache) == 2
+    a.redistribute(BlockDist(32))
+    assert len(cache) == 1  # only the entry keyed on `a` was evicted
+    other_kernel.launch(n, 8, BlockWorkDist(64), (n, d, c))
+    ctx.synchronize()
+    assert cache.hits == 1  # the unrelated entry still hits
+
+
+def test_manual_epoch_bump_misses_but_leaves_entry_until_invalidated():
+    """The unit-level contract: a stale-epoch entry never hits again, and
+    ``invalidate_array`` is what actually removes it."""
+    cache = PlanTemplateCache()
+    key_old = ("k", (8,), (2,), "wd", (("x", 7, 0),))
+    key_new = ("k", (8,), (2,), "wd", (("x", 7, 1),))
+    cache.store(key_old, object())
+    assert cache.lookup(key_new) is None  # epoch bump -> miss
+    assert len(cache) == 1  # ...but the stale entry is still resident
+    assert cache.key_mentions_array(key_old, 7)
+    assert not cache.key_mentions_array(key_old, 8)
+    assert cache.invalidate_array(7) == 1
+    assert len(cache) == 0 and cache.invalidations == 1
+
+
+def test_redistribute_invalidates_fusion_cache_entries():
+    ctx = make_ctx(fusion=True)
+    kernel = scale_kernel(ctx)
+    n = 512
+    a = ctx.ones(n, BlockDist(128), name="a")
+    b = ctx.zeros(n, BlockDist(128), name="b")
+    c = ctx.zeros(n, BlockDist(128), name="c")
+    for _ in range(2):
+        kernel.launch(n, 32, BlockWorkDist(128), (n, b, a))
+        kernel.launch(n, 32, BlockWorkDist(128), (n, c, b))
+    ctx.synchronize()
+    assert len(ctx.planner._fusion_cache) == 1
+    b.redistribute(BlockDist(64))
+    assert len(ctx.planner._fusion_cache) == 0
+    # re-chunked intermediate: fusion re-evaluates and results stay right
+    kernel.launch(n, 32, BlockWorkDist(128), (n, b, a))
+    kernel.launch(n, 32, BlockWorkDist(128), (n, c, b))
+    assert np.allclose(ctx.gather(c), 4.0)
