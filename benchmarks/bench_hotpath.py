@@ -52,6 +52,15 @@ the window counters (``launches_fused``, ``transfers_prefetched``,
 fusion stops reducing engine events and transferred bytes on the
 double-stencil configurations.
 
+A fourth sweep measures **window-aware memory planning** on spill-stress
+configurations (capped GPU pools): a bench-local out-of-core streaming
+pipeline (each window group's working set fits the pool — promotion regime)
+and the K-Means spill configuration (working set overflows the pool —
+planned pre-eviction only), each under ``window_memory`` on/off arms.  A
+gate fails the run when the memory plans stop reducing aggregate
+staging-time evictions and stall events, or when a functional streaming run
+is no longer bit-identical between the arms.
+
 Results go to ``benchmarks/results/BENCH_hotpath.json``; the committed
 baseline lives at ``benchmarks/BENCH_hotpath.json``.  ``--baseline PATH``
 compares the current run's deterministic event counts against the baseline
@@ -115,6 +124,27 @@ WINDOW_ARMS = {
     "no_prefetch": {"prefetch": False},
     "eager": {"lookahead": 1},
 }
+
+#: Window-memory spill-stress sweep (PR 4): the same capped-GPU pressure as
+#: the spill configuration, measured with window-aware memory planning on and
+#: off.  Two regimes:
+#:
+#: * ``stream`` — a bench-local round-robin pipeline over disjoint batches
+#:   (out-of-core streaming): each drained group's working set *fits* the
+#:   capped pool while the dataset does not, so planned pre-eviction opens
+#:   room and hierarchy-aware prefetch promotions refill it ahead of use.
+#: * the K-Means spill configuration — every launch touches the whole points
+#:   array (working set *overflows* the pool), so promotion stands down and
+#:   only planned pre-eviction engages, moving evictions off the staging
+#:   critical path.
+WINDOW_MEMORY_ARMS = {
+    "window_memory": {},
+    "no_window_memory": {"window_memory": False},
+}
+
+#: (arrays, rounds, total elems, gpus-per-node) of the streaming config; the
+#: 1 GiB GPU cap holds ~5 of the 6 per-GPU batches, and a drained group of 4.
+STREAM_CONFIG = (6, 6, 104_857_600, 2)
 
 
 def _config_key(workload, gpus, per_node, n, params) -> str:
@@ -197,9 +227,14 @@ def _run_one(workload, total_gpus, per_node, n, params, mode="simulate",
         )
     # launch-window counters (absent on pre-window checkouts in --emit-arm-json)
     for counter in ("launches_fused", "transfers_prefetched", "window_flushes",
-                    "network_bytes"):
+                    "network_bytes", "chunks_preevicted", "prefetch_promotions",
+                    "staging_stalls", "staging_stalls_avoided"):
         if hasattr(stats, counter):
             metrics[counter] = getattr(stats, counter)
+    if hasattr(stats, "memory"):
+        metrics["staging_evictions"] = sum(
+            getattr(m, "staging_evictions", 0) for m in stats.memory.values()
+        )
     cache = getattr(getattr(ctx, "planner", None), "cache", None)
     if cache is not None:
         metrics["plan_cache_hit_rate"] = cache.hit_rate
@@ -268,6 +303,164 @@ def _run_window_arms(quick: bool) -> dict:
             "plan_cache_hit_rate": fused.get("plan_cache_hit_rate", 0.0),
         }
     return {"results": results, "summary": summary}
+
+
+def _run_stream_once(mode="simulate", context_kwargs=None, arrays=None,
+                     rounds=None, elems=None, gpus=None, cap_bytes=None):
+    """One run of the bench-local out-of-core streaming pipeline.
+
+    Round-robin update passes over ``arrays`` disjoint batches with every GPU
+    pool capped at :data:`SPILL_GPU_CAPACITY`: the dataset spills, each
+    4-launch window group fits — the regime hierarchy-aware prefetch targets.
+    Returns the same metrics dict as :func:`_run_one` (plus the gathered
+    results in functional mode, for the bit-identity gate).
+    """
+    import numpy as np
+
+    from repro import BlockDist, BlockWorkDist, Context, KernelCost, KernelDef
+    from repro.hardware import DeviceId, azure_nc24rsv2
+
+    cfg_arrays, cfg_rounds, cfg_elems, cfg_gpus = STREAM_CONFIG
+    arrays = arrays or cfg_arrays
+    rounds = rounds or cfg_rounds
+    elems = elems or cfg_elems
+    gpus = gpus or cfg_gpus
+    capacities = {
+        DeviceId(0, local).memory_space: cap_bytes or SPILL_GPU_CAPACITY
+        for local in range(gpus)
+    }
+    ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=gpus), mode=mode,
+                  memory_capacities=capacities, **dict(context_kwargs or {}))
+
+    def body(lc, n, data):
+        i = lc.global_indices(0)
+        i = i[i < n]
+        data.scatter(i, (data.gather(i) * 1.5 + 1.0).astype(np.float32))
+
+    kernel = (
+        KernelDef("stream_update", func=body)
+        .param_value("n", "int64")
+        .param_array("data", "float32")
+        .annotate("global i => readwrite data[i]")
+        .with_cost(KernelCost(flops_per_thread=80.0, bytes_per_thread=8.0))
+        .compile(ctx)
+    )
+    chunk = elems // gpus
+    assert chunk % 256 == 0, "chunks must stay on thread-block boundaries"
+    if mode == "functional":
+        rng = np.random.RandomState(0)
+        batches = [
+            ctx.from_numpy(rng.rand(elems).astype(np.float32),
+                           BlockDist(chunk), name=f"batch{j}")
+            for j in range(arrays)
+        ]
+    else:
+        batches = [ctx.zeros(elems, BlockDist(chunk), name=f"batch{j}")
+                   for j in range(arrays)]
+    ctx.synchronize()
+    _reset_peak_rss()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for j in range(arrays):
+            kernel.launch(elems, 256, BlockWorkDist(chunk), (elems, batches[j]))
+    ctx.synchronize()
+    wall = time.perf_counter() - start
+    engine = ctx.runtime.engine
+    stats = ctx.stats()
+    metrics = {
+        "wall_seconds": wall,
+        "virtual_time": engine.now,
+        "events_processed": engine.events_processed,
+        "events_per_second": engine.events_processed / wall if wall > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+        "evictions": sum(m.evictions_to_host + m.evictions_to_disk
+                         for m in stats.memory.values()),
+        "staging_evictions": sum(m.staging_evictions for m in stats.memory.values()),
+        "chunks_preevicted": stats.chunks_preevicted,
+        "prefetch_promotions": stats.prefetch_promotions,
+        "staging_stalls": stats.staging_stalls,
+        "staging_stalls_avoided": stats.staging_stalls_avoided,
+    }
+    if mode == "functional":
+        metrics["_gathered"] = [ctx.gather(b) for b in batches]
+    return metrics
+
+
+def _run_window_memory_arms(quick: bool) -> dict:
+    """Measure the spill-stress sweep with window memory planning on and off.
+
+    Returns ``{"results", "summary", "checks"}``; the summary records, per
+    configuration and in total, how many staging-time evictions and stall
+    events the memory plan removes versus the ``no_window_memory`` arm — the
+    committed evidence for the PR-4 acceptance criteria — and the checks
+    record functional bit-identity of a streaming run under both arms.
+    """
+    import numpy as np
+
+    arrays, rounds, elems, gpus = STREAM_CONFIG
+    stream_key = _config_key("stream", gpus, gpus, elems,
+                             {"arrays": arrays, "rounds": rounds})
+    spill_configs = _spill_configs(quick)
+    results: dict = {}
+    for arm, context_kwargs in WINDOW_MEMORY_ARMS.items():
+        print(f"arm: window-memory/{arm}", file=sys.stderr)
+        arm_results = {stream_key: _run_stream_once(context_kwargs=context_kwargs)}
+        for workload, gpu_count, per_node, n, params in spill_configs:
+            key = _config_key(workload, gpu_count, per_node, n, params)
+            arm_results[key] = _run_one(
+                workload, gpu_count, per_node, n, params,
+                context_kwargs=context_kwargs,
+            )
+        for key, metrics in arm_results.items():
+            print(f"  {key}: {metrics['staging_evictions']} staging evictions, "
+                  f"{metrics['staging_stalls']} stalls, "
+                  f"{metrics.get('chunks_preevicted', 0)} pre-evicted, "
+                  f"{metrics.get('prefetch_promotions', 0)} promotions",
+                  file=sys.stderr)
+        results[arm] = arm_results
+
+    summary: dict = {}
+    totals = {"on": {"staging_evictions": 0, "staging_stalls": 0},
+              "off": {"staging_evictions": 0, "staging_stalls": 0}}
+    for key in results["window_memory"]:
+        on = results["window_memory"][key]
+        off = results["no_window_memory"][key]
+        summary[key] = {
+            "staging_evictions_on": on["staging_evictions"],
+            "staging_evictions_off": off["staging_evictions"],
+            "staging_stalls_on": on["staging_stalls"],
+            "staging_stalls_off": off["staging_stalls"],
+            "chunks_preevicted": on["chunks_preevicted"],
+            "prefetch_promotions": on["prefetch_promotions"],
+            "staging_stalls_avoided": on["staging_stalls_avoided"],
+            "virtual_time_ratio_vs_off":
+                off["virtual_time"] / max(on["virtual_time"], 1e-12),
+        }
+        for metric in ("staging_evictions", "staging_stalls"):
+            totals["on"][metric] += on[metric]
+            totals["off"][metric] += off[metric]
+    summary["total"] = {
+        "staging_evictions_ratio_vs_off":
+            totals["off"]["staging_evictions"] / max(totals["on"]["staging_evictions"], 1),
+        "staging_stalls_ratio_vs_off":
+            totals["off"]["staging_stalls"] / max(totals["on"]["staging_stalls"], 1),
+    }
+
+    # Functional bit-identity of the streaming pipeline under both arms
+    # (tiny problem, still spilling: the gate is about results under the
+    # reserve/promotion machinery, not throughput).
+    tiny = dict(arrays=6, rounds=3, elems=256 * 4096 * 2, gpus=2,
+                cap_bytes=20 * 1024 ** 2)
+    on_run = _run_stream_once(mode="functional",
+                              context_kwargs=WINDOW_MEMORY_ARMS["window_memory"], **tiny)
+    off_run = _run_stream_once(mode="functional",
+                               context_kwargs=WINDOW_MEMORY_ARMS["no_window_memory"], **tiny)
+    identical = all(
+        np.array_equal(a, b)
+        for a, b in zip(on_run.pop("_gathered"), off_run.pop("_gathered"))
+    )
+    checks = {"functional_results_bit_identical": bool(identical)}
+    return {"results": results, "summary": summary, "checks": checks}
 
 
 def _run_pre_pr_arm(configs, pre_pr_src: str, quick: bool):
@@ -394,6 +587,7 @@ def main(argv=None) -> int:
     checks = _correctness_checks()
     summary = _summarise(results)
     window = _run_window_arms(args.quick)
+    window_memory = _run_window_memory_arms(args.quick)
     # The fusion pass must demonstrably fire on the double-stencil sweep:
     # events and transferred bytes drop versus the no-fusion arm, and the
     # plan-template cache keeps serving the windowed launches.
@@ -405,14 +599,23 @@ def main(argv=None) -> int:
         for key, s in window["summary"].items()
         if key.startswith("hotspot2/")
     )
+    # Window-aware memory planning must demonstrably pay off on the
+    # spill-stress sweep: staging-time evictions and stall events drop in
+    # aggregate versus the no-window-memory arm, with bit-identical results.
+    checks["window_memory_effective"] = (
+        window_memory["checks"]["functional_results_bit_identical"]
+        and window_memory["summary"]["total"]["staging_evictions_ratio_vs_off"] > 1.0
+        and window_memory["summary"]["total"]["staging_stalls_ratio_vs_off"] > 1.0
+    )
     payload = {
         "benchmark": "hotpath",
         "quick": args.quick,
-        "sweep": "fig15-weak-scaling + spill-stress + launch-window",
+        "sweep": "fig15-weak-scaling + spill-stress + launch-window + window-memory",
         "results": results,
         "checks": checks,
         "summary": summary,
         "launch_window": window,
+        "window_memory": window_memory,
     }
 
     from repro.bench import write_json
@@ -424,6 +627,7 @@ def main(argv=None) -> int:
     print(f"wrote {output}")
     print(json.dumps(summary, indent=2, sort_keys=True))
     print(json.dumps(window["summary"], indent=2, sort_keys=True))
+    print(json.dumps(window_memory["summary"], indent=2, sort_keys=True))
     if not checks["determinism_bit_identical"]:
         print("FAIL: repeated run virtual time not bit-identical", file=sys.stderr)
         return 1
@@ -433,6 +637,10 @@ def main(argv=None) -> int:
     if not checks["window_fusion_effective"]:
         print("FAIL: fusion did not reduce events/bytes on the double-stencil sweep",
               file=sys.stderr)
+        return 1
+    if not checks["window_memory_effective"]:
+        print("FAIL: window memory planning did not reduce staging evictions/stalls "
+              "on the spill-stress sweep (or broke bit-identity)", file=sys.stderr)
         return 1
     if args.baseline:
         return _check_baseline(results, args.baseline)

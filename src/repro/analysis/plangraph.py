@@ -75,6 +75,7 @@ class PlanGraph:
         return cls.from_plans(plans)
 
     def add_task(self, task: Task) -> None:
+        """Add one task (and its dependency edges) to the merged DAG."""
         if task.task_id in self.tasks:
             raise ValueError(f"task {task.task_id} added twice")
         self.tasks[task.task_id] = task
@@ -145,6 +146,7 @@ class PlanGraph:
         return graph
 
     def is_acyclic(self) -> bool:
+        """True when the merged task DAG contains no cycle."""
         return nx.is_directed_acyclic_graph(self.to_networkx())
 
     def critical_path(

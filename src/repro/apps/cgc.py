@@ -212,6 +212,7 @@ class CoClusteringApp:
 
     # ------------------------------------------------------------------ #
     def prepare(self, matrix: Optional[np.ndarray] = None) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         row_dist = RowDist(self.rows_per_chunk)
         assign_dist = BlockDist(self.rows_per_chunk)
@@ -355,6 +356,7 @@ class CoClusteringApp:
 
     # ------------------------------------------------------------------ #
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return self.rows * self.cols * 8
 
     def assignments(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -405,14 +407,18 @@ class CGCWorkload(Workload):
             self.iterations = iterations
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         self.app.prepare()
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         for _ in range(self.iterations):
             self.app.submit_iteration()
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return self.app.data_bytes()
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         return self.app.verify(self.iterations)

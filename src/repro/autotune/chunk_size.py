@@ -41,6 +41,7 @@ class ChunkSizeAdvice:
     rationale: str
 
     def contains(self, nbytes: int) -> bool:
+        """True when ``nbytes`` lies within the swept range."""
         return self.min_bytes <= nbytes <= self.max_bytes
 
 

@@ -32,6 +32,7 @@ class SingleGPUBaseline:
     name: str = "cuda-1gpu"
 
     def check_fits(self, data_bytes: int) -> None:
+        """Raise when the working set exceeds a single GPU's memory."""
         if data_bytes > self.gpu.memory_bytes:
             raise SingleGpuOutOfMemory(
                 f"dataset of {data_bytes / 1e9:.1f} GB exceeds the "

@@ -71,6 +71,7 @@ class BenchPoint:
 
     @property
     def gpus(self) -> int:
+        """Total GPUs of the measured configuration."""
         return self.nodes * self.gpus_per_node
 
 

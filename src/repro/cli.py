@@ -69,6 +69,7 @@ FIGURES: Dict[str, Tuple[str, str]] = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-bench`` argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Lightning (IPDPS 2022) reproduction: run simulated multi-GPU benchmarks.",
@@ -150,10 +151,22 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
         help="prioritise the next windowed launch's halo-exchange transfers "
              "(default: on)",
     )
+    parser.add_argument(
+        "--window-memory",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="window-aware memory planning: pre-evict the drained launch "
+             "group's spill victims up front and promote spilled prefetch "
+             "sources back up the memory hierarchy (default: on)",
+    )
 
 
 def _window_kwargs(args: argparse.Namespace) -> dict:
-    kwargs = {"fusion": args.fusion, "prefetch": args.prefetch}
+    kwargs = {
+        "fusion": args.fusion,
+        "prefetch": args.prefetch,
+        "window_memory": args.window_memory,
+    }
     if args.lookahead is not None:
         kwargs["lookahead"] = args.lookahead
     return kwargs

@@ -59,10 +59,12 @@ class AccessMode(enum.Enum):
 
     @property
     def reads(self) -> bool:
+        """True when the access mode reads the array."""
         return self in (AccessMode.READ, AccessMode.READWRITE)
 
     @property
     def writes(self) -> bool:
+        """True when the access mode writes the array."""
         return self in (AccessMode.WRITE, AccessMode.READWRITE, AccessMode.REDUCE)
 
 
@@ -77,6 +79,7 @@ class LinearExpr:
     const: int = 0
 
     def variables(self) -> Tuple[str, ...]:
+        """Names of the index variables this expression mentions."""
         return tuple(name for name, _ in self.coeffs)
 
     def bounds(self, var_ranges: Mapping[str, Tuple[int, int]]) -> Tuple[int, int]:
@@ -194,10 +197,12 @@ class IndexSpec:
 
     @classmethod
     def point(cls, expr: LinearExpr) -> "IndexSpec":
+        """A degenerate slice covering exactly one index."""
         return cls(expr, expr, False)
 
     @classmethod
     def full(cls) -> "IndexSpec":
+        """A slice covering a whole axis."""
         return cls(None, None, True)
 
     def bounds(
@@ -305,6 +310,7 @@ class Annotation:
     # ------------------------------------------------------------------ #
     @classmethod
     def parse(cls, text: str) -> "Annotation":
+        """Parse an annotation string (``"global i => read a[i], ..."``)."""
         source = " ".join(text.split())
         if "=>" not in source:
             raise AnnotationError(f"annotation {source!r} is missing '=>'")
@@ -405,12 +411,15 @@ class Annotation:
     # evaluation
     # ------------------------------------------------------------------ #
     def variable_names(self) -> Tuple[str, ...]:
+        """The annotation's thread-index variable names."""
         return tuple(name for binding in self.bindings for name in binding.names)
 
     def array_names(self) -> Tuple[str, ...]:
+        """Names of every annotated array."""
         return tuple(access.array for access in self.accesses)
 
     def access_for(self, array: str) -> Optional[ArrayAccess]:
+        """The access clause annotated for one array parameter."""
         for access in self.accesses:
             if access.array == array:
                 return access

@@ -30,6 +30,7 @@ class ArrayIdAllocator:
         self._counter = itertools.count(1)
 
     def next_id(self) -> int:
+        """A fresh, never-reused array id."""
         return next(self._counter)
 
 
@@ -65,10 +66,12 @@ class DistributedArray:
     # ------------------------------------------------------------------ #
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return len(self.shape)
 
     @property
     def size(self) -> int:
+        """Total element count."""
         return int(np.prod(self.shape))
 
     @property
@@ -83,10 +86,12 @@ class DistributedArray:
 
     @property
     def domain(self) -> Region:
+        """The full index region ``[0, shape)``."""
         return Region.from_shape(self.shape)
 
     @property
     def chunk_count(self) -> int:
+        """Number of chunks the distribution produced."""
         return len(self.chunks)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

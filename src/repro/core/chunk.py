@@ -31,6 +31,7 @@ class ChunkIdAllocator:
         self._counter = itertools.count(1)
 
     def next_id(self) -> ChunkId:
+        """A fresh, never-reused chunk id."""
         return next(self._counter)
 
 
@@ -60,18 +61,22 @@ class ChunkMeta:
 
     @property
     def worker(self) -> int:
+        """The worker owning the chunk's home device."""
         return self.home.worker
 
     @property
     def shape(self) -> tuple:
+        """Extent of the chunk's region per dimension."""
         return self.region.shape
 
     @property
     def size(self) -> int:
+        """Element count of the chunk's region."""
         return self.region.size
 
     @property
     def nbytes(self) -> int:
+        """Payload size in bytes (memoised: consulted on every staging decision)."""
         return self._nbytes
 
     def __str__(self) -> str:

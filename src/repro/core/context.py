@@ -69,6 +69,7 @@ class Context:
         lookahead: int = DEFAULT_LOOKAHEAD,
         fusion: bool = True,
         prefetch: bool = True,
+        window_memory: bool = True,
     ):
         if cluster is None:
             cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
@@ -100,6 +101,7 @@ class Context:
             depth=lookahead,
             fusion=fusion,
             prefetch=prefetch,
+            memory_planning=window_memory,
         )
         self.wrappers = WrapperCache()
         self.kernels: Dict[str, CompiledKernel] = {}
@@ -115,10 +117,12 @@ class Context:
 
     @property
     def device_count(self) -> int:
+        """Total GPUs in the context's cluster."""
         return self.cluster.device_count
 
     @property
     def functional(self) -> bool:
+        """True when chunks are NumPy-backed and kernels really compute."""
         return self.mode is ExecutionMode.FUNCTIONAL
 
     @property
@@ -127,6 +131,7 @@ class Context:
         return self.runtime.virtual_time
 
     def describe(self) -> str:
+        """One-line human-readable description of the simulated cluster."""
         return self.cluster.describe()
 
     # ------------------------------------------------------------------ #
@@ -173,9 +178,11 @@ class Context:
         return array
 
     def zeros(self, shape, distribution: DataDistribution, dtype="float32", name="") -> DistributedArray:
+        """Create a distributed array filled with zeros."""
         return self.full(shape, 0.0, distribution, dtype, name)
 
     def ones(self, shape, distribution: DataDistribution, dtype="float32", name="") -> DistributedArray:
+        """Create a distributed array filled with ones."""
         return self.full(shape, 1.0, distribution, dtype, name)
 
     def from_numpy(self, data: np.ndarray, distribution: DataDistribution, name="") -> DistributedArray:
@@ -362,14 +369,17 @@ class Context:
         return False
 
     def stats(self) -> RuntimeStats:
+        """Aggregate :class:`RuntimeStats` of the run so far (window counters included)."""
         stats = self.runtime.stats()
         stats.window_flushes = self.window.flushes
         stats.launches_fused = self.window.launches_fused
         stats.transfers_prefetched = self.window.transfers_prefetched
+        stats.window_memory_plans = self.window.memory_plans
         stats.plan_cache_invalidations = self.planner.cache.invalidations
         return stats
 
     def trace(self):
+        """The resource busy-interval trace (``enable_trace=True``)."""
         return self.runtime.trace
 
     @property

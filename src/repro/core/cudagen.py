@@ -81,6 +81,7 @@ class ArrayLayout:
 
     @property
     def ndim(self) -> int:
+        """Dimensionality of the generated thread grid."""
         return len(self.offsets)
 
 

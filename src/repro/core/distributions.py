@@ -62,6 +62,7 @@ class Superblock:
 
     @property
     def thread_count(self) -> int:
+        """Threads covered by this superblock."""
         return self.thread_region.size
 
 
@@ -86,6 +87,7 @@ class DataDistribution:
     """Base class: maps an array shape onto chunk placements."""
 
     def chunks(self, shape: Sequence[int], devices: Sequence[DeviceId]) -> List[ChunkPlacement]:
+        """Chunk placements for an array of ``shape`` over ``devices``."""
         raise NotImplementedError
 
     def validate(self, shape: Sequence[int], devices: Sequence[DeviceId]) -> None:
@@ -103,6 +105,7 @@ class BlockDist(DataDistribution):
     chunk_size: int
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """Fixed-size 1-D block chunks, round-robin over devices."""
         self.validate(shape, devices)
         shape = _normalize_shape(shape)
         if len(shape) != 1:
@@ -125,6 +128,7 @@ class RowDist(DataDistribution):
     rows_per_chunk: int
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """Fixed-size 1-D block chunks, round-robin over devices."""
         self.validate(shape, devices)
         shape = _normalize_shape(shape)
         if len(shape) < 2:
@@ -149,6 +153,7 @@ class ColumnDist(DataDistribution):
     cols_per_chunk: int
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """Column-block chunks, round-robin over devices."""
         self.validate(shape, devices)
         shape = _normalize_shape(shape)
         if len(shape) != 2:
@@ -173,6 +178,7 @@ class TileDist(DataDistribution):
     tile_shape: Tuple[int, int]
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """2-D tile chunks, row-major round-robin over devices."""
         self.validate(shape, devices)
         shape = _normalize_shape(shape)
         if len(shape) != 2:
@@ -206,6 +212,7 @@ class StencilDist(DataDistribution):
     axis: int = 0
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """Block chunks plus a replicated halo on each side."""
         self.validate(shape, devices)
         shape = _normalize_shape(shape)
         if self.chunk_size <= 0:
@@ -237,6 +244,7 @@ class ReplicatedDist(DataDistribution):
     """
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """One full replica of the array on every device."""
         self.validate(shape, devices)
         shape = _normalize_shape(shape)
         domain = Region.from_shape(shape)
@@ -250,6 +258,7 @@ class CustomDist(DataDistribution):
     placements: Tuple[ChunkPlacement, ...]
 
     def chunks(self, shape, devices) -> List[ChunkPlacement]:
+        """The user-supplied explicit (region, device) placements."""
         self.validate(shape, devices)
         domain = Region.from_shape(_normalize_shape(shape))
         for placement in self.placements:
@@ -272,6 +281,7 @@ class WorkDistribution:
         block: Sequence[int],
         devices: Sequence[DeviceId],
     ) -> List[Superblock]:
+        """Split the launch grid into per-device superblocks."""
         raise NotImplementedError
 
     @staticmethod
@@ -294,6 +304,7 @@ class BlockWorkDist(WorkDistribution):
     axis: int = 0
 
     def superblocks(self, grid, block, devices) -> List[Superblock]:
+        """Fixed-size 1-D superblocks, round-robin over devices."""
         grid = _normalize_shape(grid)
         block = _normalize_shape(block)
         self._validate(grid, block)
@@ -328,6 +339,7 @@ class TileWorkDist(WorkDistribution):
     tile_shape: Tuple[int, int]
 
     def superblocks(self, grid, block, devices) -> List[Superblock]:
+        """2-D tile superblocks, row-major round-robin over devices."""
         grid = _normalize_shape(grid)
         block = _normalize_shape(block)
         self._validate(grid, block)
@@ -361,6 +373,7 @@ class CustomWorkDist(WorkDistribution):
     factory: Callable[[Tuple[int, ...], Tuple[int, ...], Sequence[DeviceId]], List[Superblock]]
 
     def superblocks(self, grid, block, devices) -> List[Superblock]:
+        """Superblocks from the user-supplied callable."""
         grid = _normalize_shape(grid)
         block = _normalize_shape(block)
         self._validate(grid, block)
@@ -389,6 +402,7 @@ class WeightedBlockWorkDist(WorkDistribution):
         return cls(weights, axis=axis)
 
     def superblocks(self, grid, block, devices) -> List[Superblock]:
+        """One superblock per device, sized proportionally to its weight."""
         grid = _normalize_shape(grid)
         block = _normalize_shape(block)
         self._validate(grid, block)

@@ -64,6 +64,7 @@ class Region:
 
     @classmethod
     def empty(cls, ndim: int = 1) -> "Region":
+        """The canonical empty region of ``ndim`` dimensions."""
         return cls(tuple(0 for _ in range(ndim)), tuple(0 for _ in range(ndim)))
 
     # ------------------------------------------------------------------ #
@@ -71,10 +72,12 @@ class Region:
     # ------------------------------------------------------------------ #
     @property
     def ndim(self) -> int:
+        """Number of dimensions."""
         return len(self.lo)
 
     @property
     def shape(self) -> Tuple[int, ...]:
+        """Extent per dimension."""
         return tuple(max(0, h - l) for l, h in zip(self.lo, self.hi))
 
     @property
@@ -87,9 +90,11 @@ class Region:
 
     @property
     def is_empty(self) -> bool:
+        """True when the region covers no points."""
         return any(h <= l for l, h in zip(self.lo, self.hi))
 
     def bounds(self) -> Tuple[Tuple[int, int], ...]:
+        """The (lo, hi) bound tuples."""
         return tuple(zip(self.lo, self.hi))
 
     def __contains__(self, point: Sequence[int]) -> bool:
@@ -107,6 +112,7 @@ class Region:
         )
 
     def overlaps(self, other: "Region") -> bool:
+        """True when the two regions share at least one point."""
         return not self.intersect(other).is_empty
 
     # ------------------------------------------------------------------ #
@@ -119,6 +125,7 @@ class Region:
             )
 
     def intersect(self, other: "Region") -> "Region":
+        """The overlapping sub-region (possibly empty)."""
         self._check_ndim(other)
         lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
         hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
@@ -137,6 +144,7 @@ class Region:
         return Region(lo, hi)
 
     def translate(self, offset: Sequence[int]) -> "Region":
+        """The region shifted by ``offset``."""
         offset = _as_tuple(offset, self.ndim)
         return Region(
             tuple(l + o for l, o in zip(self.lo, offset)),

@@ -90,6 +90,7 @@ class KernelDef:
     # validation helpers
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
+        """Check parameter/annotation consistency; raise on mismatch."""
         if self.func is None:
             raise ValueError(f"kernel {self.name!r} has no function attached")
         if not self.params:
@@ -114,10 +115,12 @@ class KernelDef:
 
     @property
     def value_params(self) -> Tuple[Param, ...]:
+        """The scalar parameters, in declaration order."""
         return tuple(p for p in self.params if p.kind == "value")
 
     @property
     def array_params(self) -> Tuple[Param, ...]:
+        """The array parameters, in declaration order."""
         return tuple(p for p in self.params if p.kind == "array")
 
 
@@ -136,18 +139,22 @@ class CompiledKernel:
     # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
+        """The kernel's registered name."""
         return self.definition.name
 
     @property
     def params(self) -> Tuple[Param, ...]:
+        """Every declared parameter, in order."""
         return self.definition.params
 
     @property
     def annotation(self) -> Annotation:
+        """The parsed access annotation."""
         return self.definition.annotation  # type: ignore[return-value]
 
     @property
     def cost(self) -> KernelCost:
+        """The roofline cost model of one kernel thread."""
         return self.definition.cost
 
     # ------------------------------------------------------------------ #
@@ -193,6 +200,7 @@ class CompiledKernel:
         scalar_args: Mapping[str, object],
         views: Mapping[str, ArrayView],
     ) -> None:
+        """Execute the kernel body for one superblock (functional mode)."""
         args: Dict[str, object] = {}
         for param in self.params:
             if param.kind == "value":

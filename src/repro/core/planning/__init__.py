@@ -10,12 +10,15 @@ The package splits the old monolithic planner into
 * :mod:`.cache` — the plan-template cache for iterative launches;
 * :mod:`.planner` — the :class:`Planner` facade the driver talks to;
 * :mod:`.window` — the launch window: deferred submission with cross-launch
-  kernel fusion and halo-prefetch passes over a bounded lookahead group.
+  kernel fusion and halo-prefetch passes over a bounded lookahead group;
+* :mod:`.memplan` — window-aware memory planning: planned pre-eviction and
+  hierarchy-aware prefetch promotion for the drained group.
 """
 
 from .cache import PlanTemplateCache
 from .costmodel import TransferCostModel
-from .ir import PlanRecipe, RecipeBuilder, TransferStep, stamp_recipe
+from .ir import AccessSummary, PlanRecipe, RecipeBuilder, TransferStep, stamp_recipe
+from .memplan import GroupMemoryPlan, WindowMemoryPlanner
 from .passes import (
     AccessAnalysisPass,
     CopyCoalescingPass,
@@ -59,4 +62,7 @@ __all__ = [
     "LaunchWindow",
     "PendingLaunch",
     "DEFAULT_LOOKAHEAD",
+    "AccessSummary",
+    "GroupMemoryPlan",
+    "WindowMemoryPlanner",
 ]

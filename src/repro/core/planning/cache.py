@@ -67,6 +67,7 @@ class PlanTemplateCache:
     # lookup / store
     # ------------------------------------------------------------------ #
     def lookup(self, key: Hashable) -> Optional[PlanRecipe]:
+        """The cached recipe for ``key``, or ``None`` (counts hits/misses)."""
         recipe = self._entries.get(key)
         if recipe is None:
             self.misses += 1
@@ -76,6 +77,7 @@ class PlanTemplateCache:
         return recipe
 
     def store(self, key: Hashable, recipe: PlanRecipe) -> None:
+        """Insert a recipe, evicting the LRU entry beyond ``maxsize``."""
         self._entries[key] = recipe
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
@@ -114,14 +116,17 @@ class PlanTemplateCache:
         return len(self._entries)
 
     def clear(self) -> None:
+        """Drop every cached entry."""
         self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 when never consulted)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def describe(self) -> str:
+        """One-line summary: entries, hits/misses and hit rate."""
         return (
             f"plan-template cache: {len(self._entries)} entries, "
             f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%} hit rate)"

@@ -44,6 +44,7 @@ class TransferCostModel:
         self._pcie_latency = getattr(node, "pcie_latency", 10e-6)
 
     def locality(self, src_device: DeviceId, dst_device: DeviceId) -> int:
+        """Locality class of a transfer: same GPU < peer GPU < remote node."""
         if src_device == dst_device:
             return SAME_DEVICE
         if src_device.worker == dst_device.worker:

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
-from ...hardware.topology import DeviceId, WorkerId
+from ...hardware.topology import DeviceId, MemorySpace, WorkerId
 from ..chunk import ChunkId, ChunkMeta
 from ..geometry import Region
 from .. import tasks as T
@@ -44,6 +44,7 @@ __all__ = [
     "TransferStep",
     "ArgBindingProto",
     "TaskProto",
+    "AccessSummary",
     "PlanRecipe",
     "RecipeBuilder",
     "StampedPlan",
@@ -115,10 +116,12 @@ class TempChunkSpec:
 
     @property
     def worker(self) -> WorkerId:
+        """Worker owning the temp chunk's home device."""
         return self.home.worker
 
     @property
     def nbytes(self) -> int:
+        """Payload size of the temp chunk in bytes."""
         return self.region.size * np.dtype(self.dtype).itemsize
 
 
@@ -137,22 +140,27 @@ class ChunkHandle:
 
     @classmethod
     def of_chunk(cls, chunk: ChunkMeta) -> "ChunkHandle":
+        """Handle for a persistent array chunk."""
         return cls(ref=chunk.chunk_id, home=chunk.home, dtype=chunk.dtype, meta=chunk)
 
     @classmethod
     def of_temp(cls, spec: TempChunkSpec) -> "ChunkHandle":
+        """Handle for a symbolic temp-chunk slot."""
         return cls(ref=TempRef(spec.slot), home=spec.home, dtype=np.dtype(spec.dtype))
 
     @property
     def worker(self) -> WorkerId:
+        """Worker owning the endpoint's home device."""
         return self.home.worker
 
     @property
     def is_temp(self) -> bool:
+        """True when the handle names a temp slot, not a persistent chunk."""
         return isinstance(self.ref, TempRef)
 
     @property
     def chunk_id(self) -> Optional[ChunkId]:
+        """The persistent chunk id, or ``None`` for temp slots."""
         return None if self.is_temp else self.ref
 
 
@@ -168,6 +176,7 @@ class TransferStep:
 
     @property
     def nbytes(self) -> int:
+        """Bytes the transfer step moves."""
         return self.region.size * np.dtype(self.src.dtype).itemsize
 
 
@@ -203,6 +212,31 @@ class TaskProto:
 
 
 @dataclass
+class AccessSummary:
+    """Per-memory-space footprint of one plan recipe (the template's *access
+    summary*).
+
+    Computed once per recipe by :meth:`PlanRecipe.access_summary` and cached
+    with the template, so the launch window's memory-planning drain pass can
+    combine the summaries of a whole drained group without re-walking any
+    protos on the hot path.
+    """
+
+    #: persistent chunks each GPU space must hold, in first-use (proto) order
+    chunks_by_space: Dict[MemorySpace, List[ChunkId]] = field(default_factory=dict)
+    #: size of every chunk mentioned in ``chunks_by_space``
+    chunk_bytes: Dict[ChunkId, int] = field(default_factory=dict)
+    #: total bytes of temporary chunks created per GPU space (conservative:
+    #: temps are created and deleted within the plan, so summing them
+    #: over-approximates the concurrent footprint)
+    temp_bytes_by_space: Dict[MemorySpace, int] = field(default_factory=dict)
+    #: persistent chunks staged into GPU memory before the plan's launch
+    #: tasks run (direct launch bindings and same-worker gather sources), in
+    #: plan order — the candidates for hierarchy-aware prefetch promotion
+    prefetch_chunks: List[ChunkId] = field(default_factory=list)
+
+
+@dataclass
 class PlanRecipe:
     """A reusable structural execution-plan template for one driver operation."""
 
@@ -215,10 +249,59 @@ class PlanRecipe:
     writes: List[Tuple[ChunkId, int]] = field(default_factory=list)
     #: optimisation-pass statistics recorded while this recipe was built
     notes: Dict[str, float] = field(default_factory=dict)
+    #: metadata of every persistent chunk the recipe references (collected by
+    #: the builder; what lets :meth:`access_summary` size working sets)
+    chunk_metas: Dict[ChunkId, ChunkMeta] = field(default_factory=dict)
+    _summary: Optional[AccessSummary] = field(default=None, repr=False)
 
     @property
     def task_count(self) -> int:
+        """Number of task protos in the recipe."""
         return len(self.protos)
+
+    def access_summary(self) -> AccessSummary:
+        """The recipe's per-space working set (memoised on first call)."""
+        if self._summary is None:
+            self._summary = self._build_summary()
+        return self._summary
+
+    def _build_summary(self) -> AccessSummary:
+        summary = AccessSummary()
+
+        def note(chunk_ref: object, prefetch: bool) -> None:
+            meta = self.chunk_metas.get(chunk_ref) if not isinstance(chunk_ref, TempRef) else None
+            if meta is None:
+                return
+            space = meta.home.memory_space
+            if chunk_ref not in summary.chunk_bytes:
+                summary.chunk_bytes[chunk_ref] = meta.nbytes
+                summary.chunks_by_space.setdefault(space, []).append(chunk_ref)
+            if prefetch and chunk_ref not in summary.prefetch_chunks:
+                summary.prefetch_chunks.append(chunk_ref)
+
+        for proto in self.protos:
+            if proto.factory is T.LaunchTask:
+                for binding in proto.fields.get("array_args", ()):
+                    note(binding.chunk_ref, prefetch=True)
+            elif proto.factory is T.FusedLaunchTask:
+                for bindings in proto.fields.get("array_args_list", ()):
+                    for binding in bindings:
+                        note(binding.chunk_ref, prefetch=True)
+            elif proto.factory is T.CopyTask:
+                # Copies stage both endpoints in GPU memory; same-worker
+                # gather sources are the hierarchy-prefetch candidates.
+                note(proto.fields.get("src_chunk"), prefetch=proto.category == "gather")
+                note(proto.fields.get("dst_chunk"), prefetch=False)
+            elif proto.factory is T.ReduceTask:
+                note(proto.fields.get("src_chunk"), prefetch=False)
+                note(proto.fields.get("dst_chunk"), prefetch=False)
+            # Send/Recv/Fill/Download stage "host"/"any": no GPU footprint.
+        for spec in self.temps:
+            space = spec.home.memory_space
+            summary.temp_bytes_by_space[space] = (
+                summary.temp_bytes_by_space.get(space, 0) + spec.nbytes
+            )
+        return summary
 
 
 class RecipeBuilder:
@@ -231,6 +314,7 @@ class RecipeBuilder:
     # symbolic allocation
     # ------------------------------------------------------------------ #
     def temp(self, region: Region, dtype, home: DeviceId, label: str) -> TempChunkSpec:
+        """Allocate a symbolic temp-chunk slot (blueprint only)."""
         spec = TempChunkSpec(
             slot=len(self.recipe.temps),
             region=region,
@@ -242,6 +326,7 @@ class RecipeBuilder:
         return spec
 
     def tag(self) -> TagRef:
+        """Allocate a symbolic send/recv tag slot."""
         ref = TagRef(self.recipe.tag_slots)
         self.recipe.tag_slots += 1
         return ref
@@ -301,6 +386,7 @@ class RecipeBuilder:
         )
 
     def delete_chunk(self, handle: ChunkHandle, label: str, deps: Sequence[int]) -> int:
+        """Emit a delete proto for a chunk once ``deps`` are done."""
         return self.add(
             T.DeleteChunkTask,
             worker=handle.worker,
@@ -322,6 +408,9 @@ class RecipeBuilder:
         whose completion means the data arrived at the destination.
         """
         src, dst, region = step.src, step.dst, step.region
+        for handle in (src, dst):
+            if handle.meta is not None:
+                self.recipe.chunk_metas[handle.meta.chunk_id] = handle.meta
         nbytes = step.nbytes
         if src.worker == dst.worker:
             copy = self.add(
@@ -368,13 +457,19 @@ class RecipeBuilder:
         )
         return send, recv
 
+    def note_meta(self, meta: ChunkMeta) -> None:
+        """Record a persistent chunk's metadata for the access summary."""
+        self.recipe.chunk_metas[meta.chunk_id] = meta
+
     # ------------------------------------------------------------------ #
     # conflict bookkeeping
     # ------------------------------------------------------------------ #
     def note_read(self, chunk_id: ChunkId, proto_index: int) -> None:
+        """Record that ``proto_index`` reads ``chunk_id`` (conflict bookkeeping)."""
         self.recipe.reads.append((chunk_id, proto_index))
 
     def note_write(self, chunk_id: ChunkId, proto_index: int) -> None:
+        """Record that ``proto_index`` writes ``chunk_id`` (conflict bookkeeping)."""
         self.recipe.writes.append((chunk_id, proto_index))
 
 

@@ -1,0 +1,450 @@
+"""Window-aware memory planning: the launch window's third drain pass.
+
+The launch window (PR 3) gave the planner lookahead over a *group* of
+launches; until this pass, memory stayed reactive — spilling fired
+chunk-by-chunk inside staging transactions, and the prefetch pass could only
+reorder staging priority, never pull a spilled chunk back up the hierarchy.
+This module closes both gaps at drain time:
+
+* **Planned pre-eviction** — the drained group's combined per-space working
+  set is assembled from the plan templates' cached access summaries
+  (:meth:`~.ir.PlanRecipe.access_summary`).  Where the bytes the group must
+  bring into a space exceed what is free, a
+  :class:`~repro.core.tasks.MemoryReserveTask` is emitted ahead of the group:
+  it picks spill victims up front via the memory manager's existing LRU index
+  (:meth:`~repro.runtime.memory.MemoryManager.reserve`), protecting the
+  earliest-used prefix of the working set, and — when the whole working set
+  fits the space — pins the already resident members until a matching
+  :class:`~repro.core.tasks.MemoryReleaseTask` fires after the group.
+  Eviction write-backs therefore start while earlier work still computes,
+  instead of contending with stage-in transfers on the critical path.
+
+* **Hierarchy-aware prefetch** — for every prefetch-eligible launch of the
+  group (the same launches whose gathers the PR-3 pass priority-stamps), the
+  summary's prefetch candidates whose source chunk is currently *spilled*
+  (host or disk) get a :class:`~repro.core.tasks.PromoteChunkTask`: a
+  priority-stamped staging of the chunk back to its home GPU, throttled by
+  the same per-device staging budget as all other staging, anchored so the
+  promotion transfers overlap the preceding launch's compute.
+
+Both mechanisms are pure residency/performance planning: chunk contents are
+untouched and task dependencies are only ever *added* (reserve tasks wait for
+every earlier reader/writer of the chunks they pin), so functional results
+are bit-identical with the pass on or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...hardware.topology import MemoryKind, MemorySpace
+from ..chunk import ChunkId
+from .. import tasks as T
+
+__all__ = ["WindowMemoryPlanner", "GroupMemoryPlan"]
+
+
+@dataclass
+class _Reservation:
+    """One pinned per-space reservation awaiting its release task."""
+
+    worker: int
+    reservation: int
+    chunk_ids: Tuple[ChunkId, ...]
+
+
+@dataclass
+class _ReserveSpec:
+    """Blueprint of one reserve task (materialised at finalise time)."""
+
+    space: MemorySpace
+    chunk_ids: Tuple[ChunkId, ...]
+    nbytes: int
+    reservation: int
+    pin: bool
+    #: pre-group conflict dependencies, snapshotted before the group stamps
+    deps: Tuple[int, ...]
+
+
+@dataclass
+class _PromoteSpec:
+    """Blueprint of one promotion task (materialised at stamp time).
+
+    Unlike reserves, a promotion's conflict dependencies are *not*
+    snapshotted here: they are resolved when the blueprint is materialised —
+    just before its consumer unit stamps — so they include writers from
+    earlier units of the same drained group.
+    """
+
+    chunk_id: ChunkId
+    device: object
+    nbytes: int
+    #: index of the drain unit whose staging this promotion front-runs
+    unit_index: int
+
+
+@dataclass
+class GroupMemoryPlan:
+    """The memory plan emitted alongside one drained group's task graph.
+
+    Built in two phases: :meth:`WindowMemoryPlanner.plan_group` runs before
+    the group is stamped (reserve conflict dependencies must be snapshotted
+    while the planner's tables describe only pre-group work) and produces
+    task *blueprints*; :meth:`WindowMemoryPlanner.build_reserve_plan`,
+    :meth:`~WindowMemoryPlanner.build_promote_plan` and
+    :meth:`~WindowMemoryPlanner.build_release_plan` materialise them around
+    the stamping loop, anchored to the group's execution timeline.
+    Allocating the task ids at materialise time keeps the repo-wide
+    invariant that every dependency points at an earlier-allocated task.
+    """
+
+    reserve_specs: List[_ReserveSpec] = field(default_factory=list)
+    promote_specs: List[_PromoteSpec] = field(default_factory=list)
+    #: pinned reservations that need a release task after the group
+    reservations: List[_Reservation] = field(default_factory=list)
+    #: the reserve tasks, submitted *before* the group's plans
+    pre_plan: Optional[T.ExecutionPlan] = None
+    #: chunks scheduled for up-hierarchy promotion
+    promotions: int = 0
+    #: chunks named as pre-eviction working sets (diagnostics/tests)
+    reserved_chunks: int = 0
+
+
+class WindowMemoryPlanner:
+    """Builds :class:`GroupMemoryPlan` objects for the launch window's drains.
+
+    Driver-side like the rest of the planning layer: it inspects the runtime's
+    memory managers (capacities and current residency — metadata only) and
+    emits plans; it never moves data itself.
+    """
+
+    def __init__(self, runtime: "object", planner: "object"):
+        self.runtime = runtime
+        self.planner = planner
+        self._reservation_ids = itertools.count(1)
+        #: drains for which a (non-empty) memory plan was emitted
+        self.plans_emitted = 0
+        self.promotions_planned = 0
+        self.preevictions_requested = 0
+
+    # ------------------------------------------------------------------ #
+    # group working sets
+    # ------------------------------------------------------------------ #
+    def _memory_of(self, space: MemorySpace):
+        """The memory manager owning ``space`` (worker id indexes the list)."""
+        return self.runtime.workers[space.worker].memory
+
+    @staticmethod
+    def _combine(units: Sequence["object"]):
+        """Merge the units' access summaries into per-space working sets.
+
+        Returns ``(chunks_by_space, chunk_bytes, temp_bytes_by_space)`` where
+        chunk lists preserve first-use order across the whole group and the
+        temp estimate is the *maximum* of any one unit's temps per space (the
+        temps of different launches do not live concurrently, so summing them
+        would grossly over-state the footprint).
+        """
+        chunks_by_space: Dict[MemorySpace, List[ChunkId]] = {}
+        chunk_bytes: Dict[ChunkId, int] = {}
+        temp_bytes: Dict[MemorySpace, int] = {}
+        for unit in units:
+            summary = unit.recipe.access_summary()
+            for space, chunk_ids in summary.chunks_by_space.items():
+                bucket = chunks_by_space.setdefault(space, [])
+                for cid in chunk_ids:
+                    if cid not in chunk_bytes:
+                        chunk_bytes[cid] = summary.chunk_bytes[cid]
+                        bucket.append(cid)
+            for space, nbytes in summary.temp_bytes_by_space.items():
+                temp_bytes[space] = max(temp_bytes.get(space, 0), nbytes)
+        return chunks_by_space, chunk_bytes, temp_bytes
+
+    # ------------------------------------------------------------------ #
+    # plan construction
+    # ------------------------------------------------------------------ #
+    def plan_group(self, units: Sequence["object"]) -> Optional[GroupMemoryPlan]:
+        """Build the memory plan for one drained group, or ``None`` when the
+        group creates no memory pressure anywhere (the common, uncapped case —
+        the pass then costs nothing).
+
+        ``units`` are the window's drain units: each exposes ``recipe`` (the
+        plan template that will be stamped) and ``prefetch`` (whether the
+        PR-3 prefetch pass applies to it, i.e. it is not the group's first
+        launch).  Must run *before* the group is stamped, while the planner's
+        conflict tables still describe only pre-group work.
+        """
+        chunks_by_space, chunk_bytes, temp_bytes = self._combine(units)
+        memory_plan = GroupMemoryPlan()
+
+        #: per space: the promotion regime — ("free", None) when the space has
+        #: slack, ("keep", chunks) when the group fits and the keep set is
+        #: protected, ("none", None) when the working set overflows the space
+        #: (promoted data would be evicted again before use)
+        regime_by_space: Dict[MemorySpace, Tuple[str, Optional[set]]] = {}
+        for space, ws_chunks in sorted(
+            chunks_by_space.items(), key=lambda item: (item[0].worker, item[0].device_index)
+        ):
+            regime_by_space[space] = self._plan_space(
+                memory_plan, space, ws_chunks, chunk_bytes, temp_bytes.get(space, 0)
+            )
+        self._plan_promotions(memory_plan, units, regime_by_space)
+
+        if not memory_plan.reserve_specs and not memory_plan.promote_specs:
+            return None
+        self.plans_emitted += 1
+        return memory_plan
+
+    def _plan_space(
+        self,
+        memory_plan: GroupMemoryPlan,
+        space: MemorySpace,
+        ws_chunks: List[ChunkId],
+        chunk_bytes: Dict[ChunkId, int],
+        temp_estimate: int,
+    ) -> Tuple[str, Optional[set]]:
+        """Emit the reserve task for one memory space, if it is under pressure.
+
+        Returns the space's promotion regime: ``("free", None)`` when the
+        space has room to spare, ``("keep", chunks)`` when the group's working
+        set fits the space — the keep set (its earliest-used prefix) is
+        pre-evicted for, pinned, and eligible for promotion — and
+        ``("none", None)`` when the working set overflows the space: victims
+        are still chosen up front, but promoting would only displace
+        sooner-used data, so prefetch stands down.
+        """
+        memory = self._memory_of(space)
+
+        def resident(cid: ChunkId) -> bool:
+            # Chunks the worker has not materialised yet (their create plan is
+            # still in flight) are by definition not resident in this space.
+            return memory.knows(cid) and memory.residency(cid) == space
+
+        incoming = sum(chunk_bytes[cid] for cid in ws_chunks if not resident(cid))
+        if incoming + temp_estimate <= memory.free_bytes(space):
+            return "free", None  # no pressure: staging will not have to evict
+        capacity = memory.capacity(space)
+        ws_total = sum(chunk_bytes[cid] for cid in ws_chunks) + temp_estimate
+        budget = max(0, capacity - temp_estimate)
+        keep: List[ChunkId] = []
+        keep_bytes = 0
+        for cid in ws_chunks:
+            if keep_bytes + chunk_bytes[cid] > budget and keep:
+                break
+            keep.append(cid)
+            keep_bytes += chunk_bytes[cid]
+        incoming_keep = sum(
+            chunk_bytes[cid] for cid in keep if not resident(cid)
+        )
+        target = min(incoming_keep + temp_estimate, capacity)
+        pin = ws_total <= capacity
+        reservation = next(self._reservation_ids)
+        memory_plan.reserve_specs.append(_ReserveSpec(
+            space=space,
+            chunk_ids=tuple(keep),
+            nbytes=target,
+            reservation=reservation,
+            pin=pin,
+            deps=self._conflict_deps(keep),
+        ))
+        memory_plan.reserved_chunks += len(keep)
+        self.preevictions_requested += 1
+        if pin:
+            memory_plan.reservations.append(
+                _Reservation(worker=space.worker, reservation=reservation,
+                             chunk_ids=tuple(keep))
+            )
+            return "keep", set(keep)
+        return "none", None
+
+    def _plan_promotions(
+        self,
+        memory_plan: GroupMemoryPlan,
+        units: Sequence["object"],
+        regime_by_space: Dict[MemorySpace, Tuple[str, Optional[set]]],
+    ) -> None:
+        """Emit promotion tasks for spilled prefetch candidates of the group.
+
+        Promotion is deliberately conservative: in a space whose working set
+        fits (``"keep"`` regime) only keep-set members are promoted — they
+        are the chunks planned pre-eviction just made room for and pinning
+        protects until use; in a space with free room any spilled candidate
+        is promoted into the slack; and in an overflowing space (``"none"``)
+        promotion stands down entirely, because a promoted chunk would only
+        displace sooner-used data and be evicted again before its use.
+        Either way the total is capped by the scheduler's staging budget for
+        the device.
+        """
+        promoted_bytes: Dict[MemorySpace, int] = {}
+        seen: set = set()
+        for unit_index, unit in enumerate(units):
+            if not unit.prefetch:
+                continue
+            summary = unit.recipe.access_summary()
+            for cid in summary.prefetch_chunks:
+                if cid in seen:
+                    continue
+                seen.add(cid)
+                meta = unit.recipe.chunk_metas.get(cid)
+                if meta is None:
+                    continue
+                space = meta.home.memory_space
+                memory = self._memory_of(space)
+                if not memory.knows(cid):
+                    continue
+                residency = memory.residency(cid)
+                if residency is None or residency.kind is MemoryKind.GPU:
+                    continue  # unallocated or already up: nothing to promote
+                regime, keep = regime_by_space.get(space, ("free", None))
+                if regime == "none":
+                    continue  # overflowing space: promotion would thrash
+                spent = promoted_bytes.get(space, 0)
+                allowance = self.runtime.workers[space.worker].scheduler.stage_threshold
+                if regime == "keep":
+                    if cid not in keep:
+                        continue  # only refill what pre-eviction made room for
+                else:
+                    allowance = min(allowance, memory.free_bytes(space))
+                if spent + meta.nbytes > allowance:
+                    continue
+                promoted_bytes[space] = spent + meta.nbytes
+                memory_plan.promote_specs.append(_PromoteSpec(
+                    chunk_id=cid,
+                    device=meta.home,
+                    nbytes=meta.nbytes,
+                    unit_index=unit_index,
+                ))
+                memory_plan.promotions += 1
+                self.promotions_planned += 1
+
+    def _conflict_deps(self, chunk_ids: Sequence[ChunkId], kind: str = "write") -> Tuple[int, ...]:
+        """Every earlier task touching ``chunk_ids``, per the conflict tables.
+
+        Reserve tasks wait for *all* prior readers and writers (``"write"``
+        semantics) so pinning can never starve an earlier task that still
+        needs those chunks; promotions only wait for writers (``"read"``).
+        """
+        resolve = self.planner.dependency_injector.resolve
+        deps: List[int] = []
+        for cid in chunk_ids:
+            deps.extend(resolve(kind, cid))
+        return tuple(dict.fromkeys(deps))
+
+    # ------------------------------------------------------------------ #
+    # finalisation: materialise tasks, anchored to the group's timeline
+    # ------------------------------------------------------------------ #
+    def build_reserve_plan(
+        self,
+        memory_plan: GroupMemoryPlan,
+        previous_group_tail: Dict[int, List[int]],
+    ) -> Optional[T.ExecutionPlan]:
+        """Materialise the reserve blueprints (submitted *before* the group).
+
+        Conflict dependencies alone would let a reserve task become runnable
+        far too early — in a fully queued program every data dependency of a
+        later drain may already be satisfied while earlier drains are still
+        executing, and an unanchored reserve would pre-evict a space that is
+        still empty.  Each reserve is therefore additionally anchored on the
+        previous drain's last launches on its worker: the boundary where its
+        group's working set takes over the space.
+        """
+        if not memory_plan.reserve_specs:
+            return None
+        plan = T.ExecutionPlan(description="window memory reserve")
+        for spec in memory_plan.reserve_specs:
+            anchor_ids = tuple(previous_group_tail.get(spec.space.worker, ()))
+            plan.add(T.MemoryReserveTask(
+                task_id=self.planner.allocate_task_id(),
+                worker=spec.space.worker,
+                deps=tuple(dict.fromkeys(spec.deps + anchor_ids)),
+                label=f"reserve {spec.space}",
+                space=spec.space,
+                chunk_ids=spec.chunk_ids,
+                nbytes=spec.nbytes,
+                reservation=spec.reservation,
+                pin=spec.pin,
+            ))
+        memory_plan.pre_plan = plan
+        return plan
+
+    def build_promote_plan(
+        self,
+        memory_plan: GroupMemoryPlan,
+        unit_index: int,
+        unit_launch_ids: Sequence[Dict[int, List[int]]],
+        previous_group_tail: Dict[int, List[int]],
+    ) -> Optional[T.ExecutionPlan]:
+        """Materialise unit ``unit_index``'s promotion blueprints.
+
+        The window calls this *immediately before stamping* unit
+        ``unit_index`` (and submits the plan just before that unit's own
+        plan).  A promotion is anchored on the *first* launch of unit ``u-2``
+        on its worker (or the previous drain's tail), giving its up-hierarchy
+        transfers roughly one unit of lead over the consumer — enough to
+        overlap unit ``u-1``'s compute without arriving so early that the
+        promoted chunk is evicted again before use.
+
+        Materialising before the consumer stamps is what makes the promotion
+        effective: it registers in the planner's conflict tables as a
+        *reader* of the chunk, so a consumer that writes the chunk picks up a
+        conflict dependency on the promotion and only starts once the
+        promoted data has actually arrived, while read-only consumers race it
+        harmlessly.  It also keeps the repo-wide invariant that every
+        dependency points at an earlier-allocated, earlier-submitted task.
+        """
+        specs = [s for s in memory_plan.promote_specs if s.unit_index == unit_index]
+        if not specs:
+            return None
+        plan = T.ExecutionPlan(description="window memory promote")
+        for spec in specs:
+            worker = spec.device.worker
+            if spec.unit_index >= 2:
+                anchor_ids = tuple(
+                    unit_launch_ids[spec.unit_index - 2].get(worker, ())[:1]
+                )
+            else:
+                anchor_ids = tuple(previous_group_tail.get(worker, ())[:1])
+            conflict_deps = self._conflict_deps([spec.chunk_id], kind="read")
+            task = T.PromoteChunkTask(
+                task_id=self.planner.allocate_task_id(),
+                worker=worker,
+                deps=tuple(dict.fromkeys(conflict_deps + anchor_ids)),
+                label=f"promote {spec.chunk_id}",
+                priority=1,
+                chunk_id=spec.chunk_id,
+                device=spec.device,
+                nbytes=spec.nbytes,
+            )
+            plan.add(task)
+            # The promotion is a reader of the chunk: writers stamped after
+            # it (and later deletes) must wait for the promoted data.
+            self.planner.record_reader(spec.chunk_id, task.task_id)
+        return plan
+
+    def build_release_plan(
+        self, memory_plan: GroupMemoryPlan, group_plans: Sequence[T.ExecutionPlan]
+    ) -> Optional[T.ExecutionPlan]:
+        """Release tasks for the plan's pinned reservations, depending on every
+        group task of the owning worker (runs after the group is stamped)."""
+        if not memory_plan.reservations:
+            return None
+        tasks_by_worker: Dict[int, List[int]] = {}
+        for plan in group_plans:
+            for worker, tasks in plan.tasks_by_worker.items():
+                tasks_by_worker.setdefault(worker, []).extend(t.task_id for t in tasks)
+        release_plan = T.ExecutionPlan(description="window memory release")
+        for entry in memory_plan.reservations:
+            task = T.MemoryReleaseTask(
+                task_id=self.planner.allocate_task_id(),
+                worker=entry.worker,
+                deps=tuple(tasks_by_worker.get(entry.worker, ())),
+                label=f"release reservation {entry.reservation}",
+                reservation=entry.reservation,
+            )
+            release_plan.add(task)
+            # The release is the last "reader" of the pinned chunks: a delete
+            # planned after this drain must wait until the pins are gone.
+            for cid in entry.chunk_ids:
+                self.planner.record_reader(cid, task.task_id)
+        return release_plan

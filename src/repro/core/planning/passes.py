@@ -106,6 +106,7 @@ class ParamIR:
 
 @dataclass
 class SuperblockIR:
+    """Planning state of one superblock: its parameter IRs."""
     sb: Superblock
     params: List[ParamIR] = field(default_factory=list)
 
@@ -164,6 +165,7 @@ class PlanningPass:
     name = "pass"
 
     def run(self, state: LaunchState) -> None:
+        """Transform the launch IR in place."""
         raise NotImplementedError
 
 
@@ -176,6 +178,7 @@ class AccessAnalysisPass(PlanningPass):
     name = "access-analysis"
 
     def run(self, state: LaunchState) -> None:
+        """Split the launch into superblocks and evaluate access regions."""
         devices = state.cluster.device_ids()
         superblocks = state.work_dist.superblocks(state.grid, state.block, devices)
         if not superblocks:
@@ -222,6 +225,7 @@ class TransferResolutionPass(PlanningPass):
     name = "transfer-resolution"
 
     def run(self, state: LaunchState) -> None:
+        """Bind every (superblock, parameter) pair, planning transfers."""
         for sbir in state.superblocks:
             for pir in sbir.params:
                 self._resolve(state, sbir.sb, pir)
@@ -322,6 +326,7 @@ class ReductionPlanningPass(PlanningPass):
     name = "reduction-planning"
 
     def run(self, state: LaunchState) -> None:
+        """Collect reduce parameters and plan their hierarchical reductions."""
         #: param -> jobs in superblock order
         jobs_by_param: Dict[str, List[ReduceJobIR]] = {}
         for sb_index, sbir in enumerate(state.superblocks):
@@ -464,6 +469,7 @@ class RedundantTransferEliminationPass(PlanningPass):
     name = "redundant-transfer-elimination"
 
     def run(self, state: LaunchState) -> None:
+        """Drop or trim gather pieces already covered by cheaper sources."""
         saved = 0
         for sbir in state.superblocks:
             for pir in sbir.params:
@@ -529,6 +535,7 @@ class CopyCoalescingPass(PlanningPass):
         return out, merged
 
     def run(self, state: LaunchState) -> None:
+        """Coalesce adjacent transfers between the same chunk pairs."""
         merged = 0
         for sbir in state.superblocks:
             for pir in sbir.params:
@@ -551,6 +558,7 @@ class TaskEmissionPass(PlanningPass):
     name = "task-emission"
 
     def run(self, state: LaunchState) -> None:
+        """Lower the resolved IR to task protos."""
         launch_proto_of_sb: List[int] = []
 
         for sbir in state.superblocks:
@@ -580,6 +588,7 @@ class TaskEmissionPass(PlanningPass):
             return launch_deps, launch_conflicts, gather_reads, direct_reads
         if pir.direct_chunk is not None:
             chunk_id = pir.direct_chunk.chunk_id
+            builder.note_meta(pir.direct_chunk)
             if pir.mode.reads:
                 launch_conflicts.append(("read", chunk_id))
                 direct_reads.append(chunk_id)
@@ -763,6 +772,7 @@ class DependencyInjectionPass:
         self._readers = readers
 
     def resolve(self, kind: str, chunk_id: ChunkId) -> List[int]:
+        """Task ids an operation with this conflict must wait for."""
         if kind == "read":
             return list(self._writers.get(chunk_id, []))
         return list(self._writers.get(chunk_id, [])) + list(self._readers.get(chunk_id, []))
@@ -1063,6 +1073,7 @@ def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilde
 # the pipeline
 # --------------------------------------------------------------------------- #
 def default_pipeline() -> List[PlanningPass]:
+    """The standard pass pipeline for planning one launch."""
     return [
         AccessAnalysisPass(),
         TransferResolutionPass(),

@@ -114,6 +114,17 @@ class Planner:
     def _new_task_id(self) -> int:
         return self._task_ids.next_id()
 
+    def allocate_task_id(self) -> int:
+        """A fresh task id for auxiliary plans built outside the stamp path
+        (the window's memory planner uses this for reserve/promote tasks)."""
+        return self._new_task_id()
+
+    def record_reader(self, chunk_id, task_id: int) -> None:
+        """Register an out-of-band reader of ``chunk_id`` in the conflict
+        tables, so later writes/deletes wait for it (promotion and release
+        tasks from the window's memory plans are such readers)."""
+        self._readers[chunk_id].append(task_id)
+
     # ------------------------------------------------------------------ #
     # array lifecycle plans (not cached: they run once per array)
     # ------------------------------------------------------------------ #

@@ -12,7 +12,7 @@ observable:
   the current group),
 * context exit (``with Context(...) as ctx:``).
 
-Draining runs two cross-launch passes over the group before the per-launch
+Draining runs three cross-launch passes over the group before the per-launch
 stamping:
 
 1. **Kernel fusion** — adjacent launches whose producer/consumer access
@@ -27,6 +27,13 @@ stamping:
    priority, so a worker's staging throttle starts the *next* launch's
    predictable halo exchange while the current launch computes.
 
+3. **Window-aware memory planning** (see :mod:`.memplan`) — the group's
+   combined per-space working set is computed from the plan templates'
+   access summaries; spaces the group will overflow get planned
+   pre-eviction (spill victims chosen up front, write-backs overlapped with
+   compute) and spilled prefetch candidates get up-hierarchy promotion
+   transfers ahead of their use.
+
 Everything the window does is a driver-side reordering of plan construction;
 the stamped plans are submitted in program order, so cross-launch conflict
 dependencies (and therefore results) are exactly those of eager submission.
@@ -35,8 +42,10 @@ dependencies (and therefore results) are exactly those of eager submission.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .. import tasks as T
+from .memplan import WindowMemoryPlanner
 from .planner import Planner, PreparedLaunch
 
 __all__ = ["PendingLaunch", "LaunchWindow", "DEFAULT_LOOKAHEAD"]
@@ -60,6 +69,22 @@ class PendingLaunch:
     array_ids: frozenset = field(default_factory=frozenset)
 
 
+@dataclass
+class DrainUnit:
+    """One stamping unit of a drained group: a single launch or a fused pair.
+
+    The fusion pass produces these; the memory-planning and stamping passes
+    consume them (``recipe`` is the template that will be stamped, and
+    ``prefetch`` says whether the PR-3 prefetch stamp applies).
+    """
+
+    members: Tuple[PendingLaunch, ...]
+    recipe: object
+    cache_status: Optional[str]
+    prefetch: bool
+    fused: bool
+
+
 class LaunchWindow:
     """Bounded lookahead buffer of pending launches with cross-launch passes."""
 
@@ -70,18 +95,25 @@ class LaunchWindow:
         depth: int = DEFAULT_LOOKAHEAD,
         fusion: bool = True,
         prefetch: bool = True,
+        memory_planning: bool = True,
     ):
         self.runtime = runtime
         self.planner = planner
         self.depth = max(1, int(depth))
         self.fusion_enabled = fusion
         self.prefetch_enabled = prefetch
+        self.memory_planning_enabled = memory_planning
+        self.memplan = WindowMemoryPlanner(runtime, planner) if memory_planning else None
         self._pending: List[PendingLaunch] = []
         # counters surfaced through RuntimeStats
         self.flushes = 0
         self.flush_reasons: Dict[str, int] = {}
         self.launches_fused = 0
         self.transfers_prefetched = 0
+        self.memory_plans = 0
+        #: launch-task ids (by worker) of the previous drain's last unit, the
+        #: timeline anchor for the next drain's reserve/promotion tasks
+        self._previous_group_tail: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # filling
@@ -113,7 +145,8 @@ class LaunchWindow:
         self.flushes += 1
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
 
-        plans = []
+        # Pass 1 — kernel fusion: partition the group into stamping units.
+        units: List[DrainUnit] = []
         index = 0
         while index < len(group):
             fused, fused_status = None, None
@@ -126,27 +159,96 @@ class LaunchWindow:
             # launch ahead, so they are stamped with a raised priority.
             prefetch = self.prefetch_enabled and index > 0
             if fused is not None:
-                members = (group[index], group[index + 1])
-                plan, prefetched = self.planner.stamp_fused(
-                    fused,
-                    scalar_sets=[m.scalars for m in members],
-                    launch_ids=[m.launch_id for m in members],
-                    cache_status=fused_status,
-                    prefetch=prefetch,
-                )
-                self.launches_fused += len(members) - 1
-                index += len(members)
+                units.append(DrainUnit(
+                    members=(group[index], group[index + 1]),
+                    recipe=fused, cache_status=fused_status,
+                    prefetch=prefetch, fused=True,
+                ))
+                index += 2
             else:
                 pending = group[index]
+                units.append(DrainUnit(
+                    members=(pending,),
+                    recipe=pending.prepared.recipe,
+                    cache_status=pending.prepared.cache_status,
+                    prefetch=prefetch, fused=False,
+                ))
+                index += 1
+
+        # Pass 2 — window-aware memory planning.  Must run before stamping:
+        # reserve/promotion dependencies come from the conflict tables, which
+        # must still describe only pre-group work.
+        memory_plan = None
+        if self.memplan is not None:
+            memory_plan = self.memplan.plan_group(units)
+
+        # Pass 3 — stamping, in program order.  Each unit's promotion plan is
+        # materialised just before the unit stamps, so a consumer that writes
+        # a promoted chunk picks up a conflict dependency on the promotion.
+        plans = []
+        promote_plans: List[object] = []
+        unit_launch_ids: List[Dict[int, List[int]]] = []
+        for index, unit in enumerate(units):
+            if memory_plan is not None:
+                promote_plans.append(self.memplan.build_promote_plan(
+                    memory_plan, index, unit_launch_ids, self._previous_group_tail
+                ))
+            else:
+                promote_plans.append(None)
+            if unit.fused:
+                plan, prefetched = self.planner.stamp_fused(
+                    unit.recipe,
+                    scalar_sets=[m.scalars for m in unit.members],
+                    launch_ids=[m.launch_id for m in unit.members],
+                    cache_status=unit.cache_status,
+                    prefetch=unit.prefetch,
+                )
+                self.launches_fused += len(unit.members) - 1
+            else:
+                pending = unit.members[0]
                 plan, prefetched = self.planner.stamp_launch(
                     pending.prepared,
                     pending.scalars,
                     pending.launch_id,
-                    prefetch=prefetch,
+                    prefetch=unit.prefetch,
                 )
-                index += 1
-            if prefetch:
+            if unit.prefetch:
                 self.transfers_prefetched += prefetched
+            # Only the memory planner consumes launch-id anchors; skip the
+            # per-task scan entirely when the pass is disabled.
+            if self.memplan is not None:
+                by_worker: Dict[int, List[int]] = {}
+                for worker, tasks in plan.tasks_by_worker.items():
+                    ids = [t.task_id for t in tasks
+                           if isinstance(t, (T.LaunchTask, T.FusedLaunchTask))]
+                    if ids:
+                        by_worker[worker] = ids
+                unit_launch_ids.append(by_worker)
             plans.append(plan)
-        for plan in plans:
+
+        # Submission: reserves precede the whole group; each unit's promote
+        # plan precedes the unit it serves (but follows its anchor unit), so
+        # every dependency points at an already-submitted task and on a
+        # readiness tie the promotion stages before its consumer; the pin
+        # release comes last.
+        if memory_plan is not None:
+            self.memory_plans += 1
+            reserve = self.memplan.build_reserve_plan(
+                memory_plan, self._previous_group_tail
+            )
+            if reserve is not None:
+                self.runtime.submit_plan(reserve)
+        for plan, promote in zip(plans, promote_plans):
+            if promote is not None:
+                self.runtime.submit_plan(promote)
             self.runtime.submit_plan(plan)
+        if memory_plan is not None:
+            release = self.memplan.build_release_plan(memory_plan, plans)
+            if release is not None:
+                self.runtime.submit_plan(release)
+        # Fold this group's launches into the per-worker anchor map: a
+        # worker's anchor is its most recent launch across *all* units (the
+        # last unit may not have touched every worker), and workers untouched
+        # by this group keep their older anchor.
+        for by_worker in unit_launch_ids:
+            self._previous_group_tail.update(by_worker)

@@ -24,6 +24,7 @@ class ReduceOp:
     combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
 
     def identity(self, dtype: np.dtype) -> np.ndarray:
+        """The operator's identity element for ``dtype``."""
         dtype = np.dtype(dtype)
         if self.name == "+":
             value = 0

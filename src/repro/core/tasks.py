@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..hardware.topology import DeviceId, WorkerId
+from ..hardware.topology import DeviceId, MemorySpace, WorkerId
 from .chunk import ChunkId, ChunkMeta
 from .distributions import Superblock
 from .geometry import Region
@@ -43,6 +43,9 @@ __all__ = [
     "ReduceTask",
     "CombineTask",
     "DownloadTask",
+    "MemoryReserveTask",
+    "MemoryReleaseTask",
+    "PromoteChunkTask",
     "ExecutionPlan",
     "TaskIdAllocator",
 ]
@@ -57,6 +60,7 @@ class TaskIdAllocator:
         self._counter = itertools.count(1)
 
     def next_id(self) -> TaskId:
+        """A fresh, monotonically increasing task id."""
         return next(self._counter)
 
 
@@ -77,6 +81,7 @@ class Task:
 
     @property
     def kind(self) -> str:
+        """Lower-case task-kind name (``"launch"``, ``"copy"``, ...)."""
         return type(self).__name__.replace("Task", "").lower()
 
     def chunk_requirements(self) -> Sequence[Tuple[ChunkId, str]]:
@@ -98,6 +103,7 @@ class CreateChunkTask(Task):
     chunk: ChunkMeta = None  # type: ignore[assignment]
 
     def chunk_requirements(self):
+        """Nothing to stage: the chunk is only being registered."""
         return ()
 
 
@@ -122,6 +128,7 @@ class FillTask(Task):
     nbytes: int = 0
 
     def chunk_requirements(self):
+        """The filled chunk, materialised in host memory."""
         return ((self.chunk_id, "host"),)
 
 
@@ -151,6 +158,7 @@ class LaunchTask(Task):
     launch_id: int = 0
 
     def chunk_requirements(self):
+        """Every bound array chunk, materialised on the GPU."""
         return tuple((binding.chunk_id, "gpu") for binding in self.array_args)
 
 
@@ -179,9 +187,11 @@ class FusedLaunchTask(Task):
 
     @property
     def segment_count(self) -> int:
+        """Number of fused launch segments."""
         return len(self.kernel_names)
 
     def chunk_requirements(self):
+        """Every segment's bound chunks (deduplicated), on the GPU."""
         seen = {}
         for bindings in self.array_args_list:
             for binding in bindings:
@@ -201,6 +211,7 @@ class CopyTask(Task):
     dst_device: Optional[DeviceId] = None
 
     def chunk_requirements(self):
+        """Both copy endpoints, materialised on the GPU."""
         return ((self.src_chunk, "gpu"), (self.dst_chunk, "gpu"))
 
 
@@ -215,6 +226,7 @@ class SendTask(Task):
     nbytes: int = 0
 
     def chunk_requirements(self):
+        """The sent chunk, wherever it currently lives."""
         # The region is staged through host memory by the send itself (Sec. 3.2);
         # the chunk only has to be materialised wherever it currently lives.
         return ((self.chunk_id, "any"),)
@@ -231,6 +243,7 @@ class RecvTask(Task):
     nbytes: int = 0
 
     def chunk_requirements(self):
+        """The receiving chunk, wherever it currently lives."""
         return ((self.chunk_id, "any"),)
 
 
@@ -245,12 +258,62 @@ class ReduceTask(Task):
     nbytes: int = 0
 
     def chunk_requirements(self):
+        """Both reduce operands, materialised on the GPU."""
         return ((self.src_chunk, "gpu"), (self.dst_chunk, "gpu"))
 
 
 @dataclass
 class CombineTask(Task):
     """Join node: no work, used to fan in dependencies (matches Fig. 4's 'combine')."""
+
+
+@dataclass
+class MemoryReserveTask(Task):
+    """Apply one memory space's share of a launch-group memory plan.
+
+    Emitted by the launch window's drain pass (see
+    :mod:`repro.core.planning.memplan`): pre-evicts spill victims from
+    ``space`` so ``nbytes`` of the drained group's working set can stage
+    without reactive eviction, and — when ``pin`` is set — pins the already
+    resident working-set chunks until the matching :class:`MemoryReleaseTask`
+    runs.  Pure residency bookkeeping plus background write-back transfers;
+    it never touches chunk contents.
+    """
+
+    space: MemorySpace = None  # type: ignore[assignment]
+    chunk_ids: Tuple[ChunkId, ...] = ()
+    nbytes: int = 0
+    reservation: int = 0
+    pin: bool = False
+
+
+@dataclass
+class MemoryReleaseTask(Task):
+    """Release the pins taken by the :class:`MemoryReserveTask` with the same
+    ``reservation`` id, once the drained group's tasks on this worker are done."""
+
+    reservation: int = 0
+
+
+@dataclass
+class PromoteChunkTask(Task):
+    """Pull one spilled chunk back up the memory hierarchy ahead of its use.
+
+    Emitted by the window's hierarchy-aware prefetch pass for a
+    priority-stamped gather (or a later launch's direct binding) whose source
+    chunk currently lives in host or disk memory: staging the chunk to its
+    home GPU through the normal staging machinery issues the up-hierarchy
+    transfers early, overlapped with the current launch's compute, and is
+    throttled by the same per-device staging budget as every other task.
+    """
+
+    chunk_id: ChunkId = 0
+    device: DeviceId = None  # type: ignore[assignment]
+    nbytes: int = 0
+
+    def chunk_requirements(self):
+        """The promoted chunk, staged to its home GPU."""
+        return ((self.chunk_id, "gpu"),)
 
 
 @dataclass
@@ -262,6 +325,7 @@ class DownloadTask(Task):
     nbytes: int = 0
 
     def chunk_requirements(self):
+        """The downloaded chunk, wherever it currently lives."""
         return ((self.chunk_id, "any"),)
 
 
@@ -278,20 +342,25 @@ class ExecutionPlan:
 
     @property
     def from_cache(self) -> bool:
+        """True when this plan was re-stamped from a cached template."""
         return self.cache_status == "hit"
 
     def add(self, task: Task) -> Task:
+        """Append a task to its worker's DAG fragment."""
         self.tasks_by_worker.setdefault(task.worker, []).append(task)
         return task
 
     def all_tasks(self) -> List[Task]:
+        """Every task of the plan, across workers."""
         return [task for tasks in self.tasks_by_worker.values() for task in tasks]
 
     @property
     def task_count(self) -> int:
+        """Total tasks in the plan."""
         return sum(len(tasks) for tasks in self.tasks_by_worker.values())
 
     def workers(self) -> List[WorkerId]:
+        """Workers with at least one task, sorted."""
         return sorted(self.tasks_by_worker)
 
     def validate(self) -> None:

@@ -80,6 +80,7 @@ class ArrayView:
     # ------------------------------------------------------------------ #
     @property
     def ndim(self) -> int:
+        """Dimensionality of the viewed array."""
         return len(self.array_shape)
 
     @property
@@ -89,6 +90,7 @@ class ArrayView:
 
     @property
     def dtype(self) -> np.dtype:
+        """Element dtype of the viewed chunk."""
         if self._buffer is None:
             raise RuntimeError("array view has no data (simulate-only execution)")
         return self._buffer.dtype
@@ -228,10 +230,12 @@ class LaunchContext:
 
     @property
     def ndim(self) -> int:
+        """Dimensionality of the launch grid."""
         return len(self.grid_dims)
 
     @property
     def thread_count(self) -> int:
+        """Threads in this superblock."""
         return self.thread_region.size
 
     def global_indices(self, dim: int = 0) -> np.ndarray:

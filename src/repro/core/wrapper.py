@@ -59,6 +59,7 @@ class WrapperCache:
         self.compilations = 0
 
     def get(self, kernel_name: str, param_names: Sequence[str]) -> Callable:
+        """The cached wrapper for a kernel name, generating it on first use."""
         key = (kernel_name, tuple(param_names))
         wrapper = self._cache.get(key)
         if wrapper is None:

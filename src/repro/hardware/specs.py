@@ -100,9 +100,11 @@ class NodeSpec:
 
     @property
     def gpu_count(self) -> int:
+        """GPUs on this node."""
         return len(self.gpus)
 
     def with_gpus(self, count: int) -> "NodeSpec":
+        """Copy of this node spec with a different GPU count."""
         if not self.gpus:
             raise ValueError("node spec has no GPU template")
         return replace(self, gpus=[self.gpus[0]] * count)
@@ -119,6 +121,7 @@ class ClusterSpec:
 
     @property
     def total_gpus(self) -> int:
+        """GPUs across the whole cluster."""
         return self.node_count * self.node.gpu_count
 
     @property
@@ -128,9 +131,11 @@ class ClusterSpec:
 
     @property
     def host_memory_bytes(self) -> int:
+        """Combined host memory of all nodes in bytes."""
         return self.node.host_memory_bytes * self.node_count
 
     def describe(self) -> str:
+        """One-line human-readable description of the cluster."""
         return (
             f"{self.node_count} node(s) x {self.node.gpu_count} GPU(s) "
             f"({self.node.gpus[0].name if self.node.gpus else 'no GPU'})"

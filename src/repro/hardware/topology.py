@@ -64,6 +64,7 @@ class DeviceId:
 
     @property
     def memory_space(self) -> MemorySpace:
+        """The GPU memory space of this device."""
         return MemorySpace(self.worker, MemoryKind.GPU, self.local_index)
 
     def __str__(self) -> str:
@@ -79,10 +80,12 @@ class Device:
 
     @property
     def worker(self) -> WorkerId:
+        """The worker (node) owning this device."""
         return self.device_id.worker
 
     @property
     def memory_space(self) -> MemorySpace:
+        """The GPU memory space of this device."""
         return self.device_id.memory_space
 
 
@@ -96,10 +99,12 @@ class Node:
 
     @property
     def host_space(self) -> MemorySpace:
+        """This node's host-memory space."""
         return MemorySpace(self.worker, MemoryKind.HOST)
 
     @property
     def disk_space(self) -> MemorySpace:
+        """This node's disk space."""
         return MemorySpace(self.worker, MemoryKind.DISK)
 
 
@@ -124,12 +129,15 @@ class Cluster:
     # ------------------------------------------------------------------ #
     @property
     def worker_count(self) -> int:
+        """Number of worker nodes."""
         return len(self.nodes)
 
     def node(self, worker: WorkerId) -> Node:
+        """The :class:`Node` of one worker id."""
         return self.nodes[worker]
 
     def device(self, device_id: DeviceId) -> Device:
+        """The :class:`Device` of one device id."""
         return self._device_by_id[device_id]
 
     def devices(self) -> List[Device]:
@@ -137,13 +145,16 @@ class Cluster:
         return [dev for node in self.nodes for dev in node.devices]
 
     def device_ids(self) -> List[DeviceId]:
+        """Every GPU in the cluster, in (worker, local index) order."""
         return [dev.device_id for dev in self.devices()]
 
     @property
     def device_count(self) -> int:
+        """Total GPUs in the cluster."""
         return len(self._device_by_id)
 
     def iter_memory_spaces(self) -> Iterator[MemorySpace]:
+        """Every memory space of the cluster (GPU, host and disk per node)."""
         for node in self.nodes:
             for dev in node.devices:
                 yield dev.memory_space
@@ -160,7 +171,9 @@ class Cluster:
         return node.spec.disk.capacity_bytes
 
     def same_node(self, a: MemorySpace, b: MemorySpace) -> bool:
+        """True when both devices live on the same worker node."""
         return a.worker == b.worker
 
     def describe(self) -> str:
+        """One-line human-readable description of the topology."""
         return self.spec.describe()

@@ -78,6 +78,7 @@ class BlackScholesWorkload(Workload):
         self.chunk_elems = align_extent(chunk_elems, 256)
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         dist = BlockDist(self.chunk_elems)
         self.price = ctx.full(self.n, 100.0, dist, dtype="float32", name="bs_price")
@@ -102,15 +103,18 @@ class BlackScholesWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         work = BlockWorkDist(self.chunk_elems)
         self.kernel.launch(
             self.n, 256, work, (self.n, self.price, self.strike, self.years, self.call, self.put)
         )
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return 5 * self.n * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         call = self.ctx.gather(self.call)
         put = self.ctx.gather(self.put)
         ref_call, ref_put = black_scholes_reference(

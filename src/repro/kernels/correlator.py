@@ -79,6 +79,7 @@ class CorrelatorWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         dist = RowDist(self.channels_per_chunk)
         samples_shape = (self.channels, 2 * self.antennas)
@@ -104,15 +105,18 @@ class CorrelatorWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         work = BlockWorkDist(self.channels_per_chunk, axis=0)
         grid = (self.channels, self.antennas, self.antennas)
         block = (1, 16, 16)
         self.kernel.launch(grid, block, work, (self.channels, self.antennas, self.samples, self.vis))
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return self.channels * (2 * self.antennas + 2 * self.antennas * self.antennas) * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = self.ctx.gather(self.vis)
         expected = correlator_reference(self._samples0, self.antennas)
         return bool(np.allclose(result, expected, rtol=1e-3, atol=1e-4))

@@ -61,6 +61,7 @@ class GEMMWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         dist = RowDist(self.rows_per_chunk)
         shape = (self.m, self.m)
@@ -87,6 +88,7 @@ class GEMMWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         # Superblocks follow the row partitioning of A and C; when the full B
         # would not even fit into GPU memory the columns are additionally
         # tiled so each superblock only needs a ~2 GB column band of B.
@@ -99,9 +101,11 @@ class GEMMWorkload(Workload):
         self.kernel.launch((self.m, self.m), (16, 16), work, (self.m, self.A, self.B, self.C))
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return 3 * self.m * self.m * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = self.ctx.gather(self.C)
         expected = self._a0 @ self._b0
         return bool(np.allclose(result, expected, rtol=1e-3, atol=1e-3))

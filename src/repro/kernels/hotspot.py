@@ -86,6 +86,7 @@ class HotSpotWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         halo_dist = StencilDist(self.rows_per_chunk, halo=1, axis=0)
         power_dist = RowDist(self.rows_per_chunk)
@@ -118,6 +119,7 @@ class HotSpotWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         work = BlockWorkDist(self.rows_per_chunk, axis=0)
         src, dst = self.temp_a, self.temp_b
         for _ in range(self.iterations):
@@ -129,9 +131,11 @@ class HotSpotWorkload(Workload):
         self._final = src
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return 3 * self.side * self.side * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = self.ctx.gather(self._final)
         ref = self._initial_temp
         for _ in range(self.iterations):
@@ -227,6 +231,7 @@ class HotSpotDoubleWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         halo_dist = StencilDist(self.rows_per_chunk, halo=1, axis=0)
         power_dist = RowDist(self.rows_per_chunk)
@@ -274,6 +279,7 @@ class HotSpotDoubleWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         work = BlockWorkDist(self.rows_per_chunk, axis=0)
         grid, block = (self.side, self.side), (16, 16)
         src, dst = self.temp_a, self.temp_b
@@ -287,9 +293,11 @@ class HotSpotDoubleWorkload(Workload):
         self._final = src
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return 4 * self.side * self.side * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = self.ctx.gather(self._final)
         ref = self._initial_temp
         for _ in range(self.iterations):

@@ -112,6 +112,7 @@ class KMeansWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         replicated = ReplicatedDist()
         points_dist = RowDist(self.chunk_records)
@@ -158,6 +159,7 @@ class KMeansWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         assign_work = BlockWorkDist(self.chunk_records)
         update_work = TileWorkDist((self.k, FEATURES))
         for _ in range(self.iterations):
@@ -171,9 +173,11 @@ class KMeansWorkload(Workload):
             )
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return self.n * FEATURES * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = self.ctx.gather(self.centroids)
         expected = kmeans_reference(
             self._initial_points.astype(np.float64),

@@ -66,6 +66,7 @@ class MD5Workload(Workload):
         self.target = params.get("target", 0x1234_5678_9ABC_DEF0)
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         self.best = self.ctx.zeros(1, ReplicatedDist(), dtype="float32", name="md5_best")
         self.kernel = (
             KernelDef("md5_search", func=_md5_kernel)
@@ -78,13 +79,16 @@ class MD5Workload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         work = BlockWorkDist(self.threads_per_superblock)
         self.kernel.launch(self.n, 256, work, (self.n, self.target, self.best))
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return self.best.nbytes
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = float(self.ctx.gather(self.best)[0])
         digests = mix_hash(np.arange(self.n, dtype=np.uint64))
         score = 64.0 - np.log2(

@@ -88,6 +88,7 @@ class NBodyWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         dist = ReplicatedDist()
         if ctx.functional:
@@ -117,6 +118,7 @@ class NBodyWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         per_gpu = max(1, -(-self.bodies // self.ctx.device_count))
         work = BlockWorkDist(per_gpu)
         src, dst = self.pos_a, self.pos_b
@@ -126,9 +128,11 @@ class NBodyWorkload(Workload):
         self._final = src
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return 3 * self.bodies * 4 * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         pos = self.ctx.gather(self._final)
         ref_pos, ref_vel = self._initial_pos, self._initial_vel
         for _ in range(self.iterations):

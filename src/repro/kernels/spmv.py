@@ -74,6 +74,7 @@ class SpMVWorkload(Workload):
         self.seed = seed
 
     def prepare(self) -> None:
+        """Create the distributed arrays and compile the kernels."""
         ctx = self.ctx
         matrix_dist = RowDist(self.rows_per_chunk)
         vector_dist = ReplicatedDist()
@@ -108,6 +109,7 @@ class SpMVWorkload(Workload):
         )
 
     def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
         work = BlockWorkDist(self.rows_per_chunk)
         src, dst = self.x, self.y
         for _ in range(self.iterations):
@@ -119,9 +121,11 @@ class SpMVWorkload(Workload):
         self._final = src
 
     def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
         return self.rows * self.nnz_per_row * 8 + 2 * self.rows * 4
 
     def verify(self) -> bool:
+        """Check gathered results against the NumPy reference (functional mode)."""
         result = self.ctx.gather(self._final)
         ref = self._x0.copy()
         for _ in range(self.iterations):

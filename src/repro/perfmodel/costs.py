@@ -45,9 +45,11 @@ class KernelCost:
     cpu_efficiency: float = 0.5
 
     def flops(self, threads: int, scalars: Mapping[str, float]) -> float:
+        """Floating-point operations for ``threads`` kernel threads."""
         return threads * _evaluate(self.flops_per_thread, scalars)
 
     def bytes(self, threads: int, scalars: Mapping[str, float]) -> float:
+        """Bytes of memory traffic for ``threads`` kernel threads."""
         return threads * _evaluate(self.bytes_per_thread, scalars)
 
 

@@ -63,6 +63,21 @@ class MemoryStats:
     bytes_from_disk: int = 0
     evictions_to_host: int = 0
     evictions_to_disk: int = 0
+    #: evictions performed reactively inside a staging transaction (the
+    #: chunk-by-chunk spilling window-aware memory planning replaces)
+    staging_evictions: int = 0
+    #: victims spilled up front by :meth:`MemoryManager.reserve` (the window's
+    #: planned pre-eviction; also counted in ``evictions_to_host/_disk``)
+    chunks_preevicted: int = 0
+    #: :class:`~repro.core.tasks.PromoteChunkTask` stagings that pulled a
+    #: spilled chunk back up the hierarchy ahead of its use
+    prefetch_promotions: int = 0
+    #: stall events: staging transactions that could not complete instantly —
+    #: either queued behind pinned chunks or blocked on incoming transfers
+    staging_stalls: int = 0
+    #: staging transactions that completed instantly *because* a window memory
+    #: plan had already promoted or reserved their chunks
+    staging_stalls_avoided: int = 0
     peak_gpu_bytes: Dict[int, int] = field(default_factory=dict)
 
 
@@ -79,6 +94,7 @@ class _PendingStage:
     task_id: int
     requirements: List[Tuple[ChunkId, str]]
     callback: Callable[[], None]
+    background: bool = False
 
 
 class MemoryManager:
@@ -98,6 +114,14 @@ class MemoryManager:
         self._pending: List[_PendingStage] = []
         self._use_counter = 0
         self.stats = MemoryStats()
+        #: reservation id -> chunk ids pinned by :meth:`reserve`
+        self._reservations: Dict[int, List[ChunkId]] = {}
+        #: chunks a window memory plan promoted or reserved; consumed (once)
+        #: by the stall-avoidance accounting in :meth:`_try_stage`
+        self._prepared: set = set()
+        #: True while :meth:`reserve` runs, so evictions are attributed to the
+        #: planned pre-eviction counter instead of the staging-time one
+        self._in_reserve = False
 
         self._capacity: Dict[MemorySpace, int] = {}
         self._used: Dict[MemorySpace, int] = {}
@@ -129,11 +153,13 @@ class MemoryManager:
     # chunk lifecycle
     # ------------------------------------------------------------------ #
     def register(self, chunk: ChunkMeta) -> None:
+        """Make a chunk's metadata known to the manager (no space is allocated yet)."""
         if chunk.chunk_id in self._chunks:
             raise ValueError(f"chunk {chunk.chunk_id} already registered")
         self._chunks[chunk.chunk_id] = _ChunkState(meta=chunk)
 
     def delete(self, chunk_id: ChunkId) -> None:
+        """Forget a chunk and free its residency bookkeeping; pinned chunks refuse."""
         state = self._chunks.pop(chunk_id, None)
         if state is None:
             return
@@ -143,8 +169,10 @@ class MemoryManager:
         if state.space is not None:
             self._used[state.space] -= state.meta.nbytes
             del self._lru[state.space][chunk_id]
+        self._prepared.discard(chunk_id)
 
     def knows(self, chunk_id: ChunkId) -> bool:
+        """True when the chunk has been registered with this manager."""
         return chunk_id in self._chunks
 
     # ------------------------------------------------------------------ #
@@ -160,18 +188,23 @@ class MemoryManager:
         return state.meta.home if state is not None else None
 
     def residency(self, chunk_id: ChunkId) -> Optional[MemorySpace]:
+        """The memory space the chunk currently lives in, or ``None`` if nowhere."""
         return self._chunks[chunk_id].space
 
     def used_bytes(self, space: MemorySpace) -> int:
+        """Bytes currently resident in ``space``."""
         return self._used[space]
 
     def capacity(self, space: MemorySpace) -> int:
+        """Configured pool size of ``space`` in bytes."""
         return self._capacity[space]
 
     def free_bytes(self, space: MemorySpace) -> int:
+        """Unused bytes of ``space`` (capacity minus resident bytes)."""
         return self._capacity[space] - self._used[space]
 
     def pinned_bytes(self, space: MemorySpace) -> int:
+        """Bytes of currently pinned (unevictable) chunks in ``space``."""
         return self._pinned[space]
 
     def evictable_bytes(self, space: MemorySpace) -> int:
@@ -225,15 +258,24 @@ class MemoryManager:
         task_id: int,
         requirements: List[Tuple[ChunkId, str]],
         callback: Callable[[], None],
+        background: bool = False,
     ) -> None:
         """Materialise and pin every required chunk, then invoke ``callback``.
 
         If the request cannot be satisfied right now because pinned chunks
         occupy the space, it is queued and retried when something unstages.
         If it can never be satisfied, :class:`OutOfMemoryError` is raised.
+        ``background`` marks stagings issued ahead of any use (the window's
+        promotion prefetch): their transfers delay no task, so they do not
+        count as stall events, and the chunks they materialise are remembered
+        so the stall they avoid later can be credited to the memory plan.
         """
-        if not self._try_stage(task_id, requirements, callback):
-            self._pending.append(_PendingStage(task_id, requirements, callback))
+        if not self._try_stage(task_id, requirements, callback, background=background):
+            if not background:
+                self.stats.staging_stalls += 1
+            self._pending.append(
+                _PendingStage(task_id, requirements, callback, background)
+            )
 
     def unstage(self, task_id: int) -> None:
         """Release the pins taken by :meth:`stage` for ``task_id``."""
@@ -246,7 +288,10 @@ class MemoryManager:
     def _retry_pending(self) -> None:
         still_pending: List[_PendingStage] = []
         for pending in self._pending:
-            if not self._try_stage(pending.task_id, pending.requirements, pending.callback):
+            if not self._try_stage(
+                pending.task_id, pending.requirements, pending.callback,
+                background=pending.background, retry=True,
+            ):
                 still_pending.append(pending)
         self._pending = still_pending
 
@@ -258,6 +303,8 @@ class MemoryManager:
         task_id: int,
         requirements: List[Tuple[ChunkId, str]],
         callback: Callable[[], None],
+        background: bool = False,
+        retry: bool = False,
     ) -> bool:
         # Resolve targets and verify feasibility per memory space.
         plan: List[Tuple[_ChunkState, MemorySpace]] = []
@@ -318,6 +365,24 @@ class MemoryManager:
             staged.append(state.meta.chunk_id)
         self._staged.setdefault(task_id, []).extend(staged)
 
+        if background:
+            # A promotion materialised these chunks ahead of use: remember
+            # them so the stall they spare the real consumer is credited.
+            self._prepared.update(plan_ids)
+        elif transfers:
+            if not retry:  # queued requests were already counted as a stall
+                self.stats.staging_stalls += 1
+            # The preparation failed to spare this consumer a stall (other
+            # chunks still had to move); consume the credit so a later task
+            # touching the same chunks cannot claim it.
+            self._prepared -= plan_ids
+        elif self._prepared & plan_ids:
+            # Only instantly-satisfied *first* attempts are credited: a queued
+            # request already stalled, even if a promotion landed meanwhile.
+            if not retry:
+                self.stats.staging_stalls_avoided += 1
+            self._prepared -= plan_ids
+
         if not transfers:
             callback()
             return True
@@ -349,6 +414,76 @@ class MemoryManager:
             state.pins -= 1
             if state.pins == 0 and state.space is not None:
                 self._pinned[state.space] -= state.meta.nbytes
+
+    # ------------------------------------------------------------------ #
+    # window-aware reservations (planned pre-eviction)
+    # ------------------------------------------------------------------ #
+    def reserve(
+        self,
+        space: MemorySpace,
+        chunks: List[ChunkId],
+        nbytes: int,
+        reservation: Optional[int] = None,
+        pin: bool = True,
+    ) -> int:
+        """Prepare ``space`` for a launch group that will stage ``chunks``.
+
+        The launch window's drain pass calls this (through a
+        :class:`~repro.core.tasks.MemoryReserveTask`) with the group's
+        combined working set for one memory space:
+
+        * **planned pre-eviction** — LRU victims *outside* ``chunks`` are
+          spilled down the hierarchy until ``nbytes`` are free (or nothing
+          evictable remains), so the group's stagings find room instead of
+          evicting chunk-by-chunk on the critical path; the write-back
+          transfers start now, overlapped with whatever is computing;
+        * **pinning** — when ``pin`` is set, the members of ``chunks``
+          already resident in ``space`` are pinned until :meth:`release`,
+          protecting them from interleaved evictions.  The planner only
+          requests pinning when the whole working set fits the space.
+
+        Returns the number of chunks pre-evicted.  Never raises: if the
+        request cannot be met in full (pinned chunks in the way), it frees as
+        much as possible and lets staging handle the rest reactively.
+        """
+        target = min(nbytes, self._capacity[space])
+        keep = {cid for cid in chunks if self._chunks.get(cid) is not None}
+        # What pre-eviction can achieve at most: everything unpinned and not
+        # part of the working set can go.  (O(|keep|) thanks to the counters.)
+        achievable = self.free_bytes(space) + self.evictable_bytes(space)
+        for cid in keep:
+            state = self._chunks[cid]
+            if state.space == space and state.pins == 0:
+                achievable -= state.meta.nbytes
+        target = min(target, achievable)
+        evicted_before = self.stats.chunks_preevicted
+        self._in_reserve = True
+        try:
+            if target > self.free_bytes(space):
+                self._make_room(space, target, protect=keep)
+        except OutOfMemoryError:
+            pass  # partial pre-eviction is still useful; staging copes
+        finally:
+            self._in_reserve = False
+        pinned: List[ChunkId] = []
+        if pin:
+            for cid in chunks:
+                state = self._chunks.get(cid)
+                if state is not None and state.space == space:
+                    self._pin(state)
+                    pinned.append(cid)
+                    self._prepared.add(cid)
+        if reservation is not None and pinned:
+            self._reservations.setdefault(reservation, []).extend(pinned)
+        return self.stats.chunks_preevicted - evicted_before
+
+    def release(self, reservation: int) -> None:
+        """Drop the pins taken by the :meth:`reserve` call with the same id."""
+        for chunk_id in self._reservations.pop(reservation, []):
+            state = self._chunks.get(chunk_id)
+            if state is not None:
+                self._unpin(state)
+        self._retry_pending()
 
     # ------------------------------------------------------------------ #
     # allocation, eviction and transfers
@@ -455,6 +590,12 @@ class MemoryManager:
                 self.stats.evictions_to_host += 1
             elif target.kind is MemoryKind.DISK:
                 self.stats.evictions_to_disk += 1
+            if self._in_reserve:
+                self.stats.chunks_preevicted += 1
+            else:
+                self.stats.staging_evictions += 1
+            # An evicted chunk is no longer prepared for its consumer.
+            self._prepared.discard(chunk_id)
             for resource, amount, label in transfers:
                 resource.request(amount, lambda: None, label=label)
             return []

@@ -33,6 +33,7 @@ class Message:
 
     @property
     def key(self) -> Tuple[WorkerId, WorkerId, int]:
+        """The (src, dst, tag) matching key of this message."""
         return (self.src, self.dst, self.tag)
 
 
@@ -105,6 +106,7 @@ class RpcChannel:
     control_messages: int = field(default=0)
 
     def call(self, dst_worker: WorkerId, handler: Callable[[], None]) -> None:
+        """Deliver ``handler`` on ``dst_worker`` after the control-message latency."""
         self.control_messages += 1
         delay = 0.0 if dst_worker == 0 else self.latency
         self.engine.schedule(delay, handler)

@@ -79,6 +79,7 @@ class FifoPolicy(SchedulingPolicy):
     name = "fifo"
 
     def select(self, backlog: Sequence[T.Task], scheduler: "object") -> int:
+        """Pick the first backlogged task (submission order)."""
         return 0
 
 
@@ -88,6 +89,7 @@ class LocalityPolicy(SchedulingPolicy):
     name = "locality"
 
     def select(self, backlog: Sequence[T.Task], scheduler: "object") -> int:
+        """Prefer the task whose working set needs the fewest staged-in bytes."""
         memory = scheduler.memory
         best_index = 0
         best_cost: Optional[int] = None
@@ -123,6 +125,7 @@ class PriorityPolicy(SchedulingPolicy):
     name = "priority"
 
     def select(self, backlog: Sequence[T.Task], scheduler: "object") -> int:
+        """Prefer the highest-priority task, then submission order."""
         def key(item: Tuple[int, T.Task]) -> Tuple[int, int, int]:
             index, task = item
             launch = getattr(task, "launch_id", None)
@@ -138,6 +141,7 @@ class SmallestFirstPolicy(SchedulingPolicy):
     name = "smallest"
 
     def select(self, backlog: Sequence[T.Task], scheduler: "object") -> int:
+        """Prefer the task with the smallest staging footprint."""
         memory = scheduler.memory
 
         def footprint(item: Tuple[int, T.Task]) -> Tuple[int, int]:

@@ -94,9 +94,11 @@ class WorkerResources:
         self.nic.latency = latency
 
     def compute_for(self, device: DeviceId) -> ChannelResource:
+        """The compute (SM) resource of one local GPU."""
         return self.gpu_compute[device]
 
     def dtod_for(self, device: DeviceId) -> BandwidthResource:
+        """The on-device copy engine resource of one local GPU."""
         return self.gpu_dtod[device]
 
     def all_resources(self):

@@ -100,7 +100,7 @@ class Scheduler:
     # staging with throttle
     # ------------------------------------------------------------------ #
     def _throttle_key(self, task: T.Task) -> object:
-        if isinstance(task, (T.LaunchTask, T.FusedLaunchTask)):
+        if isinstance(task, (T.LaunchTask, T.FusedLaunchTask, T.PromoteChunkTask)):
             return task.device
         if isinstance(task, T.ReduceTask):
             home = self.memory.home_of(task.dst_chunk)
@@ -126,7 +126,12 @@ class Scheduler:
             self.executor.execute(task, lambda: self._finish(task, key, footprint))
 
         if requirements:
-            self.memory.stage(task.task_id, requirements, _staged)
+            # Promotions are issued ahead of any consumer: their staging is
+            # background work and must not count as a stall event.
+            self.memory.stage(
+                task.task_id, requirements, _staged,
+                background=isinstance(task, T.PromoteChunkTask),
+            )
         else:
             _staged()
 
@@ -176,9 +181,11 @@ class Scheduler:
     # diagnostics
     # ------------------------------------------------------------------ #
     def pending_tasks(self) -> int:
+        """Tasks neither finished nor currently staged (waiting + throttled)."""
         return len(self._waiting) + self._throttled_count
 
     def describe_stuck(self) -> str:
+        """Human-readable dump of waiting/throttled tasks for deadlock reports."""
         lines = [f"worker {self.worker}: {len(self._waiting)} waiting tasks"]
         for task, remaining in list(self._waiting.values())[:10]:
             lines.append(f"  {task} waiting on {remaining} dependencies ({task.deps})")

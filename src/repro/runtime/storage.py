@@ -31,6 +31,7 @@ class ChunkStorage:
     # lifecycle
     # ------------------------------------------------------------------ #
     def create(self, chunk: ChunkMeta) -> None:
+        """Allocate (functional mode) and register a chunk's buffer."""
         if chunk.chunk_id in self._meta:
             raise ValueError(f"chunk {chunk.chunk_id} already exists on this worker")
         self._meta[chunk.chunk_id] = chunk
@@ -38,6 +39,7 @@ class ChunkStorage:
             self._buffers[chunk.chunk_id] = np.zeros(chunk.shape, dtype=chunk.dtype)
 
     def delete(self, chunk_id: ChunkId) -> None:
+        """Drop a chunk's buffer and metadata."""
         self._meta.pop(chunk_id, None)
         self._buffers.pop(chunk_id, None)
 
@@ -45,6 +47,7 @@ class ChunkStorage:
         return chunk_id in self._meta
 
     def meta(self, chunk_id: ChunkId) -> ChunkMeta:
+        """The :class:`ChunkMeta` registered for ``chunk_id``."""
         return self._meta[chunk_id]
 
     def buffer(self, chunk_id: ChunkId) -> Optional[np.ndarray]:
@@ -57,6 +60,7 @@ class ChunkStorage:
     # data movement helpers (functional mode)
     # ------------------------------------------------------------------ #
     def fill(self, chunk_id: ChunkId, value: Optional[float], data: Optional[np.ndarray]) -> None:
+        """Initialise a chunk with a constant or explicit data (functional mode)."""
         if not self.materialize:
             return
         buffer = self._buffers[chunk_id]
@@ -108,7 +112,9 @@ class ChunkStorage:
 
     @property
     def chunk_count(self) -> int:
+        """Number of chunks currently stored."""
         return len(self._meta)
 
     def total_bytes(self) -> int:
+        """Combined nbytes of all stored chunks."""
         return sum(meta.nbytes for meta in self._meta.values())

@@ -66,6 +66,15 @@ class RuntimeStats:
     window_flushes: int = 0
     launches_fused: int = 0
     transfers_prefetched: int = 0
+    #: drains for which the memory-planning pass emitted a (non-empty) plan
+    window_memory_plans: int = 0
+    #: window-aware memory planning: spill victims chosen up front by reserve
+    #: tasks, spilled chunks pulled back up the hierarchy ahead of use, and
+    #: staging transactions that completed instantly because of either
+    chunks_preevicted: int = 0
+    prefetch_promotions: int = 0
+    staging_stalls: int = 0
+    staging_stalls_avoided: int = 0
     #: total engine events processed / cancelled-before-firing
     events_processed: int = 0
     events_cancelled: int = 0
@@ -157,15 +166,18 @@ class RuntimeSystem:
     # completion tracking (shared by all schedulers)
     # ------------------------------------------------------------------ #
     def is_finished(self, task_id: TaskId) -> bool:
+        """True when the task id has completed."""
         return task_id in self._finished
 
     def subscribe(self, task_id: TaskId, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once ``task_id`` completes (immediately if it has)."""
         if task_id in self._finished:
             callback()
             return
         self._subscribers.setdefault(task_id, []).append(callback)
 
     def notify_completion(self, task_id: TaskId) -> None:
+        """Mark a task finished and fire its subscribers (schedulers call this)."""
         if task_id in self._finished:
             raise RuntimeError(f"task {task_id} completed twice")
         self._finished.add(task_id)
@@ -175,6 +187,7 @@ class RuntimeSystem:
 
     @property
     def outstanding_tasks(self) -> int:
+        """Submitted tasks that have not completed yet."""
         return self._outstanding
 
     # ------------------------------------------------------------------ #
@@ -227,12 +240,14 @@ class RuntimeSystem:
 
     @property
     def virtual_time(self) -> float:
+        """Current simulated time in seconds."""
         return self.engine.now
 
     # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
     def stats(self) -> RuntimeStats:
+        """Aggregate :class:`RuntimeStats` over the engine, workers and fabric."""
         stats = RuntimeStats(virtual_time=self.engine.now)
         stats.control_messages = self.rpc.control_messages
         stats.plan_cache_hits = self.plan_cache_hits
@@ -246,6 +261,10 @@ class RuntimeSystem:
             stats.tasks_completed += worker.scheduler.tasks_completed
             stats.kernel_launches += worker.executor.kernel_launches
             stats.memory[worker.worker_id] = worker.memory.stats
+            stats.chunks_preevicted += worker.memory.stats.chunks_preevicted
+            stats.prefetch_promotions += worker.memory.stats.prefetch_promotions
+            stats.staging_stalls += worker.memory.stats.staging_stalls
+            stats.staging_stalls_avoided += worker.memory.stats.staging_stalls_avoided
             for resource in worker.resources.all_resources():
                 stats.resource_events[resource.name] = resource.events_processed
         if self.trace is not None:
@@ -253,6 +272,7 @@ class RuntimeSystem:
         return stats
 
     def register_kernel(self, name: str, kernel: object) -> None:
+        """Register a compiled kernel under its name for every worker."""
         if name in self.kernel_registry:
             raise ValueError(f"kernel {name!r} already registered")
         self.kernel_registry[name] = kernel

@@ -81,4 +81,5 @@ class Worker:
         self.scheduler.submit(tasks)
 
     def pending_tasks(self) -> int:
+        """Tasks of this worker neither finished nor staged."""
         return self.scheduler.pending_tasks()

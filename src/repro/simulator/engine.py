@@ -36,6 +36,7 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
+        """True when :meth:`cancel` was called before the event fired."""
         return self.callback is None
 
     def cancel(self) -> bool:
@@ -98,10 +99,12 @@ class Engine:
     # ------------------------------------------------------------------ #
     @property
     def pending(self) -> int:
+        """Events scheduled but not yet processed (cancelled ones excluded)."""
         return len(self._queue) - self._cancelled_in_queue
 
     @property
     def events_processed(self) -> int:
+        """Total events executed so far."""
         return self._events_processed
 
     @property

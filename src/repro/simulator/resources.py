@@ -79,6 +79,7 @@ _LEGACY_LINKS = False
 
 
 def legacy_links_enabled() -> bool:
+    """True while :func:`use_legacy_links` is active."""
     return _LEGACY_LINKS
 
 
@@ -112,6 +113,7 @@ class Resource:
         self.events_processed = 0
 
     def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        """Consume ``amount`` of the resource, then invoke the callback."""
         raise NotImplementedError
 
     def _record(self, label: str, start: float, end: float) -> None:
@@ -152,13 +154,16 @@ class ChannelResource(Resource):
 
     @property
     def queue_length(self) -> int:
+        """Requests waiting for a free server."""
         return len(self._queue)
 
     @property
     def busy_servers(self) -> int:
+        """Servers currently occupied."""
         return self._busy
 
     def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        """Occupy one server for ``amount`` seconds, then invoke the callback."""
         if amount < 0:
             raise ValueError(f"negative duration {amount!r}")
         self._queue.append(_QueuedWork(amount + self.per_item_overhead, callback, label))
@@ -249,10 +254,12 @@ class BandwidthResource(Resource):
 
     @property
     def active_transfers(self) -> int:
+        """Transfers currently sharing the link."""
         return len(self._finish_heap)
 
     @property
     def queued_transfers(self) -> int:
+        """Always 0: a processor-sharing link admits every transfer at once."""
         return len(self._waiting)
 
     def request(self, amount: float, callback: Callback, label: str = "") -> None:
@@ -376,13 +383,16 @@ class LegacyBandwidthResource(Resource):
 
     @property
     def active_transfers(self) -> int:
+        """Transfers currently sharing the (legacy) link."""
         return len(self._active)
 
     @property
     def queued_transfers(self) -> int:
+        """Always 0: the legacy link also admits every transfer at once."""
         return len(self._waiting)
 
     def request(self, amount: float, callback: Callback, label: str = "") -> None:
+        """Transfer ``amount`` bytes with the pre-rewrite O(n) bookkeeping."""
         if amount < 0:
             raise ValueError(f"negative transfer size {amount!r}")
         self.bytes_transferred += amount

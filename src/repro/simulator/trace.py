@@ -25,6 +25,7 @@ class TraceInterval:
 
     @property
     def duration(self) -> float:
+        """Seconds the interval spans."""
         return self.end - self.start
 
 
@@ -35,9 +36,11 @@ class Trace:
     intervals: List[TraceInterval] = field(default_factory=list)
 
     def record(self, resource: str, label: str, start: float, end: float) -> None:
+        """Append one busy interval for ``resource``."""
         self.intervals.append(TraceInterval(resource, label, start, end))
 
     def for_resource(self, resource: str) -> List[TraceInterval]:
+        """All recorded intervals of one resource."""
         return [iv for iv in self.intervals if iv.resource == resource]
 
     def busy_time(self, resource: str) -> float:
@@ -59,6 +62,7 @@ class Trace:
         return total
 
     def utilisation(self, resource: str, makespan: float) -> float:
+        """Busy fraction of a resource over the traced horizon."""
         if makespan <= 0:
             return 0.0
         return self.busy_time(resource) / makespan

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public package (CI: fail under 80%).
+
+Prefers `interrogate <https://interrogate.readthedocs.io>`_ when it is
+installed (the CI job installs it); otherwise falls back to a small AST
+walker that counts the same objects — so the gate also runs in offline
+environments.  Both paths measure the *public* surface: modules, public
+classes, public functions and public methods.  Private (``_name``) and
+magic (``__name__``) objects, ``__init__`` methods and functions nested
+inside other functions are excluded, matching the interrogate flags the
+tool passes.
+
+Usage::
+
+    python tools/check_docstrings.py [--fail-under 80] [PATHS ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import subprocess
+import sys
+from typing import Iterator, List, Tuple
+
+DEFAULT_PATHS = ["src/repro"]
+
+
+def iter_python_files(paths: List[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def file_coverage(path: str) -> Tuple[int, int, List[str]]:
+    """Return ``(documented, total, missing)`` for one module.
+
+    Counts the module itself plus every public (async) function, method and
+    class; skips private/magic names, ``__init__`` and functions nested
+    inside other functions, mirroring the interrogate flags used by
+    :func:`main`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    total, documented = 1, int(ast.get_docstring(tree) is not None)
+    missing: List[str] = [] if documented else ["<module>"]
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        nonlocal total, documented
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not inside_function and not child.name.startswith("_"):
+                    total += 1
+                    if ast.get_docstring(child) is not None:
+                        documented += 1
+                    else:
+                        missing.append(f"{child.name} (line {child.lineno})")
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                if not child.name.startswith("_"):
+                    total += 1
+                    if ast.get_docstring(child) is not None:
+                        documented += 1
+                    else:
+                        missing.append(f"{child.name} (line {child.lineno})")
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return documented, total, missing
+
+
+def run_fallback(paths: List[str], fail_under: float, verbose: bool) -> int:
+    """AST-based coverage over ``paths``; non-zero exit below the threshold."""
+    documented = total = 0
+    for path in iter_python_files(paths):
+        doc, tot, missing = file_coverage(path)
+        documented += doc
+        total += tot
+        if verbose and missing:
+            print(f"{path}: {doc}/{tot}")
+            for name in missing:
+                print(f"  missing: {name}")
+    coverage = 100.0 * documented / total if total else 100.0
+    status = "PASSED" if coverage >= fail_under else "FAILED"
+    print(f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+          f"(fail-under {fail_under:.0f}%): {status}")
+    return 0 if coverage >= fail_under else 1
+
+
+def main(argv=None) -> int:
+    """Entry point: prefer interrogate, fall back to the AST walker."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
+    parser.add_argument("--fail-under", type=float, default=80.0)
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list every undocumented object")
+    args = parser.parse_args(argv)
+    paths = args.paths or DEFAULT_PATHS
+
+    try:
+        import interrogate  # noqa: F401
+    except ImportError:
+        return run_fallback(paths, args.fail_under, args.verbose)
+    command = [
+        sys.executable, "-m", "interrogate",
+        "--ignore-private", "--ignore-semiprivate", "--ignore-magic",
+        "--ignore-init-method", "--ignore-nested-functions",
+        "--ignore-nested-classes",
+        "--fail-under", str(args.fail_under), "-v", *paths,
+    ]
+    return subprocess.call(command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
