@@ -52,6 +52,13 @@ the window counters (``launches_fused``, ``transfers_prefetched``,
 fusion stops reducing engine events and transferred bytes on the
 double-stencil configurations.
 
+A chain-fusion sweep measures the window's **chain fusion** on the HotSpot
+triple stencil (three launches per iteration) and the two-phase K-Means
+assign+reduce split, under chain / pairwise-only / no-fusion arms; a gate
+fails the run when chain fusion stops removing at least
+:data:`CHAIN_EVENT_RATIO_GATE` engine events versus pairwise-only fusion, or
+when functional results stop being bit-identical with fusion off.
+
 A fourth sweep measures **window-aware memory planning** on spill-stress
 configurations (capped GPU pools): a bench-local out-of-core streaming
 pipeline (each window group's working set fits the pool — promotion regime)
@@ -65,7 +72,13 @@ Results go to ``benchmarks/results/BENCH_hotpath.json``; the committed
 baseline lives at ``benchmarks/BENCH_hotpath.json``.  ``--baseline PATH``
 compares the current run's deterministic event counts against the baseline
 and exits non-zero on a >25% regression (the CI perf smoke step runs
-``--quick --baseline benchmarks/BENCH_hotpath.json``).
+``--quick --baseline benchmarks/BENCH_hotpath.json``).  ``--summary PATH``
+(defaulting to ``$GITHUB_STEP_SUMMARY`` when set) appends a per-config
+markdown regression table plus the gate results, and the comparison JSON is
+written before any gate can fail — a CI failure always ships its own
+diagnosis artifact.  To refresh the baseline after intentional perf changes,
+run the full sweep and commit the result (see README "Refreshing the perf
+baseline").
 """
 
 from __future__ import annotations
@@ -125,6 +138,36 @@ WINDOW_ARMS = {
     "eager": {"lookahead": 1},
 }
 
+#: Chain-fusion sweep (PR 5): the HotSpot *triple* stencil (three launches per
+#: iteration — the shortest chain pairwise fusion cannot fully merge) and the
+#: two-phase K-Means assign+reduce split (a producer feeding a reduction
+#: tail, which pairwise fusion cannot merge at all).  Three arms isolate the
+#: chain extensions: full chain fusion, the original pairwise-only pass, and
+#: no fusion.  The gate requires chain fusion to remove >= 1.3x engine events
+#: versus pairwise-only fusion on every config, with bit-identical functional
+#: results.
+CHAIN_QUICK_CONFIGS = [
+    ("hotspot3", 4, 2, int(5.4e8 * 4), {"iterations": 20}),
+    ("kmeans2", 4, 2, int(2.7e8 * 4), {"iterations": 8}),
+]
+
+CHAIN_FULL_CONFIGS = [
+    ("hotspot3", 4, 2, int(5.4e8 * 4), {"iterations": 40}),
+    ("hotspot3", 16, 4, int(5.4e8 * 16), {"iterations": 40}),
+    ("kmeans2", 4, 2, int(2.7e8 * 4), {"iterations": 25}),
+]
+
+#: arm name -> Context kwargs; every arm uses a lookahead covering two full
+#: three-launch iterations so chain and pairwise see the same drain groups
+CHAIN_ARMS = {
+    "chain": {"lookahead": 6},
+    "pairwise": {"lookahead": 6, "fusion": "pairwise"},
+    "no_fusion": {"lookahead": 6, "fusion": False},
+}
+
+#: minimum engine-event ratio chain fusion must achieve vs pairwise fusion
+CHAIN_EVENT_RATIO_GATE = 1.3
+
 #: Window-memory spill-stress sweep (PR 4): the same capped-GPU pressure as
 #: the spill configuration, measured with window-aware memory planning on and
 #: off.  Two regimes:
@@ -161,7 +204,7 @@ def _spill_configs(quick: bool):
 
 def _make_context(total_gpus, per_node, params, mode="simulate", context_kwargs=None):
     from repro.bench import make_context
-    from repro.hardware import DeviceId, MemorySpace, MemoryKind
+    from repro.hardware import DeviceId
 
     nodes = total_gpus // per_node
     kwargs = dict(context_kwargs or {})
@@ -226,7 +269,8 @@ def _run_one(workload, total_gpus, per_node, n, params, mode="simulate",
             m.evictions_to_host + m.evictions_to_disk for m in stats.memory.values()
         )
     # launch-window counters (absent on pre-window checkouts in --emit-arm-json)
-    for counter in ("launches_fused", "transfers_prefetched", "window_flushes",
+    for counter in ("launches_fused", "launches_fused_chain", "fused_chain_max_len",
+                    "reductions_fused", "transfers_prefetched", "window_flushes",
                     "network_bytes", "chunks_preevicted", "prefetch_promotions",
                     "staging_stalls", "staging_stalls_avoided"):
         if hasattr(stats, counter):
@@ -303,6 +347,86 @@ def _run_window_arms(quick: bool) -> dict:
             "plan_cache_hit_rate": fused.get("plan_cache_hit_rate", 0.0),
         }
     return {"results": results, "summary": summary}
+
+
+def _run_chain_arms(quick: bool) -> dict:
+    """Measure the chain-fusion sweep: chain vs pairwise vs no fusion.
+
+    Returns ``{"results", "summary", "checks"}``; the summary records, per
+    config, how many engine events chain fusion removes versus *pairwise-only*
+    fusion (the PR-3 pass) and versus no fusion, plus the chain counters —
+    the committed evidence that fusing >2-launch runs and reductions pays
+    beyond the pairwise case.  The checks record functional bit-identity of
+    small chain-workload runs under the chain and no-fusion arms.
+    """
+    import numpy as np
+
+    from repro.kernels import create_workload
+
+    configs = CHAIN_QUICK_CONFIGS if quick else CHAIN_FULL_CONFIGS
+    results: dict = {}
+    for arm, context_kwargs in CHAIN_ARMS.items():
+        print(f"arm: chain-fusion/{arm}", file=sys.stderr)
+        arm_results = {}
+        for workload, gpus, per_node, n, params in configs:
+            key = _config_key(workload, gpus, per_node, n, params)
+            arm_results[key] = _run_one(
+                workload, gpus, per_node, n, params, context_kwargs=context_kwargs
+            )
+            print(f"  {key}: {arm_results[key]['wall_seconds']:.2f}s, "
+                  f"{arm_results[key]['events_processed']} events, "
+                  f"{arm_results[key].get('launches_fused', 0)} fused "
+                  f"({arm_results[key].get('launches_fused_chain', 0)} in chains, "
+                  f"{arm_results[key].get('reductions_fused', 0)} reductions)",
+                  file=sys.stderr)
+        results[arm] = arm_results
+
+    summary: dict = {}
+    for key in results["chain"]:
+        chain = results["chain"][key]
+        pairwise = results["pairwise"][key]
+        unfused = results["no_fusion"][key]
+        summary[key] = {
+            "launches_fused": chain.get("launches_fused", 0),
+            "launches_fused_chain": chain.get("launches_fused_chain", 0),
+            "fused_chain_max_len": chain.get("fused_chain_max_len", 0),
+            "reductions_fused": chain.get("reductions_fused", 0),
+            "event_ratio_vs_pairwise":
+                pairwise["events_processed"] / max(chain["events_processed"], 1),
+            "event_ratio_vs_no_fusion":
+                unfused["events_processed"] / max(chain["events_processed"], 1),
+            "network_bytes_ratio_vs_no_fusion":
+                unfused.get("network_bytes", 0.0)
+                / max(chain.get("network_bytes", 0.0), 1.0),
+            "virtual_time_ratio_vs_pairwise":
+                pairwise["virtual_time"] / max(chain["virtual_time"], 1e-12),
+            "plan_cache_hit_rate": chain.get("plan_cache_hit_rate", 0.0),
+        }
+
+    # Functional bit-identity: small chain-workload runs must produce exactly
+    # the same results with chain fusion on and off (reduction tails
+    # included — the in-task combine order mirrors the unfused ReduceTask
+    # chain), and pass their NumPy-reference verification.
+    identical = True
+    for name, n, params in (
+        ("hotspot3", 64 * 64, dict(chunk_elems=64 * 32, iterations=4, seed=3)),
+        ("kmeans2", 40_960, dict(iterations=6, seed=0, chunk_elems=10_240)),
+    ):
+        finals = {}
+        for arm in ("chain", "no_fusion"):
+            ctx = _make_context(2, 2, {}, mode="functional",
+                                context_kwargs=CHAIN_ARMS[arm])
+            workload = create_workload(name, ctx, n, **params)
+            workload.run()
+            final = (ctx.gather(workload.centroids) if name == "kmeans2"
+                     else ctx.gather(workload._final))
+            identical = identical and bool(workload.verify())
+            finals[arm] = final
+        identical = identical and bool(
+            np.array_equal(finals["chain"], finals["no_fusion"])
+        )
+    checks = {"functional_results_bit_identical": bool(identical)}
+    return {"results": results, "summary": summary, "checks": checks}
 
 
 def _run_stream_once(mode="simulate", context_kwargs=None, arrays=None,
@@ -527,28 +651,80 @@ def _summarise(results: dict) -> dict:
     return summary
 
 
-def _check_baseline(results: dict, baseline_path: str, tolerance: float = 0.25) -> int:
+def _baseline_rows(results: dict, baseline_path: str, tolerance: float = 0.25):
+    """Per-config comparison rows against the committed baseline.
+
+    Returns ``(rows, failures)``; each row is ``(config, events, baseline
+    events, delta fraction or None, status)``.  Configs absent from the
+    baseline are reported as ``new`` (they fail nothing — the baseline is
+    refreshed by committing a full run, see README).
+    """
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
     base = baseline.get("results", {}).get("current", {})
-    failures = []
-    for key, metrics in results["current"].items():
+    rows, failures = [], []
+    for key, metrics in sorted(results["current"].items()):
+        events = metrics["events_processed"]
         if key not in base:
-            print(f"baseline has no entry for {key}; skipping", file=sys.stderr)
+            rows.append((key, events, None, None, "new"))
             continue
-        allowed = base[key]["events_processed"] * (1.0 + tolerance)
-        if metrics["events_processed"] > allowed:
+        base_events = base[key]["events_processed"]
+        delta = events / base_events - 1.0 if base_events else 0.0
+        status = "ok" if events <= base_events * (1.0 + tolerance) else "REGRESSION"
+        rows.append((key, events, base_events, delta, status))
+        if status != "ok":
             failures.append(
-                f"{key}: events {metrics['events_processed']} > "
-                f"baseline {base[key]['events_processed']} +{tolerance:.0%}"
+                f"{key}: events {events} > baseline {base_events} +{tolerance:.0%}"
             )
+    return rows, failures
+
+
+def _check_baseline(results: dict, baseline_path: str, tolerance: float = 0.25) -> int:
+    rows, failures = _baseline_rows(results, baseline_path, tolerance)
     if failures:
         print("PERF REGRESSION (events processed):", file=sys.stderr)
         for line in failures:
             print("  " + line, file=sys.stderr)
         return 1
-    print(f"baseline check ok ({len(results['current'])} configs)", file=sys.stderr)
+    print(f"baseline check ok ({len(rows)} configs)", file=sys.stderr)
     return 0
+
+
+def _write_step_summary(path: str, results: dict, checks: dict,
+                        baseline_path=None, tolerance: float = 0.25) -> None:
+    """Append the per-config regression table and gate results to ``path``.
+
+    ``path`` is typically ``$GITHUB_STEP_SUMMARY``: the table shows up on the
+    workflow run page even when the perf smoke step fails, so a baseline
+    drift is diagnosable without re-running anything locally.
+    """
+    lines = ["## Hot-path perf smoke", ""]
+    if baseline_path and os.path.exists(baseline_path):
+        lines += [
+            f"Events vs committed baseline `{baseline_path}` "
+            f"(gate: +{tolerance:.0%}):",
+            "",
+            "| config | events | baseline | delta | status |",
+            "|---|---:|---:|---:|---|",
+        ]
+        rows, _ = _baseline_rows(results, baseline_path, tolerance)
+        for key, events, base_events, delta, status in rows:
+            base_cell = f"{base_events}" if base_events is not None else "—"
+            delta_cell = f"{delta:+.1%}" if delta is not None else "—"
+            mark = {"ok": "✅ ok", "new": "🆕 new"}.get(status, "❌ regression")
+            lines.append(f"| `{key}` | {events} | {base_cell} | {delta_cell} | {mark} |")
+    else:
+        lines += ["_No baseline supplied; raw event counts only._", "",
+                  "| config | events |", "|---|---:|"]
+        for key, metrics in sorted(results["current"].items()):
+            lines.append(f"| `{key}` | {metrics['events_processed']} |")
+    lines += ["", "| gate | result |", "|---|---|"]
+    for name, value in sorted(checks.items()):
+        if isinstance(value, bool):
+            lines.append(f"| {name} | {'✅ pass' if value else '❌ fail'} |")
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
 
 
 def main(argv=None) -> int:
@@ -565,7 +741,11 @@ def main(argv=None) -> int:
                         help="skip the in-process legacy_hotpaths arm")
     parser.add_argument("--emit-arm-json", action="store_true",
                         help="internal: run the sweep and print metrics JSON to stdout")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="append a markdown regression table to PATH "
+                             "(defaults to $GITHUB_STEP_SUMMARY when set)")
     args = parser.parse_args(argv)
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
 
     configs = list(QUICK_CONFIGS if args.quick else FULL_CONFIGS)
     configs += _spill_configs(args.quick)
@@ -587,6 +767,7 @@ def main(argv=None) -> int:
     checks = _correctness_checks()
     summary = _summarise(results)
     window = _run_window_arms(args.quick)
+    chain = _run_chain_arms(args.quick)
     window_memory = _run_window_memory_arms(args.quick)
     # The fusion pass must demonstrably fire on the double-stencil sweep:
     # events and transferred bytes drop versus the no-fusion arm, and the
@@ -599,6 +780,21 @@ def main(argv=None) -> int:
         for key, s in window["summary"].items()
         if key.startswith("hotspot2/")
     )
+    # Chain fusion must demonstrably pay beyond the pairwise pass: on every
+    # chain-sweep config it removes >= 1.3x engine events versus
+    # pairwise-only fusion (and still beats no-fusion on events and bytes),
+    # with functionally bit-identical results.
+    checks["chain_fusion_effective"] = (
+        chain["checks"]["functional_results_bit_identical"]
+        and all(
+            s["launches_fused"] > 0
+            and s["event_ratio_vs_pairwise"] >= CHAIN_EVENT_RATIO_GATE
+            and s["event_ratio_vs_no_fusion"] > 1.0
+            and s["network_bytes_ratio_vs_no_fusion"] > 1.0
+            and s["plan_cache_hit_rate"] > 0.9
+            for s in chain["summary"].values()
+        )
+    )
     # Window-aware memory planning must demonstrably pay off on the
     # spill-stress sweep: staging-time evictions and stall events drop in
     # aggregate versus the no-window-memory arm, with bit-identical results.
@@ -610,11 +806,13 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "hotpath",
         "quick": args.quick,
-        "sweep": "fig15-weak-scaling + spill-stress + launch-window + window-memory",
+        "sweep": ("fig15-weak-scaling + spill-stress + launch-window "
+                  "+ chain-fusion + window-memory"),
         "results": results,
         "checks": checks,
         "summary": summary,
         "launch_window": window,
+        "chain_fusion": chain,
         "window_memory": window_memory,
     }
 
@@ -627,7 +825,14 @@ def main(argv=None) -> int:
     print(f"wrote {output}")
     print(json.dumps(summary, indent=2, sort_keys=True))
     print(json.dumps(window["summary"], indent=2, sort_keys=True))
+    print(json.dumps(chain["summary"], indent=2, sort_keys=True))
     print(json.dumps(window_memory["summary"], indent=2, sort_keys=True))
+    # The comparison JSON is always written (above) and the step summary is
+    # always appended before any gate can fail, so a CI failure ships its own
+    # diagnosis artifact.
+    if summary_path:
+        _write_step_summary(summary_path, results, checks,
+                            baseline_path=args.baseline)
     if not checks["determinism_bit_identical"]:
         print("FAIL: repeated run virtual time not bit-identical", file=sys.stderr)
         return 1
@@ -636,6 +841,11 @@ def main(argv=None) -> int:
         return 1
     if not checks["window_fusion_effective"]:
         print("FAIL: fusion did not reduce events/bytes on the double-stencil sweep",
+              file=sys.stderr)
+        return 1
+    if not checks["chain_fusion_effective"]:
+        print(f"FAIL: chain fusion below the {CHAIN_EVENT_RATIO_GATE}x event gate vs "
+              "pairwise fusion on the chain sweep (or broke bit-identity)",
               file=sys.stderr)
         return 1
     if not checks["window_memory_effective"]:

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..simulator.trace import Trace, TraceInterval
+from ..simulator.trace import Trace
 
 __all__ = [
     "trace_to_chrome_events",

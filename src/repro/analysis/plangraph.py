@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
-from ..core import tasks as T
 from ..core.tasks import ExecutionPlan, Task, TaskId
 
 __all__ = ["PlanGraph", "plan_to_dot"]

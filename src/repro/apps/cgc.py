@@ -26,7 +26,6 @@ to square float64 matrices of side 25 000, 50 000 and 100 000.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.specs import ClusterSpec, GPUSpec, azure_nc24rsv2
 from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel

@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.annotations import AccessMode, Annotation, ArrayAccess, IndexSpec
+from ..core.annotations import Annotation, ArrayAccess, IndexSpec
 from ..core.distributions import (
     BlockDist,
     BlockWorkDist,

@@ -11,7 +11,7 @@ time alongside, used by tests to keep the model honest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Mapping, Sequence, Tuple
 
 from ..hardware.specs import CPUSpec, E5_2690
 from ..perfmodel.costs import KernelCost, cpu_time

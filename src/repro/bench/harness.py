@@ -18,11 +18,11 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.context import Context
 from ..hardware.specs import azure_nc24rsv2
-from ..kernels import WORKLOADS, create_workload
+from ..kernels import create_workload
 from ..runtime.system import ExecutionMode, RuntimeStats
 
 __all__ = [

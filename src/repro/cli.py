@@ -30,14 +30,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from . import __version__
 from .bench import (
     format_table,
     gpu_memory_limit,
     host_memory_limit,
-    make_context,
     run_workload_with_stats,
 )
 from .hardware.specs import azure_nc24rsv2

@@ -11,7 +11,7 @@ back to a NumPy array, deleted, or passed as kernel arguments.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -67,7 +67,7 @@ class Context:
         record_plans: bool = False,
         plan_cache: bool = True,
         lookahead: int = DEFAULT_LOOKAHEAD,
-        fusion: bool = True,
+        fusion: object = True,
         prefetch: bool = True,
         window_memory: bool = True,
     ):
@@ -373,6 +373,9 @@ class Context:
         stats = self.runtime.stats()
         stats.window_flushes = self.window.flushes
         stats.launches_fused = self.window.launches_fused
+        stats.launches_fused_chain = self.window.launches_fused_chain
+        stats.fused_chain_max_len = self.window.fused_chain_max_len
+        stats.reductions_fused = self.window.reductions_fused
         stats.transfers_prefetched = self.window.transfers_prefetched
         stats.window_memory_plans = self.window.memory_plans
         stats.plan_cache_invalidations = self.planner.cache.invalidations

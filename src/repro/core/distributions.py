@@ -40,6 +40,7 @@ __all__ = [
     "TileWorkDist",
     "CustomWorkDist",
     "WeightedBlockWorkDist",
+    "match_superblocks",
 ]
 
 
@@ -78,6 +79,64 @@ def _normalize_shape(shape: Sequence[int] | int) -> Tuple[int, ...]:
 
 def _round_robin(devices: Sequence[DeviceId], index: int) -> DeviceId:
     return devices[index % len(devices)]
+
+
+# --------------------------------------------------------------------------- #
+# Superblock-map compatibility (the chain-fusion distribution check)
+# --------------------------------------------------------------------------- #
+def match_superblocks(
+    base: Sequence[Superblock], other: Sequence[Superblock]
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Align two superblock splits that share the same chunk geometry.
+
+    Two work distributions are *compatible* for cross-launch fusion when their
+    superblock maps are the same set of boxes on the same devices, up to a
+    permutation of the enumeration order and a single per-axis offset applied
+    to every box (``other[p[s]].thread_region ==
+    base[s].thread_region.translate(offset)`` with matching devices).  Stock
+    distributions with equal parameters produce identical maps (identity
+    permutation, zero offset); the check is what lets the fusion pass also
+    merge launches whose distributions merely *describe* the same split — a
+    :class:`CustomWorkDist` enumerating the blocks in a different order, say.
+
+    Returns ``(permutation, offset)`` — ``permutation[s]`` is the index into
+    ``other`` aligned with ``base[s]`` — or ``None`` when the maps are not
+    compatible.  Cost is O(n) per candidate offset (superblocks are disjoint,
+    so box corners key uniquely); candidate offsets come from matching
+    ``base[0]`` against every same-device, same-shape box of ``other``.
+    """
+    if len(base) != len(other) or not base:
+        return None
+    ndim = base[0].thread_region.ndim
+    if any(sb.thread_region.ndim != ndim for sb in other):
+        return None
+    by_box = {
+        (sb.device, sb.thread_region.lo, sb.thread_region.hi): index
+        for index, sb in enumerate(other)
+    }
+    anchor = base[0]
+    for candidate in other:
+        if candidate.device != anchor.device:
+            continue
+        if candidate.thread_region.shape != anchor.thread_region.shape:
+            continue
+        offset = tuple(
+            c - b for c, b in zip(candidate.thread_region.lo, anchor.thread_region.lo)
+        )
+        permutation: List[int] = []
+        used: set = set()
+        for sb in base:
+            want_lo = tuple(l + o for l, o in zip(sb.thread_region.lo, offset))
+            want_hi = tuple(h + o for h, o in zip(sb.thread_region.hi, offset))
+            index = by_box.get((sb.device, want_lo, want_hi))
+            if index is None or index in used:
+                permutation = []
+                break
+            used.add(index)
+            permutation.append(index)
+        if permutation:
+            return tuple(permutation), offset
+    return None
 
 
 # --------------------------------------------------------------------------- #

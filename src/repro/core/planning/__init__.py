@@ -31,6 +31,7 @@ from .passes import (
     TransferResolutionPass,
     build_fused_recipe,
     build_launch_recipe,
+    chain_fusion_prescreen,
     default_pipeline,
     fusion_prescreen,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "default_pipeline",
     "build_fused_recipe",
     "fusion_prescreen",
+    "chain_fusion_prescreen",
     "PreparedLaunch",
     "LaunchWindow",
     "PendingLaunch",

@@ -43,6 +43,7 @@ __all__ = [
     "ChunkHandle",
     "TransferStep",
     "ArgBindingProto",
+    "ReduceEpilogueProto",
     "TaskProto",
     "AccessSummary",
     "PlanRecipe",
@@ -189,6 +190,22 @@ class ArgBindingProto:
     access_region: Region
     mode: str
     reduce_op: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReduceEpilogueProto:
+    """Structural form of one :class:`~repro.core.tasks.ReduceEpilogue`.
+
+    ``src_ref``/``dst_ref`` are chunk ids or :class:`TempRef` slots (the
+    chain-fusion pass combines a superblock partial temp into a per-device
+    accumulator temp); both resolve at stamp time.
+    """
+
+    src_ref: object
+    dst_ref: object
+    region: Region
+    op: str
+    nbytes: int
 
 
 @dataclass
@@ -553,6 +570,14 @@ def stamp_recipe(
                 access_region=value.access_region,
                 mode=value.mode,
                 reduce_op=value.reduce_op,
+            )
+        if isinstance(value, ReduceEpilogueProto):
+            return T.ReduceEpilogue(
+                src_chunk=resolve(value.src_ref),
+                dst_chunk=resolve(value.dst_ref),
+                region=value.region,
+                op=value.op,
+                nbytes=value.nbytes,
             )
         if isinstance(value, tuple):
             return tuple(resolve(v) for v in value)

@@ -37,7 +37,7 @@ from ...hardware.topology import Cluster, DeviceId
 from ..annotations import AccessMode
 from ..array import DistributedArray
 from ..chunk import ChunkId, ChunkMeta
-from ..distributions import Superblock, WorkDistribution
+from ..distributions import Superblock, WorkDistribution, match_superblocks
 from ..geometry import Region, bounding_region, regions_cover
 from ..kernel import CompiledKernel
 from ..reductions import get_reduce_op
@@ -50,6 +50,7 @@ from .ir import (
     LaunchIdRef,
     PlanRecipe,
     RecipeBuilder,
+    ReduceEpilogueProto,
     SCALAR_ARGS,
     ScalarArgsRef,
     TempChunkSpec,
@@ -70,6 +71,7 @@ __all__ = [
     "default_pipeline",
     "build_launch_recipe",
     "fusion_prescreen",
+    "chain_fusion_prescreen",
     "build_fused_recipe",
 ]
 
@@ -710,6 +712,25 @@ class TaskEmissionPass(PlanningPass):
                 builder.delete_chunk(job.partial, job.partial_label, deps=(reduce_idx,))
             device_accs[device] = (acc, prev)
 
+        self.emit_reduction_merge(builder, rir, device_accs)
+
+    @staticmethod
+    def emit_reduction_merge(
+        builder: RecipeBuilder,
+        rir: ReductionIR,
+        device_accs: Dict[DeviceId, Tuple[ChunkHandle, int]],
+    ) -> None:
+        """Emit the cross-superblock half of a reduction: move every device
+        accumulator to the root device, combine, and scatter into the
+        destination chunks.  ``device_accs`` maps each contributing device to
+        its accumulator handle and the proto index after which the
+        accumulator holds that device's combined partials.  Shared by the
+        single-launch path (accumulators fed by :class:`ReduceTask` protos)
+        and the chain-fusion path (accumulators fed by in-task reduce
+        epilogues of the fused launches)."""
+        array = rir.array
+        itemsize = np.dtype(array.dtype).itemsize
+
         # Bring every device accumulator to the root device and combine.
         if rir.root_device in device_accs:
             root_acc, root_ready = device_accs[rir.root_device]
@@ -819,37 +840,77 @@ def _arrays_by_id(launch) -> Optional[Dict[int, Tuple[str, AccessMode]]]:
 def fusion_prescreen(a, b) -> bool:
     """Cheap structural legality screen for fusing launches ``a`` then ``b``.
 
-    ``a``/``b`` expose ``kernel``, ``grid``, ``block``, ``work_dist`` and
+    The strict pairwise screen of the original fusion pass: identical grid,
+    block and work distribution, no ``reduce`` parameters, no array bound
+    twice, no WAW, and at least one produced/consumed array.  Kept for the
+    window's pairwise-only fusion mode (and API compatibility); the chain
+    builder uses :func:`chain_fusion_prescreen`, which additionally admits
+    compatible-but-different distributions and a reduction tail.
+    """
+    return chain_fusion_prescreen((a, b), allow_reduce_tail=False, allow_compatible=False)
+
+
+def chain_fusion_prescreen(
+    launches: Sequence[object],
+    allow_reduce_tail: bool = True,
+    allow_compatible: bool = True,
+) -> bool:
+    """Cheap structural legality screen for fusing a chain of launches.
+
+    ``launches`` expose ``kernel``, ``grid``, ``block``, ``work_dist`` and
     ``arrays`` (the window's :class:`~.window.PendingLaunch` does).  The
     screen requires, without evaluating any access region:
 
-    * identical grid, block and work distribution (same superblock split),
-    * no ``reduce`` parameters on either kernel,
+    * equal grid dimensionality everywhere; with ``allow_compatible`` off,
+      identical grid, block and work distribution (the superblock-map
+      compatibility check then never runs),
     * no array bound twice within one launch,
-    * no array written by both launches (WAW needs cross-plan ordering),
-    * at least one producer/consumer array: written by ``a``, read by ``b``.
+    * no array written (or reduced) by two different segments — WAW needs
+      cross-plan ordering,
+    * ``reduce`` parameters only on the *last* segment (the reduction tail,
+      gated by ``allow_reduce_tail``), and the tail's reduce targets untouched
+      by every earlier segment: the reduction's scatter back into the target
+      array would otherwise race earlier segments' accesses within one plan,
+    * every segment after the first reads at least one array an earlier
+      segment wrote (the chain is a genuine producer/consumer run).
     """
-    if (a.grid, a.block) != (b.grid, b.block) or a.work_dist != b.work_dist:
+    if len(launches) < 2:
         return False
-    modes_a, modes_b = _access_modes(a.kernel), _access_modes(b.kernel)
-    if any(m is AccessMode.REDUCE for m in modes_a.values()):
+    id_maps = [_arrays_by_id(launch) for launch in launches]
+    if any(id_map is None for id_map in id_maps):
         return False
-    if any(m is AccessMode.REDUCE for m in modes_b.values()):
-        return False
-    ids_a, ids_b = _arrays_by_id(a), _arrays_by_id(b)
-    if ids_a is None or ids_b is None:
-        return False
-    produced = False
-    for array_id, (_, mode_b) in ids_b.items():
-        entry = ids_a.get(array_id)
-        if entry is None:
-            continue
-        _, mode_a = entry
-        if mode_a.writes and mode_b.writes:
+    first = launches[0]
+    ndim = len(first.grid)
+    last = len(launches) - 1
+    writer_of: Dict[int, int] = {}
+    touched: set = set()
+    for segment, (launch, id_map) in enumerate(zip(launches, id_maps)):
+        if len(launch.grid) != ndim:
             return False
-        if mode_a.writes and mode_b.reads:
-            produced = True
-    return produced
+        if not allow_compatible and (
+            (tuple(launch.grid), tuple(launch.block))
+            != (tuple(first.grid), tuple(first.block))
+            or launch.work_dist != first.work_dist
+        ):
+            return False
+        has_reduce = any(mode is AccessMode.REDUCE for _, mode in id_map.values())
+        if has_reduce and not (allow_reduce_tail and segment == last):
+            return False
+        produced = False
+        for array_id, (_, mode) in id_map.items():
+            if mode is AccessMode.REDUCE and array_id in touched:
+                return False
+            if mode.writes and array_id in writer_of:
+                return False
+            if mode.reads and array_id in writer_of:
+                produced = True
+        if segment > 0 and not produced:
+            return False
+        for array_id, (_, mode) in id_map.items():
+            if mode.writes:
+                writer_of[array_id] = segment
+            touched.add(array_id)
+    return True
 
 
 def _shared_param_pairs(state_a: LaunchState, state_b: LaunchState, s: int):
@@ -861,57 +922,70 @@ def _shared_param_pairs(state_a: LaunchState, state_b: LaunchState, s: int):
             yield a_pir, b_pir
 
 
-def _check_fusion_regions(state_a: LaunchState, state_b: LaunchState) -> bool:
-    """Region-level legality of fusing ``a`` then ``b`` (see ARCHITECTURE.md).
+def _check_chain_regions(states: Sequence[LaunchState]) -> bool:
+    """Region-level legality of fusing a chain of launches (see ARCHITECTURE.md).
 
-    With both launches split into the same superblocks, executing segment
-    ``a`` then segment ``b`` *per superblock* is equivalent to executing all
-    of ``a`` before all of ``b`` iff:
+    With every launch aligned to the same superblock split (identical or
+    compatible work distributions, already permutation-matched), executing the
+    segments back to back *per superblock* is equivalent to executing the
+    launches one after another iff, for every ordered pair of segments
+    ``i < j``:
 
-    * RAW: every region ``b`` reads of an ``a``-written array is contained in
-      what ``a``'s *own* superblock wrote (no halo/neighbour reads), and
-      ``a``'s writes are pairwise disjoint across superblocks;
-    * WAR: every region ``b`` writes of an ``a``-read array is disjoint from
-      what ``a`` reads on *every other* superblock.
+    * RAW: every region ``j`` reads of an ``i``-written array is contained in
+      what ``i``'s *own* superblock wrote (no halo/neighbour reads), and
+      ``i``'s writes are pairwise disjoint across superblocks;
+    * WAR: every region ``j`` writes of an ``i``-read array is disjoint from
+      what ``i`` reads on *every other* superblock.
     """
-    sbs_a, sbs_b = state_a.superblocks, state_b.superblocks
-    if len(sbs_a) != len(sbs_b):
-        return False
-    for s in range(len(sbs_a)):
-        if sbs_a[s].sb.device != sbs_b[s].sb.device:
+    count = len(states[0].superblocks)
+    for state in states[1:]:
+        if len(state.superblocks) != count:
             return False
+        for s in range(count):
+            if state.superblocks[s].sb.device != states[0].superblocks[s].sb.device:
+                return False
 
-    #: per-array write/read regions of ``a`` by superblock, for hazard checks
+    #: (producer segment, param) pairs needing the pairwise-disjoint check
     raw_checked: set = set()
-    for s in range(len(sbs_a)):
-        for a_pir, b_pir in _shared_param_pairs(state_a, state_b, s):
-            if a_pir.mode.writes and b_pir.mode.reads:
-                if not a_pir.region.contains_region(b_pir.region):
-                    return False
-                raw_checked.add(a_pir.param)
-            if a_pir.mode.reads and b_pir.mode.writes:
-                # WAR: b's write on s must not touch a's read on any other s'
-                for other in range(len(sbs_a)):
-                    if other == s:
-                        continue
-                    for other_a in sbs_a[other].params:
-                        if other_a.array.array_id != b_pir.array.array_id:
-                            continue
-                        if not b_pir.region.intersect(other_a.region).is_empty:
+    for i in range(len(states)):
+        for j in range(i + 1, len(states)):
+            state_i, state_j = states[i], states[j]
+            for s in range(count):
+                for a_pir, b_pir in _shared_param_pairs(state_i, state_j, s):
+                    if (
+                        a_pir.mode is AccessMode.REDUCE
+                        or b_pir.mode is AccessMode.REDUCE
+                    ):
+                        # The prescreen keeps reduce targets chain-private.
+                        return False
+                    if a_pir.mode.writes and b_pir.mode.reads:
+                        if not a_pir.region.contains_region(b_pir.region):
                             return False
+                        raw_checked.add((i, a_pir.param))
+                    if a_pir.mode.reads and b_pir.mode.writes:
+                        # WAR: j's write on s must not touch i's read on any
+                        # other superblock.
+                        for other in range(count):
+                            if other == s:
+                                continue
+                            for other_a in state_i.superblocks[other].params:
+                                if other_a.array.array_id != b_pir.array.array_id:
+                                    continue
+                                if not b_pir.region.intersect(other_a.region).is_empty:
+                                    return False
     # RAW producers must write pairwise-disjoint regions: the consumer reads
     # its own superblock's values in place, which only equals the coherent
     # array contents when no other superblock wrote the same elements.
-    for param in raw_checked:
+    for i, param in raw_checked:
         regions = [
             pir.region
-            for sbir in sbs_a
+            for sbir in states[i].superblocks
             for pir in sbir.params
             if pir.param == param
         ]
-        for i in range(len(regions)):
-            for j in range(i + 1, len(regions)):
-                if not regions[i].intersect(regions[j]).is_empty:
+        for a in range(len(regions)):
+            for b in range(a + 1, len(regions)):
+                if not regions[a].intersect(regions[b]).is_empty:
                     return False
     return True
 
@@ -920,20 +994,31 @@ def build_fused_recipe(
     cluster: Cluster,
     launches: Sequence[object],
     cost_model: Optional[TransferCostModel] = None,
+    allow_reduce_tail: bool = True,
+    allow_compatible_dists: bool = True,
 ) -> Optional[PlanRecipe]:
-    """Try to fuse a run of back-to-back launches into one plan recipe.
+    """Try to fuse a chain of back-to-back launches into one plan recipe.
 
     ``launches`` expose ``kernel``, ``grid``, ``block``, ``work_dist``,
     ``arrays`` (the window's ``PendingLaunch``).  Returns the fused
     :class:`~.ir.PlanRecipe` — one :class:`~repro.core.tasks.FusedLaunchTask`
-    per superblock, consumer reads bound to the producer's output in place,
-    the consumer's gather transfers elided — or ``None`` when fusion is not
-    legal.  Only adjacent pairs are fused today.
+    per superblock executing every segment back to back, consumer reads bound
+    to their producer's output in place with the gather transfers elided — or
+    ``None`` when fusion is not legal.  Any chain length >= 2 is accepted;
+    segments may use *different* work distributions whose superblock maps are
+    compatible (:func:`~repro.core.distributions.match_superblocks`), and the
+    chain may end in a *reduction tail*: the per-superblock partial combine is
+    emitted as an in-task epilogue of the fused launches and only the
+    cross-superblock merge remains as separate tasks.  ``allow_reduce_tail``
+    and ``allow_compatible_dists`` gate the two extensions (the window's
+    pairwise-only fusion mode turns both off).
     """
-    if len(launches) != 2:
-        return None
-    a, b = launches
-    if not fusion_prescreen(a, b):
+    launches = list(launches)
+    if not chain_fusion_prescreen(
+        launches,
+        allow_reduce_tail=allow_reduce_tail,
+        allow_compatible=allow_compatible_dists,
+    ):
         return None
 
     cost_model = cost_model or TransferCostModel(cluster)
@@ -961,33 +1046,54 @@ def build_fused_recipe(
         for planning_pass in analysis:
             planning_pass.run(state)
         states.append(state)
-    state_a, state_b = states
-    if not _check_fusion_regions(state_a, state_b):
+
+    # Align every segment's superblocks with the first segment's split: the
+    # per-axis offset/permutation check of `match_superblocks` is what makes
+    # differing-but-compatible work distributions fusable.
+    base = [sbir.sb for sbir in states[0].superblocks]
+    identity = tuple(range(len(base)))
+    for state in states[1:]:
+        matched = match_superblocks(base, [sbir.sb for sbir in state.superblocks])
+        if matched is None:
+            return None
+        permutation, offset = matched
+        if state.reductions and (
+            permutation != identity or any(o != 0 for o in offset)
+        ):
+            # A permuted reduction tail would reorder the per-device partial
+            # combines and change the floating-point result; stay bit-exact.
+            return None
+        if permutation != identity:
+            state.superblocks = [state.superblocks[p] for p in permutation]
+    if not _check_chain_regions(states):
         return None
 
-    # Rebind consumer parameters of producer-written arrays to the producer's
-    # binding (direct chunk or scratch temp): the fused task reads the
-    # producer's output in place, so the consumer's assembled temp and its
-    # gather transfers disappear.
+    # Rebind consumer parameters of produced arrays to the producer's binding
+    # (direct chunk or scratch temp): the fused task reads the producer's
+    # output in place, so the consumer's assembled temp and its gather
+    # transfers disappear.  The prescreen guarantees a single writer per
+    # array, so "the producer" is unambiguous.
     elided_bytes = 0
     elided_steps = 0
-    for s in range(len(state_a.superblocks)):
-        producers = {
-            pir.array.array_id: pir
-            for pir in state_a.superblocks[s].params
-            if pir.mode.writes
-        }
-        for b_pir in state_b.superblocks[s].params:
-            a_pir = producers.get(b_pir.array.array_id)
-            if a_pir is None or not b_pir.mode.reads:
-                continue
-            elided_bytes += sum(step.nbytes for step in b_pir.gather_steps)
-            elided_steps += len(b_pir.gather_steps)
-            b_pir.gather_steps = []
-            b_pir.temp_spec = None
-            b_pir.direct_chunk = None
-            b_pir.binding = a_pir.binding
-            b_pir.fused_source = a_pir
+    for s in range(len(states[0].superblocks)):
+        producers: Dict[int, ParamIR] = {}
+        for state in states:
+            for pir in state.superblocks[s].params:
+                if pir.mode is AccessMode.REDUCE:
+                    continue
+                if pir.mode.reads and not pir.mode.writes:
+                    source = producers.get(pir.array.array_id)
+                    if source is not None:
+                        elided_bytes += sum(step.nbytes for step in pir.gather_steps)
+                        elided_steps += len(pir.gather_steps)
+                        pir.gather_steps = []
+                        pir.temp_spec = None
+                        pir.direct_chunk = None
+                        pir.binding = source.binding
+                        pir.fused_source = source
+            for pir in state.superblocks[s].params:
+                if pir.mode.writes and pir.mode is not AccessMode.REDUCE:
+                    producers[pir.array.array_id] = pir
 
     _emit_fused_superblocks(states, builder)
     recipe = builder.recipe
@@ -995,21 +1101,46 @@ def build_fused_recipe(
     # already accounted when each launch was prepared cold; only the
     # fusion-specific savings are new information.
     recipe.notes["fused_launches"] = len(launches) - 1
+    recipe.notes["fused_segments"] = len(launches)
     recipe.notes["fusion_elided_bytes"] = elided_bytes
     recipe.notes["fusion_elided_steps"] = elided_steps
+    recipe.notes["fused_reductions"] = sum(len(st.reductions) for st in states)
     return recipe
 
 
 def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilder) -> None:
-    """Joint task emission for fused launches: one task per superblock."""
+    """Joint task emission for a fused chain: one task per superblock.
+
+    Reduction tails: the per-device accumulators are created up front and the
+    per-superblock partial combines become in-task epilogues of the fused
+    launches, chained per device through ``acc_ready`` in superblock order —
+    the same combine order the unfused :class:`~repro.core.tasks.ReduceTask`
+    chain uses, which keeps floating-point results bit-identical.  Only the
+    cross-superblock merge (:meth:`TaskEmissionPass.emit_reduction_merge`) is
+    emitted as separate tasks.
+    """
     segments = len(states)
+
+    #: (param, device) -> proto index after which the accumulator is current
+    acc_ready: Dict[Tuple[str, DeviceId], int] = {}
+    for state in states:
+        for rir in state.reductions:
+            for device in rir.per_device:
+                acc_ready[(rir.param, device)] = builder.create_temp(
+                    rir.acc_specs[device], fill_value=rir.identity
+                )
+
     for s in range(len(states[0].superblocks)):
         sb = states[0].superblocks[s].sb
         launch_deps: List[int] = []
         launch_conflicts: List[Tuple[str, ChunkId]] = []
         gather_reads: List[Tuple[ChunkId, int]] = []
         direct_reads: List[ChunkId] = []
+        epilogues: List[Tuple[ReduceEpilogueProto, ...]] = []
+        acc_keys: List[Tuple[str, DeviceId]] = []
+        partials: List[ParamIR] = []
         for state in states:
+            segment_epilogues: List[ReduceEpilogueProto] = []
             for pir in state.superblocks[s].params:
                 if pir.fused_source is not None:
                     # Producer emits the binding; the fused task's read of a
@@ -1025,6 +1156,24 @@ def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilde
                 launch_conflicts.extend(conflicts)
                 gather_reads.extend(gathers)
                 direct_reads.extend(directs)
+                if pir.mode is AccessMode.REDUCE:
+                    rir = next(r for r in state.reductions if r.param == pir.param)
+                    acc_spec = rir.acc_specs[sb.device]
+                    itemsize = np.dtype(rir.array.dtype).itemsize
+                    segment_epilogues.append(
+                        ReduceEpilogueProto(
+                            src_ref=pir.binding.ref,
+                            dst_ref=ChunkHandle.of_temp(acc_spec).ref,
+                            region=pir.region,
+                            op=rir.op_name,
+                            nbytes=pir.region.size * itemsize,
+                        )
+                    )
+                    key = (pir.param, sb.device)
+                    launch_deps.append(acc_ready[key])
+                    acc_keys.append(key)
+                    partials.append(pir)
+            epilogues.append(tuple(segment_epilogues))
 
         launch_idx = builder.add(
             T.FusedLaunchTask,
@@ -1035,6 +1184,7 @@ def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilde
             kernel_names=tuple(st.kernel.name for st in states),
             device=sb.device,
             superblock=sb,
+            superblocks_list=tuple(st.superblocks[s].sb for st in states),
             grid_dims_list=tuple(tuple(st.grid) for st in states),
             block_dims_list=tuple(tuple(st.block) for st in states),
             scalar_args_list=tuple(ScalarArgsRef(h) for h in range(segments)),
@@ -1055,9 +1205,14 @@ def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilde
                 {pir.param: pir.array.shape for pir in st.superblocks[s].params}
                 for st in states
             ),
+            reduce_epilogues=(
+                tuple(epilogues) if any(epilogues) else ()
+            ),
             launch_id=LaunchIdRef(0),
             launch_ids=tuple(LaunchIdRef(h) for h in range(segments)),
         )
+        for key in acc_keys:
+            acc_ready[key] = launch_idx
         for chunk_id, src_read in gather_reads:
             builder.note_read(chunk_id, src_read)
         for chunk_id in dict.fromkeys(direct_reads):
@@ -1067,6 +1222,22 @@ def _emit_fused_superblocks(states: Sequence[LaunchState], builder: RecipeBuilde
                 if pir.fused_source is not None:
                     continue
                 TaskEmissionPass.emit_param_outputs(builder, pir, launch_idx)
+        for pir in partials:
+            # The epilogue inside the fused task was the partial's last use.
+            builder.delete_chunk(pir.binding, pir.temp_spec.label, deps=(launch_idx,))
+
+    # Cross-superblock merge of the reduction tail: device accumulators to the
+    # root, combine, scatter into the destination chunks.
+    for state in states:
+        for rir in state.reductions:
+            device_accs = {
+                device: (
+                    ChunkHandle.of_temp(rir.acc_specs[device]),
+                    acc_ready[(rir.param, device)],
+                )
+                for device in rir.per_device
+            }
+            TaskEmissionPass.emit_reduction_merge(builder, rir, device_accs)
 
 
 # --------------------------------------------------------------------------- #

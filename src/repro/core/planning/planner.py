@@ -21,9 +21,11 @@ driver-side steps:
   depend on everything stamped before it.
 
 Fused recipes (the window's kernel-fusion pass) are cached separately, keyed
-by the *pair* of member cache keys, with a negative entry for pairs that
-failed the legality checks so the expensive region analysis runs once per
-launch shape, not once per drain.
+by the *chain* of member cache keys (any length >= 2), with a negative entry
+for chains that failed the legality checks so the expensive region analysis
+runs once per chain shape, not once per drain.  The window's greedy chain
+builder extends chains one launch at a time, so successful prefixes and
+failing extensions each get their own entry (prefix reuse).
 
 The planner is purely driver-side: it never touches data, only metadata.
 """
@@ -57,10 +59,10 @@ from .passes import (
 
 __all__ = ["Planner", "PlanningError", "PreparedLaunch"]
 
-#: negative fusion-cache entry: the pair is known not to fuse
+#: negative fusion-cache entry: the chain is known not to fuse
 _NO_FUSION = object()
 
-#: bound on the fused-recipe cache (entries are pairs of launch keys)
+#: bound on the fused-recipe cache (entries are chains of launch keys)
 _FUSION_CACHE_MAX = 512
 
 
@@ -95,7 +97,8 @@ class Planner:
         self.cost_model = TransferCostModel(cluster)
         self.cache_enabled = plan_cache
         self.cache = PlanTemplateCache(maxsize=plan_cache_size)
-        #: fused-recipe LRU cache: (key_a, key_b) -> PlanRecipe | _NO_FUSION
+        #: fused-recipe LRU cache: (flags..., key_0, ..., key_n) chain keys ->
+        #: PlanRecipe | _NO_FUSION (negative entries memoise failed chains)
         self._fusion_cache: "OrderedDict[Hashable, object]" = OrderedDict()
         self.dependency_injector = DependencyInjectionPass(self._writers, self._readers)
         #: wall-clock seconds spent planning kernel launches (driver hot path)
@@ -314,19 +317,22 @@ class Planner:
 
         Called after an in-place redistribution: the array's layout epoch has
         been bumped, so entries keyed on the old epoch can never hit again and
-        would otherwise sit in the LRU as garbage until pushed out.
+        would otherwise sit in the LRU as garbage until pushed out.  Fused
+        *chain* entries are evicted when **any** member launch of the chain
+        mentions the array — a chain's recipe embeds the bindings of every
+        member, so one redistributed member stales the whole chain.
         """
         evicted = self.cache.invalidate_array(array_id)
         stale = [
-            pair_key
-            for pair_key in self._fusion_cache
+            chain_key
+            for chain_key in self._fusion_cache
             if any(
                 PlanTemplateCache.key_mentions_array(member, array_id)
-                for member in pair_key
+                for member in chain_key
             )
         ]
-        for pair_key in stale:
-            del self._fusion_cache[pair_key]
+        for chain_key in stale:
+            del self._fusion_cache[chain_key]
         return evicted + len(stale)
 
     # ------------------------------------------------------------------ #
@@ -419,45 +425,68 @@ class Planner:
     # ------------------------------------------------------------------ #
     # cross-launch kernel fusion (used by the launch window)
     # ------------------------------------------------------------------ #
-    def prepare_fused(self, a, b) -> Tuple[Optional[PlanRecipe], Optional[str]]:
-        """Fused recipe for back-to-back launches ``a``, ``b``.
+    def prepare_fused_chain(
+        self,
+        members: Sequence[object],
+        allow_reduce_tail: bool = True,
+        allow_compatible_dists: bool = True,
+    ) -> Tuple[Optional[PlanRecipe], Optional[str]]:
+        """Fused recipe for a chain of back-to-back launches.
 
-        ``a``/``b`` are the window's ``PendingLaunch`` records.  Returns
-        ``(recipe, cache status)`` — ``(None, None)`` when the pair is not
-        fusable.  The status reflects the *fusion* cache: ``"hit"`` only when
-        the fused recipe was served memoised, ``"miss"`` when it was built
-        cold this drain (even if both members hit the per-launch template
-        cache).  Decisions are memoised by the pair of member cache keys —
-        including a *negative* entry when the pair is not fusable — so
-        iterative applications pay the legality analysis once per launch-pair
-        shape.
+        ``members`` are the window's ``PendingLaunch`` records, in program
+        order.  Returns ``(recipe, cache status)`` — ``(None, None)`` when the
+        chain is not fusable.  The status reflects the *fusion* cache:
+        ``"hit"`` only when the fused recipe was served memoised, ``"miss"``
+        when it was built cold this drain (even if every member hit the
+        per-launch template cache).  Decisions are memoised by the tuple of
+        member cache keys — including a *negative* entry when the chain is not
+        fusable — with natural prefix reuse: the window's greedy builder
+        extends a chain one launch at a time, so every successful prefix of a
+        chain has its own (positive) entry and the failing extension its own
+        negative one, and iterative applications pay the legality analysis
+        once per chain shape.
         """
-        pair_key = None
-        if (
-            self.cache_enabled
-            and a.prepared.key is not None
-            and b.prepared.key is not None
-        ):
-            pair_key = (a.prepared.key, b.prepared.key)
-            cached = self._fusion_cache.get(pair_key)
+        chain_key = None
+        if self.cache_enabled and all(m.prepared.key is not None for m in members):
+            # The legality flags join the key so pairwise-mode and chain-mode
+            # decisions can never alias (a reduce-tail pair fuses under chain
+            # rules but not under pairwise rules).
+            chain_key = (allow_reduce_tail, allow_compatible_dists) + tuple(
+                m.prepared.key for m in members
+            )
+            cached = self._fusion_cache.get(chain_key)
             if cached is not None:
-                self._fusion_cache.move_to_end(pair_key)
+                self._fusion_cache.move_to_end(chain_key)
                 if cached is _NO_FUSION:
                     return None, None
                 return cached, "hit"  # type: ignore[return-value]
         started = time.perf_counter()
-        recipe = build_fused_recipe(self.cluster, (a, b), cost_model=self.cost_model)
+        recipe = build_fused_recipe(
+            self.cluster,
+            members,
+            cost_model=self.cost_model,
+            allow_reduce_tail=allow_reduce_tail,
+            allow_compatible_dists=allow_compatible_dists,
+        )
         self.planning_seconds += time.perf_counter() - started
         if recipe is not None:
             for note, value in recipe.notes.items():
                 self.pass_stats[note] = self.pass_stats.get(note, 0) + value
-        if pair_key is not None:
-            self._fusion_cache[pair_key] = recipe if recipe is not None else _NO_FUSION
+        if chain_key is not None:
+            self._fusion_cache[chain_key] = recipe if recipe is not None else _NO_FUSION
             while len(self._fusion_cache) > _FUSION_CACHE_MAX:
                 self._fusion_cache.popitem(last=False)
         if recipe is None:
             return None, None
-        return recipe, "miss" if pair_key is not None else None
+        return recipe, "miss" if chain_key is not None else None
+
+    def prepare_fused(self, a, b) -> Tuple[Optional[PlanRecipe], Optional[str]]:
+        """Strict pairwise fusion (the window's ``fusion="pairwise"`` mode):
+        adjacent pairs only, identical work distributions, no reduction tail.
+        """
+        return self.prepare_fused_chain(
+            (a, b), allow_reduce_tail=False, allow_compatible_dists=False
+        )
 
     def stamp_fused(
         self,

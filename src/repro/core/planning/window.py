@@ -15,12 +15,15 @@ observable:
 Draining runs three cross-launch passes over the group before the per-launch
 stamping:
 
-1. **Kernel fusion** — adjacent launches whose producer/consumer access
-   regions are superblock-contained (see
+1. **Kernel fusion** — maximal chains of back-to-back launches whose
+   producer/consumer access regions are superblock-contained (see
    :func:`~.passes.build_fused_recipe`) are merged into one plan template:
    one :class:`~repro.core.tasks.FusedLaunchTask` per superblock instead of
-   two launch tasks, with the consumer's gather transfers elided because it
-   reads the producer's output in place.
+   N launch tasks, with consumer gather transfers elided because each
+   segment reads its producer's output in place.  Segments may use
+   compatible-but-different work distributions (same superblock boxes under
+   a per-axis offset/permutation), and a chain may end in a *reduction
+   tail* whose per-superblock partial combine runs inside the fused task.
 
 2. **Cross-launch prefetch** — every launch after the first in the drained
    group has its pre-launch gather/halo transfers stamped with a raised
@@ -71,7 +74,7 @@ class PendingLaunch:
 
 @dataclass
 class DrainUnit:
-    """One stamping unit of a drained group: a single launch or a fused pair.
+    """One stamping unit of a drained group: a single launch or a fused chain.
 
     The fusion pass produces these; the memory-planning and stamping passes
     consume them (``recipe`` is the template that will be stamped, and
@@ -86,21 +89,34 @@ class DrainUnit:
 
 
 class LaunchWindow:
-    """Bounded lookahead buffer of pending launches with cross-launch passes."""
+    """Bounded lookahead buffer of pending launches with cross-launch passes.
+
+    ``fusion`` selects the fusion pass's mode: ``True`` (or ``"chain"``) runs
+    the greedy chain builder — maximal runs of producer/consumer launches,
+    compatible-distribution segments and reduction tails included — while
+    ``"pairwise"`` restores the original adjacent-pair-only behaviour
+    (identical distributions, no reduction tails; the bench harness uses it as
+    the chain-fusion control arm) and ``False`` disables fusion entirely.
+    """
 
     def __init__(
         self,
         runtime: "object",
         planner: Planner,
         depth: int = DEFAULT_LOOKAHEAD,
-        fusion: bool = True,
+        fusion: object = True,
         prefetch: bool = True,
         memory_planning: bool = True,
     ):
         self.runtime = runtime
         self.planner = planner
         self.depth = max(1, int(depth))
-        self.fusion_enabled = fusion
+        if fusion not in (True, False, "chain", "pairwise"):
+            raise ValueError(
+                f"fusion must be True, False, 'chain' or 'pairwise', got {fusion!r}"
+            )
+        self.fusion_enabled = bool(fusion)
+        self.fusion_pairwise_only = fusion == "pairwise"
         self.prefetch_enabled = prefetch
         self.memory_planning_enabled = memory_planning
         self.memplan = WindowMemoryPlanner(runtime, planner) if memory_planning else None
@@ -109,6 +125,9 @@ class LaunchWindow:
         self.flushes = 0
         self.flush_reasons: Dict[str, int] = {}
         self.launches_fused = 0
+        self.launches_fused_chain = 0
+        self.fused_chain_max_len = 0
+        self.reductions_fused = 0
         self.transfers_prefetched = 0
         self.memory_plans = 0
         #: launch-task ids (by worker) of the previous drain's last unit, the
@@ -146,25 +165,37 @@ class LaunchWindow:
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
 
         # Pass 1 — kernel fusion: partition the group into stamping units.
+        # The greedy chain builder keeps absorbing the next window launch
+        # while the extended chain stays legal; every prefix decision
+        # (positive and negative) is memoised by the planner's chain-key
+        # fusion cache, so steady-state drains pay dictionary lookups only.
         units: List[DrainUnit] = []
         index = 0
         while index < len(group):
-            fused, fused_status = None, None
-            if self.fusion_enabled and index + 1 < len(group):
-                fused, fused_status = self.planner.prepare_fused(
-                    group[index], group[index + 1]
-                )
+            members: List[PendingLaunch] = [group[index]]
+            recipe, status = None, None
+            if self.fusion_enabled:
+                limit = 2 if self.fusion_pairwise_only else len(group) - index
+                while index + len(members) < len(group) and len(members) < limit:
+                    candidate = tuple(members) + (group[index + len(members)],)
+                    if self.fusion_pairwise_only:
+                        ext, ext_status = self.planner.prepare_fused(*candidate)
+                    else:
+                        ext, ext_status = self.planner.prepare_fused_chain(candidate)
+                    if ext is None:
+                        break
+                    members.append(candidate[-1])
+                    recipe, status = ext, ext_status
             # The prefetch pass applies to every launch after the first of the
             # drained group: its pre-launch transfers are predictable one
             # launch ahead, so they are stamped with a raised priority.
             prefetch = self.prefetch_enabled and index > 0
-            if fused is not None:
+            if recipe is not None:
                 units.append(DrainUnit(
-                    members=(group[index], group[index + 1]),
-                    recipe=fused, cache_status=fused_status,
+                    members=tuple(members),
+                    recipe=recipe, cache_status=status,
                     prefetch=prefetch, fused=True,
                 ))
-                index += 2
             else:
                 pending = group[index]
                 units.append(DrainUnit(
@@ -173,7 +204,7 @@ class LaunchWindow:
                     cache_status=pending.prepared.cache_status,
                     prefetch=prefetch, fused=False,
                 ))
-                index += 1
+            index += len(units[-1].members)
 
         # Pass 2 — window-aware memory planning.  Must run before stamping:
         # reserve/promotion dependencies come from the conflict tables, which
@@ -204,6 +235,16 @@ class LaunchWindow:
                     prefetch=unit.prefetch,
                 )
                 self.launches_fused += len(unit.members) - 1
+                if len(unit.members) > 2:
+                    # launches that joined a chain longer than a pair — what
+                    # pairwise-only fusion could not have merged
+                    self.launches_fused_chain += len(unit.members)
+                self.fused_chain_max_len = max(
+                    self.fused_chain_max_len, len(unit.members)
+                )
+                self.reductions_fused += int(
+                    unit.recipe.notes.get("fused_reductions", 0)
+                )
             else:
                 pending = unit.members[0]
                 plan, prefetched = self.planner.stamp_launch(

@@ -36,6 +36,7 @@ __all__ = [
     "FillTask",
     "LaunchTask",
     "FusedLaunchTask",
+    "ReduceEpilogue",
     "ArrayArgBinding",
     "CopyTask",
     "SendTask",
@@ -162,25 +163,50 @@ class LaunchTask(Task):
         return tuple((binding.chunk_id, "gpu") for binding in self.array_args)
 
 
+@dataclass(frozen=True)
+class ReduceEpilogue:
+    """One in-task partial-reduction combine of a fused launch segment.
+
+    The chain-fusion pass emits these for a *reduction tail*: after the tail
+    segment has accumulated into its superblock partial chunk, the fused task
+    itself combines the partial into the per-device accumulator (``op`` over
+    ``region``), so no separate per-superblock :class:`ReduceTask` is needed —
+    only the cross-superblock merge remains as ordinary tasks.
+    """
+
+    src_chunk: ChunkId
+    dst_chunk: ChunkId
+    region: Region
+    op: str = "+"
+    nbytes: int = 0
+
+
 @dataclass
 class FusedLaunchTask(Task):
     """Execute one superblock of several fused kernel launches back to back.
 
-    The launch-window fusion pass merges back-to-back launches whose
-    producer/consumer access regions are superblock-contained into one task
-    per superblock: the segments run sequentially on the same device, reading
-    the producer's output in place, and pay the fixed launch overhead once.
-    Parallel tuples hold one entry per fused segment.
+    The launch-window fusion pass merges a *chain* of back-to-back launches
+    whose producer/consumer access regions are superblock-contained into one
+    task per superblock: the segments run sequentially on the same device,
+    reading earlier segments' outputs in place, and pay the fixed launch
+    overhead once.  Parallel tuples hold one entry per fused segment.
+    ``superblocks_list`` carries each segment's own superblock (segments fused
+    across *compatible* work distributions keep their own thread regions);
+    when empty, every segment uses ``superblock``.  ``reduce_epilogues`` holds
+    per-segment in-task partial-reduction combines (the chain's reduction
+    tail); see :class:`ReduceEpilogue`.
     """
 
     kernel_names: Tuple[str, ...] = ()
     device: DeviceId = None  # type: ignore[assignment]
     superblock: Superblock = None  # type: ignore[assignment]
+    superblocks_list: Tuple[Superblock, ...] = ()
     grid_dims_list: Tuple[Tuple[int, ...], ...] = ()
     block_dims_list: Tuple[Tuple[int, ...], ...] = ()
     scalar_args_list: Tuple[Dict[str, object], ...] = ()
     array_args_list: Tuple[Tuple[ArrayArgBinding, ...], ...] = ()
     array_shapes_list: Tuple[Dict[str, Tuple[int, ...]], ...] = ()
+    reduce_epilogues: Tuple[Tuple[ReduceEpilogue, ...], ...] = ()
     #: launch id of the first (producer) segment, used for priority ordering
     launch_id: int = 0
     launch_ids: Tuple[int, ...] = ()
@@ -190,12 +216,22 @@ class FusedLaunchTask(Task):
         """Number of fused launch segments."""
         return len(self.kernel_names)
 
+    def segment_superblock(self, segment: int) -> Superblock:
+        """The superblock segment ``segment`` executes (its own thread region)."""
+        if self.superblocks_list:
+            return self.superblocks_list[segment]
+        return self.superblock
+
     def chunk_requirements(self):
-        """Every segment's bound chunks (deduplicated), on the GPU."""
+        """Every segment's bound and epilogue chunks (deduplicated), on the GPU."""
         seen = {}
         for bindings in self.array_args_list:
             for binding in bindings:
                 seen.setdefault(binding.chunk_id, (binding.chunk_id, "gpu"))
+        for epilogues in self.reduce_epilogues:
+            for epilogue in epilogues:
+                seen.setdefault(epilogue.src_chunk, (epilogue.src_chunk, "gpu"))
+                seen.setdefault(epilogue.dst_chunk, (epilogue.dst_chunk, "gpu"))
         return tuple(seen.values())
 
 

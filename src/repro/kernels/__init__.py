@@ -15,11 +15,13 @@ from .correlator import CorrelatorWorkload, correlator_reference
 from .gemm import GEMMWorkload
 from .hotspot import (
     HotSpotDoubleWorkload,
+    HotSpotTripleWorkload,
     HotSpotWorkload,
     hotspot2_reference_step,
+    hotspot3_reference_step,
     hotspot_reference_step,
 )
-from .kmeans import KMeansWorkload, kmeans_reference
+from .kmeans import KMeansTwoPhaseWorkload, KMeansWorkload, kmeans_reference
 from .md5 import MD5Workload, mix_hash
 from .nbody import NBodyWorkload, nbody_reference_step
 from .spmv import SpMVWorkload, ell_reference_multiply
@@ -47,8 +49,10 @@ __all__ = [
     "NBodyWorkload",
     "CorrelatorWorkload",
     "KMeansWorkload",
+    "KMeansTwoPhaseWorkload",
     "HotSpotWorkload",
     "HotSpotDoubleWorkload",
+    "HotSpotTripleWorkload",
     "GEMMWorkload",
     "SpMVWorkload",
     "BlackScholesWorkload",
@@ -58,6 +62,7 @@ __all__ = [
     "kmeans_reference",
     "hotspot_reference_step",
     "hotspot2_reference_step",
+    "hotspot3_reference_step",
     "ell_reference_multiply",
     "black_scholes_reference",
 ]

@@ -204,16 +204,25 @@ class TaskExecutor:
         kernel.run_superblock(launch_ctx, scalar_args, views)
 
     def _exec_fusedlaunch(self, task: T.FusedLaunchTask, done: Callable[[], None]) -> None:
-        """One superblock of several fused launches: the segments run back to
-        back on the same compute resource and pay the fixed launch overhead
-        once — that, plus the elided intermediate transfers, is the fusion
-        saving."""
+        """One superblock of a fused launch chain: the segments run back to
+        back on the same compute resource (each with its own superblock when
+        the chain fuses compatible-but-different work distributions) and pay
+        the fixed launch overhead once — that, plus the elided intermediate
+        transfers and the in-task reduction epilogues, is the fusion saving."""
         device_spec = self.node.spec.gpus[task.device.local_index]
-        threads = task.superblock.thread_count
         duration = self.overheads.launch_fixed
-        for name, scalars in zip(task.kernel_names, task.scalar_args_list):
+        for segment, (name, scalars) in enumerate(
+            zip(task.kernel_names, task.scalar_args_list)
+        ):
             kernel = self.kernel_registry[name]
+            threads = task.segment_superblock(segment).thread_count
             duration += kernel_time(device_spec, kernel.cost, threads, scalars)
+        # Reduction-tail epilogues combine the superblock partial into the
+        # device accumulator inside the task: bandwidth-bound like a
+        # ReduceTask, minus the extra launch latency (the fusion saving).
+        for epilogues in task.reduce_epilogues:
+            for epilogue in epilogues:
+                duration += epilogue.nbytes / device_spec.mem_bandwidth / 0.8
         self.kernel_launches += task.segment_count
         self.kernel_seconds += duration
 
@@ -227,9 +236,18 @@ class TaskExecutor:
                         scalar_args=task.scalar_args_list[segment],
                         grid_dims=task.grid_dims_list[segment],
                         block_dims=task.block_dims_list[segment],
-                        superblock=task.superblock,
+                        superblock=task.segment_superblock(segment),
                         device=task.device,
                     )
+                    if task.reduce_epilogues:
+                        for epilogue in task.reduce_epilogues[segment]:
+                            op = get_reduce_op(epilogue.op)
+                            self.storage.combine_region(
+                                epilogue.src_chunk,
+                                epilogue.dst_chunk,
+                                epilogue.region,
+                                op.combine,
+                            )
             done()
 
         resource = self.resources.compute_for(task.device)

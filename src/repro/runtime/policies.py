@@ -39,7 +39,7 @@ Available policies
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, Optional, Sequence, Tuple, Type
 
 from ..core import tasks as T
 

@@ -15,10 +15,10 @@ chunks are staged too far ahead of time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core import tasks as T
-from ..hardware.topology import DeviceId, WorkerId
+from ..hardware.topology import WorkerId
 from .executors import TaskExecutor
 from .memory import MemoryManager
 from .policies import SchedulingPolicy, get_policy

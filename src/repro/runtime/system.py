@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Set
 
 from ..core.tasks import ExecutionPlan, TaskId
 from ..hardware.specs import ClusterSpec
@@ -65,6 +65,12 @@ class RuntimeStats:
     #: pass, and next-launch transfers stamped with prefetch priority
     window_flushes: int = 0
     launches_fused: int = 0
+    #: launches that joined a fused *chain* of more than two segments (what
+    #: pairwise-only fusion could not have merged), the longest chain stamped,
+    #: and reduce parameters combined inside fused tasks (reduction tails)
+    launches_fused_chain: int = 0
+    fused_chain_max_len: int = 0
+    reductions_fused: int = 0
     transfers_prefetched: int = 0
     #: drains for which the memory-planning pass emitted a (non-empty) plan
     window_memory_plans: int = 0

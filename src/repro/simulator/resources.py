@@ -51,7 +51,7 @@ import itertools
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .engine import Engine, EventHandle
 from .trace import Trace

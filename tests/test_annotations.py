@@ -8,7 +8,6 @@ from repro.core.annotations import (
     AccessMode,
     Annotation,
     AnnotationError,
-    LinearExpr,
     parse_linear_expr,
 )
 from repro.core.distributions import Superblock

@@ -19,11 +19,9 @@ from repro import (
 )
 from repro.autotune import (
     ChunkSizeAutotuner,
-    DistributionAdvice,
     recommend_chunk_bytes,
     suggest_data_distribution,
     suggest_kernel_distributions,
-    suggest_work_distribution,
 )
 from repro.core.annotations import Annotation
 from repro.kernels import create_workload

@@ -5,8 +5,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro import BlockDist, Context, ExecutionMode, KernelDef, WeightedBlockWorkDist, azure_nc24rsv2
-from repro.core.geometry import Region
+from repro import BlockDist, Context, ExecutionMode, KernelDef, WeightedBlockWorkDist
 from repro.hardware.specs import P100, azure_nc24rsv2 as make_cluster
 from repro.hardware.topology import Cluster, DeviceId
 from repro.kernels import create_workload
@@ -131,8 +130,6 @@ def test_weighted_launch_balances_heterogeneous_simulated_node():
         workload._prepared = True
         ctx.synchronize()
         start = ctx.virtual_time
-        from repro.kernels.md5 import MD5Workload  # block size used by the workload
-
         workload.kernel.launch(
             workload.n, 256, WeightedBlockWorkDist(work_weights), (workload.n, workload.target, workload.best)
         )

@@ -11,7 +11,6 @@ from repro import (
     KernelCost,
     KernelDef,
     ReplicatedDist,
-    RowDist,
     StencilDist,
     azure_nc24rsv2,
 )

@@ -202,10 +202,52 @@ def test_redistribute_invalidates_fusion_cache_entries():
         kernel.launch(n, 32, BlockWorkDist(128), (n, b, a))
         kernel.launch(n, 32, BlockWorkDist(128), (n, c, b))
     ctx.synchronize()
-    assert len(ctx.planner._fusion_cache) == 1
+    # one positive pair entry plus the chain builder's negative extension probe
+    assert len(ctx.planner._fusion_cache) == 2
     b.redistribute(BlockDist(64))
     assert len(ctx.planner._fusion_cache) == 0
     # re-chunked intermediate: fusion re-evaluates and results stay right
     kernel.launch(n, 32, BlockWorkDist(128), (n, b, a))
     kernel.launch(n, 32, BlockWorkDist(128), (n, c, b))
     assert np.allclose(ctx.gather(c), 4.0)
+
+
+def test_redistribute_invalidates_three_launch_chain_entries():
+    """Chain entries are keyed on *every* member: redistributing any array a
+    chain member binds — here the middle link — must evict the whole chain."""
+    from repro.core.planning import PlanTemplateCache
+
+    ctx = make_ctx(fusion=True)
+    kernel = scale_kernel(ctx)
+    n = 512
+    a = ctx.ones(n, BlockDist(128), name="a")
+    b = ctx.zeros(n, BlockDist(128), name="b")
+    c = ctx.zeros(n, BlockDist(128), name="c")
+    d = ctx.zeros(n, BlockDist(128), name="d")
+    for _ in range(2):
+        kernel.launch(n, 32, BlockWorkDist(128), (n, b, a))
+        kernel.launch(n, 32, BlockWorkDist(128), (n, c, b))
+        kernel.launch(n, 32, BlockWorkDist(128), (n, d, c))
+    ctx.synchronize()
+    stats = ctx.stats()
+    assert stats.fused_chain_max_len == 3 and stats.launches_fused_chain > 0
+
+    def entries_mentioning(array_id):
+        return [
+            key
+            for key in ctx.planner._fusion_cache
+            if any(PlanTemplateCache.key_mentions_array(m, array_id) for m in key)
+        ]
+
+    # the 3-chain (and every probed prefix/extension) mentions c
+    assert entries_mentioning(c.array_id)
+    c.redistribute(BlockDist(64))
+    assert not entries_mentioning(c.array_id)
+    # re-chunked middle link: the chain re-fuses against the new layout and
+    # results stay right
+    kernel.launch(n, 32, BlockWorkDist(128), (n, b, a))
+    kernel.launch(n, 32, BlockWorkDist(128), (n, c, b))
+    kernel.launch(n, 32, BlockWorkDist(128), (n, d, c))
+    ctx.synchronize()
+    assert ctx.stats().fused_chain_max_len == 3
+    assert np.allclose(ctx.gather(d), 8.0)
