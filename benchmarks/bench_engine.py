@@ -1,0 +1,358 @@
+"""Pure discrete-event-engine microbenchmark: dispatch, cancellation, links.
+
+``bench_hotpath.py`` measures the simulator end-to-end (planner + runtime +
+engine); this harness isolates the engine and its two heaviest resource
+clients so a regression in the hot loop itself cannot hide behind planner
+noise.  Five scenarios, each fully deterministic (fixed event counts and
+virtual times — no RNG, no wall-clock feedback into the simulation):
+
+``dispatch_chain``
+    64 independent timer chains, each callback rescheduling itself — raw
+    ``schedule``/``run`` dispatch with a steady heap.
+
+``same_time_batch``
+    Events scheduled in same-timestamp groups of 32 — the batched inline
+    dispatch path (FIFO-by-seq within a timestamp).
+
+``cancel_churn``
+    Waves of cancellable wake-ups where most are cancelled before firing —
+    the handle slab, front-of-queue pruning, and O(n) heap compaction.
+
+``link_churn``
+    A shared :class:`BandwidthResource` with overlapping transfers whose
+    completions admit new ones — the virtual-service clock and the
+    single-armed-wakeup cancel/re-arm path.
+
+``channel_fifo``
+    A 4-server :class:`ChannelResource` under sustained FIFO load — the
+    queued-work slab and inline dispatch.
+
+Results go to ``benchmarks/results/BENCH_engine.json``; the committed
+baseline lives at ``benchmarks/BENCH_engine.json``.  ``--baseline PATH``
+checks two things and exits non-zero on failure:
+
+* **determinism** — ``events_processed`` / ``events_cancelled`` / final
+  virtual time must match the baseline *exactly* (the scenarios are pure
+  engine code; any drift means dispatch order or accounting changed);
+* **throughput** — events/s must stay above ``--min-throughput-ratio``
+  (default 0.35) of the baseline.  The deliberately generous floor tolerates
+  noisy CI boxes while still catching order-of-magnitude regressions in the
+  hot loop.
+
+The full sweep finishes in a couple of seconds, so CI runs it at full scale
+(``--quick`` exists for interactive iteration; its counts are a different
+deterministic set, and the gate refuses to compare mismatched scales).
+
+``--summary PATH`` (defaulting to ``$GITHUB_STEP_SUMMARY`` when set) appends
+a per-scenario events/s markdown table.  To refresh the baseline after
+intentional changes, run without ``--quick`` and commit the result (see
+README "Refreshing the perf baseline").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.simulator.engine import Engine  # noqa: E402
+from repro.simulator.resources import BandwidthResource, ChannelResource  # noqa: E402
+
+#: quick-mode scale divisor (CI smoke); full mode refreshes the baseline.
+_QUICK_DIV = 10
+
+
+# --------------------------------------------------------------------- #
+# scenarios — each returns (engine, extra_metrics) after running to idle
+# --------------------------------------------------------------------- #
+def _scenario_dispatch_chain(scale: int):
+    """64 independent self-rescheduling timer chains."""
+    engine = Engine()
+    chains = 64
+    per_chain = scale // chains
+    remaining = [per_chain] * chains
+
+    def make_tick(idx: int, delay: float):
+        def tick():
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                engine.schedule(delay, tick)
+        return tick
+
+    for idx in range(chains):
+        # Distinct, exactly-representable delays so chains interleave.
+        engine.schedule(0.0, make_tick(idx, 1.0 + idx * 0.25))
+    engine.run()
+    return engine, {}
+
+
+def _scenario_same_time_batch(scale: int):
+    """Same-timestamp groups of 32; the last event of a group seeds the next."""
+    engine = Engine()
+    batch = 32
+    groups = [scale // batch]
+
+    def schedule_group():
+        groups[0] -= 1
+        last = groups[0] > 0
+        for i in range(batch):
+            if last and i == batch - 1:
+                engine.schedule(1.0, schedule_group)
+            else:
+                engine.schedule(1.0, _noop)
+
+    def _noop():
+        pass
+
+    schedule_group()
+    engine.run()
+    return engine, {}
+
+
+def _scenario_cancel_churn(scale: int):
+    """Waves of cancellable wake-ups, 7 of 8 cancelled before firing."""
+    engine = Engine()
+    wave = 256
+    waves = [scale // wave]
+
+    def run_wave():
+        waves[0] -= 1
+        handles = [
+            engine.schedule_cancellable(1.0 + i * 0.125, _noop)
+            for i in range(wave)
+        ]
+        # Cancel all but every 8th: drives pruning and heap compaction.
+        for i, handle in enumerate(handles):
+            if i % 8 != 0:
+                handle.cancel()
+        if waves[0] > 0:
+            engine.schedule(1.0 + wave * 0.125, run_wave)
+
+    def _noop():
+        pass
+
+    run_wave()
+    engine.run()
+    return engine, {}
+
+
+def _scenario_link_churn(scale: int):
+    """Overlapping shared-link transfers; each completion admits the next."""
+    engine = Engine()
+    link = BandwidthResource(engine, "bench-link", bandwidth=1e9, latency=1e-6)
+    streams = 16
+    per_stream = scale // streams
+    remaining = [per_stream] * streams
+
+    def make_next(idx: int, size: float):
+        def next_transfer():
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                link.request(size, next_transfer)
+        return next_transfer
+
+    for idx in range(streams):
+        # Distinct sizes keep completion times staggered, forcing re-arms.
+        size = 1e6 * (1.0 + idx * 0.5)
+        link.request(size, make_next(idx, size))
+    engine.run()
+    return engine, {
+        "bytes_transferred": link.bytes_transferred,
+        "wakeups_cancelled": link.wakeups_cancelled,
+    }
+
+
+def _scenario_channel_fifo(scale: int):
+    """4-server FIFO channel under sustained load."""
+    engine = Engine()
+    channel = ChannelResource(engine, "bench-chan", channels=4,
+                              per_item_overhead=1e-6)
+    producers = 32
+    per_producer = scale // producers
+    remaining = [per_producer] * producers
+
+    def make_next(idx: int, duration: float):
+        def next_item():
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                channel.request(duration, next_item)
+        return next_item
+
+    for idx in range(producers):
+        duration = 1e-3 * (1.0 + idx * 0.125)
+        channel.request(duration, make_next(idx, duration))
+    engine.run()
+    return engine, {}
+
+
+_SCENARIOS = {
+    "dispatch_chain": (_scenario_dispatch_chain, 400_000),
+    "same_time_batch": (_scenario_same_time_batch, 400_000),
+    "cancel_churn": (_scenario_cancel_churn, 400_000),
+    "link_churn": (_scenario_link_churn, 80_000),
+    "channel_fifo": (_scenario_channel_fifo, 200_000),
+}
+
+
+def _run_all(quick: bool) -> dict:
+    results = {}
+    for name, (fn, scale) in _SCENARIOS.items():
+        if quick:
+            scale //= _QUICK_DIV
+        start = time.perf_counter()
+        engine, extra = fn(scale)
+        wall = time.perf_counter() - start
+        results[name] = {
+            "scale": scale,
+            "events_processed": engine.events_processed,
+            "events_cancelled": engine.events_cancelled,
+            "virtual_time": engine.now,
+            "wall_seconds": wall,
+            "events_per_second": engine.events_processed / wall if wall > 0 else 0.0,
+            **extra,
+        }
+        print(f"{name:>16}: {engine.events_processed:>8} events "
+              f"({engine.events_cancelled} cancelled) in {wall:.3f}s "
+              f"-> {results[name]['events_per_second']:,.0f} ev/s",
+              file=sys.stderr)
+    return results
+
+
+# --------------------------------------------------------------------- #
+# baseline gate + summary
+# --------------------------------------------------------------------- #
+def _baseline_rows(results: dict, baseline_path: str, min_ratio: float):
+    """Returns ``(rows, failures)``; rows are for the summary table."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base = baseline.get("results", {})
+    rows, failures = [], []
+    for name, cur in results.items():
+        ref = base.get(name)
+        if ref is None:
+            rows.append((name, cur, None, "new"))
+            continue
+        if cur["scale"] != ref["scale"]:
+            rows.append((name, cur, ref, "SCALE"))
+            failures.append(
+                f"{name}: scale {cur['scale']} != baseline scale "
+                f"{ref['scale']} (quick/full mode mismatch — compare "
+                "matching modes)"
+            )
+            continue
+        status = "ok"
+        for field in ("events_processed", "events_cancelled", "virtual_time"):
+            if cur[field] != ref[field]:
+                status = "DRIFT"
+                failures.append(
+                    f"{name}: {field} {cur[field]!r} != baseline {ref[field]!r}"
+                )
+        ratio = (cur["events_per_second"] / ref["events_per_second"]
+                 if ref.get("events_per_second") else 1.0)
+        if ratio < min_ratio:
+            status = "SLOW"
+            failures.append(
+                f"{name}: events/s ratio {ratio:.2f} < floor {min_ratio:.2f} "
+                f"({cur['events_per_second']:,.0f} vs baseline "
+                f"{ref['events_per_second']:,.0f})"
+            )
+        rows.append((name, cur, ref, status))
+    return rows, failures
+
+
+def _check_baseline(results: dict, baseline_path: str, min_ratio: float) -> int:
+    rows, failures = _baseline_rows(results, baseline_path, min_ratio)
+    if failures:
+        for failure in failures:
+            print(f"BASELINE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(f"baseline check ok ({len(rows)} scenarios)", file=sys.stderr)
+    return 0
+
+
+def _write_step_summary(path: str, results: dict,
+                        baseline_path=None, min_ratio: float = 0.35) -> None:
+    lines = ["## Engine microbenchmark (`bench_engine.py`)", ""]
+    if baseline_path and os.path.exists(baseline_path):
+        lines += [
+            f"Deterministic counters must match `{baseline_path}` exactly; "
+            f"events/s floor is {min_ratio:.0%} of baseline.",
+            "",
+            "| scenario | events | cancelled | events/s | baseline ev/s | status |",
+            "|---|---|---|---|---|---|",
+        ]
+        rows, _ = _baseline_rows(results, baseline_path, min_ratio)
+        for name, cur, ref, status in rows:
+            base_evps = f"{ref['events_per_second']:,.0f}" if ref else "-"
+            lines.append(
+                f"| {name} | {cur['events_processed']} | "
+                f"{cur['events_cancelled']} | "
+                f"{cur['events_per_second']:,.0f} | {base_evps} | {status} |"
+            )
+    else:
+        lines += [
+            "_No baseline supplied; raw numbers only._", "",
+            "| scenario | events | cancelled | events/s |",
+            "|---|---|---|---|",
+        ]
+        for name, cur in results.items():
+            lines.append(
+                f"| {name} | {cur['events_processed']} | "
+                f"{cur['events_cancelled']} | "
+                f"{cur['events_per_second']:,.0f} |"
+            )
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"1/{_QUICK_DIV} scale (CI smoke; baseline "
+                             "refreshes must use the full scale)")
+    parser.add_argument("--baseline", default=None,
+                        help="check determinism + throughput against this "
+                             "committed baseline JSON")
+    parser.add_argument("--min-throughput-ratio", type=float, default=0.35,
+                        help="fail when events/s drops below this fraction of "
+                             "the baseline (default: 0.35)")
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: "
+                             "benchmarks/results/BENCH_engine.json)")
+    parser.add_argument("--summary", default=None,
+                        help="append a markdown events/s table to this path "
+                             "(defaults to $GITHUB_STEP_SUMMARY when set)")
+    args = parser.parse_args(argv)
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+
+    results = _run_all(args.quick)
+    payload = {
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+    out = args.output or os.path.join(os.path.dirname(__file__), "results",
+                                      "BENCH_engine.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"results written to {out}", file=sys.stderr)
+
+    if summary_path:
+        _write_step_summary(summary_path, results,
+                            baseline_path=args.baseline,
+                            min_ratio=args.min_throughput_ratio)
+    if args.baseline:
+        return _check_baseline(results, args.baseline,
+                               args.min_throughput_ratio)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Dict, Optional, Sequence, Tuple
 
 from . import __version__
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_cache_arg(run)
     _add_window_args(run)
     _add_stats_json_arg(run)
+    _add_profile_args(run)
 
     sweep = sub.add_parser("sweep", help="run a problem-size sweep for one workload")
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
@@ -98,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_cache_arg(sweep)
     _add_window_args(sweep)
     _add_stats_json_arg(sweep)
+    _add_profile_args(sweep)
 
     sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
 
@@ -181,6 +184,42 @@ def _add_stats_json_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="profile the workload under cProfile and dump pstats data to "
+             "PATH (inspect with 'python -m pstats PATH' or snakeviz)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="with --profile, also print the top-10 functions by cumulative time",
+    )
+
+
+@contextmanager
+def _maybe_profile(args: argparse.Namespace):
+    """Profile the wrapped block when ``--profile PATH`` was given."""
+    if not getattr(args, "profile", None):
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile}")
+        if getattr(args, "verbose", False):
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(10)
+
+
 def _write_stats_json(path: str, payload) -> None:
     from .bench import json_text, write_json
 
@@ -210,14 +249,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     context_kwargs = {"plan_cache": args.plan_cache, **_window_kwargs(args)}
     if args.scheduler_policy:
         context_kwargs["scheduler_policy"] = args.scheduler_policy
-    point, stats = run_workload_with_stats(
-        args.workload,
-        int(args.n),
-        nodes=args.nodes,
-        gpus_per_node=args.gpus,
-        mode=args.mode,
-        context_kwargs=context_kwargs,
-    )
+    with _maybe_profile(args):
+        point, stats = run_workload_with_stats(
+            args.workload,
+            int(args.n),
+            nodes=args.nodes,
+            gpus_per_node=args.gpus,
+            mode=args.mode,
+            context_kwargs=context_kwargs,
+        )
     print(format_table([point], title=f"{args.workload} on {args.nodes}x{args.gpus} GPUs"))
     print(f"GPU memory limit: {gpu_memory_limit(args.nodes * args.gpus) / 1e9:.0f} GB, "
           f"host memory limit: {host_memory_limit(args.nodes) / 1e9:.0f} GB")
@@ -233,14 +273,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     points = []
     stats_payload = []
-    for n in sizes:
-        point, stats = run_workload_with_stats(
-            args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
-            context_kwargs={"plan_cache": args.plan_cache, **_window_kwargs(args)},
-        )
-        points.append(point)
-        if args.stats_json:
-            stats_payload.append({"problem_size": n, "stats": stats.to_dict()})
+    with _maybe_profile(args):
+        for n in sizes:
+            point, stats = run_workload_with_stats(
+                args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
+                context_kwargs={"plan_cache": args.plan_cache, **_window_kwargs(args)},
+            )
+            points.append(point)
+            if args.stats_json:
+                stats_payload.append({"problem_size": n, "stats": stats.to_dict()})
     print(format_table(points, title=f"{args.workload} problem-size sweep"))
     if args.stats_json:
         _write_stats_json(args.stats_json, stats_payload)

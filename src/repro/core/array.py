@@ -11,6 +11,7 @@ back to a NumPy array, deleted, or passed as kernel arguments.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, bisect_right
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -60,6 +61,9 @@ class DistributedArray:
         #: bumped whenever the chunk layout changes (an in-place
         #: :meth:`redistribute`), invalidating cached plan templates keyed on it
         self.layout_epoch = 0
+        #: lazily built axis-0 interval index over ``chunks`` (see
+        #: :meth:`_chunk_interval_index`); invalidated by identity/epoch checks
+        self._chunk_index: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # metadata
@@ -103,13 +107,73 @@ class DistributedArray:
     # ------------------------------------------------------------------ #
     # chunk queries used by the planner
     # ------------------------------------------------------------------ #
+    #: below this many chunks a linear scan beats building/consulting the index
+    _INDEX_THRESHOLD = 16
+
+    def _chunk_interval_index(self) -> Optional[tuple]:
+        """A sorted axis-0 interval index over ``self.chunks``, or ``None``.
+
+        All stock distributions partition along one axis (or row-major tiles),
+        so a chunk's axis-0 interval narrows overlap/enclosure queries from a
+        full scan to a bisected slice.  The index is ``(chunks, epoch, order,
+        los, his)`` with ``order`` sorted by ``lo[0]`` (stable, so equal-``lo``
+        chunks keep distribution order); it is only usable when the matching
+        ``hi[0]`` sequence is also non-decreasing — true for every stock
+        layout — and rebuilt whenever ``chunks`` is replaced (redistribute
+        bumps ``layout_epoch`` and swaps the list object).
+        """
+        chunks = self.chunks
+        cached = self._chunk_index
+        if cached is not None and cached[0] is chunks and cached[1] == self.layout_epoch:
+            return cached if cached[2] is not None else None
+        order = sorted(range(len(chunks)), key=lambda i: chunks[i].region.lo[0])
+        los = [chunks[i].region.lo[0] for i in order]
+        his = [chunks[i].region.hi[0] for i in order]
+        if all(a <= b for a, b in zip(his, his[1:])):
+            index = (chunks, self.layout_epoch, order, los, his)
+        else:
+            # Irregular (custom) layout: remember the negative result so the
+            # sortedness check is not repeated per query.
+            index = (chunks, self.layout_epoch, None, None, None)
+        self._chunk_index = index
+        return index if index[2] is not None else None
+
+    def _candidate_chunks(self, region: Region) -> List[ChunkMeta]:
+        """Chunks whose axis-0 interval overlaps ``region``'s, in chunk order.
+
+        A superset of both the overlapping and the enclosing chunks of a
+        non-empty ``region``; callers re-apply their exact predicate.
+        """
+        chunks = self.chunks
+        if len(chunks) < self._INDEX_THRESHOLD:
+            return chunks
+        index = self._chunk_interval_index()
+        if index is None:
+            return chunks
+        _, _, order, los, his = index
+        qlo, qhi = region.lo[0], region.hi[0]
+        start = bisect_right(his, qlo)  # first chunk with hi[0] > region.lo[0]
+        end = bisect_left(los, qhi, lo=start)  # first with lo[0] >= region.hi[0]
+        if start == 0 and end == len(chunks):
+            return chunks
+        return [chunks[i] for i in sorted(order[start:end])]
+
     def chunks_overlapping(self, region: Region) -> List[ChunkMeta]:
         """Chunks whose region intersects ``region``."""
-        return [chunk for chunk in self.chunks if chunk.region.overlaps(region)]
+        return [
+            chunk
+            for chunk in self._candidate_chunks(region)
+            if chunk.region.overlaps(region)
+        ]
 
     def chunks_enclosing(self, region: Region) -> List[ChunkMeta]:
         """Chunks whose region fully contains ``region``."""
-        return [chunk for chunk in self.chunks if chunk.region.contains_region(region)]
+        # An empty region is inside every chunk, but its axis-0 interval
+        # overlaps none: only the non-empty case may use the candidate index.
+        candidates = self.chunks if region.is_empty else self._candidate_chunks(region)
+        return [
+            chunk for chunk in candidates if chunk.region.contains_region(region)
+        ]
 
     def find_enclosing_chunk(
         self, region: Region, prefer_device: Optional[DeviceId] = None

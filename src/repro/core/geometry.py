@@ -24,7 +24,9 @@ __all__ = ["Region", "bounding_region", "regions_cover", "split_evenly"]
 
 def _as_tuple(value: Sequence[int] | int, ndim: int | None = None) -> Tuple[int, ...]:
     """Normalise ``value`` to a tuple of ints."""
-    if isinstance(value, (int,)):
+    if type(value) is tuple and all(type(v) is int for v in value):
+        out = value  # already normalised: the planner hot path
+    elif isinstance(value, (int,)):
         out = (int(value),)
     else:
         out = tuple(int(v) for v in value)
@@ -33,7 +35,7 @@ def _as_tuple(value: Sequence[int] | int, ndim: int | None = None) -> Tuple[int,
     return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Region:
     """A half-open axis-aligned box ``[lo, hi)`` in up to three dimensions."""
 
@@ -48,6 +50,17 @@ class Region:
         hi = _as_tuple(self.hi, len(lo))
         object.__setattr__(self, "lo", lo)
         object.__setattr__(self, "hi", hi)
+
+    @staticmethod
+    def _new(lo: Tuple[int, ...], hi: Tuple[int, ...]) -> "Region":
+        """Internal fast constructor: ``lo``/``hi`` must already be normalised
+        int tuples of equal length.  Skips ``__init__`` — the region algebra
+        below runs millions of times per planning pass and the dataclass
+        machinery dominates its cost otherwise."""
+        region = object.__new__(Region)
+        object.__setattr__(region, "lo", lo)
+        object.__setattr__(region, "hi", hi)
+        return region
 
     @classmethod
     def from_shape(cls, shape: Sequence[int] | int) -> "Region":
@@ -91,7 +104,10 @@ class Region:
     @property
     def is_empty(self) -> bool:
         """True when the region covers no points."""
-        return any(h <= l for l, h in zip(self.lo, self.hi))
+        for l, h in zip(self.lo, self.hi):
+            if h <= l:
+                return True
+        return False
 
     def bounds(self) -> Tuple[Tuple[int, int], ...]:
         """The (lo, hi) bound tuples."""
@@ -106,14 +122,21 @@ class Region:
         self._check_ndim(other)
         if other.is_empty:
             return True
-        return all(
-            sl <= ol and oh <= sh
-            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
-        )
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            if ol < sl or sh < oh:
+                return False
+        return True
 
     def overlaps(self, other: "Region") -> bool:
         """True when the two regions share at least one point."""
-        return not self.intersect(other).is_empty
+        self._check_ndim(other)
+        # Equivalent to ``not self.intersect(other).is_empty`` without
+        # allocating the intersection: per dimension the overlap is non-empty
+        # iff max(lo) < min(hi), which also rejects empty operands.
+        for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            if sl >= sh or ol >= oh or sl >= oh or ol >= sh:
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # algebra
@@ -127,10 +150,10 @@ class Region:
     def intersect(self, other: "Region") -> "Region":
         """The overlapping sub-region (possibly empty)."""
         self._check_ndim(other)
-        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
-        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
-        hi = tuple(max(l, h) for l, h in zip(lo, hi))
-        return Region(lo, hi)
+        lo = tuple(a if a >= b else b for a, b in zip(self.lo, other.lo))
+        hi = tuple(a if a <= b else b for a, b in zip(self.hi, other.hi))
+        hi = tuple(l if h < l else h for l, h in zip(lo, hi))
+        return Region._new(lo, hi)
 
     def union_bounds(self, other: "Region") -> "Region":
         """Smallest region enclosing both (not a set union)."""
@@ -139,14 +162,14 @@ class Region:
             return other
         if other.is_empty:
             return self
-        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
-        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
-        return Region(lo, hi)
+        lo = tuple(a if a <= b else b for a, b in zip(self.lo, other.lo))
+        hi = tuple(a if a >= b else b for a, b in zip(self.hi, other.hi))
+        return Region._new(lo, hi)
 
     def translate(self, offset: Sequence[int]) -> "Region":
         """The region shifted by ``offset``."""
         offset = _as_tuple(offset, self.ndim)
-        return Region(
+        return Region._new(
             tuple(l + o for l, o in zip(self.lo, offset)),
             tuple(h + o for h, o in zip(self.hi, offset)),
         )
@@ -212,27 +235,50 @@ def regions_cover(domain: Region, regions: Sequence[Region]) -> bool:
     """
     if domain.is_empty:
         return True
+    clipped_regions = [r.intersect(domain) for r in regions]
+    clipped_regions = [r for r in clipped_regions if not r.is_empty]
     cuts = []
     for d in range(domain.ndim):
         values = {domain.lo[d], domain.hi[d]}
-        for region in regions:
-            clipped = region.intersect(domain)
-            if clipped.is_empty:
-                continue
+        for clipped in clipped_regions:
             values.add(clipped.lo[d])
             values.add(clipped.hi[d])
         cuts.append(sorted(values))
-    clipped_regions = [r.intersect(domain) for r in regions]
-    clipped_regions = [r for r in clipped_regions if not r.is_empty]
-    for cell_lo in itertools.product(*(c[:-1] for c in cuts)):
-        # Representative point of the cell with lower corner ``cell_lo``.
-        if not any(cell_lo in region for region in clipped_regions):
-            # ``itertools.product`` over cut prefixes can produce corners that
-            # do not correspond to an actual cell (e.g. lo beyond hi); filter.
-            if all(
-                lo < domain.hi[d] and lo >= domain.lo[d]
-                for d, lo in enumerate(cell_lo)
-            ):
+    # The sweep tests one representative point per candidate cell.  Everything
+    # below is plain integer compares on the precomputed bounds: distributions
+    # split along the first axis, so bucketing the boxes by the cell's axis-0
+    # coordinate leaves ~1 candidate box per cell instead of all of them.
+    # (``itertools.product`` over cut prefixes can produce corners that do not
+    # correspond to an actual cell — e.g. lo beyond hi; those are skipped.)
+    boxes = [(r.lo, r.hi) for r in clipped_regions]
+    dlo, dhi = domain.lo, domain.hi
+    ndim = domain.ndim
+    rest_cuts = [c[:-1] for c in cuts[1:]]
+    for p0 in cuts[0][:-1]:
+        if p0 < dlo[0] or p0 >= dhi[0]:
+            continue
+        candidates = [(lo, hi) for lo, hi in boxes if lo[0] <= p0 < hi[0]]
+        for cell_rest in itertools.product(*rest_cuts):
+            valid = True
+            for d in range(1, ndim):
+                p = cell_rest[d - 1]
+                if p < dlo[d] or p >= dhi[d]:
+                    valid = False
+                    break
+            if not valid:
+                continue
+            covered = False
+            for lo, hi in candidates:
+                inside = True
+                for d in range(1, ndim):
+                    p = cell_rest[d - 1]
+                    if p < lo[d] or p >= hi[d]:
+                        inside = False
+                        break
+                if inside:
+                    covered = True
+                    break
+            if not covered:
                 return False
     return True
 

@@ -226,6 +226,12 @@ class TaskProto:
     #: transfer purpose ('gather' | 'writeback' | 'scatter' | 'move-acc') for
     #: copy/send/recv protos; lets the prefetch pass pick pre-launch transfers
     category: str = ""
+    #: stamp-time memo: ``(static_fields, dynamic_items)`` where static fields
+    #: resolve to the same value on every stamp (precomputed once) and only
+    #: the dynamic items are re-resolved per stamp.  Built lazily by
+    #: :func:`stamp_recipe`; recipes are immutable once cached, so the split
+    #: never goes stale.
+    _split: object = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -509,6 +515,81 @@ class StampedPlan:
 #: transfer factories the prefetch pass may raise the priority of
 _TRANSFER_FACTORIES = (T.CopyTask, T.SendTask, T.RecvTask)
 
+#: symbolic references that force per-stamp resolution
+_REF_TYPES = (TempRef, TempMetaRef, TagRef, ScalarArgsRef, LaunchIdRef)
+
+
+def _stamp_constant(value: object) -> Tuple[bool, object]:
+    """Fold ``value`` into its stamp-time constant, if it has one.
+
+    Returns ``(True, resolved)`` when ``value`` resolves to the *same* object
+    on every stamp of the recipe (no symbolic refs anywhere inside), so the
+    resolution can be done once and shared — the resolved bindings/epilogues
+    are frozen dataclasses and tasks never mutate their field values.
+    Returns ``(False, None)`` when the value mentions a per-stamp ref.
+    """
+    if isinstance(value, _REF_TYPES) or value is SCALAR_ARGS or value is LAUNCH_ID:
+        return False, None
+    if isinstance(value, ArgBindingProto):
+        const, chunk_id = _stamp_constant(value.chunk_ref)
+        if not const:
+            return False, None
+        return True, T.ArrayArgBinding(
+            param=value.param,
+            chunk_id=chunk_id,
+            access_region=value.access_region,
+            mode=value.mode,
+            reduce_op=value.reduce_op,
+        )
+    if isinstance(value, ReduceEpilogueProto):
+        src_const, src = _stamp_constant(value.src_ref)
+        dst_const, dst = _stamp_constant(value.dst_ref)
+        if not (src_const and dst_const):
+            return False, None
+        return True, T.ReduceEpilogue(
+            src_chunk=src, dst_chunk=dst,
+            region=value.region, op=value.op, nbytes=value.nbytes,
+        )
+    if isinstance(value, tuple):
+        out = []
+        for item in value:
+            const, resolved = _stamp_constant(item)
+            if not const:
+                return False, None
+            out.append(resolved)
+        return True, tuple(out)
+    return True, value
+
+
+def _compile_stamper(value: object) -> Callable:
+    """Compile a non-constant field value into a per-stamp resolver.
+
+    Fused recipes carry large nested tuples (one bindings tuple per segment)
+    in which only a few elements are symbolic; the compiled stamper folds the
+    constant elements once and re-resolves only the symbolic ones, instead of
+    walking the whole structure on every stamp.
+    """
+    if isinstance(value, tuple):
+        parts = []
+        for item in value:
+            const, resolved = _stamp_constant(item)
+            if const:
+                parts.append((True, resolved))
+            else:
+                parts.append((False, _compile_stamper(item)))
+
+        def stamp_tuple(resolve: Callable, _parts=parts) -> tuple:
+            return tuple(
+                item if const else item(resolve) for const, item in _parts
+            )
+
+        return stamp_tuple
+
+    def stamp_leaf(resolve: Callable, _value=value) -> object:
+        return resolve(_value)
+
+    return stamp_leaf
+
 
 def stamp_recipe(
     recipe: PlanRecipe,
@@ -595,10 +676,32 @@ def stamp_recipe(
         deps: List[int] = [task_ids[i] for i in proto.deps]
         for kind, chunk_id in proto.conflicts:
             deps.extend(resolve_conflicts(kind, chunk_id))
-        deps = list(dict.fromkeys(deps))  # dedupe, preserving order
-        if proto.factory in (T.LaunchTask, T.FusedLaunchTask):
-            deps = sorted(deps)
-        fields = {name: resolve(value) for name, value in proto.fields.items()}
+        if len(deps) > 1:
+            deps = list(dict.fromkeys(deps))  # dedupe, preserving order
+            if proto.factory is T.LaunchTask or proto.factory is T.FusedLaunchTask:
+                deps = sorted(deps)
+        # Resolve only the fields that actually vary per stamp; constant
+        # fields (regions, labels, concrete chunk-id bindings, ...) are folded
+        # once on the recipe's first stamp and shared by every later stamp.
+        split = proto._split
+        if split is None:
+            static: Dict[str, object] = {}
+            dynamic: List[Tuple[str, object]] = []
+            for name, value in proto.fields.items():
+                const, resolved = _stamp_constant(value)
+                if const:
+                    static[name] = resolved
+                else:
+                    dynamic.append((name, _compile_stamper(value)))
+            split = (static, dynamic)
+            proto._split = split
+        static, dynamic = split
+        if dynamic:
+            fields = dict(static)
+            for name, stamper in dynamic:
+                fields[name] = stamper(resolve)
+        else:
+            fields = static
         priority = 0
         if (
             prefetch

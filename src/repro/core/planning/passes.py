@@ -965,13 +965,15 @@ def _check_chain_regions(states: Sequence[LaunchState]) -> bool:
                     if a_pir.mode.reads and b_pir.mode.writes:
                         # WAR: j's write on s must not touch i's read on any
                         # other superblock.
+                        b_region = b_pir.region
+                        b_array_id = b_pir.array.array_id
                         for other in range(count):
                             if other == s:
                                 continue
                             for other_a in state_i.superblocks[other].params:
-                                if other_a.array.array_id != b_pir.array.array_id:
+                                if other_a.array.array_id != b_array_id:
                                     continue
-                                if not b_pir.region.intersect(other_a.region).is_empty:
+                                if b_region.overlaps(other_a.region):
                                     return False
     # RAW producers must write pairwise-disjoint regions: the consumer reads
     # its own superblock's values in place, which only equals the coherent
@@ -984,8 +986,9 @@ def _check_chain_regions(states: Sequence[LaunchState]) -> bool:
             if pir.param == param
         ]
         for a in range(len(regions)):
+            region_a = regions[a]
             for b in range(a + 1, len(regions)):
-                if not regions[a].intersect(regions[b]).is_empty:
+                if region_a.overlaps(regions[b]):
                     return False
     return True
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,10 +80,14 @@ class Task:
     #: computes; priorities never affect correctness, only staging order.
     priority: int = 0
 
-    @property
-    def kind(self) -> str:
-        """Lower-case task-kind name (``"launch"``, ``"copy"``, ...)."""
-        return type(self).__name__.replace("Task", "").lower()
+    #: Lower-case task-kind name (``"launch"``, ``"copy"``, ...).  Computed
+    #: once per class in ``__init_subclass__`` — the scheduler interpolates it
+    #: into a label for every task, so a per-access property is measurable.
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.kind = cls.__name__.replace("Task", "").lower()
 
     def chunk_requirements(self) -> Sequence[Tuple[ChunkId, str]]:
         """Chunks this task touches and the memory kind they must be staged in.

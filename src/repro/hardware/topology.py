@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterator, List, Tuple
 
 from .specs import ClusterSpec, GPUSpec, NodeSpec
@@ -49,6 +50,17 @@ class MemorySpace:
     kind: MemoryKind
     device_index: int = 0
 
+    def __post_init__(self) -> None:
+        # Memory spaces key every per-space table in the memory manager, so
+        # their hash sits on the staging hot path: precompute it once instead
+        # of rebuilding a field tuple (and re-hashing the enum) per lookup.
+        object.__setattr__(
+            self, "_hash", hash((self.worker, self.kind, self.device_index))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         if self.kind is MemoryKind.GPU:
             return f"worker{self.worker}:gpu{self.device_index}"
@@ -62,9 +74,16 @@ class DeviceId:
     worker: WorkerId
     local_index: int
 
-    @property
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.worker, self.local_index)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @cached_property
     def memory_space(self) -> MemorySpace:
-        """The GPU memory space of this device."""
+        """The GPU memory space of this device (memoised: spaces are interned
+        per device id rather than reconstructed on every staging decision)."""
         return MemorySpace(self.worker, MemoryKind.GPU, self.local_index)
 
     def __str__(self) -> str:

@@ -54,15 +54,22 @@ class TaskExecutor:
         self.memory = memory
         self.kernel_launches = 0
         self.kernel_seconds = 0.0
+        #: task-kind -> bound handler, filled on first dispatch of each kind
+        #: (one getattr per kind instead of an f-string + getattr per task)
+        self._dispatch: Dict[str, Callable] = {}
 
     # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
     def execute(self, task: T.Task, on_complete: Callable[[], None]) -> None:
         """Occupy the right resource for the task, run its payload, then complete."""
-        handler = getattr(self, f"_exec_{task.kind}", None)
+        kind = task.kind
+        handler = self._dispatch.get(kind)
         if handler is None:
-            raise NotImplementedError(f"no executor for task kind {task.kind!r}")
+            handler = getattr(self, f"_exec_{kind}", None)
+            if handler is None:
+                raise NotImplementedError(f"no executor for task kind {kind!r}")
+            self._dispatch[kind] = handler
         handler(task, on_complete)
 
     # ------------------------------------------------------------------ #

@@ -133,8 +133,11 @@ class MemoryManager:
         #: eviction (old data pushed down the hierarchy, not a use) enter at
         #: the front so they remain first in line for the next spill level.
         self._lru: Dict[MemorySpace, "OrderedDict[ChunkId, _ChunkState]"] = {}
+        #: this worker's host space, interned once — ``_target_space`` sits on
+        #: the staging hot path and must not construct a space per call
+        self._host_space = node.host_space
         spaces = [dev.memory_space for dev in node.devices]
-        spaces += [node.host_space, node.disk_space]
+        spaces += [self._host_space, node.disk_space]
         for space in spaces:
             if capacities and space in capacities:
                 cap = capacities[space]
@@ -222,13 +225,13 @@ class MemoryManager:
         if kind == "gpu":
             return state.meta.home.memory_space
         if kind == "host":
-            return MemorySpace(self.worker, MemoryKind.HOST)
+            return self._host_space
         if kind == "any":
             # Materialised wherever it currently is; unallocated chunks start
             # in host memory (matching the behaviour of a fresh upload).
             if state.space is not None:
                 return state.space
-            return MemorySpace(self.worker, MemoryKind.HOST)
+            return self._host_space
         raise ValueError(f"unknown staging kind {kind!r}")
 
     def footprint(self, requirements: List[Tuple[ChunkId, str]]) -> int:
@@ -306,18 +309,59 @@ class MemoryManager:
         background: bool = False,
         retry: bool = False,
     ) -> bool:
-        # Resolve targets and verify feasibility per memory space.
+        # Fast path: a single already-resident requirement (sends, recvs and
+        # most copies) needs no capacity checks, no transfers and no per-space
+        # accounting — just touch, pin and fire.  Accounting is identical to
+        # the general path specialised to one resident chunk.
+        if len(requirements) == 1:
+            chunk_id, kind = requirements[0]
+            state = self._chunks[chunk_id]
+            if kind == "gpu":
+                target = state.meta.home.memory_space
+            elif kind == "host":
+                target = self._host_space
+            else:
+                target = self._target_space(state, kind)
+            space = state.space
+            if space is target or space == target:
+                self._touch(state)
+                self._pin(state)
+                staged_list = self._staged.get(task_id)
+                if staged_list is None:
+                    self._staged[task_id] = [chunk_id]
+                else:
+                    staged_list.append(chunk_id)
+                if background:
+                    self._prepared.add(chunk_id)
+                elif chunk_id in self._prepared:
+                    if not retry:
+                        self.stats.staging_stalls_avoided += 1
+                    self._prepared.discard(chunk_id)
+                callback()
+                return True
+
+        # Resolve targets and verify feasibility per memory space.  The two
+        # common kinds are dispatched inline (interned spaces, so the
+        # residency comparison is usually an identity hit).
         plan: List[Tuple[_ChunkState, MemorySpace]] = []
         needed: Dict[MemorySpace, int] = {}
         working_set: Dict[MemorySpace, int] = {}
         plan_ids = {chunk_id for chunk_id, _ in requirements}
+        chunks = self._chunks
         for chunk_id, kind in requirements:
-            state = self._chunks[chunk_id]
-            target = self._target_space(state, kind)
+            state = chunks[chunk_id]
+            if kind == "gpu":
+                target = state.meta.home.memory_space
+            elif kind == "host":
+                target = self._host_space
+            else:
+                target = self._target_space(state, kind)
             plan.append((state, target))
-            working_set[target] = working_set.get(target, 0) + state.meta.nbytes
-            if state.space != target:
-                needed[target] = needed.get(target, 0) + state.meta.nbytes
+            nbytes = state.meta.nbytes
+            working_set[target] = working_set.get(target, 0) + nbytes
+            space = state.space
+            if space is not target and space != target:
+                needed[target] = needed.get(target, 0) + nbytes
 
         # The task's whole working set (chunks to bring in *and* chunks that
         # are already resident but will be pinned) must fit simultaneously;
@@ -356,12 +400,23 @@ class MemoryManager:
         # is what makes un-spilling visible in the task's start time.
         staged: List[ChunkId] = []
         transfers: List[Tuple[object, int, str]] = []
+        lru = self._lru
+        pinned = self._pinned
         for state, target in plan:
-            if state.space != target:
+            space = state.space
+            if space is not target and space != target:
                 self._make_room(target, state.meta.nbytes, protect=plan_ids)
                 transfers.extend(self._move(state, target))
-            self._touch(state)
-            self._pin(state)
+            # inline _touch + _pin (residency may have changed in _move, so
+            # state.space is re-read after the move branch)
+            self._use_counter += 1
+            state.last_use = self._use_counter
+            space = state.space
+            if space is not None:
+                lru[space].move_to_end(state.meta.chunk_id)
+            state.pins += 1
+            if state.pins == 1 and space is not None:
+                pinned[space] += state.meta.nbytes
             staged.append(state.meta.chunk_id)
         self._staged.setdefault(task_id, []).extend(staged)
 

@@ -15,7 +15,7 @@ chunks are staged too far ahead of time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..core import tasks as T
 from ..hardware.topology import WorkerId
@@ -28,6 +28,9 @@ __all__ = ["Scheduler", "DEFAULT_STAGE_THRESHOLD"]
 
 #: Maximum bytes staged per executor at any one time (Sec. 3.4: "2 GB works well").
 DEFAULT_STAGE_THRESHOLD = 2 * 1024 ** 3
+
+#: interned "sched <kind>" labels (one f-string per task kind, not per task)
+_SCHED_LABELS: Dict[str, str] = {}
 
 
 class Scheduler:
@@ -51,12 +54,20 @@ class Scheduler:
         self.stage_threshold = stage_threshold
         self.policy = get_policy(policy)
 
-        self._waiting: Dict[int, Tuple[T.Task, int]] = {}
+        self._waiting: Dict[int, List] = {}
         self._staged_bytes: Dict[object, int] = {}
         self._throttled: Dict[object, List[T.Task]] = {}
         #: Total tasks across all throttle backlogs, so ``pending_tasks`` is
         #: O(1) instead of summing every backlog on each call.
         self._throttled_count = 0
+        #: per-throttle-key count of backlogged tasks per non-zero priority,
+        #: so ``_drain_throttled`` finds the top priority without scanning
+        #: the whole backlog on every completion
+        self._throttled_priorities: Dict[object, Dict[int, int]] = {}
+        #: task_id -> (requirements, footprint) memo for backlogged tasks, so
+        #: every failed drain attempt does not recompute the task's chunk
+        #: requirements and re-sum its footprint (both are static per task)
+        self._throttled_info: Dict[int, tuple] = {}
         self.tasks_completed = 0
         self.tasks_submitted = 0
 
@@ -65,35 +76,51 @@ class Scheduler:
     # ------------------------------------------------------------------ #
     def submit(self, tasks: List[T.Task]) -> None:
         """Receive a DAG fragment from the driver."""
+        # Plans carry hundreds of tasks with several deps each; reading the
+        # runtime's finished-set directly keeps the double dependency walk
+        # (count, then subscribe) free of per-dep method-call overhead.
+        finished = self.runtime._finished
+        subscribe = self.runtime.subscribe
         for task in tasks:
             self.tasks_submitted += 1
-            unmet = [dep for dep in task.deps if not self.runtime.is_finished(dep)]
+            deps = task.deps
+            unmet = 0
+            for dep in deps:
+                if dep not in finished:
+                    unmet += 1
             if not unmet:
                 self._ready(task)
                 continue
-            self._waiting[task.task_id] = (task, len(unmet))
-            for dep in unmet:
-                self.runtime.subscribe(dep, self._make_dep_callback(task.task_id))
+            # One countdown entry and ONE shared callback per task (not one
+            # closure per dependency); the entry is mutated in place.
+            self._waiting[task.task_id] = [task, unmet]
+            callback = self._make_dep_callback(task.task_id)
+            for dep in deps:
+                if dep not in finished:
+                    subscribe(dep, callback)
 
     def _make_dep_callback(self, task_id: int):
+        waiting = self._waiting
+
         def _dep_done() -> None:
-            entry = self._waiting.get(task_id)
+            entry = waiting.get(task_id)
             if entry is None:
                 return
-            task, remaining = entry
-            remaining -= 1
-            if remaining == 0:
-                del self._waiting[task_id]
-                self._ready(task)
-            else:
-                self._waiting[task_id] = (task, remaining)
+            entry[1] -= 1
+            if entry[1] == 0:
+                del waiting[task_id]
+                self._ready(entry[0])
 
         return _dep_done
 
     def _ready(self, task: T.Task) -> None:
         """Dependencies satisfied: pass through the scheduler control path."""
+        kind = task.kind
+        label = _SCHED_LABELS.get(kind)
+        if label is None:
+            label = _SCHED_LABELS.setdefault(kind, f"sched {kind}")
         self.resources.scheduler.request(
-            0.0, lambda: self._begin_staging(task), label=f"sched {task.kind}"
+            0.0, lambda: self._begin_staging(task), label=label
         )
 
     # ------------------------------------------------------------------ #
@@ -116,14 +143,21 @@ class Scheduler:
         if requirements and staged > 0 and staged + footprint > self.stage_threshold:
             self._throttled.setdefault(key, []).append(task)
             self._throttled_count += 1
+            self._throttled_info[task.task_id] = (requirements, footprint)
+            if task.priority > 0:
+                counts = self._throttled_priorities.setdefault(key, {})
+                counts[task.priority] = counts.get(task.priority, 0) + 1
             return
         self._stage_now(task, key, footprint, requirements)
 
     def _stage_now(self, task: T.Task, key, footprint: int, requirements) -> None:
         self._staged_bytes[key] = self._staged_bytes.get(key, 0) + footprint
+        had_requirements = bool(requirements)
 
         def _staged() -> None:
-            self.executor.execute(task, lambda: self._finish(task, key, footprint))
+            self.executor.execute(
+                task, lambda: self._finish(task, key, footprint, had_requirements)
+            )
 
         if requirements:
             # Promotions are issued ahead of any consumer: their staging is
@@ -135,8 +169,8 @@ class Scheduler:
         else:
             _staged()
 
-    def _finish(self, task: T.Task, key, footprint: int) -> None:
-        if footprint or task.chunk_requirements():
+    def _finish(self, task: T.Task, key, footprint: int, had_requirements: bool) -> None:
+        if footprint or had_requirements:
             self.memory.unstage(task.task_id)
         self._staged_bytes[key] = self._staged_bytes.get(key, 0) - footprint
         self.tasks_completed += 1
@@ -145,6 +179,9 @@ class Scheduler:
 
     def _drain_throttled(self, key) -> None:
         backlog = self._throttled.get(key)
+        if not backlog:
+            return
+        priority_counts = self._throttled_priorities.get(key)
         while backlog:
             # Prefetch-marked transfers (the launch window raises the priority
             # of the next launch's halo exchange) jump the backlog so data for
@@ -154,9 +191,10 @@ class Scheduler:
             # future work of Sec. 3.3).  A prefetch too large for the staging
             # throttle must not block the policy's own pick, so both
             # candidates are tried; when neither fits we stop draining until
-            # more work unstages.
+            # more work unstages.  The top backlog priority comes from the
+            # maintained per-priority counts, not a scan of the backlog.
             candidates = [self.policy.select(backlog, self)]
-            top = max(task.priority for task in backlog)
+            top = max(priority_counts) if priority_counts else 0
             if top > 0:
                 preferred = next(
                     i for i, task in enumerate(backlog) if task.priority == top
@@ -165,13 +203,19 @@ class Scheduler:
                     candidates.insert(0, preferred)
             for index in candidates:
                 task = backlog[index]
-                requirements = list(task.chunk_requirements())
-                footprint = self.memory.footprint(requirements) if requirements else 0
+                requirements, footprint = self._throttled_info[task.task_id]
                 staged = self._staged_bytes.get(key, 0)
                 if staged > 0 and staged + footprint > self.stage_threshold:
                     continue
                 backlog.pop(index)
                 self._throttled_count -= 1
+                del self._throttled_info[task.task_id]
+                if task.priority > 0 and priority_counts:
+                    remaining = priority_counts.get(task.priority, 0) - 1
+                    if remaining > 0:
+                        priority_counts[task.priority] = remaining
+                    else:
+                        priority_counts.pop(task.priority, None)
                 self._stage_now(task, key, footprint, requirements)
                 break
             else:

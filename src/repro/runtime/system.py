@@ -180,7 +180,11 @@ class RuntimeSystem:
         if task_id in self._finished:
             callback()
             return
-        self._subscribers.setdefault(task_id, []).append(callback)
+        subscribers = self._subscribers.get(task_id)
+        if subscribers is None:
+            self._subscribers[task_id] = [callback]
+        else:
+            subscribers.append(callback)
 
     def notify_completion(self, task_id: TaskId) -> None:
         """Mark a task finished and fire its subscribers (schedulers call this)."""
@@ -188,8 +192,10 @@ class RuntimeSystem:
             raise RuntimeError(f"task {task_id} completed twice")
         self._finished.add(task_id)
         self._outstanding -= 1
-        for callback in self._subscribers.pop(task_id, []):
-            callback()
+        callbacks = self._subscribers.pop(task_id, None)
+        if callbacks is not None:
+            for callback in callbacks:
+                callback()
 
     @property
     def outstanding_tasks(self) -> int:

@@ -13,6 +13,22 @@ invoked and never counted in :attr:`Engine.events_processed`.  This is what
 lets the shared-bandwidth links re-arm their single wake-up whenever the
 earliest completion time moves, instead of letting stale wake-ups fire as
 spurious no-op events.
+
+Two throughput mechanisms keep the hot loop allocation-free and the heap
+small (long runs cancel hundreds of thousands of wake-ups):
+
+* **Handle slab** — cancelled :class:`EventHandle` objects are recycled
+  through a free list once they leave the heap, so steady-state cancellation
+  churn allocates nothing.  The contract is that a handle is dead the moment
+  it fires or :meth:`EventHandle.cancel` returns: holding on to it afterwards
+  observes an unrelated future event.  Its ``time`` field is likewise only
+  meaningful while the event is scheduled (it is reset on fire).
+
+* **Heap compaction** — when more than half the heap (and at least
+  :data:`_COMPACT_MIN` entries) is cancelled entries, the queue is rebuilt in
+  O(n) without them.  Filtering preserves each entry's ``(time, seq)`` key and
+  ``heapify`` restores the heap invariant over the same keys, so the pop
+  order — and therefore the simulation — is unchanged.
 """
 
 from __future__ import annotations
@@ -23,9 +39,26 @@ from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Engine", "EventHandle"]
 
+#: Compaction threshold: never compact heaps smaller than this (the O(n)
+#: rebuild must be amortised against a meaningful number of lazy pops).
+_COMPACT_MIN = 64
+
+#: Upper bound on the recycled-handle free list (a safety valve; steady-state
+#: simulations keep at most a handful of cancellable wake-ups in flight).
+_SLAB_MAX = 1024
+
 
 class EventHandle:
-    """Handle to one scheduled event; supports cancellation before it fires."""
+    """Handle to one scheduled event; supports cancellation before it fires.
+
+    Handles are recycled through the engine's slab: once the event has fired
+    or :meth:`cancel` has returned, the handle must not be used again — the
+    engine may re-issue the same object for a future
+    :meth:`Engine.schedule_cancellable` call.  ``time`` is the event's
+    absolute due time while the event is scheduled; it is reset to ``-1.0``
+    when the event fires so a recycled handle can never leak a stale
+    timestamp.
+    """
 
     __slots__ = ("time", "callback", "_engine")
 
@@ -61,6 +94,8 @@ class Engine:
         self._events_processed = 0
         self._events_cancelled = 0
         self._cancelled_in_queue = 0
+        #: free list of recycled (cancelled-and-pruned) EventHandles
+        self._handle_slab: List[EventHandle] = []
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -76,7 +111,13 @@ class Engine:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         time = self.now + delay
-        handle = EventHandle(self, time, callback)
+        slab = self._handle_slab
+        if slab:
+            handle = slab.pop()
+            handle.time = time
+            handle.callback = callback
+        else:
+            handle = EventHandle(self, time, callback)
         heapq.heappush(self._queue, (time, next(self._counter), handle))
         return handle
 
@@ -93,6 +134,35 @@ class Engine:
     def _on_cancel(self) -> None:
         self._events_cancelled += 1
         self._cancelled_in_queue += 1
+        # Heap hygiene: when cancelled entries outnumber live ones the lazy
+        # pop-time discard stops paying for itself — rebuild without them.
+        if (
+            self._cancelled_in_queue * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(n), order-preserving).
+
+        Entries keep their ``(time, seq)`` keys, so ``heapify`` yields a heap
+        that pops in exactly the order the old heap would have (cancelled
+        entries were never invoked anyway).  Pruned handles go back to the
+        slab for reuse.
+        """
+        queue = self._queue
+        slab = self._handle_slab
+        live: List[Tuple[float, int, Any]] = []
+        for entry in queue:
+            callback = entry[2]
+            if type(callback) is EventHandle and callback.callback is None:
+                if len(slab) < _SLAB_MAX:
+                    slab.append(callback)
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------ #
     # execution
@@ -114,13 +184,16 @@ class Engine:
 
     def _prune_cancelled(self) -> None:
         """Drop cancelled entries sitting at the front of the queue."""
-        while (
-            self._queue
-            and type(self._queue[0][2]) is EventHandle
-            and self._queue[0][2].callback is None
-        ):
-            heapq.heappop(self._queue)
+        queue = self._queue
+        slab = self._handle_slab
+        while queue:
+            callback = queue[0][2]
+            if type(callback) is not EventHandle or callback.callback is not None:
+                break
+            heapq.heappop(queue)
             self._cancelled_in_queue -= 1
+            if len(slab) < _SLAB_MAX:
+                slab.append(callback)
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""
@@ -136,21 +209,60 @@ class Engine:
             handle = callback
             callback = handle.callback
             handle.callback = None  # the handle can no longer be cancelled
+            handle.time = -1.0  # dead handle: never leak a stale timestamp
         callback()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Drain the event queue (optionally bounded) and return the final time."""
+        """Drain the event queue (optionally bounded) and return the final time.
+
+        The loop is the simulation's hottest code: every event — cancelled or
+        live, batched same-timestamp groups included — is dispatched inline
+        here without a per-event :meth:`step` call.  Dispatch order is
+        identical to repeated ``step()``: strictly non-decreasing ``time``,
+        FIFO by sequence number among equal timestamps.
+        """
+        queue = self._queue
+        slab = self._handle_slab
+        heappop = heapq.heappop
         processed = 0
         while True:
-            self._prune_cancelled()
-            if not self._queue:
+            queue = self._queue  # _compact (via callbacks) may swap the list
+            if not queue:
                 break
-            if until is not None and self._queue[0][0] > until:
-                self.now = until
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            self.step()
-            processed += 1
+            entry = queue[0]
+            callback = entry[2]
+            if type(callback) is EventHandle:
+                if callback.callback is None:
+                    # Lazily discard a cancelled entry at the front.
+                    heappop(queue)
+                    self._cancelled_in_queue -= 1
+                    if len(slab) < _SLAB_MAX:
+                        slab.append(callback)
+                    continue
+                if until is not None and entry[0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heappop(queue)
+                self.now = entry[0]
+                self._events_processed += 1
+                processed += 1
+                handle = callback
+                callback = handle.callback
+                handle.callback = None  # the handle can no longer be cancelled
+                handle.time = -1.0  # dead handle: never leak a stale timestamp
+                callback()
+            else:
+                if until is not None and entry[0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heappop(queue)
+                self.now = entry[0]
+                self._events_processed += 1
+                processed += 1
+                callback()
         return self.now

@@ -121,11 +121,41 @@ class Resource:
             self.trace.record(self.name, label, start, end)
 
 
-@dataclass
 class _QueuedWork:
-    duration: float
-    callback: Callback
-    label: str
+    """One channel work item, recycled through the owning resource's slab.
+
+    The record carries everything its completion event needs, and ``_fire``
+    (a bound method created once per record) is the event callback — no
+    per-item closure, no steady-state allocation.
+    """
+
+    __slots__ = ("resource", "duration", "callback", "label", "start", "fire")
+
+    def __init__(self, resource: "ChannelResource"):
+        self.resource = resource
+        self.duration = 0.0
+        self.callback: Optional[Callback] = None
+        self.label = ""
+        self.start = 0.0
+        self.fire = self._fire  # bind once; reused across recycles
+
+    def _fire(self) -> None:
+        resource = self.resource
+        callback = self.callback
+        resource._busy -= 1
+        resource.completed_items += 1
+        resource.events_processed += 1
+        if resource.trace is not None:
+            resource.trace.record(
+                resource.name, self.label, self.start, resource.engine.now
+            )
+        # Recycle before invoking the callback: the callback may request new
+        # work on this resource, which can then reuse this record immediately.
+        self.callback = None
+        self.label = ""
+        resource._free.append(self)
+        callback()
+        resource._dispatch()
 
 
 class ChannelResource(Resource):
@@ -151,6 +181,8 @@ class ChannelResource(Resource):
         self.per_item_overhead = per_item_overhead
         self._queue: Deque[_QueuedWork] = deque()
         self._busy = 0
+        #: slab of recycled work records (bounded by peak queue + busy depth)
+        self._free: List[_QueuedWork] = []
 
     @property
     def queue_length(self) -> int:
@@ -166,35 +198,36 @@ class ChannelResource(Resource):
         """Occupy one server for ``amount`` seconds, then invoke the callback."""
         if amount < 0:
             raise ValueError(f"negative duration {amount!r}")
-        self._queue.append(_QueuedWork(amount + self.per_item_overhead, callback, label))
+        free = self._free
+        work = free.pop() if free else _QueuedWork(self)
+        work.duration = amount + self.per_item_overhead
+        work.callback = callback
+        work.label = label
+        self._queue.append(work)
         self._dispatch()
 
     def _dispatch(self) -> None:
-        while self._busy < self.channels and self._queue:
-            work = self._queue.popleft()
+        engine = self.engine
+        queue = self._queue
+        while self._busy < self.channels and queue:
+            work = queue.popleft()
             self._busy += 1
-            start = self.engine.now
-            end = start + work.duration
-
-            def _complete(work=work, start=start, end=end) -> None:
-                self._busy -= 1
-                self.completed_items += 1
-                self.events_processed += 1
-                self._record(work.label, start, end)
-                work.callback()
-                self._dispatch()
-
-            self.engine.schedule(work.duration, _complete)
+            work.start = engine.now
+            engine.schedule(work.duration, work.fire)
 
 
-@dataclass
 class _Transfer:
-    size: float  # bytes of service owed, including the latency charge
-    callback: Callback
-    label: str
-    started: float
-    #: Virtual-clock value when the transfer was admitted to the active set.
-    admit_virtual: float = 0.0
+    """One in-flight transfer, recycled through the owning link's slab."""
+
+    __slots__ = ("size", "callback", "label", "started", "admit_virtual")
+
+    def __init__(self, size: float, callback: Callback, label: str, started: float):
+        self.size = size  # bytes of service owed, including the latency charge
+        self.callback = callback
+        self.label = label
+        self.started = started
+        #: Virtual-clock value when the transfer was admitted to the active set.
+        self.admit_virtual = 0.0
 
     def remaining(self, virtual: float) -> float:
         """Service bytes still owed at virtual-clock value ``virtual``.
@@ -247,6 +280,8 @@ class BandwidthResource(Resource):
         self._waiting: Deque[_Transfer] = deque()
         self._wakeup: Optional[EventHandle] = None
         self._wakeup_time = 0.0
+        #: slab of recycled transfer records (bounded by peak concurrency)
+        self._free: List[_Transfer] = []
         self.bytes_transferred = 0.0
         #: Wake-ups that were armed but superseded before firing (the legacy
         #: implementation processed these as spurious no-op events).
@@ -267,12 +302,21 @@ class BandwidthResource(Resource):
         if amount < 0:
             raise ValueError(f"negative transfer size {amount!r}")
         self.bytes_transferred += amount
-        transfer = _Transfer(
-            size=float(amount) + self.latency * self.bandwidth,
-            callback=callback,
-            label=label,
-            started=self.engine.now,
-        )
+        free = self._free
+        if free:
+            transfer = free.pop()
+            transfer.size = float(amount) + self.latency * self.bandwidth
+            transfer.callback = callback
+            transfer.label = label
+            transfer.started = self.engine.now
+            transfer.admit_virtual = 0.0
+        else:
+            transfer = _Transfer(
+                float(amount) + self.latency * self.bandwidth,
+                callback,
+                label,
+                self.engine.now,
+            )
         self._advance()
         if (
             self.max_concurrency is not None
@@ -295,7 +339,8 @@ class BandwidthResource(Resource):
         elapsed = now - self._last_update
         self._last_update = now
         if elapsed > 0 and self._finish_heap:
-            self._virtual += self._rate() * elapsed
+            # inline _rate(): the heap is non-empty here, same arithmetic
+            self._virtual += self.bandwidth / len(self._finish_heap) * elapsed
 
     def _admit(self, transfer: _Transfer) -> None:
         transfer.admit_virtual = self._virtual
@@ -310,7 +355,8 @@ class BandwidthResource(Resource):
         if not self._finish_heap:
             return
         head = self._finish_heap[0][2]
-        delay = max(0.0, head.remaining(self._virtual) / self._rate())
+        rate = self.bandwidth / len(self._finish_heap)  # inline _rate()
+        delay = max(0.0, head.remaining(self._virtual) / rate)
         due = self.engine.now + delay
         if self._wakeup is not None:
             if due == self._wakeup_time:
@@ -321,24 +367,42 @@ class BandwidthResource(Resource):
         self._wakeup_time = due
 
     def _wake(self) -> None:
+        """Complete *every* finished transfer in one pass, then re-arm.
+
+        One wake-up event handles the whole batch of transfers that are done
+        at this instant (plus any waiting admissions they unblock), instead of
+        burning one engine event per completion.
+        """
         self._wakeup = None
         self.events_processed += 1
         self._advance()
+        heap = self._finish_heap
+        virtual = self._virtual
         finished: List[_Transfer] = []
-        while (
-            self._finish_heap
-            and self._finish_heap[0][2].remaining(self._virtual) <= _BYTE_EPSILON
-        ):
-            finished.append(heapq.heappop(self._finish_heap)[2])
+        # inline _Transfer.remaining(): size - (virtual - admit_virtual)
+        while heap:
+            head = heap[0][2]
+            if head.size - (virtual - head.admit_virtual) > _BYTE_EPSILON:
+                break
+            finished.append(heapq.heappop(heap)[2])
         while self._waiting and (
             self.max_concurrency is None
             or len(self._finish_heap) < self.max_concurrency
         ):
             self._admit(self._waiting.popleft())
+        trace = self.trace
+        free = self._free
         for transfer in finished:
             self.completed_items += 1
-            self._record(transfer.label, transfer.started, self.engine.now)
-            transfer.callback()
+            if trace is not None:
+                trace.record(self.name, transfer.label, transfer.started, self.engine.now)
+            callback = transfer.callback
+            # Recycle before invoking: the callback may start a new transfer
+            # on this link, which can then reuse the record immediately.
+            transfer.callback = None
+            transfer.label = ""
+            free.append(transfer)
+            callback()
         self._advance()  # callbacks may have consumed virtual time via nested runs
         self._rearm()
         if not self._finish_heap and not self._waiting:

@@ -8,7 +8,7 @@ benchmark harnesses use it to report utilisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 __all__ = ["TraceInterval", "Trace"]
@@ -29,34 +29,55 @@ class TraceInterval:
         return self.end - self.start
 
 
-@dataclass
 class Trace:
-    """Collection of busy intervals, indexed by resource name."""
+    """Collection of busy intervals, indexed by resource name.
 
-    intervals: List[TraceInterval] = field(default_factory=list)
+    :meth:`record` sits on the simulation's hot path (every completed work
+    item appends one interval), so intervals are stored as plain tuples and
+    only materialised into :class:`TraceInterval` objects when the
+    :attr:`intervals` API is actually consulted (analysis/report time).
+    """
+
+    __slots__ = ("_raw", "_materialised")
+
+    def __init__(self) -> None:
+        #: raw (resource, label, start, end) tuples, in record order
+        self._raw: List[tuple] = []
+        self._materialised: Optional[List[TraceInterval]] = None
+
+    @property
+    def intervals(self) -> List[TraceInterval]:
+        """Every recorded interval, as :class:`TraceInterval` objects."""
+        cached = self._materialised
+        if cached is None or len(cached) != len(self._raw):
+            cached = [TraceInterval(*raw) for raw in self._raw]
+            self._materialised = cached
+        return cached
 
     def record(self, resource: str, label: str, start: float, end: float) -> None:
         """Append one busy interval for ``resource``."""
-        self.intervals.append(TraceInterval(resource, label, start, end))
+        self._raw.append((resource, label, start, end))
 
     def for_resource(self, resource: str) -> List[TraceInterval]:
         """All recorded intervals of one resource."""
-        return [iv for iv in self.intervals if iv.resource == resource]
+        return [TraceInterval(*raw) for raw in self._raw if raw[0] == resource]
 
     def busy_time(self, resource: str) -> float:
         """Total busy time of ``resource`` (intervals may overlap for shared resources)."""
-        ivs = sorted(self.for_resource(resource), key=lambda iv: iv.start)
+        spans = sorted(
+            (raw[2], raw[3]) for raw in self._raw if raw[0] == resource
+        )
         total = 0.0
         cur_start: Optional[float] = None
         cur_end = 0.0
-        for iv in ivs:
+        for start, end in spans:
             if cur_start is None:
-                cur_start, cur_end = iv.start, iv.end
-            elif iv.start <= cur_end:
-                cur_end = max(cur_end, iv.end)
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
             else:
                 total += cur_end - cur_start
-                cur_start, cur_end = iv.start, iv.end
+                cur_start, cur_end = start, end
         if cur_start is not None:
             total += cur_end - cur_start
         return total
@@ -86,16 +107,16 @@ class Trace:
         return total
 
     def _merged(self, resource: str) -> List[tuple]:
-        ivs = sorted(self.for_resource(resource), key=lambda iv: iv.start)
+        spans = sorted((raw[2], raw[3]) for raw in self._raw if raw[0] == resource)
         merged: List[tuple] = []
-        for iv in ivs:
-            if merged and iv.start <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], iv.end))
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
             else:
-                merged.append((iv.start, iv.end))
+                merged.append((start, end))
         return merged
 
     def summary(self) -> Dict[str, float]:
         """Busy time per resource."""
-        resources = {iv.resource for iv in self.intervals}
+        resources = {raw[0] for raw in self._raw}
         return {name: self.busy_time(name) for name in sorted(resources)}
