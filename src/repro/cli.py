@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from typing import Dict, Optional, Sequence, Tuple
 
 from . import __version__
+from .errors import ReproError
 from .bench import (
     format_table,
     gpu_memory_limit,
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(run)
     _add_plan_cache_arg(run)
     _add_window_args(run)
+    _add_fault_args(run)
     _add_stats_json_arg(run)
     _add_profile_args(run)
 
@@ -99,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(sweep)
     _add_plan_cache_arg(sweep)
     _add_window_args(sweep)
+    _add_fault_args(sweep)
     _add_stats_json_arg(sweep)
     _add_profile_args(sweep)
 
@@ -174,6 +177,32 @@ def _window_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="seeded fault injection, e.g. "
+             "'transfer=0.01,device=0.1@2.5,degrade=nic@1.0:2.0x0.25,retry=6' "
+             "(transient transfer faults with retry/backoff, permanent device "
+             "failures with lineage recovery, link degradation windows)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the fault injector's RNG (default 0; the fault "
+             "schedule is deterministic per spec+seed)",
+    )
+
+
+def _fault_kwargs(args: argparse.Namespace) -> dict:
+    if not getattr(args, "inject_faults", None):
+        return {}
+    return {"faults": args.inject_faults, "fault_seed": args.fault_seed}
+
+
 def _add_stats_json_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stats-json",
@@ -246,7 +275,11 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    context_kwargs = {"plan_cache": args.plan_cache, **_window_kwargs(args)}
+    context_kwargs = {
+        "plan_cache": args.plan_cache,
+        **_window_kwargs(args),
+        **_fault_kwargs(args),
+    }
     if args.scheduler_policy:
         context_kwargs["scheduler_policy"] = args.scheduler_policy
     with _maybe_profile(args):
@@ -277,7 +310,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for n in sizes:
             point, stats = run_workload_with_stats(
                 args.workload, n, nodes=args.nodes, gpus_per_node=args.gpus,
-                context_kwargs={"plan_cache": args.plan_cache, **_window_kwargs(args)},
+                context_kwargs={
+                    "plan_cache": args.plan_cache,
+                    **_window_kwargs(args),
+                    **_fault_kwargs(args),
+                },
             )
             points.append(point)
             if args.stats_json:
@@ -337,7 +374,13 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-bench`` (and ``python -m repro.cli``)."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Deliberate library errors (bad fault specs, planning failures,
+        # fatal injected faults, stalls) exit with a message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

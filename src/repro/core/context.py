@@ -26,10 +26,12 @@ pending in the window.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import ArgumentTypeError, ArgumentValueError, FaultError
 from ..hardware.specs import ClusterSpec, azure_nc24rsv2
 from ..hardware.topology import DeviceId
 from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel
@@ -70,6 +72,8 @@ class Context:
         fusion: object = True,
         prefetch: bool = True,
         window_memory: bool = True,
+        faults: object = None,
+        fault_seed: int = 0,
     ):
         if cluster is None:
             cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
@@ -107,6 +111,21 @@ class Context:
         self.kernels: Dict[str, CompiledKernel] = {}
         self.arrays: Dict[int, DistributedArray] = {}
         self._launch_counter = 0
+        #: Fault tolerance: ``faults`` is a FaultSpec, a ``--inject-faults``
+        #: spec string, or None (the default: zero-overhead fault-free path).
+        #: Even an empty FaultSpec() enables lineage tracking, so tests can
+        #: trigger failures manually through :meth:`fail_device`.
+        self.fault_injector = None
+        if faults is not None:
+            from ..runtime.recovery import LineageTracker
+            from ..simulator.faults import FaultInjector, FaultSpec
+
+            spec = FaultSpec.parse(faults) if isinstance(faults, str) else faults
+            self.fault_injector = FaultInjector(spec, seed=fault_seed)
+            self.runtime.fault_injector = self.fault_injector
+            self.runtime.lineage = LineageTracker()
+            self.runtime.recovery_handler = self._recover_device
+            self.fault_injector.install(self.runtime)
 
     # ------------------------------------------------------------------ #
     # cluster information
@@ -237,19 +256,19 @@ class Context:
         returns the same (mutated) array handle.
         """
         if array.deleted:
-            raise RuntimeError(f"array {array.name} has been deleted")
+            raise ArgumentValueError(f"array {array.name} has been deleted")
         if self.window.references(array.array_id):
             # Pending launches were prepared against the old chunk layout.
             self.window.flush("redistribute")
         placements = new_distribution.chunks(array.shape, self.devices())
         if not placements:
-            raise ValueError(
+            raise ArgumentValueError(
                 f"distribution produced no chunks for array of shape {array.shape}"
             )
         from .geometry import regions_cover
 
         if not regions_cover(array.domain, [p.region for p in placements]):
-            raise ValueError(
+            raise ArgumentValueError(
                 f"new distribution of {array.name} does not cover the array domain"
             )
         new_chunks = [
@@ -269,6 +288,145 @@ class Context:
         array.layout_epoch += 1
         self.planner.invalidate_array(array.array_id)
         return array
+
+    # ------------------------------------------------------------------ #
+    # fault tolerance (device failure and recovery)
+    # ------------------------------------------------------------------ #
+    def fail_device(self, device: Union[DeviceId, Tuple[int, int]]) -> None:
+        """Mark one GPU permanently failed (manual chaos-testing hook).
+
+        Recovery — lineage replay of lost chunks, rehoming, blacklisting and
+        forced redistribution onto the survivors — runs at the next quiescent
+        point, i.e. inside the next :meth:`synchronize` (or gather).
+        Requires the context to have been constructed with ``faults=...``.
+        """
+        if self.fault_injector is None:
+            raise FaultError(
+                "fault tolerance is not enabled; construct the Context with "
+                "faults=FaultSpec() (or a spec string) to use fail_device"
+            )
+        if isinstance(device, tuple):
+            device = DeviceId(*device)
+        try:
+            self.cluster.device(device)
+        except KeyError:
+            raise FaultError(f"unknown device {device}") from None
+        if self.cluster.is_failed(device):
+            return
+        self.fault_injector.fail_device(device)
+
+    def _buffer_of(self, chunk_id) -> Optional[np.ndarray]:
+        """The live buffer of a chunk on whichever worker stores it."""
+        for worker in self.runtime.workers:
+            if chunk_id in worker.storage:
+                return worker.storage.buffer(chunk_id)
+        return None
+
+    def _recover_device(self, device: DeviceId) -> None:
+        """Recover from one permanent device failure at a quiescent point.
+
+        Phase A (driver-side, instantaneous in virtual time except for the
+        lump costs charged at the end): shrink the topology, account for lost
+        vs surviving chunks, replay the lost chunks' lineage, rehome every
+        chunk of the dead device onto a survivor, and invalidate all cached
+        plans.  Phase B: force-redistribute every affected array under its
+        own distribution against the shrunken device list; the caller's
+        run-until-idle loop drains those plans before returning.
+        """
+        runtime = self.runtime
+        cluster = self.cluster
+        if cluster.is_failed(device):
+            return
+        cluster.mark_failed(device)
+        survivors = cluster.device_ids()
+        if not survivors:
+            raise FaultError(
+                f"device {device} failed and no devices survive; cannot recover"
+            )
+        runtime.devices_failed += 1
+        worker = runtime.workers[device.worker]
+        worker.scheduler.blacklist.add(device)
+
+        lost, surviving = worker.memory.mark_device_failed(device)
+        runtime.chunks_lost += len(lost)
+        runtime.replicas_promoted += len(surviving)
+        for chunk_id in lost:
+            worker.storage.poison(chunk_id)
+        replayed = 0
+        if runtime.lineage is not None and lost and self.functional:
+            replayed = runtime.lineage.replay(
+                lost, self._buffer_of, runtime.kernel_registry
+            )
+        runtime.tasks_replayed += replayed
+        restored = sum(
+            worker.storage.meta(cid).nbytes for cid in lost if cid in worker.storage
+        )
+
+        # Rehome every chunk whose home was the dead device: prefer a
+        # same-worker survivor (metadata swap only), else adopt the host-
+        # resident bytes on the first surviving worker.
+        same_worker = [d for d in survivors if d.worker == device.worker]
+        new_home = same_worker[0] if same_worker else survivors[0]
+        affected: List[DistributedArray] = []
+        for array in list(self.arrays.values()):
+            if not any(chunk.home == device for chunk in array.chunks):
+                continue
+            affected.append(array)
+            new_chunks: List[ChunkMeta] = []
+            for chunk in array.chunks:
+                if chunk.home != device:
+                    new_chunks.append(chunk)
+                    continue
+                new_chunks.append(self._rehome_chunk(chunk, new_home))
+            array.chunks = new_chunks
+            array.layout_epoch += 1
+        # Leftovers (temporaries still alive at the quiescent point).
+        for chunk_id in lost + surviving:
+            if chunk_id in worker.storage and worker.storage.meta(chunk_id).home == device:
+                self._rehome_chunk(worker.storage.meta(chunk_id), new_home)
+
+        # Cached recipes were planned against the pre-failure topology (cache
+        # keys omit the device list) — drop everything, plain and fused.
+        self.planner.invalidate_all()
+
+        # Make the recovery visible in virtual time as deterministic lump
+        # costs: one fixed control charge per replayed lineage record, and
+        # the restored bytes crossing PCIe back toward the devices.
+        if replayed:
+            worker.resources.cpu.request(
+                replayed * self.runtime.overheads.plan_per_task,
+                lambda: None,
+                label="lineage replay",
+            )
+        if restored:
+            worker.resources.pcie.request(restored, lambda: None, label="recovery restore")
+
+        # Phase B: re-chunk every affected array under its own distribution,
+        # now evaluated against the shrunken healthy device list.
+        for array in affected:
+            self.redistribute(array, array.distribution)
+            runtime.redistributes_forced += 1
+
+    def _rehome_chunk(self, chunk: ChunkMeta, new_home: DeviceId) -> ChunkMeta:
+        """Retarget one chunk of a failed device onto ``new_home``."""
+        runtime = self.runtime
+        old_worker = runtime.workers[chunk.worker]
+        new_meta = _dc_replace(chunk, home=new_home)
+        if new_home.worker == chunk.worker:
+            # Same worker: swap metadata in place, bytes stay where they are
+            # (host memory after mark_device_failed / lineage replay).
+            old_worker.storage.replace_meta(new_meta)
+            old_worker.memory.retarget_home(chunk.chunk_id, new_meta)
+        else:
+            dest = runtime.workers[new_home.worker]
+            buffer = old_worker.storage.buffer(chunk.chunk_id)
+            dest.storage.adopt(new_meta, buffer)
+            dest.memory.adopt_resident(new_meta)
+            old_worker.memory.delete(chunk.chunk_id)
+            old_worker.storage.delete(chunk.chunk_id)
+        if runtime.lineage is not None:
+            runtime.lineage.note_rehome(new_meta)
+        return new_meta
 
     # ------------------------------------------------------------------ #
     # kernels
@@ -315,13 +473,13 @@ class Context:
         if len(block_dims) == 1 and len(grid_dims) > 1:
             block_dims = block_dims + (1,) * (len(grid_dims) - 1)
         if len(block_dims) != len(grid_dims):
-            raise ValueError("grid and block dimensionality mismatch")
+            raise ArgumentValueError("grid and block dimensionality mismatch")
         scalars, arrays = kernel.bind_args(args)
         for name, array in arrays.items():
             if not isinstance(array, DistributedArray):
-                raise TypeError(f"argument {name!r} must be a DistributedArray")
+                raise ArgumentTypeError(f"argument {name!r} must be a DistributedArray")
             if array.deleted:
-                raise RuntimeError(f"argument {name!r} refers to a deleted array")
+                raise ArgumentValueError(f"argument {name!r} refers to a deleted array")
         self._launch_counter += 1
         array_bindings = {name: arr for name, arr in arrays.items()}
         prepared = self.planner.prepare_launch(

@@ -76,8 +76,9 @@ __all__ = [
 ]
 
 
-class PlanningError(RuntimeError):
-    """The planner could not construct a valid execution plan."""
+# Re-exported from the central error hierarchy (kept importable from here
+# for backward compatibility with existing callers and tests).
+from ...errors import PlanningError  # noqa: E402
 
 
 # --------------------------------------------------------------------------- #

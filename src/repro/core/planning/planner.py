@@ -335,6 +335,20 @@ class Planner:
             del self._fusion_cache[chain_key]
         return evicted + len(stale)
 
+    def invalidate_all(self) -> int:
+        """Evict *every* cached recipe, plain and fused.
+
+        Needed after a permanent device failure: cache keys do not include the
+        device list (:meth:`~.cache.PlanTemplateCache.key_for`), so recipes
+        planned against the pre-failure topology would happily re-stamp tasks
+        onto the dead device.  Returns the number of entries evicted.
+        """
+        evicted = len(self.cache) + len(self._fusion_cache)
+        self.cache.clear()
+        self._fusion_cache.clear()
+        self.cache.invalidations += evicted
+        return evicted
+
     # ------------------------------------------------------------------ #
     # distributed kernel launches (pass pipeline + template cache)
     # ------------------------------------------------------------------ #

@@ -142,6 +142,29 @@ class Cluster:
         self._device_by_id: Dict[DeviceId, Device] = {
             dev.device_id: dev for node in self.nodes for dev in node.devices
         }
+        #: Permanently failed devices: excluded from ``devices()`` /
+        #: ``device_ids()`` so planning and placement only see survivors.
+        #: Direct lookups (``device()``) still resolve failed devices — the
+        #: recovery machinery needs their specs and memory spaces.
+        self._failed: set = set()
+
+    # ------------------------------------------------------------------ #
+    # device failure (fault tolerance)
+    # ------------------------------------------------------------------ #
+    def mark_failed(self, device_id: DeviceId) -> None:
+        """Remove a GPU from the healthy topology (permanent device failure)."""
+        if device_id not in self._device_by_id:
+            raise KeyError(f"unknown device {device_id}")
+        self._failed.add(device_id)
+
+    def is_failed(self, device_id: DeviceId) -> bool:
+        """True once ``mark_failed`` has been called for this device."""
+        return device_id in self._failed
+
+    @property
+    def failed_devices(self) -> frozenset:
+        """The set of permanently failed device ids."""
+        return frozenset(self._failed)
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -160,17 +183,24 @@ class Cluster:
         return self._device_by_id[device_id]
 
     def devices(self) -> List[Device]:
-        """All GPUs in the cluster ordered (worker, local index)."""
-        return [dev for node in self.nodes for dev in node.devices]
+        """All healthy GPUs in the cluster ordered (worker, local index)."""
+        if not self._failed:
+            return [dev for node in self.nodes for dev in node.devices]
+        return [
+            dev
+            for node in self.nodes
+            for dev in node.devices
+            if dev.device_id not in self._failed
+        ]
 
     def device_ids(self) -> List[DeviceId]:
-        """Every GPU in the cluster, in (worker, local index) order."""
+        """Every healthy GPU in the cluster, in (worker, local index) order."""
         return [dev.device_id for dev in self.devices()]
 
     @property
     def device_count(self) -> int:
-        """Total GPUs in the cluster."""
-        return len(self._device_by_id)
+        """Total healthy GPUs in the cluster."""
+        return len(self._device_by_id) - len(self._failed)
 
     def iter_memory_spaces(self) -> Iterator[MemorySpace]:
         """Every memory space of the cluster (GPU, host and disk per node)."""

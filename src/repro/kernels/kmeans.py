@@ -267,7 +267,7 @@ class KMeansTwoPhaseWorkload(Workload):
     DEFAULT_CHUNK = KMeansWorkload.DEFAULT_CHUNK
 
     def __init__(self, ctx, n, chunk_elems: int | None = None, iterations: int | None = None,
-                 k: int = CLUSTERS, seed: int = 0, **params):
+                 k: int = CLUSTERS, seed: int = 0, quantize: bool = False, **params):
         super().__init__(ctx, n, **params)
         chunk_records = chunk_elems or min(self.DEFAULT_CHUNK, max(1, self.n))
         self.chunk_records = align_extent(chunk_records, 256)
@@ -277,6 +277,12 @@ class KMeansTwoPhaseWorkload(Workload):
             self.iterations = iterations
         self.k = k
         self.seed = seed
+        #: Integer-valued float32 points: float32 sums of integers stay exact
+        #: below 2**24, so the result is invariant under re-grouping of the
+        #: per-device partial reductions.  The chaos benchmark uses this to
+        #: demand bit-identical centroids across different device counts
+        #: (a failed device changes how partials are grouped).
+        self.quantize = quantize
 
     def prepare(self) -> None:
         """Create the distributed arrays and compile the kernels."""
@@ -285,7 +291,10 @@ class KMeansTwoPhaseWorkload(Workload):
         points_dist = RowDist(self.chunk_records)
         if ctx.functional:
             rng = np.random.RandomState(self.seed)
-            pts = rng.rand(self.n, FEATURES).astype(np.float32)
+            if self.quantize:
+                pts = rng.randint(0, 256, size=(self.n, FEATURES)).astype(np.float32)
+            else:
+                pts = rng.rand(self.n, FEATURES).astype(np.float32)
             cent0 = pts[rng.choice(self.n, self.k, replace=self.n < self.k)].copy()
             self.points = ctx.from_numpy(pts, points_dist, name="kmeans2_points")
             self.centroids = ctx.from_numpy(cent0, replicated, name="kmeans2_centroids")

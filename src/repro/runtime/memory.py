@@ -179,6 +179,60 @@ class MemoryManager:
         return chunk_id in self._chunks
 
     # ------------------------------------------------------------------ #
+    # device failure (fault tolerance)
+    # ------------------------------------------------------------------ #
+    def mark_device_failed(self, device) -> Tuple[List[ChunkId], List[ChunkId]]:
+        """Account for the permanent failure of one local GPU.
+
+        Returns ``(lost, surviving)``:
+
+        * ``lost`` — chunks *resident* in the dead GPU's memory space; their
+          contents are gone and must be rematerialized by lineage replay.
+          Their residency is moved to host memory (where replay rebuilds
+          them) without issuing transfers — recovery charges its own lump
+          costs instead.
+        * ``surviving`` — chunks homed on the dead device whose data had been
+          spilled to host or disk; the spilled replica is promoted (the data
+          is intact), only the chunk's home needs retargeting.
+        """
+        dead = device.memory_space
+        host = self._host_space
+        lost: List[ChunkId] = []
+        surviving: List[ChunkId] = []
+        for chunk_id, state in self._chunks.items():
+            if state.space == dead:
+                lost.append(chunk_id)
+            elif state.meta.home == device:
+                surviving.append(chunk_id)
+        for chunk_id in lost:
+            state = self._chunks[chunk_id]
+            nbytes = state.meta.nbytes
+            self._used[dead] -= nbytes
+            del self._lru[dead][chunk_id]
+            if state.pins:  # quiescent point: defensive, nothing should be pinned
+                self._pinned[dead] -= nbytes
+                self._pinned[host] += nbytes
+            self._used[host] += nbytes
+            self._lru[host][chunk_id] = state
+            state.space = host
+            self._prepared.discard(chunk_id)
+        return lost, surviving
+
+    def retarget_home(self, chunk_id: ChunkId, new_meta: ChunkMeta) -> None:
+        """Swap a chunk's metadata after recovery rehomed it on this worker."""
+        self._chunks[chunk_id].meta = new_meta
+
+    def adopt_resident(self, chunk: ChunkMeta) -> None:
+        """Register a chunk whose data already sits in this worker's host
+        memory (cross-worker recovery rehoming)."""
+        self.register(chunk)
+        state = self._chunks[chunk.chunk_id]
+        host = self._host_space
+        state.space = host
+        self._used[host] += chunk.nbytes
+        self._lru[host][chunk.chunk_id] = state
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def home_of(self, chunk_id: ChunkId):

@@ -1,0 +1,380 @@
+"""Lineage-based recovery from permanent device failures.
+
+When a GPU fails permanently, every chunk that was *resident only* in its
+memory is gone.  Rather than checkpointing (which would cost bandwidth on
+every iteration), the runtime records each chunk's **lineage**: which task
+produced which version of which chunk, and which chunk versions that task
+read.  On failure, the minimal producer subgraph of the lost chunks is
+replayed on the host against surviving data — chunks whose bytes still exist
+(spilled replicas, chunks on healthy devices) are leaves of the replay and are
+promoted instead of recomputed.
+
+The tracker observes every :class:`~repro.core.tasks.ExecutionPlan` the
+driver submits (see :meth:`~repro.runtime.system.RuntimeSystem.submit_plan`).
+Task ids are allocated in program order and every dependency edge points
+backwards, so walking a plan's tasks in task-id order is a valid
+topological order — both for building the version history and for replay.
+
+Costs of this scheme, by design:
+
+* lineage records hold references to their tasks, so kernel arguments and
+  fill payloads (the program's *inputs*) stay reachable for the lifetime of
+  the context — inputs must be durable for lineage recovery to be possible;
+* replay is functional-mode only (it needs real buffers); in simulate mode
+  recovery still rehomes chunks and charges costs but cannot rebuild bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import tasks as T
+from ..core.chunk import ChunkId, ChunkMeta
+from ..core.reductions import get_reduce_op
+from ..core.types import ArrayView, LaunchContext
+from ..errors import FaultError
+
+__all__ = ["LineageTracker"]
+
+
+@dataclass
+class _LineageRecord:
+    """One producing task in the lineage graph.
+
+    ``reads`` are the *external* chunk versions the task consumed (a fused
+    task's internal producer→consumer edges are not listed — the record
+    rebuilds them itself when replayed).  ``writes`` maps every chunk the
+    task wrote to the version it left behind.  ``recv_src`` resolves a recv
+    task's matched send source (chunk id of the sender's data).
+    """
+
+    task_id: int
+    task: object
+    reads: List[Tuple[ChunkId, int]] = field(default_factory=list)
+    writes: Dict[ChunkId, int] = field(default_factory=dict)
+    recv_src: Optional[ChunkId] = None
+
+
+class LineageTracker:
+    """Records chunk version history and replays lost chunks' producers."""
+
+    def __init__(self) -> None:
+        #: current version of every chunk ever created (0 = fresh zeros)
+        self._version: Dict[ChunkId, int] = {}
+        #: metadata of every chunk ever created (kept past deletion so old
+        #: versions can still be replayed as intermediates)
+        self._meta: Dict[ChunkId, ChunkMeta] = {}
+        #: (chunk id, version) -> the record that produced that version
+        self._producer: Dict[Tuple[ChunkId, int], _LineageRecord] = {}
+        #: chunks not yet deleted — only these can serve as replay leaves
+        self._live: set = set()
+        #: send tag -> (src chunk, version read) for recv matching; sends
+        #: always precede their recv in task-id order in this codebase
+        self._send_by_tag: Dict[int, Tuple[ChunkId, int]] = {}
+        self.records_observed = 0
+
+    # ------------------------------------------------------------------ #
+    # observation (driver-side, every submitted plan)
+    # ------------------------------------------------------------------ #
+    def observe_plan(self, plan: T.ExecutionPlan) -> None:
+        """Fold one execution plan into the lineage graph."""
+        for task in sorted(plan.all_tasks(), key=lambda t: t.task_id):
+            self._observe_task(task)
+
+    def note_rehome(self, meta: ChunkMeta) -> None:
+        """Track a chunk's new metadata after recovery retargeted its home."""
+        self._meta[meta.chunk_id] = meta
+
+    def chunk_version(self, chunk_id: ChunkId) -> int:
+        """Current version of a chunk (0 = created, never written)."""
+        return self._version[chunk_id]
+
+    def _observe_task(self, task: T.Task) -> None:
+        kind = task.kind
+        if kind == "createchunk":
+            chunk = task.chunk
+            record = _LineageRecord(task_id=task.task_id, task=task)
+            record.writes[chunk.chunk_id] = 0
+            self._version[chunk.chunk_id] = 0
+            self._meta[chunk.chunk_id] = chunk
+            self._producer[(chunk.chunk_id, 0)] = record
+            self._live.add(chunk.chunk_id)
+            self.records_observed += 1
+            return
+        if kind == "deletechunk":
+            # Keep meta/versions: deleted chunks can still be replay
+            # intermediates; they just cannot be leaves any more.
+            self._live.discard(task.chunk_id)
+            return
+        if kind in (
+            "download", "combine", "memoryreserve", "memoryrelease", "promotechunk",
+        ):
+            return
+
+        record = _LineageRecord(task_id=task.task_id, task=task)
+        internal: set = set()
+
+        def read(chunk_id: ChunkId) -> None:
+            if chunk_id not in internal:
+                record.reads.append((chunk_id, self._version[chunk_id]))
+
+        def write(chunk_id: ChunkId, full: bool) -> None:
+            # A partial (or read-modify-write) update consumes the previous
+            # version as an implicit input.
+            if not full:
+                read(chunk_id)
+            version = self._version[chunk_id] + 1
+            self._version[chunk_id] = version
+            self._producer[(chunk_id, version)] = record
+            record.writes[chunk_id] = version
+            internal.add(chunk_id)
+
+        if kind == "fill":
+            write(task.chunk_id, full=True)
+        elif kind == "launch":
+            self._observe_bindings(
+                task.array_args, read, write
+            )
+        elif kind == "fusedlaunch":
+            for segment in range(task.segment_count):
+                self._observe_bindings(
+                    task.array_args_list[segment], read, write
+                )
+                if task.reduce_epilogues:
+                    for epilogue in task.reduce_epilogues[segment]:
+                        read(epilogue.src_chunk)
+                        write(epilogue.dst_chunk, full=False)
+        elif kind == "copy":
+            read(task.src_chunk)
+            full = task.region.contains_region(self._meta[task.dst_chunk].region)
+            write(task.dst_chunk, full=full)
+        elif kind == "send":
+            read(task.chunk_id)
+            self._send_by_tag[task.tag] = (task.chunk_id, self._version[task.chunk_id])
+        elif kind == "recv":
+            matched = self._send_by_tag.pop(task.tag, None)
+            if matched is None:
+                raise FaultError(
+                    f"lineage: recv tag {task.tag} has no matching send"
+                )
+            src_chunk, src_version = matched
+            record.reads.append((src_chunk, src_version))
+            record.recv_src = src_chunk
+            full = task.region.contains_region(self._meta[task.chunk_id].region)
+            write(task.chunk_id, full=full)
+        elif kind == "reduce":
+            read(task.src_chunk)
+            write(task.dst_chunk, full=False)
+        else:
+            return
+        if record.writes or record.reads:
+            self.records_observed += 1
+
+    def _observe_bindings(self, bindings, read, write) -> None:
+        """Version accounting for one (fused-)launch segment's bindings."""
+        for binding in bindings:
+            if binding.mode == "read":
+                read(binding.chunk_id)
+        for binding in bindings:
+            if binding.mode == "read":
+                continue
+            meta = self._meta[binding.chunk_id]
+            full = (
+                binding.mode == "write"
+                and binding.access_region.contains_region(meta.region)
+            )
+            write(binding.chunk_id, full=full)
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def replay(
+        self,
+        lost: List[ChunkId],
+        buffer_of,
+        kernel_registry: Dict[str, object],
+    ) -> int:
+        """Rebuild the contents of ``lost`` chunks from surviving data.
+
+        ``buffer_of(chunk_id)`` must return the live NumPy buffer of a chunk
+        (on whichever worker holds it) or ``None`` in simulate mode.  The
+        minimal producer closure of the lost chunks' final versions is
+        computed backwards, then executed forwards in task-id order against
+        host scratch buffers; finally each lost chunk's (poisoned) storage
+        buffer is overwritten with the replayed bytes.
+
+        Returns the number of lineage records replayed.
+        """
+        lost_set = set(lost)
+
+        def is_leaf(chunk_id: ChunkId, version: int) -> bool:
+            return (
+                chunk_id in self._live
+                and chunk_id not in lost_set
+                and self._version[chunk_id] == version
+            )
+
+        # Backward closure from the lost chunks' final versions.
+        needed: List[Tuple[ChunkId, int]] = [
+            (chunk_id, self._version[chunk_id])
+            for chunk_id in lost
+            if chunk_id in self._version
+        ]
+        records: Dict[int, _LineageRecord] = {}
+        seen: set = set()
+        while needed:
+            chunk_id, version = needed.pop()
+            if (chunk_id, version) in seen:
+                continue
+            seen.add((chunk_id, version))
+            if is_leaf(chunk_id, version):
+                continue
+            record = self._producer.get((chunk_id, version))
+            if record is None:
+                raise FaultError(
+                    f"lineage: no producer recorded for chunk {chunk_id} "
+                    f"version {version}; cannot recover"
+                )
+            if record.task_id not in records:
+                records[record.task_id] = record
+                needed.extend(record.reads)
+
+        # Forward pass.  One mutable scratch buffer per chunk suffices:
+        # task-id order is topological and the planner's conflict edges
+        # guarantee every reader of version v precedes the writer of v+1.
+        scratch: Dict[ChunkId, np.ndarray] = {}
+        scratch_version: Dict[ChunkId, int] = {}
+
+        def ensure(chunk_id: ChunkId, version: int) -> None:
+            if scratch_version.get(chunk_id) == version:
+                return
+            if is_leaf(chunk_id, version):
+                buffer = buffer_of(chunk_id)
+                if buffer is None:
+                    raise FaultError(
+                        f"lineage: no buffer for surviving chunk {chunk_id}"
+                    )
+                scratch[chunk_id] = np.array(buffer)
+                scratch_version[chunk_id] = version
+                return
+            raise FaultError(
+                f"lineage: chunk {chunk_id} version {version} neither "
+                f"survived nor was replayed"
+            )
+
+        for record in sorted(records.values(), key=lambda r: r.task_id):
+            for chunk_id, version in record.reads:
+                ensure(chunk_id, version)
+            for chunk_id in record.writes:
+                if chunk_id not in scratch:
+                    meta = self._meta[chunk_id]
+                    scratch[chunk_id] = np.zeros(meta.shape, dtype=meta.dtype)
+            self._apply(record, scratch, kernel_registry)
+            for chunk_id, version in record.writes.items():
+                scratch_version[chunk_id] = version
+
+        for chunk_id in lost:
+            if chunk_id not in self._version:
+                continue
+            buffer = buffer_of(chunk_id)
+            if buffer is not None:
+                np.copyto(buffer, scratch[chunk_id])
+        return len(records)
+
+    # ------------------------------------------------------------------ #
+    # record effects (mirror TaskExecutor's functional payloads)
+    # ------------------------------------------------------------------ #
+    def _apply(self, record: _LineageRecord, scratch, kernel_registry) -> None:
+        task = record.task
+        kind = task.kind
+        if kind == "createchunk":
+            scratch[task.chunk.chunk_id][...] = 0
+        elif kind == "fill":
+            buffer = scratch[task.chunk_id]
+            if task.data is not None:
+                buffer[...] = task.data
+            elif task.value is not None:
+                buffer.fill(task.value)
+        elif kind == "launch":
+            self._apply_segment(
+                kernel_registry[task.kernel_name],
+                scratch,
+                array_args=task.array_args,
+                array_shapes=task.array_shapes,
+                scalar_args=task.scalar_args,
+                grid_dims=task.grid_dims,
+                block_dims=task.block_dims,
+                superblock=task.superblock,
+                device=task.device,
+            )
+        elif kind == "fusedlaunch":
+            for segment in range(task.segment_count):
+                self._apply_segment(
+                    kernel_registry[task.kernel_names[segment]],
+                    scratch,
+                    array_args=task.array_args_list[segment],
+                    array_shapes=task.array_shapes_list[segment],
+                    scalar_args=task.scalar_args_list[segment],
+                    grid_dims=task.grid_dims_list[segment],
+                    block_dims=task.block_dims_list[segment],
+                    superblock=task.segment_superblock(segment),
+                    device=task.device,
+                )
+                if task.reduce_epilogues:
+                    for epilogue in task.reduce_epilogues[segment]:
+                        self._combine(
+                            scratch, epilogue.src_chunk, epilogue.dst_chunk,
+                            epilogue.region, epilogue.op,
+                        )
+        elif kind == "copy":
+            self._copy(scratch, task.src_chunk, task.dst_chunk, task.region)
+        elif kind == "recv":
+            self._copy(scratch, record.recv_src, task.chunk_id, task.region)
+        elif kind == "reduce":
+            self._combine(
+                scratch, task.src_chunk, task.dst_chunk, task.region, task.op
+            )
+        else:  # pragma: no cover - observation never records other kinds
+            raise FaultError(f"lineage: cannot replay task kind {kind!r}")
+
+    def _apply_segment(
+        self, kernel, scratch, *, array_args, array_shapes, scalar_args,
+        grid_dims, block_dims, superblock, device,
+    ) -> None:
+        views: Dict[str, ArrayView] = {}
+        for binding in array_args:
+            meta = self._meta[binding.chunk_id]
+            views[binding.param] = ArrayView(
+                scratch[binding.chunk_id],
+                meta.region,
+                array_shapes[binding.param],
+                access_region=binding.access_region,
+                writable=binding.mode in ("write", "readwrite", "reduce"),
+                name=binding.param,
+            )
+        launch_ctx = LaunchContext(
+            grid_dims=grid_dims,
+            block_dims=block_dims,
+            thread_region=superblock.thread_region,
+            block_offset=superblock.block_offset,
+            superblock_index=superblock.index,
+            device_name=str(device),
+        )
+        kernel.run_superblock(launch_ctx, scalar_args, views)
+
+    def _copy(self, scratch, src: ChunkId, dst: ChunkId, region) -> None:
+        src_meta = self._meta[src]
+        dst_meta = self._meta[dst]
+        scratch[dst][region.as_local_slices(dst_meta.region)] = scratch[src][
+            region.as_local_slices(src_meta.region)
+        ]
+
+    def _combine(self, scratch, src: ChunkId, dst: ChunkId, region, op: str) -> None:
+        combine = get_reduce_op(op).combine
+        src_view = scratch[src][region.as_local_slices(self._meta[src].region)]
+        dst_slices = region.as_local_slices(self._meta[dst].region)
+        dst_buf = scratch[dst]
+        dst_buf[dst_slices] = combine(dst_buf[dst_slices], src_view)

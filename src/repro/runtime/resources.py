@@ -58,6 +58,8 @@ class WorkerResources:
             self.gpu_dtod[device.device_id] = link_cls(
                 engine, f"{name}.dtod", bandwidth=device.spec.mem_bandwidth, trace=trace
             )
+            self.gpu_compute[device.device_id].fault_role = "compute"
+            self.gpu_dtod[device.device_id].fault_role = "transfer"
 
         self.pcie = link_cls(
             engine,
@@ -79,6 +81,11 @@ class WorkerResources:
             latency=spec.disk.latency,
             trace=trace,
         )
+        # Links that carry chunk data are fault-prone "transfer" resources:
+        # the fault injector targets them for transient failures and retries.
+        self.pcie.fault_role = "transfer"
+        self.nic.fault_role = "transfer"
+        self.disk.fault_role = "transfer"
         self.cpu = ChannelResource(engine, f"{prefix}.cpu", channels=spec.cpu.cores, trace=trace)
         self.scheduler = ChannelResource(
             engine,
@@ -92,6 +99,9 @@ class WorkerResources:
         """Configure the NIC from the cluster's interconnect spec."""
         self.nic.bandwidth = bandwidth
         self.nic.latency = latency
+        if hasattr(self.nic, "nominal_bandwidth"):
+            # keep degradation windows relative to the configured bandwidth
+            self.nic.nominal_bandwidth = bandwidth
 
     def compute_for(self, device: DeviceId) -> ChannelResource:
         """The compute (SM) resource of one local GPU."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..core import tasks as T
+from ..errors import FaultError
 from ..hardware.topology import WorkerId
 from .executors import TaskExecutor
 from .memory import MemoryManager
@@ -70,6 +71,11 @@ class Scheduler:
         self._throttled_info: Dict[int, tuple] = {}
         self.tasks_completed = 0
         self.tasks_submitted = 0
+        #: Permanently failed local devices.  Recovery retargets all chunks
+        #: and invalidates every cached plan, so no new task should ever name
+        #: a blacklisted device — this guard turns a planner bug into a loud
+        #: :class:`~repro.errors.FaultError` instead of computing on a ghost.
+        self.blacklist: set = set()
 
     # ------------------------------------------------------------------ #
     # submission and readiness
@@ -81,8 +87,15 @@ class Scheduler:
         # (count, then subscribe) free of per-dep method-call overhead.
         finished = self.runtime._finished
         subscribe = self.runtime.subscribe
+        blacklist = self.blacklist
         for task in tasks:
             self.tasks_submitted += 1
+            if blacklist and getattr(task, "device", None) in blacklist:
+                raise FaultError(
+                    f"task {task} targets blacklisted device {task.device} "
+                    f"(failed permanently); plans must be rebuilt against the "
+                    f"surviving topology"
+                )
             deps = task.deps
             unmet = 0
             for dep in deps:
@@ -229,11 +242,22 @@ class Scheduler:
         return len(self._waiting) + self._throttled_count
 
     def describe_stuck(self) -> str:
-        """Human-readable dump of waiting/throttled tasks for deadlock reports."""
+        """Human-readable dump of stuck tasks and the resources they wait on
+        (dependency counts, staging-throttle keys, memory-staging queues) for
+        :class:`~repro.errors.SimulationStalled` reports."""
         lines = [f"worker {self.worker}: {len(self._waiting)} waiting tasks"]
         for task, remaining in list(self._waiting.values())[:10]:
             lines.append(f"  {task} waiting on {remaining} dependencies ({task.deps})")
         for key, queue in self._throttled.items():
             if queue:
-                lines.append(f"  {len(queue)} tasks throttled on {key}")
+                lines.append(
+                    f"  {len(queue)} tasks throttled on resource {key} "
+                    f"({self._staged_bytes.get(key, 0)} bytes staged)"
+                )
+        stalled = getattr(self.memory, "_pending", ())
+        for pending in list(stalled)[:10]:
+            chunks = ", ".join(f"chunk#{cid}({kind})" for cid, kind in pending.requirements)
+            lines.append(
+                f"  task {pending.task_id} stalled in memory staging on [{chunks}]"
+            )
         return "\n".join(lines)

@@ -46,6 +46,44 @@ class ChunkStorage:
     def __contains__(self, chunk_id: ChunkId) -> bool:
         return chunk_id in self._meta
 
+    # ------------------------------------------------------------------ #
+    # fault recovery helpers
+    # ------------------------------------------------------------------ #
+    def poison(self, chunk_id: ChunkId) -> None:
+        """Overwrite a chunk's buffer with garbage (its device was lost).
+
+        Lineage replay is expected to rewrite the whole buffer; poisoning
+        first guarantees that an incomplete replay surfaces as NaNs (or a
+        sentinel for integer dtypes) instead of silently stale data.
+        """
+        if not self.materialize:
+            return
+        buffer = self._buffers.get(chunk_id)
+        if buffer is None:
+            return
+        if np.issubdtype(buffer.dtype, np.floating) or np.issubdtype(
+            buffer.dtype, np.complexfloating
+        ):
+            buffer.fill(np.nan)
+        elif np.issubdtype(buffer.dtype, np.integer):
+            buffer.fill(np.iinfo(buffer.dtype).max)
+
+    def replace_meta(self, chunk: ChunkMeta) -> None:
+        """Swap a chunk's metadata in place, keeping its buffer (rehoming)."""
+        if chunk.chunk_id not in self._meta:
+            raise KeyError(f"chunk {chunk.chunk_id} not stored on this worker")
+        self._meta[chunk.chunk_id] = chunk
+
+    def adopt(self, chunk: ChunkMeta, buffer: Optional[np.ndarray]) -> None:
+        """Register a chunk arriving from another worker (recovery rehoming)."""
+        if chunk.chunk_id in self._meta:
+            raise ValueError(f"chunk {chunk.chunk_id} already exists on this worker")
+        self._meta[chunk.chunk_id] = chunk
+        if self.materialize:
+            self._buffers[chunk.chunk_id] = (
+                buffer if buffer is not None else np.zeros(chunk.shape, dtype=chunk.dtype)
+            )
+
     def meta(self, chunk_id: ChunkId) -> ChunkMeta:
         """The :class:`ChunkMeta` registered for ``chunk_id``."""
         return self._meta[chunk_id]

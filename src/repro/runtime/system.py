@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Set
 
 from ..core.tasks import ExecutionPlan, TaskId
+from ..errors import SimulationStalled
 from ..hardware.specs import ClusterSpec
 from ..hardware.topology import Cluster
 from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel
@@ -84,6 +85,21 @@ class RuntimeStats:
     #: total engine events processed / cancelled-before-firing
     events_processed: int = 0
     events_cancelled: int = 0
+    #: fault tolerance (``Context(faults=...)`` / ``--inject-faults``):
+    #: injected transient transfer faults, retried and permanently failed
+    #: transfers, permanent device failures, chunks lost with a failed GPU,
+    #: spilled replicas promoted instead of replayed, lineage tasks replayed,
+    #: arrays force-redistributed onto the shrunken topology, and
+    #: link-degradation windows applied
+    transfer_faults_injected: int = 0
+    transfers_retried: int = 0
+    transfers_failed_permanently: int = 0
+    devices_failed: int = 0
+    chunks_lost: int = 0
+    replicas_promoted: int = 0
+    tasks_replayed: int = 0
+    redistributes_forced: int = 0
+    link_degradations: int = 0
     memory: Dict[int, MemoryStats] = field(default_factory=dict)
     resource_busy: Dict[str, float] = field(default_factory=dict)
     #: engine events consumed per resource (wake-ups + completions)
@@ -167,6 +183,19 @@ class RuntimeSystem:
         #: ``repro.analysis`` can rebuild the full task DAG (Fig. 4) afterwards.
         self.record_plans = record_plans
         self.recorded_plans: List[ExecutionPlan] = []
+        #: Fault tolerance (``Context(faults=...)``): the seeded injector, the
+        #: lineage tracker observing every submitted plan, and the recovery
+        #: callback invoked per failed device at the next quiescent point.
+        #: All three stay ``None`` in fault-free runs.
+        self.fault_injector = None
+        self.lineage = None
+        self.recovery_handler: Callable = None
+        #: recovery counters aggregated into :class:`RuntimeStats`
+        self.devices_failed = 0
+        self.chunks_lost = 0
+        self.replicas_promoted = 0
+        self.tasks_replayed = 0
+        self.redistributes_forced = 0
 
     # ------------------------------------------------------------------ #
     # completion tracking (shared by all schedulers)
@@ -213,6 +242,8 @@ class RuntimeSystem:
         the overlap the paper exploits (Sec. 2.4).
         """
         plan.validate()
+        if self.lineage is not None:
+            self.lineage.observe_plan(plan)
         self.plans_submitted += 1
         if plan.cache_status == "hit":
             self.plan_cache_hits += 1
@@ -241,14 +272,39 @@ class RuntimeSystem:
     # execution
     # ------------------------------------------------------------------ #
     def run_until_idle(self) -> float:
-        """Advance virtual time until every submitted task has completed."""
-        self.engine.run()
-        if self._outstanding > 0:
-            details = "\n".join(w.scheduler.describe_stuck() for w in self.workers)
-            raise RuntimeError(
-                f"runtime deadlock: {self._outstanding} tasks never became runnable\n{details}"
-            )
-        return self.engine.now
+        """Advance virtual time until every submitted task has completed.
+
+        Device failures marked by the fault injector are recovered *at the
+        quiescent point*: in-flight work drains to completion first, then the
+        recovery handler (lineage replay + rehoming + forced redistribution,
+        see :mod:`repro.runtime.recovery`) runs per failed device, and the
+        loop resumes to drain the recovery's own plans.
+
+        Raises :class:`~repro.errors.SimulationStalled` when the event queue
+        drains while tasks are still outstanding (a latent deadlock),
+        listing the stuck tasks and the resources they wait on.
+        """
+        while True:
+            self.engine.run()
+            injector = self.fault_injector
+            if (
+                injector is not None
+                and injector.pending_failures
+                and self.recovery_handler is not None
+            ):
+                for device in injector.take_pending_failures():
+                    self.recovery_handler(device)
+                continue
+            if self._outstanding > 0:
+                details = "\n".join(
+                    w.scheduler.describe_stuck() for w in self.workers
+                )
+                raise SimulationStalled(
+                    f"simulation stalled: the event queue drained with "
+                    f"{self._outstanding} tasks still outstanding (latent "
+                    f"deadlock)\n{details}"
+                )
+            return self.engine.now
 
     @property
     def virtual_time(self) -> float:
@@ -268,6 +324,17 @@ class RuntimeSystem:
         stats.network_messages = self.fabric.messages_delivered
         stats.events_processed = self.engine.events_processed
         stats.events_cancelled = self.engine.events_cancelled
+        if self.fault_injector is not None:
+            injector = self.fault_injector
+            stats.transfer_faults_injected = injector.transfer_faults_injected
+            stats.transfers_retried = injector.transfers_retried
+            stats.transfers_failed_permanently = injector.transfers_failed_permanently
+            stats.link_degradations = injector.degradations_applied
+        stats.devices_failed = self.devices_failed
+        stats.chunks_lost = self.chunks_lost
+        stats.replicas_promoted = self.replicas_promoted
+        stats.tasks_replayed = self.tasks_replayed
+        stats.redistributes_forced = self.redistributes_forced
         stats.resource_events[self.driver_plan.name] = self.driver_plan.events_processed
         for worker in self.workers:
             stats.tasks_completed += worker.scheduler.tasks_completed

@@ -12,6 +12,7 @@ simulator rather than from hard-coded formulas.
 """
 
 from .engine import Engine, EventHandle
+from .faults import DeviceFailure, Degradation, FaultInjector, FaultSpec, RetryPolicy
 from .resources import (
     BandwidthResource,
     ChannelResource,
@@ -24,6 +25,11 @@ from .trace import Trace, TraceInterval
 __all__ = [
     "Engine",
     "EventHandle",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "DeviceFailure",
+    "Degradation",
     "Resource",
     "ChannelResource",
     "BandwidthResource",

@@ -1,0 +1,304 @@
+"""Deterministic, seed-driven fault injection for the simulator.
+
+Three fault classes cover the failure taxonomy of a multi-GPU cluster job:
+
+* **transient transfer failures** — a completed transfer on a fault-tagged
+  link (PCIe, NIC, disk, DtoD) is declared failed with probability
+  ``transfer_fault_rate`` and retried with exponential backoff + jitter under
+  a bounded :class:`RetryPolicy`; exhausting the budget raises
+  :class:`~repro.errors.FaultError` (a *permanent* transfer failure);
+* **link degradation/outage windows** — a bandwidth resource runs at
+  ``scale``x its nominal bandwidth between two virtual times (an outage is a
+  degradation with ``scale=0``, clamped to a tiny positive floor so the
+  processor-sharing arithmetic stays finite: queued transfers survive the
+  window and complete when bandwidth is restored);
+* **permanent device failures** — at a configured virtual time one GPU is
+  marked failed; the runtime recovers at the next quiescent point (lineage
+  replay + rehoming + forced redistribution, see
+  :mod:`repro.runtime.recovery`).
+
+All randomness flows through one ``random.Random(seed)`` instance and the
+simulation's event order is deterministic, so a given ``(FaultSpec, seed)``
+pair always yields the same fault schedule — the property chaos tests and the
+CI chaos-smoke baseline rely on this.
+
+The injector costs nothing when absent: resources carry ``injector = None``
+class attributes and every hook is behind an ``is None`` fast path, keeping
+fault-free runs bit-identical in events and virtual time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import FaultError
+
+__all__ = ["RetryPolicy", "Degradation", "DeviceFailure", "FaultSpec", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for failed transfers.
+
+    Attempt ``k`` (1-based) that fails is retried after
+    ``min(base_delay * 2**(k-1), max_delay) * (1 + jitter * U[0,1))`` seconds,
+    up to ``max_attempts`` total attempts and a per-transfer ``deadline``
+    measured from the first attempt's start.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1e-4
+    max_delay: float = 0.1
+    jitter: float = 0.5
+    deadline: float = float("inf")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay after the ``attempt``-th (1-based) failed try."""
+        base = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One bandwidth-degradation window on links whose name contains ``kind``."""
+
+    kind: str  # substring of the resource name: "nic", "pcie", "disk", "dtod"
+    start: float  # virtual time the window opens
+    end: float  # virtual time the window closes (bandwidth restored)
+    scale: float  # bandwidth multiplier inside the window (0 = outage)
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """One permanent GPU failure: device ``worker.local_index`` at ``time``."""
+
+    worker: int
+    local_index: int
+    time: float
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault schedule, parseable from the CLI ``--inject-faults``.
+
+    Grammar (comma-separated clauses, repeated ``device=``/``degrade=``
+    clauses accumulate)::
+
+        transfer=0.01                 # transient transfer-failure probability
+        compute=0.001                 # transient compute-item failure probability
+        device=0.1@2.5                # device worker 0, local index 1 fails at t=2.5
+        degrade=nic@1.0:2.0x0.25      # NICs at 25% bandwidth for t in [1.0, 2.0)
+        retry=6                       # retry budget (max attempts per transfer)
+        deadline=0.5                  # per-transfer retry deadline (seconds)
+
+    An *empty* spec (``FaultSpec()``) injects nothing but still enables
+    lineage tracking, so tests can trigger failures manually via
+    ``Context.fail_device``.
+    """
+
+    transfer_fault_rate: float = 0.0
+    compute_fault_rate: float = 0.0
+    device_failures: Tuple[DeviceFailure, ...] = ()
+    degradations: Tuple[Degradation, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    @staticmethod
+    def parse(text: str) -> "FaultSpec":
+        """Parse the CLI fault-spec grammar; raises :class:`FaultError`."""
+        transfer_rate = 0.0
+        compute_rate = 0.0
+        failures: List[DeviceFailure] = []
+        degradations: List[Degradation] = []
+        retry_kwargs = {}
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            key, sep, value = clause.partition("=")
+            if not sep:
+                raise FaultError(
+                    f"bad fault clause {clause!r}: expected key=value "
+                    "(e.g. transfer=0.01, device=0.1@2.5)"
+                )
+            try:
+                if key == "transfer":
+                    transfer_rate = float(value)
+                elif key == "compute":
+                    compute_rate = float(value)
+                elif key == "retry":
+                    retry_kwargs["max_attempts"] = int(value)
+                elif key == "deadline":
+                    retry_kwargs["deadline"] = float(value)
+                elif key == "device":
+                    dev, _, when = value.partition("@")
+                    worker, _, local = dev.partition(".")
+                    failures.append(
+                        DeviceFailure(int(worker), int(local), float(when))
+                    )
+                elif key == "degrade":
+                    kind, _, window = value.partition("@")
+                    times, _, scale = window.partition("x")
+                    start, _, end = times.partition(":")
+                    degradations.append(
+                        Degradation(kind, float(start), float(end), float(scale))
+                    )
+                else:
+                    raise FaultError(
+                        f"unknown fault clause {key!r} in {clause!r} "
+                        "(expected transfer/compute/device/degrade/retry/deadline)"
+                    )
+            except (TypeError, ValueError) as exc:
+                raise FaultError(f"bad fault clause {clause!r}: {exc}") from exc
+        for rate, name in ((transfer_rate, "transfer"), (compute_rate, "compute")):
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} fault rate must be in [0, 1], got {rate}")
+        return FaultSpec(
+            transfer_fault_rate=transfer_rate,
+            compute_fault_rate=compute_rate,
+            device_failures=tuple(failures),
+            degradations=tuple(degradations),
+            retry=RetryPolicy(**retry_kwargs) if retry_kwargs else RetryPolicy(),
+        )
+
+
+class FaultInjector:
+    """Schedules fault events through the engine and arbitrates retries.
+
+    One injector serves a whole runtime: :meth:`install` tags the fault-prone
+    resources (those whose ``fault_role`` matches a configured nonzero rate),
+    schedules the degradation windows and device-failure events, and the
+    resources call back into :meth:`intercept_transfer` /
+    :meth:`intercept_work` on every completion.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.rng = random.Random(seed)
+        # counters surfaced through RuntimeStats
+        self.transfer_faults_injected = 0
+        self.transfers_retried = 0
+        self.transfers_failed_permanently = 0
+        self.compute_faults_injected = 0
+        self.compute_retried = 0
+        self.degradations_applied = 0
+        #: device failures waiting for the next quiescent point
+        self.pending_failures: List[object] = []
+
+    # ------------------------------------------------------------------ #
+    # installation
+    # ------------------------------------------------------------------ #
+    def install(self, runtime) -> None:
+        """Wire the injector into a :class:`~repro.runtime.system.RuntimeSystem`."""
+        engine = runtime.engine
+        spec = self.spec
+        resources = [
+            res for worker in runtime.workers for res in worker.resources.all_resources()
+        ]
+        for res in resources:
+            role = getattr(res, "fault_role", None)
+            if role == "transfer" and spec.transfer_fault_rate > 0.0:
+                res.injector = self
+            elif role == "compute" and spec.compute_fault_rate > 0.0:
+                res.injector = self
+        for degradation in spec.degradations:
+            targets = [
+                res
+                for res in resources
+                if degradation.kind in res.name and hasattr(res, "rescale_bandwidth")
+            ]
+            if not targets:
+                raise FaultError(
+                    f"degradation kind {degradation.kind!r} matches no link resource"
+                )
+            self._schedule_degradation(engine, degradation, targets)
+        device_by_key = {
+            (dev.worker, dev.local_index): dev for dev in runtime.cluster.device_ids()
+        }
+        for failure in spec.device_failures:
+            device = device_by_key.get((failure.worker, failure.local_index))
+            if device is None:
+                raise FaultError(
+                    f"device failure targets unknown device "
+                    f"{failure.worker}.{failure.local_index}"
+                )
+            engine.schedule_at(failure.time, self._make_failure_event(device))
+
+    def _make_failure_event(self, device):
+        def fail() -> None:
+            self.pending_failures.append(device)
+
+        return fail
+
+    def _schedule_degradation(self, engine, degradation: Degradation, targets) -> None:
+        def begin() -> None:
+            self.degradations_applied += 1
+            for res in targets:
+                res.rescale_bandwidth(degradation.scale)
+
+        def finish() -> None:
+            for res in targets:
+                res.rescale_bandwidth(1.0)
+
+        engine.schedule_at(degradation.start, begin)
+        engine.schedule_at(degradation.end, finish)
+
+    # ------------------------------------------------------------------ #
+    # manual failure hook (tests, Context.fail_device)
+    # ------------------------------------------------------------------ #
+    def fail_device(self, device) -> None:
+        """Mark ``device`` failed; recovery runs at the next quiescent point."""
+        self.pending_failures.append(device)
+
+    def take_pending_failures(self) -> List[object]:
+        """Drain and return the devices awaiting recovery."""
+        pending, self.pending_failures = self.pending_failures, []
+        return pending
+
+    # ------------------------------------------------------------------ #
+    # completion hooks (called by the resources)
+    # ------------------------------------------------------------------ #
+    def intercept_transfer(self, resource, transfer) -> bool:
+        """Decide whether a completing transfer failed; schedule its retry.
+
+        Returns ``True`` when the completion was intercepted (the resource
+        must neither recycle the record nor invoke its callback).  Raises
+        :class:`FaultError` when the retry budget or deadline is exhausted.
+        """
+        rate = self.spec.transfer_fault_rate
+        if rate <= 0.0 or self.rng.random() >= rate:
+            return False
+        self.transfer_faults_injected += 1
+        policy = self.spec.retry
+        elapsed = resource.engine.now - transfer.first_started
+        if transfer.attempt >= policy.max_attempts or elapsed > policy.deadline:
+            self.transfers_failed_permanently += 1
+            raise FaultError(
+                f"transfer {transfer.label!r} on {resource.name} failed permanently "
+                f"after {transfer.attempt} attempts ({elapsed:.6f}s elapsed); "
+                f"retry budget: {policy.max_attempts} attempts, "
+                f"deadline {policy.deadline}s"
+            )
+        self.transfers_retried += 1
+        delay = policy.delay(transfer.attempt, self.rng)
+        resource.engine.schedule(delay, lambda: resource.retry_transfer(transfer))
+        return True
+
+    def intercept_work(self, resource, work) -> bool:
+        """Transient-failure hook for channel work items (compute faults)."""
+        rate = self.spec.compute_fault_rate
+        if rate <= 0.0 or self.rng.random() >= rate:
+            return False
+        self.compute_faults_injected += 1
+        policy = self.spec.retry
+        if work.attempt >= policy.max_attempts:
+            raise FaultError(
+                f"work item {work.label!r} on {resource.name} failed permanently "
+                f"after {work.attempt} attempts"
+            )
+        self.compute_retried += 1
+        delay = policy.delay(work.attempt, self.rng)
+        resource.engine.schedule(delay, lambda: resource.retry_work(work))
+        return True

@@ -102,6 +102,15 @@ def use_legacy_links(enabled: bool = True):
 class Resource:
     """Common interface: request work, get a callback when it completes."""
 
+    #: Fault-injection wiring (:mod:`repro.simulator.faults`): ``fault_role``
+    #: tags what kind of faults can hit this resource ("transfer" for links,
+    #: "compute" for channels) and is set by the runtime's resource factory;
+    #: ``injector`` is installed by ``FaultInjector.install``.  Both stay the
+    #: class-level ``None`` in fault-free runs, and every hook sits behind an
+    #: ``is None`` fast path, so the fault layer costs nothing when disabled.
+    fault_role: Optional[str] = None
+    injector = None
+
     def __init__(self, engine: Engine, name: str, trace: Optional[Trace] = None):
         self.engine = engine
         self.name = name
@@ -129,7 +138,7 @@ class _QueuedWork:
     per-item closure, no steady-state allocation.
     """
 
-    __slots__ = ("resource", "duration", "callback", "label", "start", "fire")
+    __slots__ = ("resource", "duration", "callback", "label", "start", "attempt", "fire")
 
     def __init__(self, resource: "ChannelResource"):
         self.resource = resource
@@ -137,10 +146,19 @@ class _QueuedWork:
         self.callback: Optional[Callback] = None
         self.label = ""
         self.start = 0.0
+        self.attempt = 1
         self.fire = self._fire  # bind once; reused across recycles
 
     def _fire(self) -> None:
         resource = self.resource
+        injector = resource.injector
+        if injector is not None and injector.intercept_work(resource, self):
+            # Injected transient failure: the server frees up, the item is
+            # re-queued by ``retry_work`` after the injector's backoff delay.
+            resource._busy -= 1
+            resource.events_processed += 1
+            resource._dispatch()
+            return
         callback = self.callback
         resource._busy -= 1
         resource.completed_items += 1
@@ -203,6 +221,14 @@ class ChannelResource(Resource):
         work.duration = amount + self.per_item_overhead
         work.callback = callback
         work.label = label
+        if self.injector is not None:
+            work.attempt = 1
+        self._queue.append(work)
+        self._dispatch()
+
+    def retry_work(self, work: "_QueuedWork") -> None:
+        """Re-queue a work item whose previous attempt the injector failed."""
+        work.attempt += 1
         self._queue.append(work)
         self._dispatch()
 
@@ -219,7 +245,10 @@ class ChannelResource(Resource):
 class _Transfer:
     """One in-flight transfer, recycled through the owning link's slab."""
 
-    __slots__ = ("size", "callback", "label", "started", "admit_virtual")
+    __slots__ = (
+        "size", "callback", "label", "started", "admit_virtual",
+        "attempt", "first_started",
+    )
 
     def __init__(self, size: float, callback: Callback, label: str, started: float):
         self.size = size  # bytes of service owed, including the latency charge
@@ -228,6 +257,9 @@ class _Transfer:
         self.started = started
         #: Virtual-clock value when the transfer was admitted to the active set.
         self.admit_virtual = 0.0
+        #: Retry bookkeeping, only maintained while an injector is installed.
+        self.attempt = 1
+        self.first_started = started
 
     def remaining(self, virtual: float) -> float:
         """Service bytes still owed at virtual-clock value ``virtual``.
@@ -268,6 +300,8 @@ class BandwidthResource(Resource):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.bandwidth = bandwidth
+        #: The healthy bandwidth; ``rescale_bandwidth`` degrades relative to it.
+        self.nominal_bandwidth = bandwidth
         self.latency = latency
         self.max_concurrency = max_concurrency
         #: Cumulative normalized service: bytes a transfer active since t=0
@@ -317,6 +351,9 @@ class BandwidthResource(Resource):
                 label,
                 self.engine.now,
             )
+        if self.injector is not None:
+            transfer.attempt = 1
+            transfer.first_started = self.engine.now
         self._advance()
         if (
             self.max_concurrency is not None
@@ -325,6 +362,44 @@ class BandwidthResource(Resource):
             self._waiting.append(transfer)
             return  # active set unchanged: the armed wake-up stays valid
         self._admit(transfer)
+        self._rearm()
+
+    # ------------------------------------------------------------------ #
+    # fault hooks (no-ops unless a FaultInjector is installed)
+    # ------------------------------------------------------------------ #
+    def retry_transfer(self, transfer: _Transfer) -> None:
+        """Re-admit a transfer whose previous attempt the injector failed.
+
+        The retried attempt redoes the full service (payload plus the latency
+        charge captured in ``transfer.size``); ``attempt``/``first_started``
+        carry the retry budget across attempts.
+        """
+        transfer.attempt += 1
+        transfer.started = self.engine.now
+        self._advance()
+        if (
+            self.max_concurrency is not None
+            and len(self._finish_heap) >= self.max_concurrency
+        ):
+            self._waiting.append(transfer)
+            return
+        self._admit(transfer)
+        self._rearm()
+
+    def rescale_bandwidth(self, scale: float) -> None:
+        """Run the link at ``scale`` x nominal bandwidth (degradation windows).
+
+        Settles accrued service at the old rate, switches the rate, and
+        re-arms the wake-up so in-flight transfers finish at the new speed.
+        An outage (``scale=0``) is clamped to a tiny positive floor: queued
+        transfers survive the window and complete once bandwidth is restored.
+        """
+        self._advance()
+        self.bandwidth = self.nominal_bandwidth * max(scale, 1e-9)
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self.wakeups_cancelled += 1
+            self._wakeup = None
         self._rearm()
 
     # ------------------------------------------------------------------ #
@@ -392,7 +467,13 @@ class BandwidthResource(Resource):
             self._admit(self._waiting.popleft())
         trace = self.trace
         free = self._free
+        injector = self.injector
         for transfer in finished:
+            if injector is not None and injector.intercept_transfer(self, transfer):
+                # Injected transient failure: the record is parked until the
+                # injector's backoff event calls ``retry_transfer`` — neither
+                # recycled nor completed now.
+                continue
             self.completed_items += 1
             if trace is not None:
                 trace.record(self.name, transfer.label, transfer.started, self.engine.now)
