@@ -1,0 +1,270 @@
+"""Lazy-expression benchmark: fused DAG lowering vs eager per-op launches.
+
+Runs the ``expressions`` workload (operator-API Black-Scholes, ~26 DAG nodes
+per pricing round) in SIMULATE mode on a 4-GPU node, once under
+``Context(lazy=True)`` — the DAG is lowered at the barrier into a handful of
+generated fused map kernels, interior temporaries elided — and once under
+``Context(lazy=False)``, where every operator launches one kernel eagerly
+(the per-op control arm).  Both arms are fully deterministic: fixed problem
+size, fixed chunking, no RNG.
+
+Three gates, each independent of machine speed unless noted:
+
+* **speedup ratios** — the eager arm must process ≥ ``--min-events-ratio``
+  (default 2.0) times as many engine events and allocate ≥
+  ``--min-temp-ratio`` (default 2.0) times as many expression-result bytes
+  as the lazy arm.  This is the ISSUE-8 acceptance criterion and holds by
+  construction (temporary elision + batched lowering), so it is checked on
+  every run, baseline or not.
+
+* **bit-identity** — a small FUNCTIONAL run of both arms must gather
+  byte-for-byte identical call/put results.  Lazy evaluation may fuse and
+  reorder *planning*, never arithmetic.
+
+* **baseline** — with ``--baseline PATH``: deterministic counters (engine
+  events, launches, expression-frontend counters, virtual time) must match
+  the committed ``benchmarks/BENCH_expr.json`` exactly, and lazy-arm
+  events/s must stay above ``--min-throughput-ratio`` (default 0.35) of the
+  baseline.
+
+``--summary PATH`` (defaulting to ``$GITHUB_STEP_SUMMARY``) appends a
+markdown comparison table.  To refresh the baseline after intentional
+changes, run without ``--quick`` and commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.context import Context  # noqa: E402
+from repro.hardware.specs import azure_nc24rsv2  # noqa: E402
+from repro.kernels.expressions import ExpressionsWorkload  # noqa: E402
+
+#: problem shape (full mode); quick mode divides n by _QUICK_DIV
+_N = 1 << 22
+_CHUNK = 1 << 20
+_ROUNDS = 4
+_QUICK_DIV = 8
+
+#: the deterministic counters that must match the baseline exactly
+_EXACT_FIELDS = (
+    "events_processed",
+    "tasks_completed",
+    "virtual_time",
+    "exprs_lowered",
+    "expr_nodes_fused",
+    "temporaries_elided",
+    "temporaries_elided_bytes",
+    "expr_bytes_allocated",
+    "buffers_reused_inplace",
+)
+
+
+def _run_arm(lazy: bool, n: int, chunk: int, rounds: int) -> dict:
+    ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=4), mode="simulate", lazy=lazy)
+    workload = ExpressionsWorkload(ctx, n, chunk_elems=chunk)
+    workload.prepare()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        workload.submit()
+    virtual_time = ctx.synchronize()
+    wall = time.perf_counter() - start
+    stats = ctx.stats()
+    return {
+        "events_processed": stats.events_processed,
+        "tasks_completed": stats.tasks_completed,
+        "virtual_time": virtual_time,
+        "exprs_lowered": stats.exprs_lowered,
+        "expr_nodes_fused": stats.expr_nodes_fused,
+        "temporaries_elided": stats.temporaries_elided,
+        "temporaries_elided_bytes": stats.temporaries_elided_bytes,
+        "expr_bytes_allocated": stats.expr_bytes_allocated,
+        "buffers_reused_inplace": stats.buffers_reused_inplace,
+        "wall_seconds": wall,
+        "events_per_second": stats.events_processed / wall if wall > 0 else 0.0,
+    }
+
+
+def _bit_identity_check() -> bool:
+    """Small functional run: both arms must produce identical bytes."""
+    outputs = {}
+    for lazy in (True, False):
+        ctx = Context(mode="functional", lazy=lazy)
+        workload = ExpressionsWorkload(ctx, 4096, chunk_elems=1024)
+        workload.prepare()
+        workload.submit()
+        ctx.synchronize()
+        outputs[lazy] = (ctx.gather(workload.call), ctx.gather(workload.put))
+    return bool(
+        np.array_equal(outputs[True][0], outputs[False][0])
+        and np.array_equal(outputs[True][1], outputs[False][1])
+    )
+
+
+def _run_all(quick: bool) -> dict:
+    n = _N // _QUICK_DIV if quick else _N
+    chunk = _CHUNK // _QUICK_DIV if quick else _CHUNK
+    results = {"config": {"n": n, "chunk": chunk, "rounds": _ROUNDS}}
+    for arm, lazy in (("lazy", True), ("eager", False)):
+        results[arm] = _run_arm(lazy, n, chunk, _ROUNDS)
+        cur = results[arm]
+        print(
+            f"{arm:>6}: {cur['events_processed']:>8} events, "
+            f"{cur['expr_bytes_allocated']:>12} expr bytes, "
+            f"{cur['wall_seconds']:.3f}s -> {cur['events_per_second']:,.0f} ev/s",
+            file=sys.stderr,
+        )
+    results["ratios"] = {
+        "events": results["eager"]["events_processed"]
+        / max(1, results["lazy"]["events_processed"]),
+        "temp_bytes": results["eager"]["expr_bytes_allocated"]
+        / max(1, results["lazy"]["expr_bytes_allocated"]),
+    }
+    results["bit_identical"] = _bit_identity_check()
+    print(
+        f"ratios: events {results['ratios']['events']:.2f}x, "
+        f"temp bytes {results['ratios']['temp_bytes']:.2f}x, "
+        f"bit identical: {results['bit_identical']}",
+        file=sys.stderr,
+    )
+    return results
+
+
+# --------------------------------------------------------------------- #
+# gates + summary
+# --------------------------------------------------------------------- #
+def _check_ratios(results: dict, min_events: float, min_temp: float) -> list:
+    failures = []
+    if results["ratios"]["events"] < min_events:
+        failures.append(
+            f"events ratio {results['ratios']['events']:.2f} < floor "
+            f"{min_events:.2f} (lazy lowering saves too few engine events)"
+        )
+    if results["ratios"]["temp_bytes"] < min_temp:
+        failures.append(
+            f"temp-bytes ratio {results['ratios']['temp_bytes']:.2f} < floor "
+            f"{min_temp:.2f} (temporary elision saves too few bytes)"
+        )
+    if not results["bit_identical"]:
+        failures.append("lazy and eager arms are not bit-identical")
+    return failures
+
+
+def _check_baseline(results: dict, baseline_path: str, min_ratio: float) -> list:
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base = baseline.get("results", {})
+    failures = []
+    if results["config"] != base.get("config"):
+        return [
+            f"config {results['config']} != baseline {base.get('config')} "
+            "(quick/full mode mismatch — compare matching modes)"
+        ]
+    for arm in ("lazy", "eager"):
+        ref = base.get(arm, {})
+        for field in _EXACT_FIELDS:
+            if results[arm][field] != ref.get(field):
+                failures.append(
+                    f"{arm}.{field} {results[arm][field]!r} != baseline "
+                    f"{ref.get(field)!r}"
+                )
+    ref_evps = base.get("lazy", {}).get("events_per_second")
+    if ref_evps:
+        ratio = results["lazy"]["events_per_second"] / ref_evps
+        if ratio < min_ratio:
+            failures.append(
+                f"lazy events/s ratio {ratio:.2f} < floor {min_ratio:.2f} "
+                f"({results['lazy']['events_per_second']:,.0f} vs baseline "
+                f"{ref_evps:,.0f})"
+            )
+    return failures
+
+
+def _write_step_summary(path: str, results: dict, status: str) -> None:
+    lines = [
+        "## Lazy expression benchmark (`bench_expr.py`)",
+        "",
+        f"Eager/lazy ratios: **{results['ratios']['events']:.2f}x** engine "
+        f"events, **{results['ratios']['temp_bytes']:.2f}x** temporary bytes; "
+        f"bit identical: **{results['bit_identical']}** — {status}",
+        "",
+        "| arm | events | tasks | expr bytes | elided | fused nodes | events/s |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for arm in ("lazy", "eager"):
+        cur = results[arm]
+        lines.append(
+            f"| {arm} | {cur['events_processed']} | {cur['tasks_completed']} | "
+            f"{cur['expr_bytes_allocated']} | {cur['temporaries_elided']} | "
+            f"{cur['expr_nodes_fused']} | {cur['events_per_second']:,.0f} |"
+        )
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"1/{_QUICK_DIV} scale (CI smoke; baseline "
+                             "refreshes must use the full scale)")
+    parser.add_argument("--baseline", default=None,
+                        help="check deterministic counters + throughput "
+                             "against this committed baseline JSON")
+    parser.add_argument("--min-events-ratio", type=float, default=2.0,
+                        help="fail when eager/lazy engine-event ratio drops "
+                             "below this (default: 2.0)")
+    parser.add_argument("--min-temp-ratio", type=float, default=2.0,
+                        help="fail when eager/lazy temporary-bytes ratio "
+                             "drops below this (default: 2.0)")
+    parser.add_argument("--min-throughput-ratio", type=float, default=0.35,
+                        help="fail when lazy events/s drops below this "
+                             "fraction of the baseline (default: 0.35)")
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: "
+                             "benchmarks/results/BENCH_expr.json)")
+    parser.add_argument("--summary", default=None,
+                        help="append a markdown comparison table to this path "
+                             "(defaults to $GITHUB_STEP_SUMMARY when set)")
+    args = parser.parse_args(argv)
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+
+    results = _run_all(args.quick)
+    payload = {
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+    out = args.output or os.path.join(os.path.dirname(__file__), "results",
+                                      "BENCH_expr.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"results written to {out}", file=sys.stderr)
+
+    failures = _check_ratios(results, args.min_events_ratio, args.min_temp_ratio)
+    if args.baseline:
+        failures += _check_baseline(results, args.baseline,
+                                    args.min_throughput_ratio)
+    if summary_path:
+        _write_step_summary(summary_path, results,
+                            "ok" if not failures else "FAILED")
+    if failures:
+        for failure in failures:
+            print(f"BENCH FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("expression bench gates ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

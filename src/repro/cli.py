@@ -164,6 +164,14 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
              "group's spill victims up front and promote spilled prefetch "
              "sources back up the memory hierarchy (default: on)",
     )
+    parser.add_argument(
+        "--lazy",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="record array operator expressions as lazy DAGs and lower them "
+             "fused at barriers; --no-lazy launches one kernel per operator "
+             "eagerly (default: on)",
+    )
 
 
 def _window_kwargs(args: argparse.Namespace) -> dict:
@@ -171,6 +179,7 @@ def _window_kwargs(args: argparse.Namespace) -> dict:
         "fusion": args.fusion,
         "prefetch": args.prefetch,
         "window_memory": args.window_memory,
+        "lazy": args.lazy,
     }
     if args.lookahead is not None:
         kwargs["lookahead"] = args.lookahead

@@ -104,6 +104,102 @@ class DistributedArray:
             f"{self.chunk_count} chunks)"
         )
 
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    #: make NumPy return NotImplemented from its ufuncs so mixed expressions
+    #: (``np.float64(2) * array``) fall back to our reflected operators
+    __array_ufunc__ = None
+
+    def __array__(self, dtype=None, copy=None):
+        raise TypeError(
+            "implicit conversion of a DistributedArray to a NumPy array is "
+            "not supported (it would silently synchronise the whole cluster); "
+            "call .gather() explicitly"
+        )
+
+    # ------------------------------------------------------------------ #
+    # expression operators (record a lazy DAG; see repro.core.expr)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("add", self, other)
+
+    def __radd__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("add", other, self)
+
+    def __sub__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("sub", self, other)
+
+    def __rsub__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("sub", other, self)
+
+    def __mul__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("mul", self, other)
+
+    def __rmul__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("mul", other, self)
+
+    def __truediv__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("truediv", self, other)
+
+    def __rtruediv__(self, other):
+        from .expr.graph import build_binary
+
+        return build_binary("truediv", other, self)
+
+    def __neg__(self):
+        from .expr.graph import build_unary
+
+        return build_unary("neg", self)
+
+    def __abs__(self):
+        from .expr.graph import build_unary
+
+        return build_unary("abs", self)
+
+    def __getitem__(self, key):
+        from .expr.graph import build_slice
+
+        return build_slice(self, key)
+
+    def sum(self):
+        """Full reduction to one element with ``+`` (lazy under ``Context(lazy=True)``)."""
+        from .expr.graph import build_reduce
+
+        return build_reduce("sum", self)
+
+    def max(self):
+        """Full reduction to one element with ``max``."""
+        from .expr.graph import build_reduce
+
+        return build_reduce("max", self)
+
+    def min(self):
+        """Full reduction to one element with ``min``."""
+        from .expr.graph import build_reduce
+
+        return build_reduce("min", self)
+
+    def prod(self):
+        """Full reduction to one element with ``*``."""
+        from .expr.graph import build_reduce
+
+        return build_reduce("prod", self)
+
     # ------------------------------------------------------------------ #
     # chunk queries used by the planner
     # ------------------------------------------------------------------ #

@@ -40,6 +40,8 @@ from ..runtime.system import ExecutionMode, RuntimeStats, RuntimeSystem
 from .array import ArrayIdAllocator, DistributedArray
 from .chunk import ChunkIdAllocator, ChunkMeta
 from .distributions import DataDistribution, WorkDistribution
+from .expr.graph import LazyExpr
+from .expr.lowering import ExprEngine
 from .kernel import CompiledKernel, KernelDef
 from .planning import DEFAULT_LOOKAHEAD, LaunchWindow, PendingLaunch, Planner
 from .tasks import TaskIdAllocator
@@ -74,6 +76,7 @@ class Context:
         window_memory: bool = True,
         faults: object = None,
         fault_seed: int = 0,
+        lazy: bool = True,
     ):
         if cluster is None:
             cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
@@ -111,6 +114,9 @@ class Context:
         self.kernels: Dict[str, CompiledKernel] = {}
         self.arrays: Dict[int, DistributedArray] = {}
         self._launch_counter = 0
+        #: lazy expression frontend: operators on DistributedArray record DAGs
+        #: here; ``lazy=False`` makes every operator launch one kernel eagerly
+        self.expr = ExprEngine(self, lazy=lazy)
         #: Fault tolerance: ``faults`` is a FaultSpec, a ``--inject-faults``
         #: spec string, or None (the default: zero-overhead fault-free path).
         #: Even an empty FaultSpec() enables lineage tracking, so tests can
@@ -215,8 +221,15 @@ class Context:
     # ------------------------------------------------------------------ #
     # array access / lifecycle
     # ------------------------------------------------------------------ #
-    def gather(self, array: DistributedArray) -> np.ndarray:
-        """Synchronise and return the array's contents (functional mode only)."""
+    def gather(self, array: Union[DistributedArray, LazyExpr]) -> np.ndarray:
+        """Synchronise and return the array's contents (functional mode only).
+
+        Accepts a lazy expression too, forcing it first.  A concrete array
+        needs no forcing: pending DAGs only ever write buffers that are
+        provably private, so they cannot change what this gather observes.
+        """
+        if isinstance(array, LazyExpr):
+            array = array.evaluate()
         if not self.functional:
             raise RuntimeError("gather() requires functional execution mode")
         if array.deleted:
@@ -237,6 +250,9 @@ class Context:
         """Free the array's chunks (asynchronously, after their last use)."""
         if array.deleted:
             return
+        # Deferred expressions reading this array must observe its current
+        # contents (program order): force them before the chunks go away.
+        self.expr.force_pending_for(array.array_id)
         if self.window.references(array.array_id):
             self.window.flush("delete-array")
         self.runtime.submit_plan(self.planner.plan_delete_array(array))
@@ -257,6 +273,8 @@ class Context:
         """
         if array.deleted:
             raise ArgumentValueError(f"array {array.name} has been deleted")
+        # Deferred expressions were recorded against the old layout/contents.
+        self.expr.force_pending_for(array.array_id)
         if self.window.references(array.array_id):
             # Pending launches were prepared against the old chunk layout.
             self.window.flush("redistribute")
@@ -480,6 +498,9 @@ class Context:
                 raise ArgumentTypeError(f"argument {name!r} must be a DistributedArray")
             if array.deleted:
                 raise ArgumentValueError(f"argument {name!r} refers to a deleted array")
+        # Deferred expressions reading an array this launch writes must be
+        # lowered first so they observe the pre-launch contents.
+        self.expr.force_before_launch(kernel, arrays)
         self._launch_counter += 1
         array_bindings = {name: arr for name, arr in arrays.items()}
         prepared = self.planner.prepare_launch(
@@ -508,6 +529,7 @@ class Context:
 
     def synchronize(self) -> float:
         """Block until all submitted work has finished; returns the virtual time."""
+        self.expr.force_pending()
         self.window.flush("synchronize")
         return self.runtime.run_until_idle()
 
@@ -537,6 +559,12 @@ class Context:
         stats.transfers_prefetched = self.window.transfers_prefetched
         stats.window_memory_plans = self.window.memory_plans
         stats.plan_cache_invalidations = self.planner.cache.invalidations
+        stats.exprs_lowered = self.expr.exprs_lowered
+        stats.expr_nodes_fused = self.expr.expr_nodes_fused
+        stats.temporaries_elided = self.expr.temporaries_elided
+        stats.temporaries_elided_bytes = self.expr.temporaries_elided_bytes
+        stats.expr_bytes_allocated = self.expr.expr_bytes_allocated
+        stats.buffers_reused_inplace = self.expr.buffers_reused_inplace
         return stats
 
     def trace(self):

@@ -1,0 +1,46 @@
+"""Lazy expression frontend: DAG recording, lowering, liveness, codegen.
+
+Public surface: the node types and math functions from :mod:`.graph`, the
+per-context :class:`.lowering.ExprEngine`, and the generated-kernel
+machinery from :mod:`.codegen` (exposed for tests and tooling).
+"""
+
+from .codegen import MapKernelSpec, build_kernel_def, cuda_skeleton, generate_map_source
+from .graph import (
+    LazyExpr,
+    LeafExpr,
+    MapExpr,
+    ReduceExpr,
+    ScalarOperand,
+    ShiftExpr,
+    evaluate,
+    exp,
+    log,
+    maximum,
+    minimum,
+    sqrt,
+)
+from .liveness import external_refs, refcounts_reliable
+from .lowering import ExprEngine
+
+__all__ = [
+    "LazyExpr",
+    "LeafExpr",
+    "MapExpr",
+    "ShiftExpr",
+    "ReduceExpr",
+    "ScalarOperand",
+    "ExprEngine",
+    "MapKernelSpec",
+    "build_kernel_def",
+    "generate_map_source",
+    "cuda_skeleton",
+    "external_refs",
+    "refcounts_reliable",
+    "evaluate",
+    "sqrt",
+    "exp",
+    "log",
+    "maximum",
+    "minimum",
+]

@@ -1,0 +1,482 @@
+"""Lazy expression DAGs over distributed arrays.
+
+Operator overloads on :class:`~repro.core.array.DistributedArray` (``+ - *
+/``, unary negation/abs, scalar broadcast, ``sum``/``max``/``min``
+reductions and basic slicing) do not launch kernels.  They build lightweight
+:class:`LazyExpr` nodes recording the expression DAG; evaluation is deferred
+until a *force point* — an explicit :meth:`LazyExpr.evaluate`/``gather``, a
+``Context.synchronize()``, or a ``gather``/``delete``/``redistribute`` of an
+array the DAG reads.  At that point the lowering pass
+(:mod:`repro.core.expr.lowering`) walks the DAG, fuses elementwise subgraphs
+into single generated map kernels and feeds the launches into the launch
+window, so interior temporaries are never materialised at all.
+
+Node kinds:
+
+* :class:`LeafExpr` — wraps a concrete :class:`DistributedArray` input;
+* :class:`MapExpr` — one elementwise operation over expression and scalar
+  operands (all array-shaped operands must have equal shapes; scalars
+  broadcast);
+* :class:`ShiftExpr` — a step-1 slice, recorded as a per-axis offset so
+  pointwise consumers can fuse through it (``x[1:]`` reads ``x`` at ``i+1``);
+* :class:`ReduceExpr` — a full reduction (``sum``/``max``/``min``/``prod``)
+  to a single element, lowered onto the planner's hierarchical-reduction
+  machinery; the elementwise subtree below it fuses *into* the reduce kernel.
+
+Scalar operands follow NumPy's weak-promotion rule (NEP 50): a Python float
+promotes an integer expression to ``float64`` but never widens a float
+expression; a Python int never promotes.  Every node carries the dtype its
+value will have, and generated kernels cast each intermediate to its node's
+dtype, which is what makes lazy and eager evaluation bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "LazyExpr",
+    "LeafExpr",
+    "MapExpr",
+    "ShiftExpr",
+    "ReduceExpr",
+    "ScalarOperand",
+    "build_binary",
+    "build_unary",
+    "build_reduce",
+    "sqrt",
+    "exp",
+    "log",
+    "maximum",
+    "minimum",
+    "evaluate",
+]
+
+#: elementwise operations and the NumPy expression they lower to;
+#: ``{0}``/``{1}`` are the operand value strings.
+OP_TEMPLATES = {
+    "add": "({0} + {1})",
+    "sub": "({0} - {1})",
+    "mul": "({0} * {1})",
+    "truediv": "({0} / {1})",
+    "maximum": "np.maximum({0}, {1})",
+    "minimum": "np.minimum({0}, {1})",
+    "neg": "(-{0})",
+    "abs": "np.abs({0})",
+    "sqrt": "np.sqrt({0})",
+    "exp": "np.exp({0})",
+    "log": "np.log({0})",
+}
+
+#: operations whose result is floating even for integer operands
+_FLOAT_RESULT_OPS = frozenset({"truediv", "sqrt", "exp", "log"})
+
+#: reduction method -> annotation spelling (see ``repro.core.reductions``)
+REDUCE_SYMBOLS = {"sum": "+", "prod": "*", "max": "max", "min": "min"}
+
+
+class ScalarOperand:
+    """A Python scalar operand of a :class:`MapExpr` (weakly promoted)."""
+
+    __slots__ = ("value", "kind")
+
+    def __init__(self, value):
+        if isinstance(value, (bool, np.bool_)):
+            raise TypeError("boolean scalars are not supported in expressions")
+        if isinstance(value, (int, np.integer)):
+            self.value = int(value)
+            self.kind = "i"
+        elif isinstance(value, (float, np.floating)):
+            self.value = float(value)
+            self.kind = "f"
+        else:
+            raise TypeError(f"unsupported scalar operand {value!r}")
+
+
+def result_dtype(
+    op: str, operand_dtypes: Sequence[np.dtype], scalar_kinds: Sequence[str]
+) -> np.dtype:
+    """The dtype of one elementwise operation under weak scalar promotion."""
+    if not operand_dtypes:
+        raise ValueError(f"operation {op!r} has no array-shaped operands")
+    dtype = np.result_type(*operand_dtypes)
+    if dtype.kind not in "fc" and "f" in scalar_kinds:
+        dtype = np.dtype("float64")
+    if op in _FLOAT_RESULT_OPS and dtype.kind not in "fc":
+        dtype = np.dtype("float64")
+    return dtype
+
+
+def reduce_dtype(op: str, operand_dtype: np.dtype) -> np.dtype:
+    """The accumulator dtype of a full reduction (NumPy's default rules)."""
+    dtype = np.dtype(operand_dtype)
+    if op in ("sum", "prod") and dtype.kind in "biu":
+        return np.dtype("int64")
+    return dtype
+
+
+class LazyExpr:
+    """Base class of every deferred-expression node.
+
+    A node knows its shape, its dtype and (once forced) its concrete
+    result.  Metadata access — ``repr``, ``len``, ``shape``, ``dtype`` —
+    never forces evaluation; only :meth:`evaluate`/:meth:`gather` (or a
+    context-level barrier) does.  Conversion via ``np.asarray`` is refused
+    outright so NumPy interop cannot silently trigger a distributed run.
+    """
+
+    __slots__ = ("engine", "shape", "dtype", "_result")
+
+    #: make NumPy return NotImplemented from its ufuncs so ``np.float64(2) *
+    #: expr`` falls back to our reflected operators instead of coercion
+    __array_ufunc__ = None
+
+    def __init__(self, engine, shape: Tuple[int, ...], dtype) -> None:
+        self.engine = engine
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self._result = None
+
+    # ------------------------------------------------------------------ #
+    # metadata (never forces evaluation)
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the expression's value."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total element count of the expression's value."""
+        return int(np.prod(self.shape))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the materialised value would occupy."""
+        return self.size * self.dtype.itemsize
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        state = "evaluated" if self._result is not None else "pending"
+        return (
+            f"LazyExpr<{self._describe()}, shape={self.shape}, "
+            f"dtype={self.dtype}, {state}>"
+        )
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def __array__(self, dtype=None, copy=None):
+        raise TypeError(
+            "implicit conversion of a lazy expression to a NumPy array is not "
+            "supported; call .evaluate() for a DistributedArray handle or "
+            ".gather() for the computed values"
+        )
+
+    # ------------------------------------------------------------------ #
+    # forcing
+    # ------------------------------------------------------------------ #
+    def evaluate(self):
+        """Force the expression; returns the concrete :class:`DistributedArray`."""
+        return self.engine.evaluate(self)
+
+    def gather(self) -> np.ndarray:
+        """Force the expression and gather its value (functional mode only)."""
+        return self.evaluate().gather()
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        return build_binary("add", self, other)
+
+    def __radd__(self, other):
+        return build_binary("add", other, self)
+
+    def __sub__(self, other):
+        return build_binary("sub", self, other)
+
+    def __rsub__(self, other):
+        return build_binary("sub", other, self)
+
+    def __mul__(self, other):
+        return build_binary("mul", self, other)
+
+    def __rmul__(self, other):
+        return build_binary("mul", other, self)
+
+    def __truediv__(self, other):
+        return build_binary("truediv", self, other)
+
+    def __rtruediv__(self, other):
+        return build_binary("truediv", other, self)
+
+    def __neg__(self):
+        return build_unary("neg", self)
+
+    def __abs__(self):
+        return build_unary("abs", self)
+
+    def sum(self):
+        """Full reduction to one element with ``+``."""
+        return build_reduce("sum", self)
+
+    def max(self):
+        """Full reduction to one element with ``max``."""
+        return build_reduce("max", self)
+
+    def min(self):
+        """Full reduction to one element with ``min``."""
+        return build_reduce("min", self)
+
+    def prod(self):
+        """Full reduction to one element with ``*``."""
+        return build_reduce("prod", self)
+
+    def __getitem__(self, key):
+        return build_slice(self, key)
+
+
+class LeafExpr(LazyExpr):
+    """A concrete :class:`DistributedArray` used as an expression input."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, engine, array) -> None:
+        super().__init__(engine, array.shape, array.dtype)
+        self.array = array
+        self._result = array
+
+    def _describe(self) -> str:
+        return self.array.name
+
+
+class MapExpr(LazyExpr):
+    """One elementwise operation over expression/scalar operands."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(
+        self, engine, op: str, operands: Tuple[Union[LazyExpr, ScalarOperand], ...]
+    ) -> None:
+        exprs = [o for o in operands if isinstance(o, LazyExpr)]
+        if not exprs:
+            raise TypeError(f"operation {op!r} needs at least one array operand")
+        shape = exprs[0].shape
+        for e in exprs[1:]:
+            if e.shape != shape:
+                raise ValueError(
+                    f"operands of {op!r} have mismatched shapes {shape} and {e.shape}"
+                )
+        dtype = result_dtype(
+            op,
+            [e.dtype for e in exprs],
+            [o.kind for o in operands if isinstance(o, ScalarOperand)],
+        )
+        super().__init__(engine, shape, dtype)
+        self.op = op
+        self.operands = tuple(operands)
+
+    def _describe(self) -> str:
+        return self.op
+
+
+class ShiftExpr(LazyExpr):
+    """A step-1 slice of an expression, recorded as per-axis offsets.
+
+    ``result[idx] == child[idx + offsets]``; the shape is the sliced shape.
+    Pointwise consumers fuse through shifts by accumulating the offsets into
+    their leaf reads, so a slice on its own costs nothing.
+    """
+
+    __slots__ = ("child", "offsets")
+
+    def __init__(
+        self, engine, child: LazyExpr, offsets: Tuple[int, ...], shape: Tuple[int, ...]
+    ) -> None:
+        super().__init__(engine, shape, child.dtype)
+        self.child = child
+        self.offsets = tuple(int(o) for o in offsets)
+
+    def _describe(self) -> str:
+        return f"shift{self.offsets}"
+
+
+class ReduceExpr(LazyExpr):
+    """A full reduction of an expression to a single element."""
+
+    __slots__ = ("op", "child")
+
+    def __init__(self, engine, op: str, child: LazyExpr) -> None:
+        if op not in REDUCE_SYMBOLS:
+            raise ValueError(f"unsupported reduction {op!r}")
+        super().__init__(engine, (1,), reduce_dtype(op, child.dtype))
+        self.op = op
+        self.child = child
+
+    def _describe(self) -> str:
+        return f"reduce({REDUCE_SYMBOLS[self.op]})"
+
+
+# --------------------------------------------------------------------------- #
+# builders (shared by LazyExpr and DistributedArray operator overloads)
+# --------------------------------------------------------------------------- #
+def _engine_of(operands: Sequence[object]):
+    """The expression engine of the first array-shaped operand."""
+    engine = None
+    for operand in operands:
+        if isinstance(operand, LazyExpr):
+            candidate = operand.engine
+        elif hasattr(operand, "array_id") and hasattr(operand, "context"):
+            candidate = operand.context.expr
+        else:
+            continue
+        if engine is None:
+            engine = candidate
+        elif engine is not candidate:
+            raise ValueError("expression mixes arrays from different contexts")
+    if engine is None:
+        raise TypeError("expression has no distributed-array operand")
+    return engine
+
+
+def _as_operand(value, engine) -> Union[LazyExpr, ScalarOperand]:
+    if isinstance(value, LazyExpr):
+        if value.engine is not engine:
+            raise ValueError("expression mixes arrays from different contexts")
+        return value
+    if hasattr(value, "array_id") and hasattr(value, "context"):
+        if value.context.expr is not engine:
+            raise ValueError("expression mixes arrays from different contexts")
+        if value.deleted:
+            raise ValueError(f"array {value.name} has been deleted")
+        return LeafExpr(engine, value)
+    return ScalarOperand(value)
+
+
+def build_binary(op: str, left, right):
+    """Build (or eagerly evaluate) a binary elementwise node."""
+    try:
+        engine = _engine_of((left, right))
+        operands = (_as_operand(left, engine), _as_operand(right, engine))
+    except TypeError:
+        return NotImplemented
+    node = MapExpr(engine, op, operands)
+    return engine.built(node)
+
+
+def build_unary(op: str, operand):
+    """Build (or eagerly evaluate) a unary elementwise node."""
+    engine = _engine_of((operand,))
+    node = MapExpr(engine, op, (_as_operand(operand, engine),))
+    return engine.built(node)
+
+
+def build_reduce(op: str, operand):
+    """Build (or eagerly evaluate) a full-reduction node."""
+    engine = _engine_of((operand,))
+    child = _as_operand(operand, engine)
+    if isinstance(child, ScalarOperand):
+        raise TypeError("cannot reduce a scalar")
+    node = ReduceExpr(engine, op, child)
+    return engine.built(node)
+
+
+def build_slice(operand, key):
+    """Build (or eagerly evaluate) a step-1 slice node."""
+    engine = _engine_of((operand,))
+    child = _as_operand(operand, engine)
+    if not isinstance(key, tuple):
+        key = (key,)
+    if len(key) > child.ndim:
+        raise IndexError(
+            f"{child.ndim}-d expression sliced with {len(key)} indices"
+        )
+    key = key + (slice(None),) * (child.ndim - len(key))
+    offsets = []
+    shape = []
+    for axis, (idx, extent) in enumerate(zip(key, child.shape)):
+        if not isinstance(idx, slice):
+            raise IndexError(
+                "only step-1 slices are supported on lazy expressions; "
+                f"got {idx!r} for axis {axis} (integer indexing would change "
+                "the dimensionality)"
+            )
+        start, stop, step = idx.indices(extent)
+        if step != 1:
+            raise IndexError("only step-1 slices are supported on lazy expressions")
+        if stop <= start:
+            raise IndexError(f"empty slice {idx!r} for axis {axis} of extent {extent}")
+        offsets.append(start)
+        shape.append(stop - start)
+    if not any(offsets) and tuple(shape) == child.shape:
+        # identity slice: no node needed
+        return engine.built(child) if isinstance(child, LeafExpr) else child
+    node = ShiftExpr(engine, child, tuple(offsets), tuple(shape))
+    return engine.built(node)
+
+
+# --------------------------------------------------------------------------- #
+# module-level math functions (accept LazyExpr or DistributedArray)
+# --------------------------------------------------------------------------- #
+def sqrt(x):
+    """Elementwise square root of a lazy expression or distributed array."""
+    return build_unary("sqrt", x)
+
+
+def exp(x):
+    """Elementwise exponential of a lazy expression or distributed array."""
+    return build_unary("exp", x)
+
+
+def log(x):
+    """Elementwise natural logarithm of a lazy expression or distributed array."""
+    return build_unary("log", x)
+
+
+def maximum(x, y):
+    """Elementwise maximum of two expressions (or an expression and a scalar)."""
+    return build_binary("maximum", x, y)
+
+
+def minimum(x, y):
+    """Elementwise minimum of two expressions (or an expression and a scalar)."""
+    return build_binary("minimum", x, y)
+
+
+def evaluate(x):
+    """Force ``x`` if it is a lazy expression; concrete arrays pass through."""
+    if isinstance(x, LazyExpr):
+        return x.evaluate()
+    return x
+
+
+def dag_nodes(root: LazyExpr):
+    """Every distinct node reachable from ``root``, stopping at evaluated ones."""
+    seen = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen[id(node)] = node
+        if node._result is not None and node is not root:
+            continue
+        if isinstance(node, MapExpr):
+            stack.extend(o for o in node.operands if isinstance(o, LazyExpr))
+        elif isinstance(node, (ShiftExpr, ReduceExpr)):
+            stack.append(node.child)
+    return list(seen.values())
+
+
+def dag_references(root: LazyExpr, array_id: int) -> bool:
+    """True when the un-evaluated part of ``root``'s DAG reads ``array_id``."""
+    for node in dag_nodes(root):
+        result = node.array if isinstance(node, LeafExpr) else node._result
+        if result is not None and result.array_id == array_id:
+            return True
+    return False

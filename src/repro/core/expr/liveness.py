@@ -1,0 +1,65 @@
+"""Refcount-based liveness for expression lowering.
+
+Two questions decide how aggressive lowering may be:
+
+* **Node sharing** — does user code still hold a reference to an interior
+  expression node?  If so the node must be materialised (the user can force
+  it later, or feed it into a second DAG), otherwise it is a pure interior
+  temporary and is elided entirely.
+
+* **Buffer privacy** — is a leaf ``DistributedArray`` reachable only through
+  the context registry and the DAG being lowered?  Only then may its buffer
+  be reused in place as the output of a fused kernel; a handle the user
+  still holds must keep its original contents.
+
+Both are answered with CPython's ``sys.getrefcount``.  The count seen by a
+callee includes machinery references (the argument binding itself plus
+interpreter internals that vary across CPython versions), so the module
+calibrates that constant once at import: ``_MACHINERY`` is whatever
+``getrefcount`` reports for an object whose *only* owner is a local list.
+Callers then pass the number of references they can account for and ask how
+many remain.  The direction of any miscount is safe — overcounting external
+references only causes a conservative materialisation or a skipped in-place
+reuse, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["external_refs", "refcounts_reliable"]
+
+_MACHINERY = 0
+
+
+def external_refs(obj, accounted: int) -> int:
+    """References to ``obj`` beyond the ``accounted`` ones the caller knows of.
+
+    ``accounted`` must count every reference the caller can name: containers
+    holding ``obj``, attributes pointing at it, and local variables bound to
+    it *in the calling frame* (the argument expression itself is part of the
+    calibrated machinery and must not be counted).
+    """
+    return sys.getrefcount(obj) - accounted - _MACHINERY
+
+
+def _calibrate() -> int:
+    holder = [object()]
+    # the holder list is the single accounted reference; whatever remains is
+    # the machinery cost of calling external_refs with a subscript argument.
+    return external_refs(holder[0], 1)
+
+
+_MACHINERY = _calibrate()
+
+
+def refcounts_reliable() -> bool:
+    """True when calibration produced a sane machinery constant.
+
+    On interpreters without CPython refcount semantics the calibration can
+    misbehave; lowering then treats every node as externally referenced and
+    every buffer as shared, which disables elision/in-place reuse but keeps
+    results correct.
+    """
+    sentinel = [object()]
+    return external_refs(sentinel[0], 1) == 0

@@ -44,6 +44,7 @@ dependencies (and therefore results) are exactly those of eager submission.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -121,6 +122,7 @@ class LaunchWindow:
         self.memory_planning_enabled = memory_planning
         self.memplan = WindowMemoryPlanner(runtime, planner) if memory_planning else None
         self._pending: List[PendingLaunch] = []
+        self._holding = False
         # counters surfaced through RuntimeStats
         self.flushes = 0
         self.flush_reasons: Dict[str, int] = {}
@@ -142,12 +144,36 @@ class LaunchWindow:
 
     def submit(self, pending: PendingLaunch) -> None:
         """Append one launch, draining first if the window is full."""
-        if len(self._pending) >= self.depth:
+        if len(self._pending) >= self.depth and not self._holding:
             self.flush("window-full")
         self._pending.append(pending)
-        if self.depth == 1:
+        if self.depth == 1 and not self._holding:
             # A depth-1 window is eager submission (no cross-launch passes).
             self.flush("window-full")
+
+    @contextmanager
+    def hold(self):
+        """Defer depth-triggered drains while a batch of launches is appended.
+
+        Expression lowering submits a whole DAG's worth of launches at once;
+        holding the window open until the batch is complete lets the drain
+        passes (chain fusion, prefetch, memory planning) see the DAG as one
+        group instead of depth-sized shards.  Barrier-triggered flushes are
+        unaffected, and the deferred depth drain runs on exit.  Re-entrant
+        holds nest as a no-op.
+        """
+        if self._holding or self.depth == 1:
+            # depth 1 means eager submission with no cross-launch passes;
+            # holding would silently re-enable them for lowered batches
+            yield
+            return
+        self._holding = True
+        try:
+            yield
+        finally:
+            self._holding = False
+            if len(self._pending) >= self.depth:
+                self.flush("window-full")
 
     def references(self, array_id: int) -> bool:
         """True when some pending launch binds the given array."""

@@ -12,6 +12,7 @@ used directly::
 from .base import WORKLOADS, Workload, WorkloadResult, create_workload, register_workload
 from .black_scholes import BlackScholesWorkload, black_scholes_reference
 from .correlator import CorrelatorWorkload, correlator_reference
+from .expressions import ExpressionsWorkload, expressions_reference
 from .gemm import GEMMWorkload
 from .hotspot import (
     HotSpotDoubleWorkload,
@@ -36,6 +37,7 @@ BENCHMARK_ORDER = [
     "gemm",
     "spmv",
     "black_scholes",
+    "expressions",
 ]
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "GEMMWorkload",
     "SpMVWorkload",
     "BlackScholesWorkload",
+    "ExpressionsWorkload",
     "mix_hash",
     "nbody_reference_step",
     "correlator_reference",
@@ -65,4 +68,5 @@ __all__ = [
     "hotspot3_reference_step",
     "ell_reference_multiply",
     "black_scholes_reference",
+    "expressions_reference",
 ]

@@ -100,6 +100,17 @@ class RuntimeStats:
     tasks_replayed: int = 0
     redistributes_forced: int = 0
     link_degradations: int = 0
+    #: lazy expression frontend: DAG roots lowered, elementwise nodes merged
+    #: into multi-instruction generated kernels, interior temporaries never
+    #: materialised (count and the bytes they would have occupied), bytes
+    #: actually allocated for expression results, and group outputs written
+    #: in place into a dead input buffer instead of a fresh allocation
+    exprs_lowered: int = 0
+    expr_nodes_fused: int = 0
+    temporaries_elided: int = 0
+    temporaries_elided_bytes: int = 0
+    expr_bytes_allocated: int = 0
+    buffers_reused_inplace: int = 0
     memory: Dict[int, MemoryStats] = field(default_factory=dict)
     resource_busy: Dict[str, float] = field(default_factory=dict)
     #: engine events consumed per resource (wake-ups + completions)

@@ -1,0 +1,398 @@
+"""Tests for the lazy expression frontend (`repro.core.expr`).
+
+The load-bearing property is *cross-arm bit-identity*: any operator program
+must gather byte-for-byte identical results under ``Context(lazy=True)``
+(DAG recorded, lowered fused at a barrier) and ``Context(lazy=False)``
+(one eager launch per operator).  A hypothesis test drives random programs
+through both arms; targeted tests cover the corners — reduction tails,
+slices, aliased inputs, in-place reuse, the fusion cap, force points and
+the plan-template cache.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BlockDist, Context
+from repro.core.expr import (
+    LazyExpr,
+    build_kernel_def,
+    cuda_skeleton,
+    external_refs,
+    refcounts_reliable,
+)
+from repro.core.expr import graph as ex
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+_N = 512
+_CHUNK = 128
+
+
+def _ctx(lazy=True, **kw):
+    return Context(mode="functional", lazy=lazy, **kw)
+
+
+def _inputs(ctx, n=_N, chunk=_CHUNK, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.5, 2.0, n).astype(np.float32)
+    b = rng.uniform(0.5, 2.0, n).astype(np.float32)
+    c = rng.uniform(0.5, 2.0, n).astype(np.float32)
+    dist = BlockDist(chunk)
+    return (
+        (a, b, c),
+        (
+            ctx.from_numpy(a, dist, name="a"),
+            ctx.from_numpy(b, dist, name="b"),
+            ctx.from_numpy(c, dist, name="c"),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# property: random DAGs are bit-identical across the lazy and eager arms
+# --------------------------------------------------------------------------- #
+_BINOPS = {
+    "add": lambda x, y: x + y,
+    "sub": lambda x, y: x - y,
+    "mul": lambda x, y: x * y,
+    "div": lambda x, y: x / y,
+    "max": ex.maximum,
+    "min": ex.minimum,
+}
+_UNOPS = {
+    "neg": lambda x: -x,
+    "abs": abs,
+    "sqrt": ex.sqrt,
+    "exp": ex.exp,
+}
+
+_step = st.tuples(
+    st.sampled_from(sorted(_BINOPS) + sorted(_UNOPS)),
+    st.integers(min_value=0, max_value=63),  # lhs index (mod live values)
+    st.integers(min_value=0, max_value=63),  # rhs index
+    st.one_of(st.none(), st.floats(0.25, 4.0)),  # scalar rhs when not None
+)
+
+
+def _run_program(ctx, program, reduce_tail):
+    """Interpret ``program`` over the context's arrays; same code both arms."""
+    _, (a, b, c) = _inputs(ctx)
+    vals = [a, b, c]
+    for op, i, j, scalar in program:
+        lhs = vals[i % len(vals)]
+        if op in _UNOPS:
+            vals.append(_UNOPS[op](lhs))
+        else:
+            rhs = scalar if scalar is not None else vals[j % len(vals)]
+            if scalar is not None and i % 2:  # exercise reflected operators
+                lhs, rhs = rhs, vals[i % len(vals)]
+            vals.append(_BINOPS[op](lhs, rhs))
+    root = vals[-1]
+    if reduce_tail:
+        root = getattr(root, reduce_tail)()
+    return ctx.gather(root)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=st.lists(_step, min_size=1, max_size=10),
+    reduce_tail=st.sampled_from([None, "sum", "max", "min"]),
+)
+def test_random_programs_bit_identical(program, reduce_tail):
+    with np.errstate(all="ignore"):
+        lazy = _run_program(_ctx(lazy=True), program, reduce_tail)
+        eager = _run_program(_ctx(lazy=False), program, reduce_tail)
+    assert lazy.dtype == eager.dtype and lazy.shape == eager.shape
+    assert lazy.tobytes() == eager.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# targeted correctness
+# --------------------------------------------------------------------------- #
+def test_fused_elementwise_matches_numpy():
+    ctx = _ctx()
+    (na, nb, nc), (a, b, c) = _inputs(ctx)
+    out = ctx.gather(a + b * c - 0.5)
+    assert np.allclose(out, na + nb * nc - 0.5, rtol=1e-6)
+    stats = ctx.stats()
+    assert stats.exprs_lowered == 1
+    assert stats.expr_nodes_fused >= 3  # mul, add, sub fused into one kernel
+    assert stats.temporaries_elided >= 2  # b*c and a+b*c never materialise
+
+
+def test_slices_and_aliased_inputs():
+    ctx = _ctx()
+    (na, _, _), (a, _, _) = _inputs(ctx)
+    # same array read at two different offsets inside one fused kernel
+    out = ctx.gather(a[1:] + a[:-1])
+    assert np.allclose(out, na[1:] + na[:-1], rtol=1e-6)
+    eager = _ctx(lazy=False)
+    (_, _, _), (a2, _, _) = _inputs(eager)
+    assert out.tobytes() == eager.gather(a2[1:] + a2[:-1]).tobytes()
+
+
+def test_reduction_tail_matches_numpy():
+    ctx = _ctx()
+    (na, nb, _), (a, b, _) = _inputs(ctx)
+    total = ctx.gather((a * b).sum())
+    assert total.shape == (1,)
+    assert np.allclose(total[0], (na.astype(np.float64) * nb).sum(), rtol=1e-4)
+    assert ctx.gather(ex.maximum(a, b).max())[0] == np.maximum(na, nb).max()
+
+
+def test_shared_subexpression_materialises_once():
+    ctx = _ctx()
+    (na, nb, _), (a, b, _) = _inputs(ctx)
+    t = a + b
+    out = ctx.gather(t * t)
+    assert np.allclose(out, (na + nb) * (na + nb), rtol=1e-6)
+    # `t` has two parents (and a live handle): one materialisation, reused
+    assert t._result is not None
+    launches = ctx.stats().tasks_completed
+    # evaluating another consumer of `t` reuses the cached result
+    out2 = ctx.gather(t - 1.0)
+    assert np.allclose(out2, (na + nb) - 1.0, rtol=1e-6)
+    assert ctx.stats().tasks_completed > launches  # ran, but only the new group
+
+
+def test_fusion_cap_splits_long_chains():
+    ctx = _ctx()
+    (na, _, _), (a, _, _) = _inputs(ctx)
+    root = a
+    for _ in range(70):  # > MAX_GROUP_INSTRS forces a split into >= 2 kernels
+        root = root + 1.0
+    out = ctx.gather(root)
+    assert np.allclose(out, na + 70.0, rtol=1e-6)
+    assert ctx.stats().exprs_lowered == 1
+    assert len(ctx.expr._kernels) >= 2
+
+
+def test_integer_arrays_and_promotion():
+    ctx = _ctx()
+    data = np.arange(256, dtype=np.int32)
+    x = ctx.from_numpy(data, BlockDist(64), name="ints")
+    assert ctx.gather(x * 2 + 1).tobytes() == (data * 2 + 1).tobytes()
+    assert ctx.gather(x.sum())[0] == data.astype(np.int64).sum()
+    half = ctx.gather(x / 2)
+    assert half.dtype == np.float64 or half.dtype == np.float32
+    eager = _ctx(lazy=False)
+    x2 = eager.from_numpy(data, BlockDist(64), name="ints")
+    assert half.tobytes() == eager.gather(x2 / 2).tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# laziness: metadata never forces, conversion is explicit
+# --------------------------------------------------------------------------- #
+def test_metadata_does_not_force():
+    ctx = _ctx()
+    _, (a, b, _) = _inputs(ctx)
+    e = a + b
+    assert isinstance(e, LazyExpr)
+    assert ctx.expr.pending_count == 1
+    repr(e), len(e)
+    assert e.shape == (_N,) and e.ndim == 1 and e.size == _N
+    assert e.dtype == np.dtype(np.float32) and e.nbytes == _N * 4
+    assert ctx.expr.pending_count == 1  # nothing above lowered the DAG
+
+
+def test_implicit_numpy_conversion_raises():
+    ctx = _ctx()
+    _, (a, b, _) = _inputs(ctx)
+    with pytest.raises(TypeError, match="gather"):
+        np.asarray(a + b)
+    with pytest.raises(TypeError, match="gather"):
+        np.asarray(a)
+    assert ctx.expr.pending_count == 1  # the failed conversions did not force
+
+
+def test_repr_and_len_on_arrays():
+    ctx = _ctx()
+    _, (a, _, _) = _inputs(ctx)
+    assert len(a) == _N
+    assert "a" in repr(a) and "float32" in repr(a)
+
+
+# --------------------------------------------------------------------------- #
+# force points
+# --------------------------------------------------------------------------- #
+def test_synchronize_forces_pending_dags():
+    ctx = _ctx()
+    _, (a, b, _) = _inputs(ctx)
+    e = a + b
+    ctx.synchronize()
+    assert ctx.expr.pending_count == 0
+    assert e._result is not None
+
+
+def test_delete_forces_dags_reading_the_array():
+    ctx = _ctx()
+    (na, nb, _), (a, b, _) = _inputs(ctx)
+    e = a + b
+    a.delete()
+    assert e._result is not None  # forced before the input disappeared
+    assert np.allclose(ctx.gather(e), na + nb, rtol=1e-6)
+    with pytest.raises(ValueError, match="deleted"):
+        _ = a + b
+
+
+def test_explicit_launch_forces_conflicting_dags():
+    from repro import BlockWorkDist, KernelCost, KernelDef
+
+    ctx = _ctx()
+    (na, nb, _), (a, b, _) = _inputs(ctx)
+    e = a + b  # reads a
+
+    def body(lc, out):
+        i = lc.global_indices(0)
+        out.scatter(i, out.gather(i) * 0.0)
+
+    zero = (
+        KernelDef("zero_it", func=body)
+        .param_array("out", "float32")
+        .annotate("global i => readwrite out[i]")
+        .with_cost(KernelCost(1, 4))
+        .compile(ctx)
+    )
+    zero.launch(_N, 32, BlockWorkDist(_CHUNK), (a,))  # writes a -> must force e
+    assert e._result is not None
+    assert np.allclose(ctx.gather(e), na + nb, rtol=1e-6)
+    assert np.allclose(ctx.gather(a), 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# in-place buffer reuse
+# --------------------------------------------------------------------------- #
+def test_inplace_reuse_when_handle_dies():
+    if not refcounts_reliable():
+        pytest.skip("no reliable refcounts on this interpreter")
+    ctx = _ctx()
+    (na, nb, _), (a, b, _) = _inputs(ctx)
+    victim_id = a.array_id
+    e = a + b
+    del a  # the only outside handle dies -> the buffer is provably private
+    out = e.evaluate()
+    assert ctx.stats().buffers_reused_inplace == 1
+    assert out.array_id == victim_id  # wrote straight into a's buffer
+    assert np.allclose(ctx.gather(out), na + nb, rtol=1e-6)
+
+
+def test_no_inplace_reuse_while_handle_lives():
+    ctx = _ctx()
+    (na, nb, _), (a, b, _) = _inputs(ctx)
+    out = (a + b).evaluate()
+    assert ctx.stats().buffers_reused_inplace == 0
+    assert out.array_id != a.array_id
+    # and the input is untouched
+    assert np.allclose(ctx.gather(a), na, rtol=1e-6)
+
+
+def test_no_inplace_reuse_for_offset_reads():
+    if not refcounts_reliable():
+        pytest.skip("no reliable refcounts on this interpreter")
+    ctx = _ctx()
+    (na, _, _), (a, _, _) = _inputs(ctx)
+    e = a[1:] + a[:-1]  # offset slots: scatter would race the shifted gather
+    del a
+    out = e.evaluate()
+    assert ctx.stats().buffers_reused_inplace == 0
+    assert np.allclose(ctx.gather(out), na[1:] + na[:-1], rtol=1e-6)
+
+
+def test_aliased_accumulate_is_safe_either_way():
+    """`x = x + b` in a loop must accumulate correctly whether or not the
+    engine managed to reuse the buffer in place."""
+    for lazy in (True, False):
+        ctx = _ctx(lazy=lazy)
+        (na, nb, _), (x, b, _) = _inputs(ctx)
+        expected = na.copy()
+        for _ in range(3):
+            x = x + b
+            expected = expected + nb
+        assert np.allclose(ctx.gather(x), expected, rtol=1e-5)
+
+
+# --------------------------------------------------------------------------- #
+# codegen / liveness units
+# --------------------------------------------------------------------------- #
+def test_generated_kernel_has_cuda_skeleton():
+    ctx = _ctx()
+    _, (a, b, _) = _inputs(ctx)
+    ctx.gather(a + b * 2.0)
+    spec = next(iter(ctx.expr._kernels))
+    skeleton = cuda_skeleton(build_kernel_def(spec, "expr_t"))
+    assert skeleton.startswith("__device__ void expr_t(")
+    assert "out" in skeleton
+
+
+def test_external_refs_counts_extra_holders():
+    if not refcounts_reliable():
+        pytest.skip("no reliable refcounts on this interpreter")
+    obj = object()
+    assert external_refs(obj, 1) == 0  # the local is the accounted holder
+    holder = [obj]
+    assert external_refs(obj, 1) == 1
+    del holder
+    assert external_refs(obj, 1) == 0
+
+
+# --------------------------------------------------------------------------- #
+# stats plumbing
+# --------------------------------------------------------------------------- #
+def test_expr_counters_reach_stats_dict():
+    ctx = _ctx()
+    _, (a, b, _) = _inputs(ctx)
+    ctx.gather(a + b * 2.0 - 1.0)
+    payload = ctx.stats().to_dict()
+    assert payload["exprs_lowered"] == 1
+    assert payload["expr_nodes_fused"] >= 3
+    assert payload["temporaries_elided"] >= 2
+    assert payload["temporaries_elided_bytes"] >= 2 * _N * 4
+    assert payload["expr_bytes_allocated"] == _N * 4
+    assert payload["buffers_reused_inplace"] == 0
+
+
+def test_eager_mode_has_no_expr_savings():
+    ctx = _ctx(lazy=False)
+    _, (a, b, _) = _inputs(ctx)
+    out = a + b * 2.0
+    assert not isinstance(out, LazyExpr)  # eager mode returns concrete arrays
+    stats = ctx.stats()
+    assert stats.exprs_lowered == 2  # one single-op lowering per operator
+    assert stats.expr_nodes_fused == 0
+    assert stats.temporaries_elided == 0
+    assert stats.buffers_reused_inplace == 0
+
+
+def test_cli_accepts_no_lazy_flag(capsys):
+    from repro.cli import main
+
+    assert main(["run", "expressions", "--n", "1e5", "--gpus", "2"]) == 0
+    assert "expressions" in capsys.readouterr().out
+    assert main(["run", "expressions", "--n", "1e5", "--gpus", "2", "--no-lazy"]) == 0
+    assert "expressions" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# plan-template cache participation
+# --------------------------------------------------------------------------- #
+def test_repeated_inplace_evaluation_hits_plan_cache():
+    if not refcounts_reliable():
+        pytest.skip("no reliable refcounts on this interpreter")
+    ctx = Context(lazy=True)  # simulate-capable default cluster, plan cache on
+    a = ctx.ones(_N, BlockDist(_CHUNK), name="acc")
+    b = ctx.full(_N, 2.0, BlockDist(_CHUNK), name="step")
+    for _ in range(3):
+        e = a + b
+        del a
+        a = e.evaluate()  # reuses the same buffer -> identical cache key
+        del e
+        # drain the window so its launch records release their argument
+        # references; a pending launch still holding the buffer blocks reuse
+        ctx.synchronize()
+    cache = ctx.planner.cache
+    assert ctx.stats().buffers_reused_inplace == 3
+    assert cache.hits >= 2  # first evaluation misses, the repeats hit
+    assert np.allclose(ctx.gather(a), 7.0)

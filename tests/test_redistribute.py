@@ -191,6 +191,49 @@ def test_manual_epoch_bump_misses_but_leaves_entry_until_invalidated():
     assert len(cache) == 0 and cache.invalidations == 1
 
 
+def test_redistribute_evicts_expression_recipes():
+    """Lowered expression launches go through the same template cache as
+    hand-written kernels; redistributing an input must evict their entries
+    and the re-chunked re-evaluation must re-plan correctly."""
+    ctx = make_ctx()
+    n = 256
+    a = ctx.ones(n, BlockDist(64), name="a")
+    b = ctx.full(n, 3.0, BlockDist(64), name="b")
+    first = ctx.gather(a + b * 2.0)
+    cache = ctx.planner.cache
+    assert len(cache) >= 1 and cache.misses >= 1
+    assert any(
+        PlanTemplateCache.key_mentions_array(key, a.array_id)
+        for key in cache._entries
+    )
+
+    a.redistribute(BlockDist(32))
+    assert not any(
+        PlanTemplateCache.key_mentions_array(key, a.array_id)
+        for key in cache._entries
+    )
+    assert cache.invalidations >= 1
+    assert ctx.stats().plan_cache_invalidations >= 1
+
+    # the recipe re-plans against the new chunking and stays correct
+    second = ctx.gather(a + b * 2.0)
+    assert np.array_equal(first, second)
+
+
+def test_redistribute_forces_pending_expressions_first():
+    """A pending DAG reading the array must be lowered against the *old*
+    layout before redistribution re-chunks it."""
+    ctx = make_ctx()
+    a = ctx.ones(256, BlockDist(64), name="a")
+    b = ctx.full(256, 2.0, BlockDist(64), name="b")
+    e = a + b
+    assert ctx.expr.pending_count == 1
+    a.redistribute(BlockDist(32))
+    assert ctx.expr.pending_count == 0
+    assert e._result is not None
+    assert np.allclose(ctx.gather(e), 3.0)
+
+
 def test_redistribute_invalidates_fusion_cache_entries():
     ctx = make_ctx(fusion=True)
     kernel = scale_kernel(ctx)

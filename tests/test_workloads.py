@@ -16,6 +16,7 @@ SMALL_CONFIGS = {
     "gemm": dict(n=36 ** 3, chunk_elems=36 * 9),
     "spmv": dict(n=60 ** 2, chunk_elems=300, iterations=2),
     "black_scholes": dict(n=600, chunk_elems=200),
+    "expressions": dict(n=1024, chunk_elems=256),
 }
 
 CLUSTERS = [(1, 1), (1, 4), (2, 2)]
@@ -23,7 +24,8 @@ CLUSTERS = [(1, 1), (1, 4), (2, 2)]
 
 def test_registry_contains_all_paper_benchmarks_plus_cgc():
     assert set(BENCHMARK_ORDER) <= set(WORKLOADS)
-    assert len(BENCHMARK_ORDER) == 8
+    # the paper's eight benchmarks plus the operator-API expressions workload
+    assert len(BENCHMARK_ORDER) == 9
     assert "cgc" in WORKLOADS
     with pytest.raises(KeyError):
         create_workload("does-not-exist", None, 1)
@@ -53,6 +55,7 @@ def test_workload_runs_in_simulate_mode_at_scale(name):
         "gemm": 10**12,
         "spmv": 10**10,
         "black_scholes": 10**8,
+        "expressions": 10**8,
     }
     ctx = Context(azure_nc24rsv2(nodes=1, gpus_per_node=4), mode=ExecutionMode.SIMULATE)
     workload = create_workload(name, ctx, scale[name])
