@@ -4,6 +4,18 @@ Currently one application, matching the paper's Sec. 4.6: geospatial
 co-clustering from the CGC library, ported to Lightning-style kernels.
 """
 
-from .cgc import CoClusteringApp, coclustering_reference, CGC_DATASETS
+from .cgc import (
+    CGC_DATASETS,
+    CGCWorkload,
+    CoClusteringApp,
+    EnsembleWorkload,
+    coclustering_reference,
+)
 
-__all__ = ["CoClusteringApp", "coclustering_reference", "CGC_DATASETS"]
+__all__ = [
+    "CoClusteringApp",
+    "coclustering_reference",
+    "CGC_DATASETS",
+    "CGCWorkload",
+    "EnsembleWorkload",
+]

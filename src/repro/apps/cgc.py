@@ -36,7 +36,13 @@ from ..core.kernel import KernelDef
 from ..perfmodel.costs import KernelCost
 from ..kernels.base import Workload, register_workload
 
-__all__ = ["CoClusteringApp", "coclustering_reference", "CGC_DATASETS", "CGCWorkload"]
+__all__ = [
+    "CoClusteringApp",
+    "coclustering_reference",
+    "CGC_DATASETS",
+    "CGCWorkload",
+    "EnsembleWorkload",
+]
 
 #: The paper's three input matrices: side length and resulting size in bytes.
 CGC_DATASETS: Dict[str, Tuple[int, int]] = {
@@ -411,8 +417,14 @@ class CGCWorkload(Workload):
 
     def submit(self) -> None:
         """Queue every kernel launch of the benchmark (asynchronously)."""
+        for _ in self.steps():
+            pass
+
+    def steps(self):
+        """One serving quantum per co-clustering iteration."""
         for _ in range(self.iterations):
             self.app.submit_iteration()
+            yield
 
     def data_bytes(self) -> int:
         """Problem size in bytes (the throughput denominator)."""
@@ -421,3 +433,60 @@ class CGCWorkload(Workload):
     def verify(self) -> bool:
         """Check gathered results against the NumPy reference (functional mode)."""
         return self.app.verify(self.iterations)
+
+
+@register_workload
+class EnsembleWorkload(Workload):
+    """CGC ``nruns``-style ensemble: several differently-seeded co-clustering
+    runs of the same matrix size, interleaved iteration by iteration.
+
+    The CGC library restarts the whole co-clustering ``nruns`` times from
+    different random initialisations and keeps the best run — embarrassingly
+    parallel work that the multi-tenant serving layer schedules as concurrent
+    jobs.  As a plain workload the runs share one context, so the ensemble
+    also serves as the single-tenant baseline the serving benchmark compares
+    against.  ``n`` is the number of matrix entries *per run*.
+    """
+
+    name = "ensemble"
+    compute_intensive = False
+    iterations = 1
+
+    def __init__(self, ctx, n, nruns: int = 4, iterations: int | None = None,
+                 seed: int = 0, **params):
+        super().__init__(ctx, n, **params)
+        side = max(2, int(round(self.n ** 0.5)))
+        if iterations is not None:
+            self.iterations = iterations
+        self.nruns = int(nruns)
+        self.seed = int(seed)
+        self.apps = [
+            CoClusteringApp(ctx, side, side, seed=self.seed + run, **params)
+            for run in range(self.nruns)
+        ]
+
+    def prepare(self) -> None:
+        """Create every run's arrays; kernels compile once (idempotent)."""
+        for app in self.apps:
+            app.prepare()
+
+    def submit(self) -> None:
+        """Queue every kernel launch of the benchmark (asynchronously)."""
+        for _ in self.steps():
+            pass
+
+    def steps(self):
+        """One serving quantum per (iteration, run) pair, runs innermost —
+        the same interleaving a round-robin over ``nruns`` jobs produces."""
+        for _ in range(self.iterations):
+            for app in self.apps:
+                app.submit_iteration()
+                yield
+
+    def data_bytes(self) -> int:
+        """Problem size in bytes (the throughput denominator)."""
+        return sum(app.data_bytes() for app in self.apps)
+
+    def verify(self) -> bool:
+        """Every run must match its own reference trajectory."""
+        return all(app.verify(self.iterations) for app in self.apps)

@@ -21,6 +21,11 @@ Exposes the pieces a user needs without writing Python:
     Run the distribution advisor on a kernel annotation and print the
     suggested data/work distributions with their rationale.
 
+``repro-bench serve --trace seed=42,jobs=16,rate=120 --tenants 4 [...]``
+    Serve a multi-tenant job trace (generated Poisson arrivals or a JSON
+    trace file) on one shared simulated cluster under weighted fair-share
+    scheduling, and print per-job latencies and per-tenant counters.
+
 The CLI is intentionally a thin shell over the same public API the examples
 use (`repro.bench`, `repro.autotune`), so its output matches what the
 benchmark suite records under ``benchmarks/results/``.
@@ -106,6 +111,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(sweep)
 
     sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
+
+    serve = sub.add_parser(
+        "serve", help="serve a multi-tenant job trace on one shared simulated cluster"
+    )
+    serve.add_argument(
+        "--trace",
+        required=True,
+        metavar="SPEC_OR_PATH",
+        help="either a Poisson generator spec 'seed=42,jobs=16,rate=120' or the "
+             "path to a JSON trace file (a list of {arrival, tenant, workload, "
+             "n, params} objects)",
+    )
+    serve.add_argument("--tenants", type=int, default=4, help="number of tenants (default 4)")
+    serve.add_argument(
+        "--weights",
+        default=None,
+        metavar="CSV",
+        help="per-tenant fair-share weights, e.g. '2,1,1,1' (default: all 1)",
+    )
+    serve.add_argument(
+        "--memory-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="soft per-tenant memory quota as a fraction of every space "
+             "(default: no quotas)",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: at most N jobs in flight at once "
+             "(default: one per tenant; 1 serialises the trace)",
+    )
+    serve.add_argument("--mode", choices=("simulate", "functional"), default="functional")
+    _add_cluster_args(serve)
+    _add_fault_args(serve)
+    _add_stats_json_arg(serve)
+    _add_profile_args(serve)
 
     advise = sub.add_parser("advise", help="suggest distributions from a kernel annotation")
     advise.add_argument("--annotation", required=True,
@@ -371,12 +416,101 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_trace(text: str, tenants: int):
+    """A job list from either a JSON trace file or a Poisson generator spec."""
+    import os
+
+    from .errors import ArgumentValueError
+    from .runtime.serving import JobSpec, poisson_trace
+
+    if os.path.exists(text) or text.endswith(".json"):
+        import json
+
+        with open(text, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        return [
+            JobSpec(
+                arrival=float(job["arrival"]),
+                tenant=int(job["tenant"]),
+                workload=str(job["workload"]),
+                n=int(job["n"]),
+                params=dict(job.get("params", {})),
+            )
+            for job in raw
+        ]
+    spec = {}
+    for part in text.split(","):
+        key, _, value = part.partition("=")
+        if not value:
+            raise ArgumentValueError(
+                f"cannot parse --trace entry {part!r} (expected key=value or a "
+                f"JSON file path)"
+            )
+        spec[key.strip()] = value.strip()
+    known = {"seed", "jobs", "rate"}
+    unknown = set(spec) - known
+    if unknown:
+        raise ArgumentValueError(
+            f"unknown --trace keys {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return poisson_trace(
+        seed=int(spec.get("seed", 0)),
+        njobs=int(spec.get("jobs", 16)),
+        rate=float(spec.get("rate", 100.0)),
+        tenants=tenants,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from . import apps  # noqa: F401  (registers the cgc/ensemble workloads)
+    from .errors import ArgumentValueError
+    from .runtime.serving import ServingSystem
+
+    weights = [1.0] * args.tenants
+    if args.weights:
+        weights = [float(w) for w in args.weights.split(",") if w.strip()]
+        if len(weights) != args.tenants:
+            raise ArgumentValueError(
+                f"--weights names {len(weights)} tenants but --tenants is {args.tenants}"
+            )
+    jobs = _parse_trace(args.trace, args.tenants)
+    serving = ServingSystem(
+        cluster=azure_nc24rsv2(nodes=args.nodes, gpus_per_node=args.gpus),
+        mode=args.mode,
+        max_active=args.max_active,
+        **_fault_kwargs(args),
+    )
+    for tenant, weight in enumerate(weights):
+        serving.add_tenant(
+            f"tenant-{tenant}", weight=weight, memory_fraction=args.memory_fraction
+        )
+    serving.submit_trace(jobs)
+    with _maybe_profile(args):
+        report = serving.run()
+    summary = report.to_dict()
+    print(f"served {summary['jobs_completed']} jobs on {args.nodes}x{args.gpus} GPUs: "
+          f"makespan {summary['makespan']:.4f} s, "
+          f"throughput {summary['throughput']:.2f} jobs/s, "
+          f"latency p50 {summary['latency_p50']:.4f} s / p99 {summary['latency_p99']:.4f} s")
+    header = f"{'tenant':>8s} {'weight':>7s} {'plans':>7s} {'tasks':>8s} {'done':>8s}"
+    print(header)
+    counters = report.tenant_counters
+    for tenant, weight in enumerate(weights):
+        row = counters.get(tenant, {})
+        print(f"{tenant:>8d} {weight:>7.2f} {row.get('plans_submitted', 0):>7d} "
+              f"{row.get('tasks_submitted', 0):>8d} {row.get('tasks_completed', 0):>8d}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, summary)
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "figures": _cmd_figures,
     "advise": _cmd_advise,
+    "serve": _cmd_serve,
 }
 
 

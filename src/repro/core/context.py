@@ -37,14 +37,13 @@ from ..hardware.topology import DeviceId
 from ..perfmodel.costs import DEFAULT_OVERHEADS, OverheadModel
 from ..runtime.scheduler import DEFAULT_STAGE_THRESHOLD
 from ..runtime.system import ExecutionMode, RuntimeStats, RuntimeSystem
-from .array import ArrayIdAllocator, DistributedArray
-from .chunk import ChunkIdAllocator, ChunkMeta
+from .array import DistributedArray
+from .chunk import ChunkMeta
 from .distributions import DataDistribution, WorkDistribution
 from .expr.graph import LazyExpr
 from .expr.lowering import ExprEngine
 from .kernel import CompiledKernel, KernelDef
 from .planning import DEFAULT_LOOKAHEAD, LaunchWindow, PendingLaunch, Planner
-from .tasks import TaskIdAllocator
 from .wrapper import WrapperCache
 
 __all__ = ["Context"]
@@ -77,29 +76,61 @@ class Context:
         faults: object = None,
         fault_seed: int = 0,
         lazy: bool = True,
+        runtime: Optional[RuntimeSystem] = None,
+        tenant: Optional[int] = None,
+        tenant_name: str = "",
+        device_rotation: int = 0,
     ):
-        if cluster is None:
-            cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
-        if isinstance(mode, str):
-            mode = ExecutionMode(mode)
-        self.mode = mode
-        self.runtime = RuntimeSystem(
-            cluster,
-            mode=mode,
-            overheads=overheads,
-            stage_threshold=stage_threshold,
-            enable_trace=enable_trace,
-            memory_capacities=memory_capacities,
-            scheduler_policy=scheduler_policy,
-            record_plans=record_plans,
-        )
+        if runtime is not None:
+            # Multi-tenant serving: attach to an existing runtime instead of
+            # building one.  Fault injection is owned by the serving system
+            # (one injector for the shared cluster), never by a tenant.
+            if faults is not None:
+                raise ArgumentValueError(
+                    "faults must be configured on the serving system, not on "
+                    "a tenant context attached to a shared runtime"
+                )
+            self.runtime = runtime
+            self.mode = runtime.mode
+        else:
+            if cluster is None:
+                cluster = azure_nc24rsv2(nodes=1, gpus_per_node=1)
+            if isinstance(mode, str):
+                mode = ExecutionMode(mode)
+            self.mode = mode
+            self.runtime = RuntimeSystem(
+                cluster,
+                mode=mode,
+                overheads=overheads,
+                stage_threshold=stage_threshold,
+                enable_trace=enable_trace,
+                memory_capacities=memory_capacities,
+                scheduler_policy=scheduler_policy,
+                record_plans=record_plans,
+            )
         self.cluster = self.runtime.cluster
-        self._task_ids = TaskIdAllocator()
-        self._chunk_ids = ChunkIdAllocator()
-        self._array_ids = ArrayIdAllocator()
+        #: tenant identity under multi-tenant serving; ``None`` single-tenant
+        self.tenant = tenant
+        self.tenant_name = tenant_name or (
+            f"tenant-{tenant}" if tenant is not None else ""
+        )
+        #: rotate the device list so co-resident tenants spread their
+        #: single-chunk arrays across different GPUs instead of piling on 0
+        self._device_rotation = device_rotation
+        #: kernel-namespace prefix keeping one runtime registry collision-free
+        #: across tenants compiling identically-named kernels
+        self._kernel_prefix = f"t{tenant}__" if tenant is not None else ""
+        # Id allocators are shared runtime-wide so every context attached to
+        # the same runtime draws globally unique task/chunk/array ids.
+        self._task_ids = self.runtime.task_ids
+        self._chunk_ids = self.runtime.chunk_ids
+        self._array_ids = self.runtime.array_ids
         self.planner = Planner(
             self.cluster, self._task_ids, self._chunk_ids, plan_cache=plan_cache
         )
+        self.planner.tenant = tenant
+        self.planner.device_rotation = device_rotation
+        self.planner.tag_allocator = self.runtime.message_tags
         #: bounded lookahead over pending launches: deferred submission with
         #: cross-launch kernel fusion and halo-prefetch passes at drain time
         self.window = LaunchWindow(
@@ -137,8 +168,18 @@ class Context:
     # cluster information
     # ------------------------------------------------------------------ #
     def devices(self) -> List[DeviceId]:
-        """All GPUs in the cluster (the default target of data/work distributions)."""
-        return self.cluster.device_ids()
+        """All GPUs in the cluster (the default target of data/work distributions).
+
+        Under multi-tenant serving each tenant sees the list rotated by its
+        ``device_rotation``, so tenants' small arrays land on different GPUs
+        by default instead of all piling onto device 0.
+        """
+        devs = self.cluster.device_ids()
+        rotation = self._device_rotation
+        if rotation and devs:
+            rotation %= len(devs)
+            devs = devs[rotation:] + devs[:rotation]
+        return devs
 
     @property
     def device_count(self) -> int:
@@ -187,6 +228,9 @@ class Context:
         ]
         array = DistributedArray(array_id, shape, dtype, distribution, chunks, self, name=name)
         array.validate_coverage()
+        if self.tenant is not None:
+            for chunk in chunks:
+                self.runtime.chunk_tenants[chunk.chunk_id] = self.tenant
         self.arrays[array_id] = array
         return array
 
@@ -299,6 +343,9 @@ class Context:
             )
             for p in placements
         ]
+        if self.tenant is not None:
+            for chunk in new_chunks:
+                self.runtime.chunk_tenants[chunk.chunk_id] = self.tenant
         plan = self.planner.plan_redistribute(array, new_chunks)
         self.runtime.submit_plan(plan)
         array.chunks = new_chunks
@@ -340,7 +387,9 @@ class Context:
                 return worker.storage.buffer(chunk_id)
         return None
 
-    def _recover_device(self, device: DeviceId) -> None:
+    def _recover_device(
+        self, device: DeviceId, peers: Optional[List["Context"]] = None
+    ) -> None:
         """Recover from one permanent device failure at a quiescent point.
 
         Phase A (driver-side, instantaneous in virtual time except for the
@@ -350,9 +399,17 @@ class Context:
         plans.  Phase B: force-redistribute every affected array under its
         own distribution against the shrunken device list; the caller's
         run-until-idle loop drains those plans before returning.
+
+        ``peers`` lists every context attached to this runtime (multi-tenant
+        serving).  Worker-level recovery runs once; the array sweep and the
+        forced redistribution run per owning context, so each affected
+        tenant's arrays are rebuilt through its *own* planner/window (plans
+        stay tenant-tagged) and untouched tenants see no new plans at all.
         """
         runtime = self.runtime
         cluster = self.cluster
+        if peers is None:
+            peers = [self]
         if cluster.is_failed(device):
             return
         cluster.mark_failed(device)
@@ -385,19 +442,20 @@ class Context:
         # resident bytes on the first surviving worker.
         same_worker = [d for d in survivors if d.worker == device.worker]
         new_home = same_worker[0] if same_worker else survivors[0]
-        affected: List[DistributedArray] = []
-        for array in list(self.arrays.values()):
-            if not any(chunk.home == device for chunk in array.chunks):
-                continue
-            affected.append(array)
-            new_chunks: List[ChunkMeta] = []
-            for chunk in array.chunks:
-                if chunk.home != device:
-                    new_chunks.append(chunk)
+        affected: List[Tuple["Context", DistributedArray]] = []
+        for owner in peers:
+            for array in list(owner.arrays.values()):
+                if not any(chunk.home == device for chunk in array.chunks):
                     continue
-                new_chunks.append(self._rehome_chunk(chunk, new_home))
-            array.chunks = new_chunks
-            array.layout_epoch += 1
+                affected.append((owner, array))
+                new_chunks: List[ChunkMeta] = []
+                for chunk in array.chunks:
+                    if chunk.home != device:
+                        new_chunks.append(chunk)
+                        continue
+                    new_chunks.append(self._rehome_chunk(chunk, new_home))
+                array.chunks = new_chunks
+                array.layout_epoch += 1
         # Leftovers (temporaries still alive at the quiescent point).
         for chunk_id in lost + surviving:
             if chunk_id in worker.storage and worker.storage.meta(chunk_id).home == device:
@@ -405,7 +463,8 @@ class Context:
 
         # Cached recipes were planned against the pre-failure topology (cache
         # keys omit the device list) — drop everything, plain and fused.
-        self.planner.invalidate_all()
+        for owner in peers:
+            owner.planner.invalidate_all()
 
         # Make the recovery visible in virtual time as deterministic lump
         # costs: one fixed control charge per replayed lineage record, and
@@ -420,9 +479,10 @@ class Context:
             worker.resources.pcie.request(restored, lambda: None, label="recovery restore")
 
         # Phase B: re-chunk every affected array under its own distribution,
-        # now evaluated against the shrunken healthy device list.
-        for array in affected:
-            self.redistribute(array, array.distribution)
+        # now evaluated against the shrunken healthy device list (each owner
+        # plans through its own planner, so the plans carry its tenant tag).
+        for owner, array in affected:
+            owner.redistribute(array, array.distribution)
             runtime.redistributes_forced += 1
 
     def _rehome_chunk(self, chunk: ChunkMeta, new_home: DeviceId) -> ChunkMeta:
@@ -456,6 +516,10 @@ class Context:
         the already-compiled kernel; only a **different** definition reusing a
         name is an error (it would silently change what launches execute).
         """
+        if self._kernel_prefix and not definition.name.startswith(self._kernel_prefix):
+            definition = _dc_replace(
+                definition, name=self._kernel_prefix + definition.name
+            )
         existing = self.kernels.get(definition.name)
         if existing is not None:
             if existing.definition == definition:

@@ -160,6 +160,10 @@ class LaunchState:
     reductions: List[ReductionIR] = field(default_factory=list)
     #: free-form per-pass statistics (bytes eliminated, steps coalesced, ...)
     notes: Dict[str, float] = field(default_factory=dict)
+    #: rotate the device list work superblocks round-robin over, so that under
+    #: multi-tenant serving each tenant's compute starts on the same GPU its
+    #: (equally rotated) data placement starts on; 0 = the single-tenant path
+    rotation: int = 0
 
 
 class PlanningPass:
@@ -183,6 +187,9 @@ class AccessAnalysisPass(PlanningPass):
     def run(self, state: LaunchState) -> None:
         """Split the launch into superblocks and evaluate access regions."""
         devices = state.cluster.device_ids()
+        if state.rotation and devices:
+            offset = state.rotation % len(devices)
+            devices = devices[offset:] + devices[:offset]
         superblocks = state.work_dist.superblocks(state.grid, state.block, devices)
         if not superblocks:
             raise PlanningError(
@@ -1000,6 +1007,7 @@ def build_fused_recipe(
     cost_model: Optional[TransferCostModel] = None,
     allow_reduce_tail: bool = True,
     allow_compatible_dists: bool = True,
+    rotation: int = 0,
 ) -> Optional[PlanRecipe]:
     """Try to fuse a chain of back-to-back launches into one plan recipe.
 
@@ -1046,6 +1054,7 @@ def build_fused_recipe(
             arrays=dict(launch.arrays),
             builder=builder,
             cost_model=cost_model,
+            rotation=rotation,
         )
         for planning_pass in analysis:
             planning_pass.run(state)
@@ -1268,6 +1277,7 @@ def build_launch_recipe(
     arrays: Dict[str, DistributedArray],
     cost_model: Optional[TransferCostModel] = None,
     pipeline: Optional[Sequence[PlanningPass]] = None,
+    rotation: int = 0,
 ) -> PlanRecipe:
     """Run the pass pipeline and return the structural plan recipe."""
     state = LaunchState(
@@ -1279,6 +1289,7 @@ def build_launch_recipe(
         arrays=dict(arrays),
         builder=RecipeBuilder(description=f"launch {kernel.name} #{{launch_id}}"),
         cost_model=cost_model or TransferCostModel(cluster),
+        rotation=rotation,
     )
     for planning_pass in (pipeline or default_pipeline()):
         planning_pass.run(state)

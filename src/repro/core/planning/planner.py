@@ -89,7 +89,18 @@ class Planner:
         self.cluster = cluster
         self._task_ids = task_ids
         self._chunk_ids = chunk_ids
+        #: Tenant id stamped on every plan this planner builds (multi-tenant
+        #: serving); ``None`` on the single-tenant path.
+        self.tenant: Optional[int] = None
+        #: rotation of the work-placement device order (mirrors the owning
+        #: context's data-placement rotation under serving); 0 single-tenant
+        self.device_rotation: int = 0
         self._tag_counter = 0
+        #: optional shared allocator for send/recv message tags; the context
+        #: points this at the runtime so tags stay globally unique when many
+        #: tenants' planners feed one fabric (None: private counter, same
+        #: 1, 2, 3, ... sequence)
+        self.tag_allocator = None
         #: chunk-level conflict tracking across launches
         self._writers: Dict[int, List[int]] = defaultdict(list)
         self._readers: Dict[int, List[int]] = defaultdict(list)
@@ -111,6 +122,8 @@ class Planner:
     # small helpers
     # ------------------------------------------------------------------ #
     def _next_tag(self) -> int:
+        if self.tag_allocator is not None:
+            return self.tag_allocator.next_id()
         self._tag_counter += 1
         return self._tag_counter
 
@@ -138,7 +151,7 @@ class Planner:
         data: Optional[np.ndarray] = None,
     ) -> T.ExecutionPlan:
         """CreateChunk + Fill tasks for every chunk of a new array."""
-        plan = T.ExecutionPlan(description=f"create {array.name}")
+        plan = T.ExecutionPlan(description=f"create {array.name}", tenant=self.tenant)
         for chunk in array.chunks:
             create = T.CreateChunkTask(
                 task_id=self._new_task_id(),
@@ -166,7 +179,7 @@ class Planner:
 
     def plan_gather(self, array: DistributedArray) -> T.ExecutionPlan:
         """Download every chunk's contents back to the driver."""
-        plan = T.ExecutionPlan(description=f"gather {array.name}")
+        plan = T.ExecutionPlan(description=f"gather {array.name}", tenant=self.tenant)
         for chunk in array.chunks:
             download = T.DownloadTask(
                 task_id=self._new_task_id(),
@@ -183,7 +196,7 @@ class Planner:
 
     def plan_delete_array(self, array: DistributedArray) -> T.ExecutionPlan:
         """Delete every chunk once its last reader/writer has finished."""
-        plan = T.ExecutionPlan(description=f"delete {array.name}")
+        plan = T.ExecutionPlan(description=f"delete {array.name}", tenant=self.tenant)
         for chunk in array.chunks:
             plan.add(
                 T.DeleteChunkTask(
@@ -209,7 +222,7 @@ class Planner:
 
         Not cached: redistributions are rare, layout-changing operations.
         """
-        plan = T.ExecutionPlan(description=f"redistribute {array.name}")
+        plan = T.ExecutionPlan(description=f"redistribute {array.name}", tenant=self.tenant)
         old_chunks = list(array.chunks)
         itemsize = np.dtype(array.dtype).itemsize
         for new_chunk in new_chunks:
@@ -373,6 +386,11 @@ class Planner:
         if self.cache_enabled:
             try:
                 key = self.cache.key_for(kernel, grid, block, work_dist, arrays)
+                if self.device_rotation:
+                    # A plan cache shared across tenants must not alias plans
+                    # built under different work-placement rotations.  Rotation
+                    # 0 keeps the seed cache keys bit-identical.
+                    key = ("rotation", self.device_rotation, key)
                 hash(key)
             except TypeError:
                 # User-defined work distributions are not required to be
@@ -384,7 +402,7 @@ class Planner:
         if recipe is None:
             recipe = build_launch_recipe(
                 self.cluster, kernel, grid, block, work_dist, arrays,
-                cost_model=self.cost_model,
+                cost_model=self.cost_model, rotation=self.device_rotation,
             )
             for note, value in recipe.notes.items():
                 self.pass_stats[note] = self.pass_stats.get(note, 0) + value
@@ -417,6 +435,7 @@ class Planner:
             prefetch=prefetch,
         )
         self.dependency_injector.apply_bookkeeping(prepared.recipe, stamped.task_ids)
+        stamped.plan.tenant = self.tenant
         self.launches_planned += 1
         self.planning_seconds += time.perf_counter() - started
         return stamped.plan, stamped.prefetched
@@ -481,6 +500,7 @@ class Planner:
             cost_model=self.cost_model,
             allow_reduce_tail=allow_reduce_tail,
             allow_compatible_dists=allow_compatible_dists,
+            rotation=self.device_rotation,
         )
         self.planning_seconds += time.perf_counter() - started
         if recipe is not None:
@@ -526,6 +546,7 @@ class Planner:
             prefetch=prefetch,
         )
         self.dependency_injector.apply_bookkeeping(recipe, stamped.task_ids)
+        stamped.plan.tenant = self.tenant
         self.launches_planned += len(launch_ids)
         self.planning_seconds += time.perf_counter() - started
         return stamped.plan, stamped.prefetched

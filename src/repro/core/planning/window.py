@@ -182,6 +182,17 @@ class LaunchWindow:
     # ------------------------------------------------------------------ #
     # draining
     # ------------------------------------------------------------------ #
+    def _submit(self, plan) -> None:
+        """Submit ``plan``, tagging it with this window's tenant first.
+
+        Launch plans come out of the planner already stamped; the window's
+        auxiliary memory plans (reserve/promote/release) are built outside
+        the stamp path and pick up the tag here.
+        """
+        if plan.tenant is None:
+            plan.tenant = self.planner.tenant
+        self.runtime.submit_plan(plan)
+
     def flush(self, reason: str = "explicit") -> None:
         """Stamp and submit every pending launch, fusing/prefetching first."""
         if not self._pending:
@@ -304,15 +315,15 @@ class LaunchWindow:
                 memory_plan, self._previous_group_tail
             )
             if reserve is not None:
-                self.runtime.submit_plan(reserve)
+                self._submit(reserve)
         for plan, promote in zip(plans, promote_plans):
             if promote is not None:
-                self.runtime.submit_plan(promote)
-            self.runtime.submit_plan(plan)
+                self._submit(promote)
+            self._submit(plan)
         if memory_plan is not None:
             release = self.memplan.build_release_plan(memory_plan, plans)
             if release is not None:
-                self.runtime.submit_plan(release)
+                self._submit(release)
         # Fold this group's launches into the per-worker anchor map: a
         # worker's anchor is its most recent launch across *all* units (the
         # last unit may not have touched every worker), and workers untouched

@@ -379,6 +379,10 @@ class ExecutionPlan:
     #: ``"hit"`` when the plan was re-stamped from a cached template,
     #: ``"miss"`` when planned cold with the cache enabled, ``None`` otherwise.
     cache_status: Optional[str] = None
+    #: Owning tenant under multi-tenant serving (see
+    #: :mod:`repro.runtime.serving`); ``None`` on the single-tenant path,
+    #: where the runtime skips all per-tenant accounting.
+    tenant: Optional[int] = None
 
     @property
     def from_cache(self) -> bool:

@@ -74,6 +74,24 @@ class Workload(abc.ABC):
     def data_bytes(self) -> int:
         """Logical dataset size in bytes (used for the memory-limit lines)."""
 
+    def steps(self):
+        """Yield after each scheduling quantum of one benchmark run.
+
+        This is the pumping protocol of the multi-tenant serving layer
+        (:mod:`repro.runtime.serving`): instead of submitting the whole run
+        in one go, a workload may expose it as a generator that yields at
+        natural preemption points (typically once per outer iteration), so
+        the fair-share scheduler can interleave several tenants' jobs at
+        iteration granularity.  The launches submitted between two yields
+        must be exactly the launches :meth:`submit` would have produced in
+        that position — iteration-granular workloads therefore implement
+        ``submit`` as ``for _ in self.steps(): pass`` so the two can never
+        drift apart.  The default is a single quantum: one full
+        :meth:`submit`, then one yield.
+        """
+        self.submit()
+        yield
+
     def verify(self) -> bool:
         """Check results against a NumPy reference (functional mode, small n)."""
         raise NotImplementedError(f"{self.name} does not implement verification")

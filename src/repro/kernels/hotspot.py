@@ -455,6 +455,11 @@ class HotSpotTripleWorkload(Workload):
 
     def submit(self) -> None:
         """Queue every kernel launch of the benchmark (asynchronously)."""
+        for _ in self.steps():
+            pass
+
+    def steps(self):
+        """One serving quantum per time step (same launches as submit)."""
         work = BlockWorkDist(self.rows_per_chunk, axis=0)
         grid, block = (self.side, self.side), (16, 16)
         src, dst = self.temp_a, self.temp_b
@@ -467,7 +472,8 @@ class HotSpotTripleWorkload(Workload):
                 grid, block, work, (self.side, self.side, src, self.mid2, dst)
             )
             src, dst = dst, src
-        self._final = src
+            self._final = src
+            yield
 
     def data_bytes(self) -> int:
         """Problem size in bytes (the throughput denominator)."""

@@ -166,6 +166,11 @@ class KMeansWorkload(Workload):
 
     def submit(self) -> None:
         """Queue every kernel launch of the benchmark (asynchronously)."""
+        for _ in self.steps():
+            pass
+
+    def steps(self):
+        """One serving quantum per Lloyd iteration (same launches as submit)."""
         assign_work = BlockWorkDist(self.chunk_records)
         update_work = TileWorkDist((self.k, FEATURES))
         for _ in range(self.iterations):
@@ -177,6 +182,7 @@ class KMeansWorkload(Workload):
                 (self.k, FEATURES), (8, 4), update_work,
                 (self.k, self.sums, self.counts, self.centroids),
             )
+            yield
 
     def data_bytes(self) -> int:
         """Problem size in bytes (the throughput denominator)."""
@@ -352,6 +358,11 @@ class KMeansTwoPhaseWorkload(Workload):
 
     def submit(self) -> None:
         """Queue every kernel launch of the benchmark (asynchronously)."""
+        for _ in self.steps():
+            pass
+
+    def steps(self):
+        """One serving quantum per iteration (same launches as submit)."""
         assign_work = BlockWorkDist(self.chunk_records)
         update_work = TileWorkDist((self.k, FEATURES))
         for _ in range(self.iterations):
@@ -367,6 +378,7 @@ class KMeansTwoPhaseWorkload(Workload):
                 (self.k, FEATURES), (8, 4), update_work,
                 (self.k, self.sums, self.counts, self.centroids),
             )
+            yield
 
     def data_bytes(self) -> int:
         """Problem size in bytes (the throughput denominator)."""

@@ -13,12 +13,13 @@ simulator, which is what makes spilling visible in the measured run times.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.chunk import ChunkId, ChunkMeta
+from ..errors import ArgumentValueError
 from ..hardware.topology import MemoryKind, MemorySpace, Node
 from .resources import WorkerResources
 
@@ -105,6 +106,7 @@ class MemoryManager:
         node: Node,
         resources: WorkerResources,
         capacities: Optional[Dict[MemorySpace, int]] = None,
+        chunk_tenants: Optional[Dict[ChunkId, int]] = None,
     ):
         self.node = node
         self.worker = node.worker
@@ -122,6 +124,19 @@ class MemoryManager:
         #: True while :meth:`reserve` runs, so evictions are attributed to the
         #: planned pre-eviction counter instead of the staging-time one
         self._in_reserve = False
+        #: Multi-tenant serving: chunk id -> tenant id, *shared* with the
+        #: runtime (contexts tag their chunks there).  Empty — and every
+        #: tenant branch below is a single falsy-dict test — on the
+        #: single-tenant path.
+        self._tenants: Dict[ChunkId, int] = (
+            chunk_tenants if chunk_tenants is not None else {}
+        )
+        #: tenant id -> soft quota as a fraction of each space's capacity
+        self._tenant_quota: Dict[int, float] = {}
+        #: (tenant, space) -> resident / pinned bytes, maintained alongside
+        #: the per-space counters so quota checks never scan chunks
+        self._tenant_used: Dict[Tuple[int, MemorySpace], int] = defaultdict(int)
+        self._tenant_pinned: Dict[Tuple[int, MemorySpace], int] = defaultdict(int)
 
         self._capacity: Dict[MemorySpace, int] = {}
         self._used: Dict[MemorySpace, int] = {}
@@ -172,6 +187,10 @@ class MemoryManager:
         if state.space is not None:
             self._used[state.space] -= state.meta.nbytes
             del self._lru[state.space][chunk_id]
+            if self._tenants:
+                tenant = self._tenants.get(chunk_id)
+                if tenant is not None:
+                    self._tenant_used[(tenant, state.space)] -= state.meta.nbytes
         self._prepared.discard(chunk_id)
 
     def knows(self, chunk_id: ChunkId) -> bool:
@@ -215,6 +234,14 @@ class MemoryManager:
             self._used[host] += nbytes
             self._lru[host][chunk_id] = state
             state.space = host
+            if self._tenants:
+                tenant = self._tenants.get(chunk_id)
+                if tenant is not None:
+                    self._tenant_used[(tenant, dead)] -= nbytes
+                    self._tenant_used[(tenant, host)] += nbytes
+                    if state.pins:
+                        self._tenant_pinned[(tenant, dead)] -= nbytes
+                        self._tenant_pinned[(tenant, host)] += nbytes
             self._prepared.discard(chunk_id)
         return lost, surviving
 
@@ -231,6 +258,10 @@ class MemoryManager:
         state.space = host
         self._used[host] += chunk.nbytes
         self._lru[host][chunk.chunk_id] = state
+        if self._tenants:
+            tenant = self._tenants.get(chunk.chunk_id)
+            if tenant is not None:
+                self._tenant_used[(tenant, host)] += chunk.nbytes
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -271,6 +302,65 @@ class MemoryManager:
     def lru_order(self, space: MemorySpace) -> List[ChunkId]:
         """Resident chunks of ``space``, least recently used first."""
         return list(self._lru[space])
+
+    # ------------------------------------------------------------------ #
+    # tenant quotas (multi-tenant serving)
+    # ------------------------------------------------------------------ #
+    def set_tenant_quota(self, tenant: int, fraction: float) -> None:
+        """Cap ``tenant`` at ``fraction`` of every space's capacity (soft).
+
+        The quota is work-conserving: the tenant may exceed it while room is
+        free, but only its *overage* above the quota may be evicted to make
+        room for another tenant.  Residency within the quota is protected
+        from foreign eviction pressure exactly like a pin (without being
+        pinned from the tenant's own point of view).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ArgumentValueError(
+                f"quota fraction must be in (0, 1], got {fraction}"
+            )
+        self._tenant_quota[tenant] = fraction
+
+    def tenant_used_bytes(self, tenant: int, space: MemorySpace) -> int:
+        """Bytes of ``tenant``'s chunks currently resident in ``space``."""
+        return self._tenant_used.get((tenant, space), 0)
+
+    def _tenant_evictable(self, tenant: int, space: MemorySpace) -> int:
+        """Bytes a *rival* tenant may evict from ``tenant`` in ``space``:
+        the overage above whichever is larger, the quota or the pinned set."""
+        used = self._tenant_used.get((tenant, space), 0)
+        if not used:
+            return 0
+        pinned = self._tenant_pinned.get((tenant, space), 0)
+        quota = int(self._tenant_quota[tenant] * self._capacity[space])
+        return used - max(pinned, min(used, quota))
+
+    def _protected_foreign_bytes(self, space: MemorySpace, requester) -> int:
+        """Unpinned bytes in ``space`` that ``requester`` may not evict
+        (other tenants' residency within their quotas).  Zero whenever no
+        quota is configured, so the single-tenant path never pays for this."""
+        if not self._tenant_quota:
+            return 0
+        total = 0
+        for tenant in self._tenant_quota:
+            if tenant == requester:
+                continue
+            used = self._tenant_used.get((tenant, space), 0)
+            if not used:
+                continue
+            pinned = self._tenant_pinned.get((tenant, space), 0)
+            total += used - pinned - self._tenant_evictable(tenant, space)
+        return total
+
+    def _requester_of(self, requirements: List[Tuple[ChunkId, str]]):
+        """The tenant staging these requirements (first tagged chunk wins)."""
+        if not self._tenants:
+            return None
+        for chunk_id, _ in requirements:
+            tenant = self._tenants.get(chunk_id)
+            if tenant is not None:
+                return tenant
+        return None
 
     # ------------------------------------------------------------------ #
     # staging
@@ -431,6 +521,9 @@ class MemoryManager:
         # Check that evicting *unpinned* chunks not belonging to this task
         # could make enough room right now; otherwise wait for an unstage.
         # The per-space counters make this O(|plan|) instead of O(|chunks|).
+        # Under tenant quotas, other tenants' within-quota residency counts
+        # as unevictable for this requester even though it is not pinned.
+        requester = self._requester_of(requirements)
         for space, nbytes in needed.items():
             if _LEGACY_SCANS:
                 evictable = sum(
@@ -445,6 +538,7 @@ class MemoryManager:
                     st = self._chunks[chunk_id]
                     if st.space == space and st.pins == 0:
                         evictable -= st.meta.nbytes
+            evictable -= self._protected_foreign_bytes(space, requester)
             if self.free_bytes(space) + evictable < nbytes:
                 return False
 
@@ -459,7 +553,9 @@ class MemoryManager:
         for state, target in plan:
             space = state.space
             if space is not target and space != target:
-                self._make_room(target, state.meta.nbytes, protect=plan_ids)
+                self._make_room(
+                    target, state.meta.nbytes, protect=plan_ids, requester=requester
+                )
                 transfers.extend(self._move(state, target))
             # inline _touch + _pin (residency may have changed in _move, so
             # state.space is re-read after the move branch)
@@ -471,6 +567,10 @@ class MemoryManager:
             state.pins += 1
             if state.pins == 1 and space is not None:
                 pinned[space] += state.meta.nbytes
+                if self._tenants:
+                    tenant = self._tenants.get(state.meta.chunk_id)
+                    if tenant is not None:
+                        self._tenant_pinned[(tenant, space)] += state.meta.nbytes
             staged.append(state.meta.chunk_id)
         self._staged.setdefault(task_id, []).extend(staged)
 
@@ -517,12 +617,20 @@ class MemoryManager:
         state.pins += 1
         if state.pins == 1 and state.space is not None:
             self._pinned[state.space] += state.meta.nbytes
+            if self._tenants:
+                tenant = self._tenants.get(state.meta.chunk_id)
+                if tenant is not None:
+                    self._tenant_pinned[(tenant, state.space)] += state.meta.nbytes
 
     def _unpin(self, state: _ChunkState) -> None:
         if state.pins > 0:
             state.pins -= 1
             if state.pins == 0 and state.space is not None:
                 self._pinned[state.space] -= state.meta.nbytes
+                if self._tenants:
+                    tenant = self._tenants.get(state.meta.chunk_id)
+                    if tenant is not None:
+                        self._tenant_pinned[(tenant, state.space)] -= state.meta.nbytes
 
     # ------------------------------------------------------------------ #
     # window-aware reservations (planned pre-eviction)
@@ -557,9 +665,12 @@ class MemoryManager:
         """
         target = min(nbytes, self._capacity[space])
         keep = {cid for cid in chunks if self._chunks.get(cid) is not None}
-        # What pre-eviction can achieve at most: everything unpinned and not
-        # part of the working set can go.  (O(|keep|) thanks to the counters.)
+        requester = self._requester_of([(cid, "any") for cid in chunks])
+        # What pre-eviction can achieve at most: everything unpinned, not
+        # part of the working set, and not protected by a rival tenant's
+        # quota can go.  (O(|keep|) thanks to the counters.)
         achievable = self.free_bytes(space) + self.evictable_bytes(space)
+        achievable -= self._protected_foreign_bytes(space, requester)
         for cid in keep:
             state = self._chunks[cid]
             if state.space == space and state.pins == 0:
@@ -569,7 +680,7 @@ class MemoryManager:
         self._in_reserve = True
         try:
             if target > self.free_bytes(space):
-                self._make_room(space, target, protect=keep)
+                self._make_room(space, target, protect=keep, requester=requester)
         except OutOfMemoryError:
             pass  # partial pre-eviction is still useful; staging copes
         finally:
@@ -604,12 +715,18 @@ class MemoryManager:
             return MemorySpace(self.worker, MemoryKind.DISK)
         return None
 
-    def _make_room(self, space: MemorySpace, nbytes: int, protect=frozenset()) -> None:
+    def _make_room(
+        self, space: MemorySpace, nbytes: int, protect=frozenset(), requester=None
+    ) -> None:
         """Evict LRU unpinned chunks from ``space`` until ``nbytes`` fit.
 
         ``protect`` names chunks that must not be evicted even though they are
         not pinned yet — the rest of the working set of the task currently
-        being staged.
+        being staged.  ``requester`` is the tenant asking for the room (or
+        ``None``): under tenant quotas, a rival tenant's chunks are only
+        eligible as victims while that tenant sits *above* its quota, and
+        only down to the quota line — its within-quota working set is as
+        untouchable as a pinned chunk.
 
         Victims come straight off the front of the per-space LRU index, so
         selection is O(1) per victim (plus any pinned/protected chunks walked
@@ -630,12 +747,25 @@ class MemoryManager:
             )
         else:
             candidates = self._lru[space].values()
+        quotas = self._tenant_quota
+        #: per rival tenant: bytes still evictable before hitting its quota
+        allowance: Dict[int, int] = {}
         victims: List[_ChunkState] = []
         for state in candidates:
             if missing <= 0:
                 break
             if state.pins or state.meta.chunk_id in protect:
                 continue
+            if quotas:
+                tenant = self._tenants.get(state.meta.chunk_id)
+                if tenant is not None and tenant != requester and tenant in quotas:
+                    left = allowance.get(tenant)
+                    if left is None:
+                        left = self._tenant_evictable(tenant, space)
+                    if state.meta.nbytes > left:
+                        allowance[tenant] = left
+                        continue
+                    allowance[tenant] = left - state.meta.nbytes
             victims.append(state)
             missing -= state.meta.nbytes
         # Moving a victim mutates the index, so evict after the walk.
@@ -645,7 +775,7 @@ class MemoryManager:
                 raise OutOfMemoryError(
                     f"cannot evict from {space}: no lower memory level exists"
                 )
-            self._make_room(lower, victim.meta.nbytes)
+            self._make_room(lower, victim.meta.nbytes, requester=requester)
             self._move(victim, lower, eviction=True)
         # Each eviction front-inserted its victim into the lower space, which
         # reverses the batch's relative order; re-front in reverse so the
@@ -676,6 +806,16 @@ class MemoryManager:
                 self._pinned[source] -= nbytes
         self._used[target] += nbytes
         self._lru[target][chunk_id] = state
+        if self._tenants:
+            tenant = self._tenants.get(chunk_id)
+            if tenant is not None:
+                if source is not None:
+                    self._tenant_used[(tenant, source)] -= nbytes
+                    if state.pins:
+                        self._tenant_pinned[(tenant, source)] -= nbytes
+                self._tenant_used[(tenant, target)] += nbytes
+                if state.pins:
+                    self._tenant_pinned[(tenant, target)] += nbytes
         if eviction:
             # Spilled data was the *least* recently used of its old space; it
             # enters the lower space first in line for the next spill, not as

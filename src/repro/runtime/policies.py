@@ -34,6 +34,13 @@ Available policies
 ``smallest``
     Prefer the task with the smallest total staged footprint, which maximises
     the number of concurrently staged tasks under the throttle.
+
+``fairshare``
+    Multi-tenant serving: prefer the task whose tenant has the smallest
+    weighted virtual finish tag on the serving system's fair-share clock
+    (see :mod:`repro.runtime.serving`), so a worker's backlog drains in
+    cross-tenant WFQ order.  Behaves like ``fifo`` when no serving layer
+    is attached.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ __all__ = [
     "LocalityPolicy",
     "PriorityPolicy",
     "SmallestFirstPolicy",
+    "FairSharePolicy",
     "POLICIES",
     "get_policy",
 ]
@@ -152,10 +160,48 @@ class SmallestFirstPolicy(SchedulingPolicy):
         return min(enumerate(backlog), key=footprint)[0]
 
 
+class FairSharePolicy(SchedulingPolicy):
+    """Cross-tenant WFQ order: smallest fair-share tag first.
+
+    The serving layer (:mod:`repro.runtime.serving`) publishes its
+    :class:`~repro.runtime.serving.FairShareClock` on the runtime as
+    ``fair_share`` and tags every submitted task with its tenant.  This
+    policy drains a worker's backlog in ascending order of each task's
+    tenant tag on that clock, so a backlog holding several tenants' tasks
+    is served in the same weighted order the admission scheduler used.
+    Untenanted tasks (or runtimes with no serving layer) rank first, which
+    degenerates to ``fifo`` on the single-tenant path.
+    """
+
+    name = "fairshare"
+
+    def select(self, backlog: Sequence[T.Task], scheduler: "object") -> int:
+        """Prefer the task of the tenant with the smallest virtual tag."""
+        runtime = getattr(scheduler, "runtime", None)
+        clock = getattr(runtime, "fair_share", None)
+        if clock is None:
+            return 0
+        task_tenant = runtime._task_tenant
+
+        def key(item: Tuple[int, T.Task]) -> Tuple[float, int]:
+            index, task = item
+            tenant = task_tenant.get(task.task_id)
+            tag = clock.tag_of(tenant) if tenant is not None else 0.0
+            return (tag, index)
+
+        return min(enumerate(backlog), key=key)[0]
+
+
 #: Registry of selectable policies, keyed by :attr:`SchedulingPolicy.name`.
 POLICIES: Dict[str, Type[SchedulingPolicy]] = {
     cls.name: cls
-    for cls in (FifoPolicy, LocalityPolicy, PriorityPolicy, SmallestFirstPolicy)
+    for cls in (
+        FifoPolicy,
+        LocalityPolicy,
+        PriorityPolicy,
+        SmallestFirstPolicy,
+        FairSharePolicy,
+    )
 }
 
 

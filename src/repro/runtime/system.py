@@ -15,7 +15,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Set
 
-from ..core.tasks import ExecutionPlan, TaskId
+from ..core.array import ArrayIdAllocator
+from ..core.chunk import ChunkIdAllocator
+from ..core.tasks import ExecutionPlan, TaskId, TaskIdAllocator
 from ..errors import SimulationStalled
 from ..hardware.specs import ClusterSpec
 from ..hardware.topology import Cluster
@@ -155,6 +157,21 @@ class RuntimeSystem:
         self.rpc = RpcChannel(self.engine, overheads.rpc_latency)
         self.kernel_registry: Dict[str, object] = {}
 
+        #: Shared id allocators.  All contexts attached to this runtime draw
+        #: from the same pools, so task/chunk/array ids stay globally unique
+        #: even under multi-tenant serving (multiple contexts, one runtime).
+        self.task_ids = TaskIdAllocator()
+        self.chunk_ids = ChunkIdAllocator()
+        self.array_ids = ArrayIdAllocator()
+        #: send/recv message tags share one sequence for the same reason:
+        #: the fabric keys in-flight messages by (src, dst, tag), and two
+        #: tenants' planners must never mint the same tag concurrently
+        self.message_tags = TaskIdAllocator()
+        #: chunk id -> owning tenant id; shared with every worker's memory
+        #: manager so quota accounting and eviction protection can attribute
+        #: residency.  Stays empty on the single-tenant path.
+        self.chunk_tenants: Dict[int, int] = {}
+
         #: Planning happens on the driver; one serial resource models it.
         self.driver_plan = ChannelResource(
             self.engine,
@@ -178,6 +195,7 @@ class RuntimeSystem:
                 stage_threshold=stage_threshold,
                 memory_capacities=memory_capacities,
                 scheduler_policy=scheduler_policy,
+                chunk_tenants=self.chunk_tenants,
             )
             worker.resources.set_nic_bandwidth(
                 cluster_spec.interconnect.bandwidth, cluster_spec.interconnect.latency
@@ -207,6 +225,22 @@ class RuntimeSystem:
         self.replicas_promoted = 0
         self.tasks_replayed = 0
         self.redistributes_forced = 0
+        #: Multi-tenant serving (:mod:`repro.runtime.serving`).  All of this
+        #: is dormant — and the hot path pays a single ``if`` — until the
+        #: first tenant-tagged plan arrives.  ``fair_share`` is set by the
+        #: serving layer to its :class:`~repro.runtime.serving.FairShareClock`
+        #: so the ``fairshare`` scheduling policy can consult it.
+        self._tenancy = False
+        self._task_tenant: Dict[TaskId, int] = {}
+        self._tenant_outstanding: Dict[int, int] = {}
+        self.tenant_tasks_submitted: Dict[int, int] = {}
+        self.tenant_tasks_completed: Dict[int, int] = {}
+        self.tenant_plans_submitted: Dict[int, int] = {}
+        self.fair_share = None
+        #: fired with the tenant id whenever a tenant's outstanding-task
+        #: count drops to zero (the serving loop uses it to detect job
+        #: completion without polling)
+        self.on_tenant_idle: Callable = None
 
     # ------------------------------------------------------------------ #
     # completion tracking (shared by all schedulers)
@@ -236,6 +270,16 @@ class RuntimeSystem:
         if callbacks is not None:
             for callback in callbacks:
                 callback()
+        if self._tenancy:
+            tenant = self._task_tenant.pop(task_id, None)
+            if tenant is not None:
+                self.tenant_tasks_completed[tenant] = (
+                    self.tenant_tasks_completed.get(tenant, 0) + 1
+                )
+                remaining = self._tenant_outstanding[tenant] - 1
+                self._tenant_outstanding[tenant] = remaining
+                if remaining == 0 and self.on_tenant_idle is not None:
+                    self.on_tenant_idle(tenant)
 
     @property
     def outstanding_tasks(self) -> int:
@@ -263,6 +307,20 @@ class RuntimeSystem:
         if self.record_plans:
             self.recorded_plans.append(plan)
         self._outstanding += plan.task_count
+        if plan.tenant is not None:
+            self._tenancy = True
+            tenant = plan.tenant
+            self.tenant_plans_submitted[tenant] = (
+                self.tenant_plans_submitted.get(tenant, 0) + 1
+            )
+            self.tenant_tasks_submitted[tenant] = (
+                self.tenant_tasks_submitted.get(tenant, 0) + plan.task_count
+            )
+            self._tenant_outstanding[tenant] = (
+                self._tenant_outstanding.get(tenant, 0) + plan.task_count
+            )
+            for task in plan.all_tasks():
+                self._task_tenant[task.task_id] = tenant
         # Re-stamping a cached plan template is much cheaper for the driver
         # than planning from scratch (the analysis passes are skipped).
         per_task = (
@@ -366,3 +424,37 @@ class RuntimeSystem:
         if name in self.kernel_registry:
             raise ValueError(f"kernel {name!r} already registered")
         self.kernel_registry[name] = kernel
+
+    # ------------------------------------------------------------------ #
+    # multi-tenant serving (see repro.runtime.serving)
+    # ------------------------------------------------------------------ #
+    def tenant_outstanding(self, tenant: int) -> int:
+        """Submitted-but-unfinished task count for one tenant."""
+        return self._tenant_outstanding.get(tenant, 0)
+
+    def set_tenant_quota(self, tenant: int, fraction: float) -> None:
+        """Cap ``tenant`` at ``fraction`` of every memory space's capacity.
+
+        The quota is *soft* (work-conserving): a tenant may exceed it while
+        capacity is idle, but its overage above the quota is fair game for
+        eviction when another tenant needs room — and a tenant within its
+        quota can never have its working set evicted by a rival's pressure.
+        """
+        for worker in self.workers:
+            worker.memory.set_tenant_quota(tenant, fraction)
+
+    def tenant_counters(self) -> Dict[int, Dict[str, int]]:
+        """Per-tenant counters (kept out of :class:`RuntimeStats`, whose dict
+        form is compared exactly against committed single-tenant baselines)."""
+        tenants = sorted(
+            set(self.tenant_plans_submitted) | set(self.tenant_tasks_submitted)
+        )
+        return {
+            tenant: {
+                "plans_submitted": self.tenant_plans_submitted.get(tenant, 0),
+                "tasks_submitted": self.tenant_tasks_submitted.get(tenant, 0),
+                "tasks_completed": self.tenant_tasks_completed.get(tenant, 0),
+                "outstanding": self._tenant_outstanding.get(tenant, 0),
+            }
+            for tenant in tenants
+        }

@@ -41,12 +41,18 @@ class Worker:
         stage_threshold: int = DEFAULT_STAGE_THRESHOLD,
         memory_capacities=None,
         scheduler_policy=None,
+        chunk_tenants=None,
     ):
         self.node = node
         self.worker_id = node.worker
         self.resources = WorkerResources(engine, node, overheads, trace)
         self.storage = ChunkStorage(materialize=functional)
-        self.memory = MemoryManager(node, self.resources, capacities=memory_capacities)
+        self.memory = MemoryManager(
+            node,
+            self.resources,
+            capacities=memory_capacities,
+            chunk_tenants=chunk_tenants,
+        )
         self.executor = TaskExecutor(
             node=node,
             resources=self.resources,

@@ -22,7 +22,7 @@ from repro.runtime.policies import POLICIES
 # registry / construction
 # --------------------------------------------------------------------------- #
 def test_policy_registry_contains_all_policies():
-    assert set(POLICIES) == {"fifo", "locality", "priority", "smallest"}
+    assert set(POLICIES) == {"fifo", "locality", "priority", "smallest", "fairshare"}
     for name, cls in POLICIES.items():
         assert cls.name == name
         assert issubclass(cls, SchedulingPolicy)
