@@ -26,6 +26,15 @@ Exposes the pieces a user needs without writing Python:
     trace file) on one shared simulated cluster under weighted fair-share
     scheduling, and print per-job latencies and per-tenant counters.
 
+``repro-bench checkpoint <workload> --n <size> --out job.ckpt [...]``
+    Run a workload to completion and write every live array to a chunked,
+    compressed checkpoint file (``run``'s flags apply; add ``--disk`` for
+    the modelled compression ratios and disk-lane cost accounting).
+
+``repro-bench restore <path> [--nodes N] [--gpus G] [...]``
+    Rebuild the arrays recorded in a checkpoint file onto a (possibly
+    different) simulated cluster and print what came back.
+
 The CLI is intentionally a thin shell over the same public API the examples
 use (`repro.bench`, `repro.autotune`), so its output matches what the
 benchmark suite records under ``benchmarks/results/``.
@@ -96,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_cache_arg(run)
     _add_window_args(run)
     _add_fault_args(run)
+    _add_disk_args(run)
     _add_stats_json_arg(run)
     _add_profile_args(run)
 
@@ -107,10 +117,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_cache_arg(sweep)
     _add_window_args(sweep)
     _add_fault_args(sweep)
+    _add_disk_args(sweep)
     _add_stats_json_arg(sweep)
     _add_profile_args(sweep)
 
     sub.add_parser("figures", help="list the paper's figures and how to regenerate them")
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run a workload and write its arrays to a checkpoint file",
+    )
+    checkpoint.add_argument("workload", choices=sorted(WORKLOADS))
+    checkpoint.add_argument("--n", type=float, required=True, help="problem size n")
+    checkpoint.add_argument(
+        "--out", required=True, metavar="PATH", help="checkpoint file to write"
+    )
+    checkpoint.add_argument(
+        "--mode", choices=("simulate", "functional"), default="functional",
+        help="functional (default) writes real compressed chunk payloads; "
+             "simulate writes an index-only checkpoint with modelled sizes",
+    )
+    _add_cluster_args(checkpoint)
+    _add_window_args(checkpoint)
+    _add_disk_args(checkpoint)
+    _add_stats_json_arg(checkpoint)
+
+    restore = sub.add_parser(
+        "restore", help="rebuild the arrays recorded in a checkpoint file"
+    )
+    restore.add_argument("path", metavar="PATH", help="checkpoint file to read")
+    restore.add_argument(
+        "--mode", choices=("simulate", "functional"), default="functional"
+    )
+    _add_cluster_args(restore)
+    _add_disk_args(restore)
+    _add_stats_json_arg(restore)
 
     serve = sub.add_parser(
         "serve", help="serve a multi-tenant job trace on one shared simulated cluster"
@@ -257,6 +298,31 @@ def _fault_kwargs(args: argparse.Namespace) -> dict:
     return {"faults": args.inject_faults, "fault_seed": args.fault_seed}
 
 
+def _add_disk_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--disk",
+        action="store_true",
+        help="enable the compressed disk tier: spilled chunks overflow from "
+             "host memory to simulated disk through (de)compression lanes, "
+             "and the window memory planner stages disk-resident inputs back "
+             "through host memory ahead of their launches (default: off)",
+    )
+    parser.add_argument(
+        "--disk-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the per-chunk compression-ratio model (default 0; "
+             "ratios are deterministic per seed+chunk+dtype)",
+    )
+
+
+def _disk_kwargs(args: argparse.Namespace) -> dict:
+    if not getattr(args, "disk", False):
+        return {}
+    return {"disk": True, "disk_seed": args.disk_seed}
+
+
 def _add_stats_json_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stats-json",
@@ -333,6 +399,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "plan_cache": args.plan_cache,
         **_window_kwargs(args),
         **_fault_kwargs(args),
+        **_disk_kwargs(args),
     }
     if args.scheduler_policy:
         context_kwargs["scheduler_policy"] = args.scheduler_policy
@@ -368,6 +435,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "plan_cache": args.plan_cache,
                     **_window_kwargs(args),
                     **_fault_kwargs(args),
+                    **_disk_kwargs(args),
                 },
             )
             points.append(point)
@@ -504,6 +572,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .bench import make_context
+    from .kernels import create_workload
+
+    ctx = make_context(
+        nodes=args.nodes,
+        gpus_per_node=args.gpus,
+        mode=args.mode,
+        **_window_kwargs(args),
+        **_disk_kwargs(args),
+    )
+    workload = create_workload(args.workload, ctx, int(args.n))
+    workload.run()
+    manifest = ctx.checkpoint(args.out)
+    stats = ctx.stats()
+    chunks = sum(len(a["chunks"]) for a in manifest["arrays"])
+    raw = stats.checkpoint_bytes_raw
+    stored = stats.checkpoint_bytes_stored
+    ratio = raw / stored if stored else 0.0
+    print(f"checkpointed {len(manifest['arrays'])} array(s), {chunks} chunk(s) "
+          f"to {args.out}")
+    print(f"raw {raw / 1e6:.2f} MB -> stored {stored / 1e6:.2f} MB "
+          f"(ratio {ratio:.2f}x), virtual time {ctx.virtual_time:.4f} s")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats.to_dict())
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from .bench import make_context
+
+    ctx = make_context(
+        nodes=args.nodes,
+        gpus_per_node=args.gpus,
+        mode=args.mode,
+        **_disk_kwargs(args),
+    )
+    restored = ctx.restore(args.path)
+    stats = ctx.stats()
+    print(f"restored {len(restored)} array(s) ({stats.chunks_restored} stored "
+          f"chunk(s)) onto {args.nodes}x{args.gpus} GPUs, "
+          f"virtual time {ctx.virtual_time:.4f} s")
+    for key, array in restored.items():
+        print(f"  {key}: shape {tuple(array.shape)}, dtype {array.dtype.name}, "
+              f"{len(array.chunks)} chunk(s), {type(array.distribution).__name__}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats.to_dict())
+    return 0
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "run": _cmd_run,
@@ -511,6 +629,8 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "advise": _cmd_advise,
     "serve": _cmd_serve,
+    "checkpoint": _cmd_checkpoint,
+    "restore": _cmd_restore,
 }
 
 

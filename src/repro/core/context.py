@@ -75,6 +75,8 @@ class Context:
         window_memory: bool = True,
         faults: object = None,
         fault_seed: int = 0,
+        disk: bool = False,
+        disk_seed: int = 0,
         lazy: bool = True,
         runtime: Optional[RuntimeSystem] = None,
         tenant: Optional[int] = None,
@@ -89,6 +91,11 @@ class Context:
                 raise ArgumentValueError(
                     "faults must be configured on the serving system, not on "
                     "a tenant context attached to a shared runtime"
+                )
+            if disk:
+                raise ArgumentValueError(
+                    "the disk tier must be configured on the serving system, "
+                    "not on a tenant context attached to a shared runtime"
                 )
             self.runtime = runtime
             self.mode = runtime.mode
@@ -152,6 +159,15 @@ class Context:
         #: spec string, or None (the default: zero-overhead fault-free path).
         #: Even an empty FaultSpec() enables lineage tracking, so tests can
         #: trigger failures manually through :meth:`fail_device`.
+        #: Disk tier: ``disk=True`` turns on the compressed third memory level
+        #: (spill-to-disk with per-chunk compression ratios drawn
+        #: deterministically from ``disk_seed``) and the planner's staged
+        #: disk→host promotions.  Off by default: the two-level baseline path
+        #: stays bit-identical to builds without the disk tier.
+        if disk and runtime is None:
+            from ..perfmodel.compression import CompressionModel
+
+            self.runtime.enable_disk_model(CompressionModel(seed=disk_seed))
         self.fault_injector = None
         if faults is not None:
             from ..runtime.recovery import LineageTracker
@@ -507,6 +523,157 @@ class Context:
         return new_meta
 
     # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+    @property
+    def disk_enabled(self) -> bool:
+        """True when the compressed disk tier is active on this runtime."""
+        return self.runtime.disk_model is not None
+
+    def checkpoint(self, path: str) -> Dict[str, object]:
+        """Write every live array to a chunked checkpoint file at ``path``.
+
+        Synchronises first (the checkpoint captures a quiescent point), then
+        writes a bloscpack-style container: zlib-compressed per-chunk
+        payloads plus a JSON footer index recording each chunk's offset,
+        length, CRC-32 and region alongside per-array metadata (shape, dtype,
+        name and serialised distribution).  The simulated cost — compression
+        at the codec lane's throughput plus the *stored* bytes over the disk
+        write link — is charged on each chunk's owning worker.
+
+        When fault tolerance is enabled, every captured chunk version is
+        marked *durable* in the lineage tracker: a later device failure
+        reloads it from the file instead of replaying its producers, so only
+        non-checkpointed lineage is recomputed.  Returns the manifest.
+        """
+        from ..runtime import checkpoint as _ckpt
+
+        self.synchronize()
+        runtime = self.runtime
+        manifest: Dict[str, object] = {
+            "format": "repro-checkpoint",
+            "version": _ckpt.CHECKPOINT_VERSION,
+            "mode": self.mode.value,
+            "cluster": {
+                "nodes": self.cluster.spec.node_count,
+                "gpus_per_node": self.cluster.spec.node.gpu_count,
+            },
+            "arrays": [],
+        }
+        captured: List[Tuple[ChunkMeta, Dict[str, object]]] = []
+        total_raw = total_stored = 0
+        for array in sorted(self.arrays.values(), key=lambda a: a.array_id):
+            array_entry: Dict[str, object] = {
+                "name": array.name,
+                "array_id": array.array_id,
+                "shape": list(array.shape),
+                "dtype": array.dtype.name,
+                "distribution": _ckpt.encode_distribution(array.distribution),
+                "chunks": [],
+            }
+            for chunk in array.chunks:
+                worker = runtime.workers[chunk.worker]
+                raw = chunk.nbytes
+                entry: Dict[str, object] = {
+                    "chunk_id": chunk.chunk_id,
+                    "region": [list(chunk.region.lo), list(chunk.region.hi)],
+                    "home": [chunk.home.worker, chunk.home.local_index],
+                    "raw": raw,
+                }
+                if self.functional:
+                    payload = _ckpt.compress_payload(
+                        worker.storage.buffer(chunk.chunk_id)
+                    )
+                    stored = len(payload)
+                    entry["payload"] = payload
+                else:
+                    model = runtime.disk_model
+                    stored = (
+                        model.stored_bytes(chunk.chunk_id, chunk.dtype, raw)
+                        if model is not None
+                        else raw
+                    )
+                entry["stored"] = stored
+                array_entry["chunks"].append(entry)
+                captured.append((chunk, entry))
+                total_raw += raw
+                total_stored += stored
+                # Charge the capture in virtual time on the owning worker:
+                # raw bytes through the codec, stored bytes onto disk.
+                worker.resources.compress.request(
+                    raw, lambda: None, label="checkpoint compress"
+                )
+                worker.resources.disk_write.request(
+                    stored, lambda: None, label="checkpoint write"
+                )
+            manifest["arrays"].append(array_entry)
+        _ckpt.write_checkpoint(path, manifest)
+        runtime.run_until_idle()
+        runtime.checkpoints_written += 1
+        runtime.chunks_checkpointed += len(captured)
+        runtime.checkpoint_bytes_raw += total_raw
+        runtime.checkpoint_bytes_stored += total_stored
+        if runtime.lineage is not None and self.functional:
+            for chunk, entry in captured:
+                runtime.lineage.note_durable(
+                    chunk.chunk_id,
+                    _ckpt.make_loader(
+                        path, entry, chunk.dtype, chunk.region.shape
+                    ),
+                )
+        return manifest
+
+    def restore(self, path: str) -> Dict[str, "DistributedArray"]:
+        """Rebuild every array recorded in the checkpoint at ``path``.
+
+        Each array is recreated under its serialised distribution, evaluated
+        against *this* context's device list — a checkpoint taken on one
+        cluster restores onto another (including a shrunken post-failure
+        one).  In functional mode the chunk payloads are checksum-verified,
+        decompressed and reassembled, so restored contents are bit-identical
+        to what :meth:`checkpoint` captured.  The simulated cost — stored
+        bytes over the disk read link, raw bytes through the decompress
+        lane — is charged on each recorded home worker (clamped to the
+        current cluster).  Returns ``{name_or_array_<id>: array}``.
+        """
+        from ..runtime import checkpoint as _ckpt
+
+        manifest = _ckpt.read_manifest(path)
+        runtime = self.runtime
+        restored: Dict[str, DistributedArray] = {}
+        worker_count = len(runtime.workers)
+        for array_entry in manifest["arrays"]:
+            distribution = _ckpt.decode_distribution(array_entry["distribution"])
+            dtype = np.dtype(array_entry["dtype"])
+            shape = tuple(int(s) for s in array_entry["shape"])
+            entries = array_entry["chunks"]
+            has_payload = any(entry["length"] for entry in entries)
+            if self.functional and has_payload:
+                data = np.zeros(shape, dtype=dtype)
+                for entry in entries:
+                    data[_ckpt.region_slices(entry["region"])] = _ckpt.load_chunk(
+                        path, entry, dtype, _ckpt.region_shape(entry["region"])
+                    )
+                array = self.from_numpy(data, distribution, name=array_entry["name"])
+            else:
+                array = self.empty(
+                    shape, distribution, dtype=dtype, name=array_entry["name"]
+                )
+            for entry in entries:
+                worker = runtime.workers[int(entry["home"][0]) % worker_count]
+                worker.resources.disk_read.request(
+                    int(entry["stored"]), lambda: None, label="restore read"
+                )
+                worker.resources.decompress.request(
+                    int(entry["raw"]), lambda: None, label="restore decompress"
+                )
+            runtime.chunks_restored += len(entries)
+            key = array_entry["name"] or f"array_{array_entry['array_id']}"
+            restored[key] = array
+        self.synchronize()
+        return restored
+
+    # ------------------------------------------------------------------ #
     # kernels
     # ------------------------------------------------------------------ #
     def compile(self, definition: KernelDef) -> CompiledKernel:
@@ -622,6 +789,7 @@ class Context:
         stats.reductions_fused = self.window.reductions_fused
         stats.transfers_prefetched = self.window.transfers_prefetched
         stats.window_memory_plans = self.window.memory_plans
+        stats.disk_promotions_staged = self.window.staged_promotions
         stats.plan_cache_invalidations = self.planner.cache.invalidations
         stats.exprs_lowered = self.expr.exprs_lowered
         stats.expr_nodes_fused = self.expr.expr_nodes_fused

@@ -83,6 +83,9 @@ class _PromoteSpec:
     nbytes: int
     #: index of the drain unit whose staging this promotion front-runs
     unit_index: int
+    #: ``"gpu"`` for a full promotion to the home GPU, ``"host"`` for the
+    #: staged disk→host hop planned when the GPU space is overflowing
+    target: str = "gpu"
 
 
 @dataclass
@@ -128,6 +131,10 @@ class WindowMemoryPlanner:
         self.plans_emitted = 0
         self.promotions_planned = 0
         self.preevictions_requested = 0
+        #: disk-resident prefetch candidates promoted to *host* memory only
+        #: (their home GPU space was overflowing, so a full promotion would
+        #: thrash) — the third-level half of hierarchy-aware prefetch
+        self.staged_promotions_planned = 0
 
     # ------------------------------------------------------------------ #
     # group working sets
@@ -271,12 +278,23 @@ class WindowMemoryPlanner:
         are the chunks planned pre-eviction just made room for and pinning
         protects until use; in a space with free room any spilled candidate
         is promoted into the slack; and in an overflowing space (``"none"``)
-        promotion stands down entirely, because a promoted chunk would only
+        a *full* promotion stands down, because a promoted chunk would only
         displace sooner-used data and be evicted again before its use.
         Either way the total is capped by the scheduler's staging budget for
         the device.
+
+        Candidates denied a full promotion that currently live on **disk**
+        are instead promoted one level, to host memory (a
+        :class:`~repro.core.tasks.PromoteChunkTask` with ``target="host"``):
+        the slow, compressed disk read happens ahead of use, overlapped with
+        compute, and the consumer's reactive staging pays only the PCIe hop.
+        Where the staged bytes exceed the host space's free room, a host
+        reserve is emitted alongside, pre-evicting host LRU victims to disk
+        so the three levels stream concurrently.
         """
         promoted_bytes: Dict[MemorySpace, int] = {}
+        #: per host space: [(chunk id, bytes)] staged up from disk
+        host_staged: Dict[MemorySpace, List[Tuple[ChunkId, int]]] = {}
         seen: set = set()
         for unit_index, unit in enumerate(units):
             if not unit.prefetch:
@@ -297,16 +315,21 @@ class WindowMemoryPlanner:
                 if residency is None or residency.kind is MemoryKind.GPU:
                     continue  # unallocated or already up: nothing to promote
                 regime, keep = regime_by_space.get(space, ("free", None))
-                if regime == "none":
-                    continue  # overflowing space: promotion would thrash
-                spent = promoted_bytes.get(space, 0)
                 allowance = self.runtime.workers[space.worker].scheduler.stage_threshold
-                if regime == "keep":
-                    if cid not in keep:
-                        continue  # only refill what pre-eviction made room for
-                else:
+                denied = False
+                if regime == "none":
+                    denied = True  # overflowing space: full promotion would thrash
+                elif regime == "keep" and cid not in keep:
+                    denied = True  # only refill what pre-eviction made room for
+                elif regime == "free":
                     allowance = min(allowance, memory.free_bytes(space))
-                if spent + meta.nbytes > allowance:
+                spent = promoted_bytes.get(space, 0)
+                if not denied and spent + meta.nbytes > allowance:
+                    denied = True
+                if denied:
+                    self._stage_from_disk(
+                        memory_plan, memory, residency, meta, unit_index, host_staged
+                    )
                     continue
                 promoted_bytes[space] = spent + meta.nbytes
                 memory_plan.promote_specs.append(_PromoteSpec(
@@ -317,6 +340,75 @@ class WindowMemoryPlanner:
                 ))
                 memory_plan.promotions += 1
                 self.promotions_planned += 1
+
+    def _stage_from_disk(
+        self,
+        memory_plan: GroupMemoryPlan,
+        memory: "object",
+        residency: MemorySpace,
+        meta: "object",
+        unit_index: int,
+        host_staged: Dict[MemorySpace, List[Tuple[ChunkId, int]]],
+    ) -> None:
+        """Plan one disk→host staged promotion (with host pre-eviction).
+
+        Called for prefetch candidates whose full promotion to the home GPU
+        was denied; only disk-resident chunks qualify (host-resident ones are
+        already one PCIe hop from their consumer).
+        """
+        if residency.kind is not MemoryKind.DISK:
+            return
+        if getattr(memory, "disk_model", None) is None:
+            # Staged promotions are part of the opt-in compressed disk tier
+            # (Context(disk=True)); without it the planner behaves exactly as
+            # before, keeping pre-disk-tier baselines bit-identical.
+            return
+        host = self.runtime.workers[residency.worker].node.host_space
+        worker = self.runtime.workers[residency.worker]
+        staged = host_staged.setdefault(host, [])
+        staged_bytes = sum(nbytes for _, nbytes in staged)
+        allowance = min(
+            worker.scheduler.stage_threshold,
+            memory.free_bytes(host) + memory.evictable_bytes(host),
+        )
+        if staged_bytes + meta.nbytes > allowance:
+            return
+        staged.append((meta.chunk_id, meta.nbytes))
+        memory_plan.promote_specs.append(_PromoteSpec(
+            chunk_id=meta.chunk_id,
+            device=meta.home,
+            nbytes=meta.nbytes,
+            unit_index=unit_index,
+            target="host",
+        ))
+        memory_plan.promotions += 1
+        self.staged_promotions_planned += 1
+        # The host space must make room for the staged bytes ahead of the
+        # disk reads: pre-evict host LRU victims down to disk (unpinned —
+        # the staged chunks are only *protected*, the group may still spill
+        # them if its own host working set grows).
+        staged_bytes += meta.nbytes
+        if staged_bytes > memory.free_bytes(host):
+            chunk_ids = tuple(cid for cid, _ in staged)
+            for spec in memory_plan.reserve_specs:
+                if spec.space == host:
+                    spec.chunk_ids = chunk_ids
+                    spec.nbytes = max(spec.nbytes, staged_bytes)
+                    spec.deps = tuple(dict.fromkeys(
+                        spec.deps + self._conflict_deps((meta.chunk_id,))
+                    ))
+                    break
+            else:
+                memory_plan.reserve_specs.append(_ReserveSpec(
+                    space=host,
+                    chunk_ids=chunk_ids,
+                    nbytes=staged_bytes,
+                    reservation=next(self._reservation_ids),
+                    pin=False,
+                    deps=self._conflict_deps(chunk_ids),
+                ))
+                memory_plan.reserved_chunks += len(chunk_ids)
+                self.preevictions_requested += 1
 
     def _conflict_deps(self, chunk_ids: Sequence[ChunkId], kind: str = "write") -> Tuple[int, ...]:
         """Every earlier task touching ``chunk_ids``, per the conflict tables.
@@ -410,11 +502,13 @@ class WindowMemoryPlanner:
                 task_id=self.planner.allocate_task_id(),
                 worker=worker,
                 deps=tuple(dict.fromkeys(conflict_deps + anchor_ids)),
-                label=f"promote {spec.chunk_id}",
+                label=f"promote {spec.chunk_id}"
+                      + (" (to host)" if spec.target == "host" else ""),
                 priority=1,
                 chunk_id=spec.chunk_id,
                 device=spec.device,
                 nbytes=spec.nbytes,
+                target=spec.target,
             )
             plan.add(task)
             # The promotion is a reader of the chunk: writers stamped after

@@ -136,6 +136,11 @@ class LaunchWindow:
         #: timeline anchor for the next drain's reserve/promotion tasks
         self._previous_group_tail: Dict[int, List[int]] = {}
 
+    @property
+    def staged_promotions(self) -> int:
+        """Disk→host staged promotions planned (three-level prefetch)."""
+        return self.memplan.staged_promotions_planned if self.memplan else 0
+
     # ------------------------------------------------------------------ #
     # filling
     # ------------------------------------------------------------------ #

@@ -350,10 +350,16 @@ class PromoteChunkTask(Task):
     chunk_id: ChunkId = 0
     device: DeviceId = None  # type: ignore[assignment]
     nbytes: int = 0
+    #: promotion level: ``"gpu"`` pulls the chunk all the way to its home
+    #: GPU; ``"host"`` stages a disk-resident chunk into host memory only —
+    #: the window plans these when the GPU space is overflowing, so the
+    #: consumer's reactive staging pays one PCIe hop instead of the full
+    #: disk→host→GPU chain
+    target: str = "gpu"
 
     def chunk_requirements(self):
-        """The promoted chunk, staged to its home GPU."""
-        return ((self.chunk_id, "gpu"),)
+        """The promoted chunk, staged to its target level of the hierarchy."""
+        return ((self.chunk_id, self.target),)
 
 
 @dataclass

@@ -17,6 +17,8 @@ message instead of a traceback.  The concrete classes also co-inherit from
 * :class:`SimulationStalled` — the event queue drained while tasks were still
   outstanding (a latent deadlock); the message lists the stuck tasks and the
   resources they wait on.
+* :class:`CheckpointError` — a checkpoint file is missing, truncated, corrupt
+  (checksum mismatch), or written by an incompatible format version.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ __all__ = [
     "ArgumentValueError",
     "FaultError",
     "SimulationStalled",
+    "CheckpointError",
 ]
 
 
@@ -56,3 +59,8 @@ class FaultError(ReproError, RuntimeError):
 
 class SimulationStalled(ReproError, RuntimeError):
     """The simulator ran out of events while tasks were still pending."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file cannot be read back: bad magic, truncated footer,
+    per-chunk checksum mismatch, or an unknown distribution type."""

@@ -67,13 +67,24 @@ class CPUSpec:
 
 @dataclass(frozen=True)
 class DiskSpec:
-    """Local scratch storage used as the lowest spill tier."""
+    """Local scratch storage used as the lowest spill tier.
+
+    ``read_bandwidth``/``write_bandwidth`` are the per-direction sequential
+    throughputs of the device (SSDs are asymmetric); the compressed disk
+    tier (``Context(disk=True)``) models chunks as (de)compressed on the
+    host CPU while they stream to/from disk, so ``compress_throughput`` /
+    ``decompress_throughput`` are in *uncompressed* bytes per second.
+    """
 
     name: str
     capacity_bytes: int
     read_bandwidth: float
     write_bandwidth: float
     latency: float = 100e-6
+    #: host-side compression speed in uncompressed bytes/s (LZ4-class)
+    compress_throughput: float = 1.8e9
+    #: host-side decompression speed in uncompressed bytes/s
+    decompress_throughput: float = 3.6e9
 
 
 @dataclass(frozen=True)

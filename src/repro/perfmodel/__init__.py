@@ -16,6 +16,7 @@ The goal is to reproduce the *shape* of the paper's results (crossovers,
 scaling curves, who wins), not its absolute numbers.
 """
 
+from .compression import CompressionModel, DEFAULT_DISK_SEED
 from .costs import (
     KernelCost,
     OverheadModel,
@@ -26,6 +27,8 @@ from .costs import (
 )
 
 __all__ = [
+    "CompressionModel",
+    "DEFAULT_DISK_SEED",
     "KernelCost",
     "OverheadModel",
     "kernel_time",

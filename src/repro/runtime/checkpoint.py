@@ -1,0 +1,230 @@
+"""Checkpoint file format for :meth:`Context.checkpoint` / ``restore``.
+
+The on-disk layout is a bloscpack-style single-file container: a fixed magic
+header, the per-chunk compressed payloads back to back, and a JSON *footer*
+index that records, for every chunk, its byte offset, compressed length,
+raw size, CRC-32 checksum and region — plus per-array metadata (shape,
+dtype, name and the serialised data distribution) so a restore can rebuild
+the arrays without any out-of-band information::
+
+    +--------+---------+---------+-----+---------------+----------------+
+    | magic  | chunk 0 | chunk 1 | ... | JSON footer   | len | magic    |
+    | 8 B    | zlib    | zlib    |     | (manifest)    | u64 | 8 B      |
+    +--------+---------+---------+-----+---------------+----------------+
+
+The trailer (footer length + repeated magic) lets a reader seek straight to
+the index from the end of the file; every payload is independently
+decompressible, which is what lineage recovery relies on — a durable chunk
+is loaded back by seeking to its offset, nothing else is touched.
+
+Payloads are ``zlib``-compressed (stdlib; the simulated codec lanes charge
+virtual time separately, see :mod:`repro.perfmodel.compression`).  In
+simulate mode no real bytes exist, so payloads are empty and the manifest
+records the cost-model's *modelled* stored size instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CHECKPOINT_ZLIB_LEVEL",
+    "encode_distribution",
+    "decode_distribution",
+    "compress_payload",
+    "write_checkpoint",
+    "read_manifest",
+    "load_chunk",
+]
+
+#: 8-byte magic identifying a repro checkpoint container.
+CHECKPOINT_MAGIC = b"RPROCKP1"
+#: Bumped on any incompatible layout change; readers reject other versions.
+CHECKPOINT_VERSION = 1
+#: zlib level for chunk payloads: fast, deterministic across runs.
+CHECKPOINT_ZLIB_LEVEL = 1
+
+_TRAILER = struct.Struct("<Q8s")
+
+
+# --------------------------------------------------------------------------- #
+# distribution (de)serialisation
+# --------------------------------------------------------------------------- #
+def encode_distribution(distribution) -> Dict[str, object]:
+    """Serialise a data distribution as ``{"type": name, "params": {...}}``.
+
+    Every shipped distribution is a frozen dataclass whose fields are ints
+    or int tuples, so ``dataclasses.asdict`` round-trips through JSON.
+    """
+    params = {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in dataclasses.asdict(distribution).items()
+    }
+    return {"type": type(distribution).__name__, "params": params}
+
+
+def decode_distribution(spec: Dict[str, object]):
+    """Rebuild a distribution from :func:`encode_distribution` output."""
+    from ..core import distributions as _dist
+
+    name = spec.get("type")
+    cls = getattr(_dist, str(name), None)
+    if not (isinstance(cls, type) and issubclass(cls, _dist.DataDistribution)):
+        raise CheckpointError(f"checkpoint references unknown distribution {name!r}")
+    params = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in dict(spec.get("params", {})).items()
+    }
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise CheckpointError(f"bad parameters for distribution {name!r}: {exc}") from None
+
+
+# --------------------------------------------------------------------------- #
+# writer
+# --------------------------------------------------------------------------- #
+def compress_payload(buffer: np.ndarray) -> bytes:
+    """Compress one chunk buffer into its on-disk payload."""
+    raw = np.ascontiguousarray(buffer).tobytes()
+    return zlib.compress(raw, CHECKPOINT_ZLIB_LEVEL)
+
+
+def write_checkpoint(path: str, manifest: Dict[str, object]) -> Dict[str, object]:
+    """Write payloads and footer index to ``path``; returns the manifest.
+
+    ``manifest["arrays"][i]["chunks"][j]`` entries may carry a ``"payload"``
+    bytes value; the writer pops it, appends it to the file, and fills in the
+    entry's ``offset`` / ``length`` / ``crc32`` fields in place.  Entries
+    without a payload (simulate mode) get ``length == 0``.
+    """
+    with open(path, "wb") as fh:
+        fh.write(CHECKPOINT_MAGIC)
+        offset = len(CHECKPOINT_MAGIC)
+        for array_entry in manifest["arrays"]:
+            for entry in array_entry["chunks"]:
+                payload = entry.pop("payload", b"")
+                entry["offset"] = offset
+                entry["length"] = len(payload)
+                entry["crc32"] = zlib.crc32(payload) & 0xFFFFFFFF
+                fh.write(payload)
+                offset += len(payload)
+        footer = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+        fh.write(footer)
+        fh.write(_TRAILER.pack(len(footer), CHECKPOINT_MAGIC))
+    return manifest
+
+
+# --------------------------------------------------------------------------- #
+# reader
+# --------------------------------------------------------------------------- #
+def read_manifest(path: str) -> Dict[str, object]:
+    """Read and validate the footer index of a checkpoint file."""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(len(CHECKPOINT_MAGIC))
+            if head != CHECKPOINT_MAGIC:
+                raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
+            fh.seek(0, 2)
+            size = fh.tell()
+            if size < len(CHECKPOINT_MAGIC) + _TRAILER.size:
+                raise CheckpointError(f"{path}: truncated checkpoint file")
+            fh.seek(size - _TRAILER.size)
+            footer_len, tail_magic = _TRAILER.unpack(fh.read(_TRAILER.size))
+            if tail_magic != CHECKPOINT_MAGIC:
+                raise CheckpointError(f"{path}: truncated checkpoint (bad trailer)")
+            footer_start = size - _TRAILER.size - footer_len
+            if footer_start < len(CHECKPOINT_MAGIC):
+                raise CheckpointError(f"{path}: corrupt footer length")
+            fh.seek(footer_start)
+            footer = fh.read(footer_len)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+    try:
+        manifest = json.loads(footer.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: corrupt checkpoint index: {exc}") from None
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    return manifest
+
+
+def load_chunk(
+    path: str,
+    entry: Dict[str, object],
+    dtype,
+    shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Load one chunk payload back as a writable NumPy array.
+
+    Verifies the payload's CRC-32 against the index before decompressing,
+    so silent on-disk corruption surfaces as :class:`CheckpointError`
+    instead of wrong numbers.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(int(entry["offset"]))
+            payload = fh.read(int(entry["length"]))
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+    if len(payload) != int(entry["length"]):
+        raise CheckpointError(f"{path}: truncated chunk payload at {entry['offset']}")
+    if zlib.crc32(payload) & 0xFFFFFFFF != int(entry["crc32"]):
+        raise CheckpointError(
+            f"{path}: checksum mismatch for chunk {entry.get('chunk_id')} "
+            "(corrupt payload)"
+        )
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise CheckpointError(f"{path}: undecompressible chunk payload: {exc}") from None
+    data = np.frombuffer(raw, dtype=dtype)
+    expected = int(np.prod(shape)) if shape else 1
+    if data.size != expected:
+        raise CheckpointError(
+            f"{path}: chunk {entry.get('chunk_id')} decodes to {data.size} "
+            f"elements, expected {expected}"
+        )
+    return data.reshape(shape).copy()
+
+
+def region_slices(region: List[List[int]]) -> Tuple[slice, ...]:
+    """Slices selecting a serialised ``[lo, hi]`` region inside its array."""
+    lo, hi = region
+    return tuple(slice(int(a), int(b)) for a, b in zip(lo, hi))
+
+
+def region_shape(region: List[List[int]]) -> Tuple[int, ...]:
+    """Shape of a serialised ``[lo, hi]`` region."""
+    lo, hi = region
+    return tuple(int(b) - int(a) for a, b in zip(lo, hi))
+
+
+def make_loader(path: str, entry: Dict[str, object], dtype, shape: Tuple[int, ...]):
+    """A zero-argument loader closure for :meth:`LineageTracker.note_durable`."""
+
+    def _load() -> np.ndarray:
+        return load_chunk(path, entry, dtype, shape)
+
+    return _load
+
+
+def chunk_entries(manifest: Dict[str, object]):
+    """Iterate ``(array_entry, chunk_entry)`` pairs of a manifest."""
+    for array_entry in manifest["arrays"]:
+        for entry in array_entry["chunks"]:
+            yield array_entry, entry

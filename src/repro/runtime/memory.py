@@ -62,6 +62,11 @@ class MemoryStats:
     bytes_from_gpu: int = 0
     bytes_to_disk: int = 0
     bytes_from_disk: int = 0
+    #: compressed (on-disk) bytes actually written/read by the disk tier;
+    #: equal to ``bytes_to_disk``/``bytes_from_disk`` when the compression
+    #: model is off, smaller when it is on (``Context(disk=True)``)
+    disk_stored_bytes_written: int = 0
+    disk_stored_bytes_read: int = 0
     evictions_to_host: int = 0
     evictions_to_disk: int = 0
     #: evictions performed reactively inside a staging transaction (the
@@ -137,6 +142,14 @@ class MemoryManager:
         #: the per-space counters so quota checks never scan chunks
         self._tenant_used: Dict[Tuple[int, MemorySpace], int] = defaultdict(int)
         self._tenant_pinned: Dict[Tuple[int, MemorySpace], int] = defaultdict(int)
+        #: Compressed disk tier (``Context(disk=True)``): a
+        #: :class:`~repro.perfmodel.compression.CompressionModel` sampling a
+        #: deterministic per-chunk compression ratio.  When set, disk
+        #: transfers charge *compressed* bytes on the per-direction disk
+        #: lanes plus the raw bytes on the host codec lanes; when ``None``
+        #: (the default) the legacy symmetric ``disk`` link is used and
+        #: behaviour is bit-identical to pre-disk-tier baselines.
+        self.disk_model = None
 
         self._capacity: Dict[MemorySpace, int] = {}
         self._used: Dict[MemorySpace, int] = {}
@@ -539,6 +552,17 @@ class MemoryManager:
                     if st.space == space and st.pins == 0:
                         evictable -= st.meta.nbytes
             evictable -= self._protected_foreign_bytes(space, requester)
+            lower = self._lower_space(space)
+            if lower is not None and self._pinned[lower]:
+                # Staged disk→host promotions pin host bytes while their
+                # disk reads are in flight; during that window the eviction
+                # cascade out of this space can only push down what the
+                # lower level can still receive.  (Zero pinned bytes below —
+                # always, without the disk tier — leaves the check as-is.)
+                receivable = self.free_bytes(lower) + (
+                    self._used[lower] - self._pinned[lower]
+                )
+                evictable = min(evictable, max(0, receivable))
             if self.free_bytes(space) + evictable < nbytes:
                 return False
 
@@ -748,6 +772,17 @@ class MemoryManager:
         else:
             candidates = self._lru[space].values()
         quotas = self._tenant_quota
+        lower_space = self._lower_space(space)
+        #: bytes the next level down can still receive; ``None`` = unbounded.
+        #: Only bounded while the lower level holds *pinned* bytes (staged
+        #: disk→host promotions in flight) — a victim flowing down becomes
+        #: unpinned there, so the budget does not shrink as the walk moves
+        #: victims, but a victim larger than the budget can never cascade.
+        receivable: Optional[int] = None
+        if lower_space is not None and self._pinned[lower_space]:
+            receivable = self.free_bytes(lower_space) + (
+                self._used[lower_space] - self._pinned[lower_space]
+            )
         #: per rival tenant: bytes still evictable before hitting its quota
         allowance: Dict[int, int] = {}
         victims: List[_ChunkState] = []
@@ -755,6 +790,8 @@ class MemoryManager:
             if missing <= 0:
                 break
             if state.pins or state.meta.chunk_id in protect:
+                continue
+            if receivable is not None and state.meta.nbytes > receivable:
                 continue
             if quotas:
                 tenant = self._tenants.get(state.meta.chunk_id)
@@ -833,7 +870,7 @@ class MemoryManager:
         if source is None:
             return []  # fresh allocation from the pool: no data to move
 
-        transfers = self._transfer_requests(source, target, nbytes)
+        transfers = self._transfer_requests(source, target, state.meta)
         if eviction:
             if target.kind is MemoryKind.HOST:
                 self.stats.evictions_to_host += 1
@@ -850,9 +887,38 @@ class MemoryManager:
             return []
         return transfers
 
-    def _transfer_requests(self, source: MemorySpace, target: MemorySpace, nbytes: int):
+    def _disk_write_requests(self, meta: ChunkMeta):
+        """The requests that write one chunk to the disk tier."""
+        nbytes = meta.nbytes
+        self.stats.bytes_to_disk += nbytes
+        if self.disk_model is None:
+            self.stats.disk_stored_bytes_written += nbytes
+            return [(self.resources.disk, nbytes, "spill to disk")]
+        stored = self.disk_model.stored_bytes(meta.chunk_id, meta.dtype, nbytes)
+        self.stats.disk_stored_bytes_written += stored
+        return [
+            (self.resources.compress, nbytes, "compress"),
+            (self.resources.disk_write, stored, "spill to disk"),
+        ]
+
+    def _disk_read_requests(self, meta: ChunkMeta):
+        """The requests that read one chunk back from the disk tier."""
+        nbytes = meta.nbytes
+        self.stats.bytes_from_disk += nbytes
+        if self.disk_model is None:
+            self.stats.disk_stored_bytes_read += nbytes
+            return [(self.resources.disk, nbytes, "read from disk")]
+        stored = self.disk_model.stored_bytes(meta.chunk_id, meta.dtype, nbytes)
+        self.stats.disk_stored_bytes_read += stored
+        return [
+            (self.resources.disk_read, stored, "read from disk"),
+            (self.resources.decompress, nbytes, "decompress"),
+        ]
+
+    def _transfer_requests(self, source: MemorySpace, target: MemorySpace, meta: ChunkMeta):
         """The (resource, bytes, label) requests implied by moving a chunk."""
         pair = (source.kind, target.kind)
+        nbytes = meta.nbytes
         requests = []
         if pair == (MemoryKind.GPU, MemoryKind.HOST):
             self.stats.bytes_from_gpu += nbytes
@@ -861,20 +927,16 @@ class MemoryManager:
             self.stats.bytes_to_gpu += nbytes
             requests.append((self.resources.pcie, nbytes, "stage h2d"))
         elif pair == (MemoryKind.HOST, MemoryKind.DISK):
-            self.stats.bytes_to_disk += nbytes
-            requests.append((self.resources.disk, nbytes, "spill to disk"))
+            requests.extend(self._disk_write_requests(meta))
         elif pair == (MemoryKind.DISK, MemoryKind.HOST):
-            self.stats.bytes_from_disk += nbytes
-            requests.append((self.resources.disk, nbytes, "read from disk"))
+            requests.extend(self._disk_read_requests(meta))
         elif pair == (MemoryKind.GPU, MemoryKind.DISK):
             self.stats.bytes_from_gpu += nbytes
-            self.stats.bytes_to_disk += nbytes
             requests.append((self.resources.pcie, nbytes, "spill d2h"))
-            requests.append((self.resources.disk, nbytes, "spill to disk"))
+            requests.extend(self._disk_write_requests(meta))
         elif pair == (MemoryKind.DISK, MemoryKind.GPU):
-            self.stats.bytes_from_disk += nbytes
+            requests.extend(self._disk_read_requests(meta))
             self.stats.bytes_to_gpu += nbytes
-            requests.append((self.resources.disk, nbytes, "read from disk"))
             requests.append((self.resources.pcie, nbytes, "stage h2d"))
         elif pair == (MemoryKind.GPU, MemoryKind.GPU):
             requests.append((self.resources.pcie, nbytes, "p2p"))

@@ -75,6 +75,14 @@ class LineageTracker:
         #: always precede their recv in task-id order in this codebase
         self._send_by_tag: Dict[int, Tuple[ChunkId, int]] = {}
         self.records_observed = 0
+        #: (chunk id, version) -> zero-argument loader returning the chunk's
+        #: bytes from durable storage.  ``Context.checkpoint`` registers one
+        #: per captured chunk: a checkpointed version is a replay *leaf* —
+        #: recovery reloads it from the checkpoint file instead of replaying
+        #: its producers, so only non-checkpointed lineage is recomputed.
+        self._durable: Dict[Tuple[ChunkId, int], object] = {}
+        #: replay leaves satisfied from a checkpoint instead of recompute
+        self.durable_chunks_loaded = 0
 
     # ------------------------------------------------------------------ #
     # observation (driver-side, every submitted plan)
@@ -87,6 +95,19 @@ class LineageTracker:
     def note_rehome(self, meta: ChunkMeta) -> None:
         """Track a chunk's new metadata after recovery retargeted its home."""
         self._meta[meta.chunk_id] = meta
+
+    def note_durable(self, chunk_id: ChunkId, loader) -> None:
+        """Mark the chunk's *current* version as durably checkpointed.
+
+        ``loader()`` must return the chunk's bytes as a NumPy array (the
+        checkpoint module reads and decompresses them from the file on
+        demand).  A later write to the chunk bumps its version, so the
+        durable mark pins exactly the version that was captured.
+        """
+        version = self._version.get(chunk_id)
+        if version is None:
+            return
+        self._durable[(chunk_id, version)] = loader
 
     def chunk_version(self, chunk_id: ChunkId) -> int:
         """Current version of a chunk (0 = created, never written)."""
@@ -232,6 +253,8 @@ class LineageTracker:
             seen.add((chunk_id, version))
             if is_leaf(chunk_id, version):
                 continue
+            if (chunk_id, version) in self._durable:
+                continue  # checkpointed: reload from the file, don't recompute
             record = self._producer.get((chunk_id, version))
             if record is None:
                 raise FaultError(
@@ -260,6 +283,12 @@ class LineageTracker:
                 scratch[chunk_id] = np.array(buffer)
                 scratch_version[chunk_id] = version
                 return
+            loader = self._durable.get((chunk_id, version))
+            if loader is not None:
+                scratch[chunk_id] = np.asarray(loader())
+                scratch_version[chunk_id] = version
+                self.durable_chunks_loaded += 1
+                return
             raise FaultError(
                 f"lineage: chunk {chunk_id} version {version} neither "
                 f"survived nor was replayed"
@@ -279,6 +308,9 @@ class LineageTracker:
         for chunk_id in lost:
             if chunk_id not in self._version:
                 continue
+            # A lost chunk whose final version was checkpointed has no replay
+            # record at all — ensure() loads it from the durable store here.
+            ensure(chunk_id, self._version[chunk_id])
             buffer = buffer_of(chunk_id)
             if buffer is not None:
                 np.copyto(buffer, scratch[chunk_id])

@@ -81,11 +81,45 @@ class WorkerResources:
             latency=spec.disk.latency,
             trace=trace,
         )
+        # Per-direction disk lanes plus host-side (de)compression lanes: used
+        # by the compressed disk tier (Context(disk=True)) and by
+        # checkpoint/restore, which charge compressed bytes on the asymmetric
+        # read/write bandwidths and raw bytes on the codec throughputs.  The
+        # default spill path keeps using the symmetric ``disk`` link above, so
+        # runs without the disk model are bit-identical with older baselines.
+        self.disk_read = link_cls(
+            engine,
+            f"{prefix}.disk_read",
+            bandwidth=spec.disk.read_bandwidth,
+            latency=spec.disk.latency,
+            trace=trace,
+        )
+        self.disk_write = link_cls(
+            engine,
+            f"{prefix}.disk_write",
+            bandwidth=spec.disk.write_bandwidth,
+            latency=spec.disk.latency,
+            trace=trace,
+        )
+        self.compress = link_cls(
+            engine,
+            f"{prefix}.compress",
+            bandwidth=spec.disk.compress_throughput,
+            trace=trace,
+        )
+        self.decompress = link_cls(
+            engine,
+            f"{prefix}.decompress",
+            bandwidth=spec.disk.decompress_throughput,
+            trace=trace,
+        )
         # Links that carry chunk data are fault-prone "transfer" resources:
         # the fault injector targets them for transient failures and retries.
         self.pcie.fault_role = "transfer"
         self.nic.fault_role = "transfer"
         self.disk.fault_role = "transfer"
+        self.disk_read.fault_role = "transfer"
+        self.disk_write.fault_role = "transfer"
         self.cpu = ChannelResource(engine, f"{prefix}.cpu", channels=spec.cpu.cores, trace=trace)
         self.scheduler = ChannelResource(
             engine,
@@ -115,5 +149,7 @@ class WorkerResources:
         """Every simulated resource of this worker (for stats collection)."""
         resources: list[Resource] = list(self.gpu_compute.values())
         resources += list(self.gpu_dtod.values())
-        resources += [self.pcie, self.nic, self.disk, self.cpu, self.scheduler]
+        resources += [self.pcie, self.nic, self.disk, self.disk_read,
+                      self.disk_write, self.compress, self.decompress,
+                      self.cpu, self.scheduler]
         return resources

@@ -113,6 +113,23 @@ class RuntimeStats:
     temporaries_elided_bytes: int = 0
     expr_bytes_allocated: int = 0
     buffers_reused_inplace: int = 0
+    #: compressed disk tier (``Context(disk=True)``): disk→host staged
+    #: promotions planned by the window (three-level prefetch), and the
+    #: compressed bytes the disk tier actually wrote/read (equal to the raw
+    #: spill bytes when the compression model is off)
+    disk_promotions_staged: int = 0
+    disk_stored_bytes_written: int = 0
+    disk_stored_bytes_read: int = 0
+    #: checkpoint/restore (``Context.checkpoint``/``Context.restore``):
+    #: checkpoints written, chunks and raw/stored bytes captured, chunks
+    #: restored from a checkpoint file, and lineage replays that loaded a
+    #: durable checkpointed chunk instead of recomputing its producers
+    checkpoints_written: int = 0
+    chunks_checkpointed: int = 0
+    checkpoint_bytes_raw: int = 0
+    checkpoint_bytes_stored: int = 0
+    chunks_restored: int = 0
+    durable_chunks_loaded: int = 0
     memory: Dict[int, MemoryStats] = field(default_factory=dict)
     resource_busy: Dict[str, float] = field(default_factory=dict)
     #: engine events consumed per resource (wake-ups + completions)
@@ -225,6 +242,16 @@ class RuntimeSystem:
         self.replicas_promoted = 0
         self.tasks_replayed = 0
         self.redistributes_forced = 0
+        #: Compressed disk tier: the per-chunk compression model shared by
+        #: every worker's memory manager (``None`` = legacy symmetric disk
+        #: link, bit-identical with pre-disk-tier baselines).
+        self.disk_model = None
+        #: checkpoint/restore counters aggregated into :class:`RuntimeStats`
+        self.checkpoints_written = 0
+        self.chunks_checkpointed = 0
+        self.checkpoint_bytes_raw = 0
+        self.checkpoint_bytes_stored = 0
+        self.chunks_restored = 0
         #: Multi-tenant serving (:mod:`repro.runtime.serving`).  All of this
         #: is dormant — and the hot path pays a single ``if`` — until the
         #: first tenant-tagged plan arrives.  ``fair_share`` is set by the
@@ -381,6 +408,21 @@ class RuntimeSystem:
         return self.engine.now
 
     # ------------------------------------------------------------------ #
+    # compressed disk tier
+    # ------------------------------------------------------------------ #
+    def enable_disk_model(self, model) -> None:
+        """Switch every worker's disk tier to the compressed model.
+
+        ``model`` is a :class:`~repro.perfmodel.compression.CompressionModel`
+        (deterministic per-chunk ratios).  Must be called before any chunk is
+        spilled: flipping the model mid-run would let a chunk be written at
+        one size and read back at another.
+        """
+        self.disk_model = model
+        for worker in self.workers:
+            worker.memory.disk_model = model
+
+    # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
     def stats(self) -> RuntimeStats:
@@ -404,6 +446,13 @@ class RuntimeSystem:
         stats.replicas_promoted = self.replicas_promoted
         stats.tasks_replayed = self.tasks_replayed
         stats.redistributes_forced = self.redistributes_forced
+        stats.checkpoints_written = self.checkpoints_written
+        stats.chunks_checkpointed = self.chunks_checkpointed
+        stats.checkpoint_bytes_raw = self.checkpoint_bytes_raw
+        stats.checkpoint_bytes_stored = self.checkpoint_bytes_stored
+        stats.chunks_restored = self.chunks_restored
+        if self.lineage is not None:
+            stats.durable_chunks_loaded = self.lineage.durable_chunks_loaded
         stats.resource_events[self.driver_plan.name] = self.driver_plan.events_processed
         for worker in self.workers:
             stats.tasks_completed += worker.scheduler.tasks_completed
@@ -413,6 +462,8 @@ class RuntimeSystem:
             stats.prefetch_promotions += worker.memory.stats.prefetch_promotions
             stats.staging_stalls += worker.memory.stats.staging_stalls
             stats.staging_stalls_avoided += worker.memory.stats.staging_stalls_avoided
+            stats.disk_stored_bytes_written += worker.memory.stats.disk_stored_bytes_written
+            stats.disk_stored_bytes_read += worker.memory.stats.disk_stored_bytes_read
             for resource in worker.resources.all_resources():
                 stats.resource_events[resource.name] = resource.events_processed
         if self.trace is not None:

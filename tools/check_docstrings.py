@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the public package (CI: fail under 80%).
+"""Docstring-coverage gate for the public package (CI: fail under 90%).
 
 Prefers `interrogate <https://interrogate.readthedocs.io>`_ when it is
 installed (the CI job installs it); otherwise falls back to a small AST
@@ -12,7 +12,7 @@ tool passes.
 
 Usage::
 
-    python tools/check_docstrings.py [--fail-under 80] [PATHS ...]
+    python tools/check_docstrings.py [--fail-under 90] [PATHS ...]
 """
 
 from __future__ import annotations
@@ -100,7 +100,7 @@ def main(argv=None) -> int:
     """Entry point: prefer interrogate, fall back to the AST walker."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
-    parser.add_argument("--fail-under", type=float, default=80.0)
+    parser.add_argument("--fail-under", type=float, default=90.0)
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="list every undocumented object")
     args = parser.parse_args(argv)

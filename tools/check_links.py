@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo docs (CI: the docs job runs this).
+
+Walks every tracked ``*.md`` file and fails on:
+
+* **dead relative links** — ``[text](path)`` whose target (resolved against
+  the markdown file's own directory, ``#fragment`` stripped) does not exist
+  on disk; external schemes (``http(s)://``, ``mailto:``) and pure-anchor
+  links are skipped;
+* **dead wiki links** — ``[[name]]`` references that match neither ``name``
+  nor ``name.md`` relative to the referencing file or the repo root.
+
+Inline code spans and fenced code blocks are ignored, so examples like
+``[i]`` indexing or ``[[0], [8]]`` region literals in snippets do not
+trip the checker.
+
+Usage::
+
+    python tools/check_links.py [--root DIR] [FILES ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: [text](target) — target captured up to the first unescaped ')'
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: [[name]] wiki-style reference (not part of a nested [[a], [b]] literal)
+_WIKI_LINK = re.compile(r"\[\[([A-Za-z0-9._/ -]+?)\]\]")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: str) -> Iterator[str]:
+    """Yield every ``.md`` file under ``root``, skipping VCS/cache dirs."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", "__pycache__", ".ruff_cache",
+                                    "node_modules")]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(lines: List[str]) -> List[str]:
+    """Blank out fenced blocks and inline code spans, keeping line numbers."""
+    out, in_fence = [], False
+    for line in lines:
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else _CODE_SPAN.sub("", line))
+    return out
+
+
+def check_file(path: str, root: str) -> List[Tuple[int, str]]:
+    """Return ``(line_number, message)`` problems for one markdown file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    base = os.path.dirname(path)
+    problems: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(strip_code(lines), start=1):
+        for match in _INLINE_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                problems.append((lineno, f"dead link: ({target})"))
+        for match in _WIKI_LINK.finditer(line):
+            name = match.group(1).strip()
+            candidates = [
+                os.path.join(base, name), os.path.join(base, name + ".md"),
+                os.path.join(root, name), os.path.join(root, name + ".md"),
+            ]
+            if not any(os.path.exists(c) for c in candidates):
+                problems.append((lineno, f"dead wiki link: [[{name}]]"))
+    return problems
+
+
+def main(argv=None) -> int:
+    """Check the given files (default: every ``.md`` under ``--root``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="markdown files to check (default: all)")
+    parser.add_argument("--root", default=".",
+                        help="repo root for [[wiki]] resolution and the "
+                             "default file walk")
+    args = parser.parse_args(argv)
+    files = args.files or list(iter_markdown_files(args.root))
+
+    failures = 0
+    for path in files:
+        for lineno, message in check_file(path, args.root):
+            print(f"{path}:{lineno}: {message}", file=sys.stderr)
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"link check FAILED: {failures} dead link(s) across "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"link check ok: {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
